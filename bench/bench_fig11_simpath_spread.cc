@@ -1,0 +1,88 @@
+// Figure 11 reproduction: expected spread vs k under the LT model — TIM+
+// (ε = ℓ = 1) against SIMPATH, on NetHEPT, Epinions, DBLP and LiveJournal.
+//
+// The paper's shape: TIM+ is never worse and clearly better on LiveJournal.
+//
+// Usage: bench_fig11_simpath_spread [--seed=1] [--mc=10000] [--eta=1e-3]
+//        [--simpath_step_cap=20000000]
+//        [--scale_nethept=0.1] [--scale_epinions=0.05]
+//        [--scale_dblp=0.01] [--scale_livejournal=0.002]
+#include <cstdio>
+#include <vector>
+
+#include "baselines/simpath.h"
+#include "bench/bench_util.h"
+#include "core/tim.h"
+
+namespace timpp {
+namespace {
+
+struct Entry {
+  Dataset dataset;
+  const char* name;
+  const char* scale_flag;
+  double default_scale;
+};
+
+const Entry kDatasets[] = {
+    {Dataset::kNetHept, "NetHEPT", "scale_nethept", 0.1},
+    {Dataset::kEpinions, "Epinions", "scale_epinions", 0.05},
+    {Dataset::kDblp, "DBLP", "scale_dblp", 0.01},
+    {Dataset::kLiveJournal, "LiveJournal", "scale_livejournal", 0.002},
+};
+
+void Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t seed = flags.GetInt("seed", 1);
+  const uint64_t mc = flags.GetInt("mc", 10000);
+  const double eta = flags.GetDouble("eta", 1e-3);
+  const uint64_t step_cap = flags.GetInt("simpath_step_cap", 20000000);
+
+  bench::PrintHeader(
+      "Figure 11: expected spread vs k under LT (TIM+ vs SIMPATH)",
+      "spreads from " + std::to_string(mc) + " MC cascades");
+
+  for (const Entry& d : kDatasets) {
+    const double scale = flags.GetDouble(d.scale_flag, d.default_scale);
+    Graph graph = bench::MustBuildProxy(d.dataset, scale,
+                                        WeightScheme::kRandomLT, seed);
+    bench::PrintDatasetBanner(d.name, graph, scale);
+    std::printf("%5s %12s %12s   (expected spread)\n", "k", "TIM+",
+                "SIMPATH");
+    for (int k : bench::DefaultKSweep()) {
+      TimOptions tim_options;
+      tim_options.k = k;
+      tim_options.epsilon = 1.0;
+      tim_options.ell = 1.0;
+      tim_options.model = DiffusionModel::kLT;
+      tim_options.seed = seed;
+      TimSolver solver(graph);
+      TimResult tim;
+      double s_tim = -1.0;
+      if (solver.Run(tim_options, &tim).ok()) {
+        s_tim = bench::MeasureSpread(graph, tim.seeds, DiffusionModel::kLT,
+                                     mc);
+      }
+
+      SimpathOptions simpath_options;
+      simpath_options.eta = eta;
+      simpath_options.max_path_steps = step_cap;
+      std::vector<NodeId> simpath_seeds;
+      double s_simpath = -1.0;
+      if (RunSimpath(graph, simpath_options, k, &simpath_seeds, nullptr)
+              .ok()) {
+        s_simpath = bench::MeasureSpread(graph, simpath_seeds,
+                                         DiffusionModel::kLT, mc);
+      }
+      std::printf("%5d %12.1f %12.1f\n", k, s_tim, s_simpath);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace timpp
+
+int main(int argc, char** argv) {
+  timpp::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 6 reproduction: running time vs k for TIM and TIM+ on the four
+// large datasets (Epinions, DBLP, LiveJournal, Twitter) under IC and LT.
+//
+// The paper's shape: TIM+ beats TIM by one to two orders of magnitude; both
+// are faster under LT than IC; time does not blow up with k (often the
+// opposite, because KPT grows with k faster than λ).
+//
+// Default scales keep each proxy at a few thousand nodes so the sweep
+// finishes in minutes; raise per-dataset --scale_<name> toward the
+// spec-sheet sizes to approach paper scale.
+//
+// Usage: bench_fig6_large_time [--eps=0.1] [--seed=1] [--k_list=1,10,50]
+//        [--scale_epinions=0.05] [--scale_dblp=0.01]
+//        [--scale_livejournal=0.002] [--scale_twitter=0.0003]
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/tim.h"
+
+namespace timpp {
+namespace {
+
+struct LargeDataset {
+  Dataset dataset;
+  const char* name;
+  const char* scale_flag;
+  double default_scale;
+};
+
+const LargeDataset kLargeDatasets[] = {
+    {Dataset::kEpinions, "Epinions", "scale_epinions", 0.05},
+    {Dataset::kDblp, "DBLP", "scale_dblp", 0.01},
+    {Dataset::kLiveJournal, "LiveJournal", "scale_livejournal", 0.002},
+    {Dataset::kTwitter, "Twitter", "scale_twitter", 0.0003},
+};
+
+double RunOnce(const Graph& graph, int k, double eps, DiffusionModel model,
+               bool refine, uint64_t seed) {
+  TimOptions options;
+  options.k = k;
+  options.epsilon = eps;
+  options.model = model;
+  options.use_refinement = refine;
+  options.seed = seed;
+  TimSolver solver(graph);
+  TimResult result;
+  if (!solver.Run(options, &result).ok()) return -1.0;
+  return result.stats.seconds_total;
+}
+
+void Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double eps = flags.GetDouble("eps", 0.1);
+  const uint64_t seed = flags.GetInt("seed", 1);
+
+  bench::PrintHeader("Figure 6: running time vs k on large datasets",
+                     "series: TIM(IC), TIM+(IC), TIM(LT), TIM+(LT)");
+
+  for (const LargeDataset& d : kLargeDatasets) {
+    const double scale = flags.GetDouble(d.scale_flag, d.default_scale);
+    Graph ic = bench::MustBuildProxy(d.dataset, scale,
+                                     WeightScheme::kWeightedCascadeIC, seed);
+    Graph lt = bench::MustBuildProxy(d.dataset, scale,
+                                     WeightScheme::kRandomLT, seed);
+    bench::PrintDatasetBanner(d.name, ic, scale);
+    std::printf("%5s %12s %12s %12s %12s   (seconds)\n", "k", "TIM(IC)",
+                "TIM+(IC)", "TIM(LT)", "TIM+(LT)");
+    for (int k : {1, 10, 50}) {
+      std::printf("%5d %12.3f %12.3f %12.3f %12.3f\n", k,
+                  RunOnce(ic, k, eps, DiffusionModel::kIC, false, seed),
+                  RunOnce(ic, k, eps, DiffusionModel::kIC, true, seed),
+                  RunOnce(lt, k, eps, DiffusionModel::kLT, false, seed),
+                  RunOnce(lt, k, eps, DiffusionModel::kLT, true, seed));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace timpp
+
+int main(int argc, char** argv) {
+  timpp::Run(argc, argv);
+  return 0;
+}

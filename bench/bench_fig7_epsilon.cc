@@ -1,0 +1,80 @@
+// Figure 7 reproduction: running time vs ε for TIM and TIM+ on the large
+// datasets (k = 50).
+//
+// The paper's shape: runtime drops steeply as ε grows (θ ∝ 1/ε²); TIM+
+// stays below TIM throughout.
+//
+// Usage: bench_fig7_epsilon [--k=50] [--seed=1]
+//        [--scale_epinions=0.05] [--scale_dblp=0.01]
+//        [--scale_livejournal=0.002] [--scale_twitter=0.0003]
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/tim.h"
+
+namespace timpp {
+namespace {
+
+struct LargeDataset {
+  Dataset dataset;
+  const char* name;
+  const char* scale_flag;
+  double default_scale;
+};
+
+const LargeDataset kLargeDatasets[] = {
+    {Dataset::kEpinions, "Epinions", "scale_epinions", 0.05},
+    {Dataset::kDblp, "DBLP", "scale_dblp", 0.01},
+    {Dataset::kLiveJournal, "LiveJournal", "scale_livejournal", 0.002},
+    {Dataset::kTwitter, "Twitter", "scale_twitter", 0.0003},
+};
+
+double RunOnce(const Graph& graph, int k, double eps, DiffusionModel model,
+               bool refine, uint64_t seed) {
+  TimOptions options;
+  options.k = k;
+  options.epsilon = eps;
+  options.model = model;
+  options.use_refinement = refine;
+  options.seed = seed;
+  TimSolver solver(graph);
+  TimResult result;
+  if (!solver.Run(options, &result).ok()) return -1.0;
+  return result.stats.seconds_total;
+}
+
+void Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int k = static_cast<int>(flags.GetInt("k", 50));
+  const uint64_t seed = flags.GetInt("seed", 1);
+
+  bench::PrintHeader("Figure 7: running time vs epsilon on large datasets",
+                     "k = " + std::to_string(k) +
+                         "; series: TIM(IC), TIM+(IC), TIM(LT), TIM+(LT)");
+
+  for (const LargeDataset& d : kLargeDatasets) {
+    const double scale = flags.GetDouble(d.scale_flag, d.default_scale);
+    Graph ic = bench::MustBuildProxy(d.dataset, scale,
+                                     WeightScheme::kWeightedCascadeIC, seed);
+    Graph lt = bench::MustBuildProxy(d.dataset, scale,
+                                     WeightScheme::kRandomLT, seed);
+    bench::PrintDatasetBanner(d.name, ic, scale);
+    std::printf("%6s %12s %12s %12s %12s   (seconds)\n", "eps", "TIM(IC)",
+                "TIM+(IC)", "TIM(LT)", "TIM+(LT)");
+    for (double eps : {0.1, 0.2, 0.3, 0.4}) {
+      std::printf("%6.2f %12.3f %12.3f %12.3f %12.3f\n", eps,
+                  RunOnce(ic, k, eps, DiffusionModel::kIC, false, seed),
+                  RunOnce(ic, k, eps, DiffusionModel::kIC, true, seed),
+                  RunOnce(lt, k, eps, DiffusionModel::kLT, false, seed),
+                  RunOnce(lt, k, eps, DiffusionModel::kLT, true, seed));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace timpp
+
+int main(int argc, char** argv) {
+  timpp::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 8 reproduction: running time vs k under the IC model — TIM+
+// (ε = ℓ = 1, the paper's §7.3 setting) against the IRIE heuristic, on
+// NetHEPT, Epinions, DBLP and LiveJournal.
+//
+// The paper's shape: IRIE wins at small k, its cost grows with k, and TIM+
+// overtakes it for k > ~20 (TIM+'s cost tends to *fall* with k).
+//
+// Usage: bench_fig8_irie_time [--seed=1] [--irie_ap_samples=32]
+//        [--scale_nethept=0.1] [--scale_epinions=0.05]
+//        [--scale_dblp=0.01] [--scale_livejournal=0.002]
+#include <cstdio>
+#include <vector>
+
+#include "baselines/irie.h"
+#include "bench/bench_util.h"
+#include "core/tim.h"
+
+namespace timpp {
+namespace {
+
+struct Entry {
+  Dataset dataset;
+  const char* name;
+  const char* scale_flag;
+  double default_scale;
+};
+
+const Entry kDatasets[] = {
+    {Dataset::kNetHept, "NetHEPT", "scale_nethept", 0.1},
+    {Dataset::kEpinions, "Epinions", "scale_epinions", 0.05},
+    {Dataset::kDblp, "DBLP", "scale_dblp", 0.01},
+    {Dataset::kLiveJournal, "LiveJournal", "scale_livejournal", 0.002},
+};
+
+void Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t seed = flags.GetInt("seed", 1);
+  const uint64_t ap_samples = flags.GetInt("irie_ap_samples", 32);
+
+  bench::PrintHeader("Figure 8: running time vs k under IC (TIM+ vs IRIE)",
+                     "TIM+ uses eps = ell = 1 (weak guarantee, maximum "
+                     "speed) exactly as in the paper's §7.3");
+
+  for (const Entry& d : kDatasets) {
+    const double scale = flags.GetDouble(d.scale_flag, d.default_scale);
+    Graph graph = bench::MustBuildProxy(d.dataset, scale,
+                                        WeightScheme::kWeightedCascadeIC,
+                                        seed);
+    bench::PrintDatasetBanner(d.name, graph, scale);
+    std::printf("%5s %12s %12s   (seconds)\n", "k", "TIM+", "IRIE");
+    for (int k : bench::DefaultKSweep()) {
+      TimOptions tim_options;
+      tim_options.k = k;
+      tim_options.epsilon = 1.0;
+      tim_options.ell = 1.0;
+      tim_options.seed = seed;
+      TimSolver solver(graph);
+      TimResult tim;
+      double t_tim = -1.0;
+      if (solver.Run(tim_options, &tim).ok()) {
+        t_tim = tim.stats.seconds_total;
+      }
+
+      IrieOptions irie_options;
+      irie_options.ap_samples = ap_samples;
+      irie_options.seed = seed;
+      std::vector<NodeId> irie_seeds;
+      IrieStats irie_stats;
+      double t_irie = -1.0;
+      if (RunIrie(graph, irie_options, k, &irie_seeds, &irie_stats).ok()) {
+        t_irie = irie_stats.seconds_total;
+      }
+      std::printf("%5d %12.3f %12.3f\n", k, t_tim, t_irie);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace timpp
+
+int main(int argc, char** argv) {
+  timpp::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Micro-benchmark (google-benchmark) + ablation 2 (DESIGN.md §5): lazy vs
+// naive greedy max-coverage over realistic RR collections of growing size.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "coverage/greedy_cover.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "util/rng.h"
+
+namespace timpp {
+namespace {
+
+// Builds an RR collection of `num_sets` sets sampled from the NetHEPT
+// proxy — the exact workload Algorithm 1 feeds the solver.
+std::unique_ptr<RRCollection> MakeCollection(size_t num_sets) {
+  static const Graph graph = bench::MustBuildProxy(
+      Dataset::kNetHept, 0.1, WeightScheme::kWeightedCascadeIC, 1);
+  auto rr = std::make_unique<RRCollection>(graph.num_nodes());
+  RRSampler sampler(graph, DiffusionModel::kIC);
+  Rng rng(7);
+  std::vector<NodeId> scratch;
+  for (size_t i = 0; i < num_sets; ++i) {
+    RRSampleInfo info = sampler.SampleRandomRoot(rng, &scratch);
+    rr->Add(scratch, info.width);
+  }
+  rr->BuildIndex();
+  return rr;
+}
+
+void BM_LazyGreedyCover(benchmark::State& state) {
+  auto rr = MakeCollection(static_cast<size_t>(state.range(0)));
+  const int k = 50;
+  for (auto _ : state) {
+    CoverResult result = GreedyMaxCover(*rr, k);
+    benchmark::DoNotOptimize(result.covered_sets);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LazyGreedyCover)->Arg(10000)->Arg(50000)->Arg(200000);
+
+void BM_NaiveGreedyCover(benchmark::State& state) {
+  auto rr = MakeCollection(static_cast<size_t>(state.range(0)));
+  const int k = 50;
+  for (auto _ : state) {
+    CoverResult result = NaiveGreedyMaxCover(*rr, k);
+    benchmark::DoNotOptimize(result.covered_sets);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NaiveGreedyCover)->Arg(10000)->Arg(50000)->Arg(200000);
+
+void BM_BuildIndex(benchmark::State& state) {
+  auto rr = MakeCollection(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    rr->BuildIndex();
+    benchmark::DoNotOptimize(rr->index_built());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildIndex)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace timpp
+
+BENCHMARK_MAIN();

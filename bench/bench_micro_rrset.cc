@@ -1,0 +1,99 @@
+// Micro-benchmark (google-benchmark): RR-set sampling throughput for the
+// IC, LT and generic-triggering paths, and forward-simulation throughput
+// for comparison. Complements the figure benches with per-operation cost.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "diffusion/ic_simulator.h"
+#include "diffusion/lt_simulator.h"
+#include "diffusion/triggering.h"
+#include "rrset/rr_sampler.h"
+#include "util/rng.h"
+
+namespace timpp {
+namespace {
+
+// One static graph pair shared by all benchmarks in this binary.
+const Graph& IcGraph() {
+  static const Graph graph = bench::MustBuildProxy(
+      Dataset::kNetHept, 0.1, WeightScheme::kWeightedCascadeIC, 1);
+  return graph;
+}
+
+const Graph& LtGraph() {
+  static const Graph graph = bench::MustBuildProxy(
+      Dataset::kNetHept, 0.1, WeightScheme::kRandomLT, 1);
+  return graph;
+}
+
+void BM_RRSampleIC(benchmark::State& state) {
+  RRSampler sampler(IcGraph(), DiffusionModel::kIC);
+  Rng rng(42);
+  std::vector<NodeId> rr;
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    sampler.SampleRandomRoot(rng, &rr);
+    nodes += rr.size();
+    benchmark::DoNotOptimize(rr.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["nodes/set"] =
+      static_cast<double>(nodes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_RRSampleIC);
+
+void BM_RRSampleLT(benchmark::State& state) {
+  RRSampler sampler(LtGraph(), DiffusionModel::kLT);
+  Rng rng(42);
+  std::vector<NodeId> rr;
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    sampler.SampleRandomRoot(rng, &rr);
+    nodes += rr.size();
+    benchmark::DoNotOptimize(rr.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["nodes/set"] =
+      static_cast<double>(nodes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_RRSampleLT);
+
+void BM_RRSampleTriggeringIC(benchmark::State& state) {
+  IcTriggeringModel model;
+  RRSampler sampler(IcGraph(), DiffusionModel::kTriggering, &model);
+  Rng rng(42);
+  std::vector<NodeId> rr;
+  for (auto _ : state) {
+    sampler.SampleRandomRoot(rng, &rr);
+    benchmark::DoNotOptimize(rr.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RRSampleTriggeringIC);
+
+void BM_ForwardSimulateIC(benchmark::State& state) {
+  IcSimulator sim(IcGraph());
+  Rng rng(42);
+  const std::vector<NodeId> seeds = {0, 1, 2, 3, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Simulate(seeds, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardSimulateIC);
+
+void BM_ForwardSimulateLT(benchmark::State& state) {
+  LtSimulator sim(LtGraph());
+  Rng rng(42);
+  const std::vector<NodeId> seeds = {0, 1, 2, 3, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Simulate(seeds, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardSimulateLT);
+
+}  // namespace
+}  // namespace timpp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Shared plumbing for the figure-reproduction bench binaries: dataset
+// construction from flags, spread measurement, and table formatting.
+//
+// Every binary accepts:
+//   --scale=<f>   fraction of paper-scale node count (per-binary default
+//                 keeps the run laptop-sized; --scale=1 is paper-sized)
+//   --seed=<u64>  master RNG seed
+//   --eps, --k and algorithm-specific knobs documented per binary.
+#ifndef TIMPP_BENCH_BENCH_UTIL_H_
+#define TIMPP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "diffusion/spread_estimator.h"
+#include "gen/dataset_proxies.h"
+#include "graph/graph.h"
+#include "util/flags.h"
+#include "util/types.h"
+
+namespace timpp {
+namespace bench {
+
+/// Default k sweep used across the paper's figures (k from 1 to 50).
+inline std::vector<int> DefaultKSweep() { return {1, 10, 20, 30, 40, 50}; }
+
+/// Builds the proxy for `dataset`, exiting the process on failure.
+inline Graph MustBuildProxy(Dataset dataset, double scale,
+                            WeightScheme scheme, uint64_t seed) {
+  Graph graph;
+  Status status = BuildDatasetProxy(dataset, scale, scheme, seed, &graph);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to build dataset proxy: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  return graph;
+}
+
+/// Monte-Carlo spread of `seeds` (10^4 cascades unless overridden; the
+/// paper's figures use 10^4-10^5).
+inline double MeasureSpread(const Graph& graph,
+                            const std::vector<NodeId>& seeds,
+                            DiffusionModel model,
+                            uint64_t num_samples = 10000,
+                            uint64_t seed = 0xbe7c4) {
+  SpreadEstimatorOptions options;
+  options.num_samples = num_samples;
+  options.model = model;
+  options.num_threads = 4;
+  SpreadEstimator estimator(graph, options);
+  return estimator.Estimate(seeds, seed);
+}
+
+/// Prints the standard bench header naming the figure being reproduced.
+inline void PrintHeader(const std::string& title, const std::string& notes) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!notes.empty()) std::printf("%s\n", notes.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Prints one dataset banner with its actual proxy size.
+inline void PrintDatasetBanner(const std::string& name, const Graph& graph,
+                               double scale) {
+  std::printf("--- %s proxy (scale=%.4g): n=%u, m=%llu ---\n", name.c_str(),
+              scale, graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()));
+}
+
+}  // namespace bench
+}  // namespace timpp
+
+#endif  // TIMPP_BENCH_BENCH_UTIL_H_

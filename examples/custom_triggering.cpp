@@ -1,0 +1,96 @@
+// Extending timpp with a user-defined triggering model (§4.2).
+//
+// The triggering model covers diffusion processes beyond IC and LT: any
+// per-node distribution over subsets of in-neighbors works. This example
+// implements a "stubborn adopters" model — each node listens only to its
+// single most trusted in-neighbor (highest edge weight) and adopts with
+// that edge's probability; everyone else is ignored — and runs the full
+// TIM+ machinery under it, guarantee included (Theorem 3).
+//
+// Run: ./build/examples/custom_triggering [--n=2000] [--k=10]
+#include <cstdio>
+#include <vector>
+
+#include "core/tim.h"
+#include "diffusion/spread_estimator.h"
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/weight_models.h"
+#include "util/flags.h"
+
+namespace {
+
+// Triggering distribution: T(v) = {argmax-weight in-neighbor} with its
+// edge probability, else the empty set. A valid triggering model because
+// every sample is a subset of v's in-neighbors.
+class StubbornAdopterModel : public timpp::TriggeringModel {
+ public:
+  void SampleTriggeringSet(const timpp::Graph& graph, timpp::NodeId v,
+                           timpp::Rng& rng,
+                           std::vector<timpp::NodeId>* out) const override {
+    const timpp::Arc* best = nullptr;
+    for (const timpp::Arc& a : graph.InArcs(v)) {
+      if (best == nullptr || a.prob > best->prob) best = &a;
+    }
+    if (best != nullptr && rng.NextBernoulli(best->prob)) {
+      out->push_back(best->node);
+    }
+  }
+  const char* name() const override { return "stubborn-adopters"; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  timpp::Flags flags(argc, argv);
+  const timpp::NodeId n =
+      static_cast<timpp::NodeId>(flags.GetInt("n", 2000));
+  const int k = static_cast<int>(flags.GetInt("k", 10));
+
+  timpp::GraphBuilder builder;
+  timpp::GenDirectedScaleFree(n, 6.0, /*seed=*/5, &builder);
+  timpp::AssignTrivalency(&builder, /*seed=*/6);  // heterogeneous trust
+  timpp::Graph graph;
+  timpp::Status status = builder.Build(&graph);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  StubbornAdopterModel model;
+
+  // TIM+ under the custom model: only the options change.
+  timpp::TimOptions options;
+  options.k = k;
+  options.epsilon = 0.2;
+  options.model = timpp::DiffusionModel::kTriggering;
+  options.custom_model = &model;
+  timpp::TimSolver solver(graph);
+  timpp::TimResult result;
+  status = solver.Run(options, &result);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("custom model '%s': selected %zu seeds in %.3f s\n",
+              model.name(), result.seeds.size(),
+              result.stats.seconds_total);
+
+  // Cross-check with forward simulation under the same model.
+  timpp::SpreadEstimatorOptions est_options;
+  est_options.num_samples = 20000;
+  est_options.model = timpp::DiffusionModel::kTriggering;
+  est_options.custom_model = &model;
+  timpp::SpreadEstimator estimator(graph, est_options);
+  const double spread = estimator.Estimate(result.seeds, /*seed=*/21);
+
+  std::printf("solver estimate (n*F_R(S)): %8.1f\n",
+              result.stats.estimated_spread);
+  std::printf("forward-simulated spread:   %8.1f\n", spread);
+  std::printf("\nunder stubborn adoption each node has a single possible\n"
+              "influencer, so cascades are unions of in-trees: spreads are\n"
+              "far smaller than under IC on the same graph — and the two\n"
+              "estimates above must agree (Lemma 9 / Corollary 1).\n");
+  return 0;
+}

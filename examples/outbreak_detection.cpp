@@ -1,0 +1,88 @@
+// Outbreak / super-spreader analysis on a small-world contact network.
+//
+// §2.1 notes the IC process "mimics the spread of an infectious disease".
+// This example inverts the marketing story: on a Watts-Strogatz contact
+// network (high clustering, short paths — the classic epidemiology
+// topology), the k most influential nodes under IC are the super-spreaders
+// a vaccination campaign should target first. The example
+//   1. finds super-spreaders with TIM+,
+//   2. measures the outbreak size seeded at those nodes vs random cases,
+//   3. shows the effect of the transmission probability on both.
+//
+// Run: ./build/examples/outbreak_detection [--n=5000] [--k=20]
+#include <cstdio>
+#include <vector>
+
+#include "baselines/heuristics.h"
+#include "core/tim.h"
+#include "diffusion/spread_estimator.h"
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/weight_models.h"
+#include "util/flags.h"
+
+namespace {
+
+timpp::Graph MakeContactNetwork(timpp::NodeId n, float transmission_prob) {
+  timpp::GraphBuilder builder;
+  // Ring lattice with 4 contacts per person, 10% random long-range links.
+  timpp::GenWattsStrogatz(n, /*k_half=*/2, /*beta=*/0.1, /*seed=*/11,
+                          &builder);
+  timpp::AssignUniform(&builder, transmission_prob);
+  timpp::Graph graph;
+  timpp::Status status = builder.Build(&graph);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  return graph;
+}
+
+double OutbreakSize(const timpp::Graph& graph,
+                    const std::vector<timpp::NodeId>& cases) {
+  timpp::SpreadEstimatorOptions options;
+  options.num_samples = 10000;
+  options.num_threads = 4;
+  timpp::SpreadEstimator estimator(graph, options);
+  return estimator.Estimate(cases, /*seed=*/13);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  timpp::Flags flags(argc, argv);
+  const timpp::NodeId n =
+      static_cast<timpp::NodeId>(flags.GetInt("n", 5000));
+  const int k = static_cast<int>(flags.GetInt("k", 20));
+
+  std::printf("%-6s %18s %18s %10s\n", "p", "outbreak(top-k)",
+              "outbreak(random)", "ratio");
+  for (float p : {0.05f, 0.1f, 0.2f, 0.3f}) {
+    timpp::Graph graph = MakeContactNetwork(n, p);
+
+    timpp::TimOptions options;
+    options.k = k;
+    options.epsilon = 0.2;
+    options.seed = 3;
+    timpp::TimSolver solver(graph);
+    timpp::TimResult result;
+    if (!solver.Run(options, &result).ok()) continue;
+
+    std::vector<timpp::NodeId> random_cases;
+    timpp::SelectRandom(graph, k, 17, &random_cases);
+
+    const double targeted = OutbreakSize(graph, result.seeds);
+    const double random = OutbreakSize(graph, random_cases);
+    std::printf("%-6.2f %18.1f %18.1f %10.2fx\n", p, targeted, random,
+                targeted / random);
+  }
+
+  std::printf(
+      "\nreading: 'outbreak(top-k)' is the expected number of infections\n"
+      "if the k TIM+-identified super-spreaders are the index cases; the\n"
+      "gap vs random index cases is the value of targeting them for\n"
+      "vaccination. At very low p every cascade stays local and seeding\n"
+      "barely matters; as p rises toward percolation, index-case position\n"
+      "matters more and the targeted/random gap widens.\n");
+  return 0;
+}

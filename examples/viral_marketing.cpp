@@ -1,0 +1,95 @@
+// Viral marketing scenario — the paper's motivating application (§1).
+//
+// A company can afford to give free samples to a limited number of users
+// of an Epinions-like review network and wants the product recommendation
+// cascade to reach as many users as possible. This example:
+//   1. sweeps the budget k and reports the (diminishing) marginal reach,
+//   2. compares TIM+ against the cheap heuristics a practitioner might
+//      otherwise use (high degree, PageRank, random), and
+//   3. translates spreads into a campaign summary.
+//
+// Run: ./build/examples/viral_marketing [--scale=0.05] [--eps=0.2]
+#include <cstdio>
+#include <vector>
+
+#include "baselines/heuristics.h"
+#include "core/tim.h"
+#include "diffusion/spread_estimator.h"
+#include "gen/dataset_proxies.h"
+#include "util/flags.h"
+
+namespace {
+
+double Reach(const timpp::Graph& graph,
+             const std::vector<timpp::NodeId>& seeds) {
+  timpp::SpreadEstimatorOptions options;
+  options.num_samples = 10000;
+  options.num_threads = 4;
+  timpp::SpreadEstimator estimator(graph, options);
+  return estimator.Estimate(seeds, /*seed=*/99);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  timpp::Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 0.05);
+  const double eps = flags.GetDouble("eps", 0.2);
+
+  timpp::Graph graph;
+  timpp::Status status = timpp::BuildDatasetProxy(
+      timpp::Dataset::kEpinions, scale,
+      timpp::WeightScheme::kWeightedCascadeIC, /*seed=*/2026, &graph);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("review network: %u users, %llu trust edges\n",
+              graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  // --- 1. Budget sweep with TIM+ ------------------------------------
+  std::printf("\nbudget sweep (TIM+, eps=%.2f):\n", eps);
+  std::printf("%8s %14s %16s %14s\n", "budget k", "reach (users)",
+              "reach per seed", "runtime (s)");
+  double previous_reach = 0.0;
+  timpp::TimSolver solver(graph);
+  std::vector<timpp::NodeId> best_seeds;
+  for (int k : {1, 2, 5, 10, 20, 50}) {
+    timpp::TimOptions options;
+    options.k = k;
+    options.epsilon = eps;
+    timpp::TimResult result;
+    if (!solver.Run(options, &result).ok()) continue;
+    const double reach = Reach(graph, result.seeds);
+    std::printf("%8d %14.1f %16.2f %14.3f\n", k, reach, reach / k,
+                result.stats.seconds_total);
+    if (k == 50) best_seeds = result.seeds;
+    previous_reach = reach;
+  }
+  (void)previous_reach;
+
+  // --- 2. Algorithm comparison at k = 50 ----------------------------
+  const int k = 50;
+  std::printf("\nwho should get the %d free samples? (expected reach)\n", k);
+  std::vector<timpp::NodeId> degree_seeds, pagerank_seeds, random_seeds;
+  timpp::SelectByDegree(graph, k, &degree_seeds);
+  timpp::SelectByPageRank(graph, k, 0.85, 50, &pagerank_seeds);
+  timpp::SelectRandom(graph, k, 5, &random_seeds);
+
+  const double tim_reach = Reach(graph, best_seeds);
+  const double degree_reach = Reach(graph, degree_seeds);
+  const double pagerank_reach = Reach(graph, pagerank_seeds);
+  const double random_reach = Reach(graph, random_seeds);
+  std::printf("%-22s %10.1f users\n", "TIM+ (this paper)", tim_reach);
+  std::printf("%-22s %10.1f users\n", "highest degree", degree_reach);
+  std::printf("%-22s %10.1f users\n", "PageRank", pagerank_reach);
+  std::printf("%-22s %10.1f users\n", "random pick", random_reach);
+
+  // --- 3. Campaign summary ------------------------------------------
+  std::printf("\ncampaign summary: seeding %d users reaches %.1f (%.1f%% of "
+              "the network), %.1fx the reach of random seeding.\n",
+              k, tim_reach, 100.0 * tim_reach / graph.num_nodes(),
+              tim_reach / random_reach);
+  return 0;
+}

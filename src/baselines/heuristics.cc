@@ -1,0 +1,194 @@
+#include "baselines/heuristics.h"
+
+#include "graph/graph_algos.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <string>
+
+#include "util/rng.h"
+
+namespace timpp {
+
+namespace {
+
+Status ValidateK(const Graph& graph, int k) {
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("graph has no nodes");
+  }
+  if (k < 1 || static_cast<uint64_t>(k) > graph.num_nodes()) {
+    return Status::InvalidArgument("k must be in [1, n], got " +
+                                   std::to_string(k));
+  }
+  return Status::OK();
+}
+
+// Top-k node ids by score, descending, ties to the smaller id.
+std::vector<NodeId> TopKByScore(const std::vector<double>& score, int k) {
+  std::vector<NodeId> order(score.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&score](NodeId a, NodeId b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace
+
+Status SelectByDegree(const Graph& graph, int k, std::vector<NodeId>* seeds) {
+  TIMPP_RETURN_NOT_OK(ValidateK(graph, k));
+  std::vector<double> score(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    score[v] = static_cast<double>(graph.OutDegree(v));
+  }
+  *seeds = TopKByScore(score, k);
+  return Status::OK();
+}
+
+Status SelectSingleDiscount(const Graph& graph, int k,
+                            std::vector<NodeId>* seeds) {
+  TIMPP_RETURN_NOT_OK(ValidateK(graph, k));
+  const NodeId n = graph.num_nodes();
+  std::vector<int64_t> degree(n);
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = static_cast<int64_t>(graph.OutDegree(v));
+  }
+  std::vector<char> selected(n, 0);
+  seeds->clear();
+  for (int round = 0; round < k; ++round) {
+    NodeId best = kInvalidNode;
+    int64_t best_degree = -1;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!selected[v] && degree[v] > best_degree) {
+        best_degree = degree[v];
+        best = v;
+      }
+    }
+    selected[best] = 1;
+    seeds->push_back(best);
+    // Every neighbor pointing at the freshly selected audience loses one
+    // unit of effective degree.
+    for (const Arc& a : graph.InArcs(best)) --degree[a.node];
+  }
+  return Status::OK();
+}
+
+Status SelectDegreeDiscount(const Graph& graph, int k, double p,
+                            std::vector<NodeId>* seeds) {
+  TIMPP_RETURN_NOT_OK(ValidateK(graph, k));
+  const NodeId n = graph.num_nodes();
+
+  if (p <= 0.0) {
+    // Mean edge probability as the uniform-p stand-in.
+    double sum = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      for (const Arc& a : graph.OutArcs(v)) sum += a.prob;
+    }
+    p = graph.num_edges() > 0
+            ? sum / static_cast<double>(graph.num_edges())
+            : 0.01;
+  }
+
+  std::vector<double> dd(n);
+  std::vector<uint32_t> t(n, 0);  // selected in-neighbors per node
+  for (NodeId v = 0; v < n; ++v) {
+    dd[v] = static_cast<double>(graph.OutDegree(v));
+  }
+  std::vector<char> selected(n, 0);
+  seeds->clear();
+  for (int round = 0; round < k; ++round) {
+    NodeId best = kInvalidNode;
+    double best_dd = -1.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!selected[v] && dd[v] > best_dd) {
+        best_dd = dd[v];
+        best = v;
+      }
+    }
+    selected[best] = 1;
+    seeds->push_back(best);
+    for (const Arc& a : graph.OutArcs(best)) {
+      NodeId v = a.node;
+      if (selected[v]) continue;
+      ++t[v];
+      const double d = static_cast<double>(graph.OutDegree(v));
+      const double tv = static_cast<double>(t[v]);
+      dd[v] = d - 2.0 * tv - (d - tv) * tv * p;
+    }
+  }
+  return Status::OK();
+}
+
+Status SelectByPageRank(const Graph& graph, int k, double damping,
+                        int iterations, std::vector<NodeId>* seeds) {
+  TIMPP_RETURN_NOT_OK(ValidateK(graph, k));
+  if (!(damping > 0.0) || damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in (0, 1)");
+  }
+  const NodeId n = graph.num_nodes();
+  const double nd = static_cast<double>(n);
+
+  // Power iteration on the transpose: rank mass flows v -> u along each
+  // original arc (u, v), i.e. toward the nodes influence emanates from.
+  std::vector<double> rank(n, 1.0 / nd);
+  std::vector<double> next(n);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), (1.0 - damping) / nd);
+    double dangling = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      const uint64_t deg = graph.InDegree(v);  // out-degree in G^T
+      if (deg == 0) {
+        dangling += rank[v];
+        continue;
+      }
+      const double share = damping * rank[v] / static_cast<double>(deg);
+      for (const Arc& a : graph.InArcs(v)) next[a.node] += share;
+    }
+    const double dangling_share = damping * dangling / nd;
+    for (NodeId v = 0; v < n; ++v) next[v] += dangling_share;
+    rank.swap(next);
+  }
+  *seeds = TopKByScore(rank, k);
+  return Status::OK();
+}
+
+Status SelectByKCore(const Graph& graph, int k, std::vector<NodeId>* seeds) {
+  TIMPP_RETURN_NOT_OK(ValidateK(graph, k));
+  const std::vector<uint32_t> core = CoreDecomposition(graph);
+  // Composite score: core index first, out-degree as the tie-breaker
+  // (scaled below 1 so it can never override a core difference).
+  std::vector<double> score(graph.num_nodes());
+  double max_degree = 1.0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    max_degree = std::max(max_degree, static_cast<double>(graph.OutDegree(v)));
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    score[v] = static_cast<double>(core[v]) +
+               static_cast<double>(graph.OutDegree(v)) / (max_degree + 1.0);
+  }
+  *seeds = TopKByScore(score, k);
+  return Status::OK();
+}
+
+Status SelectRandom(const Graph& graph, int k, uint64_t seed,
+                    std::vector<NodeId>* seeds) {
+  TIMPP_RETURN_NOT_OK(ValidateK(graph, k));
+  const NodeId n = graph.num_nodes();
+  // Partial Fisher-Yates over [0, n).
+  std::vector<NodeId> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  Rng rng(seed);
+  seeds->clear();
+  for (int i = 0; i < k; ++i) {
+    const size_t j = i + rng.NextBounded(n - i);
+    std::swap(pool[i], pool[j]);
+    seeds->push_back(pool[i]);
+  }
+  return Status::OK();
+}
+
+}  // namespace timpp

@@ -1,0 +1,50 @@
+// Cheap seed-selection heuristics used throughout the influence
+// maximization literature as sanity baselines: high degree, single
+// discount, degree discount (Chen et al., KDD'09), PageRank, and random.
+// None carries an approximation guarantee.
+#ifndef TIMPP_BASELINES_HEURISTICS_H_
+#define TIMPP_BASELINES_HEURISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// Top-k nodes by out-degree (ties broken by smaller id).
+Status SelectByDegree(const Graph& graph, int k, std::vector<NodeId>* seeds);
+
+/// SingleDiscount: iteratively pick the highest-degree node, then discount
+/// each of its out-neighbors' effective degree by one (each edge into the
+/// chosen seed's audience is worth less).
+Status SelectSingleDiscount(const Graph& graph, int k,
+                            std::vector<NodeId>* seeds);
+
+/// DegreeDiscountIC (Chen et al.): designed for uniform-probability IC.
+/// With t_v selected in-neighbors, node v's discounted degree is
+///   dd_v = d_v - 2·t_v - (d_v - t_v)·t_v·p.
+/// `p` <= 0 selects the graph's mean edge probability.
+Status SelectDegreeDiscount(const Graph& graph, int k, double p,
+                            std::vector<NodeId>* seeds);
+
+/// Top-k by PageRank on the transpose graph (influence flows out of a node,
+/// so authority on G^T ranks nodes many others can be reached from).
+/// Standard power iteration with uniform teleport.
+Status SelectByPageRank(const Graph& graph, int k, double damping,
+                        int iterations, std::vector<NodeId>* seeds);
+
+/// Top-k by k-core (k-shell) index, ties broken by higher out-degree then
+/// smaller id — the "influential spreaders sit in the innermost core"
+/// heuristic of Kitsak et al. (Nature Physics 2010).
+Status SelectByKCore(const Graph& graph, int k, std::vector<NodeId>* seeds);
+
+/// k distinct nodes chosen uniformly at random.
+Status SelectRandom(const Graph& graph, int k, uint64_t seed,
+                    std::vector<NodeId>* seeds);
+
+}  // namespace timpp
+
+#endif  // TIMPP_BASELINES_HEURISTICS_H_

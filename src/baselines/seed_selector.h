@@ -1,0 +1,30 @@
+// Uniform interface over all influence-maximization algorithms in timpp so
+// examples and benches can swap algorithms without branching.
+#ifndef TIMPP_BASELINES_SEED_SELECTOR_H_
+#define TIMPP_BASELINES_SEED_SELECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// Abstract seed-set selector. Implementations bind the graph, model and
+/// algorithm-specific parameters at construction; Select() runs the
+/// algorithm for a given k.
+class SeedSelector {
+ public:
+  virtual ~SeedSelector() = default;
+
+  /// Algorithm name for reports ("TIM+", "CELF++", "IRIE", ...).
+  virtual std::string name() const = 0;
+
+  /// Selects `k` seeds into `*seeds` (cleared first).
+  virtual Status Select(int k, std::vector<NodeId>* seeds) = 0;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_BASELINES_SEED_SELECTOR_H_

@@ -1,0 +1,196 @@
+#include "baselines/simpath.h"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+
+#include "util/timer.h"
+#include "util/visit_marker.h"
+
+namespace timpp {
+
+namespace {
+
+// Iterative backtracking enumeration of simple paths from a start node,
+// avoiding excluded nodes. Adds each path's weight to a running total;
+// prunes a subtree as soon as its prefix weight drops below eta
+// (extensions only multiply by weights <= 1, so nothing below eta can
+// recover). Enumerate() returns 1 + Σ path weights, i.e. σ^W({u}).
+class PathEnumerator {
+ public:
+  explicit PathEnumerator(const Graph& graph)
+      : graph_(graph),
+        on_path_(graph.num_nodes()),
+        excluded_(graph.num_nodes()) {}
+
+  void SetExcluded(const std::vector<NodeId>& excluded) {
+    excluded_.NewEpoch();
+    for (NodeId v : excluded) excluded_.Visit(v);
+  }
+
+  double Enumerate(NodeId u, double eta, uint64_t max_steps,
+                   uint64_t* steps) {
+    on_path_.NewEpoch();
+    on_path_.Visit(u);
+
+    double total = 1.0;  // the empty path: u influences itself
+    stack_.clear();
+    stack_.push_back(Frame{u, 0, 1.0});
+
+    while (!stack_.empty()) {
+      Frame& frame = stack_.back();
+      auto arcs = graph_.OutArcs(frame.node);
+      bool descended = false;
+      while (frame.arc_index < arcs.size()) {
+        const Arc& a = arcs[frame.arc_index++];
+        ++(*steps);
+        if (max_steps != 0 && *steps > max_steps) {
+          return total;  // safety valve: bounded-runtime partial estimate
+        }
+        if (excluded_.Visited(a.node) || on_path_.Visited(a.node)) continue;
+        const double w = frame.weight * static_cast<double>(a.prob);
+        if (w < eta) continue;  // prune the subtree below this arc
+        total += w;
+        on_path_.Visit(a.node);
+        stack_.push_back(Frame{a.node, 0, w});
+        descended = true;
+        break;
+      }
+      if (!descended) {
+        on_path_.Unvisit(frame.node);
+        stack_.pop_back();
+      }
+    }
+    return total;
+  }
+
+ private:
+  // One DFS level: a path node, the next out-arc to try, prefix weight.
+  struct Frame {
+    NodeId node;
+    size_t arc_index;
+    double weight;
+  };
+
+  const Graph& graph_;
+  VisitMarker on_path_;
+  VisitMarker excluded_;
+  std::vector<Frame> stack_;
+};
+
+// σ(S) = Σ_{u∈S} σ^{V-S+u}(u): each seed's paths avoid the other seeds.
+double SeedSetSpread(PathEnumerator* enumerator,
+                     const std::vector<NodeId>& seeds, double eta,
+                     uint64_t max_steps, uint64_t* steps) {
+  double total = 0.0;
+  std::vector<NodeId> others;
+  others.reserve(seeds.size());
+  for (NodeId u : seeds) {
+    others.clear();
+    for (NodeId v : seeds) {
+      if (v != u) others.push_back(v);
+    }
+    enumerator->SetExcluded(others);
+    total += enumerator->Enumerate(u, eta, max_steps, steps);
+  }
+  return total;
+}
+
+struct QueueEntry {
+  double gain;
+  double total;  // σ(S ∪ {node}) backing the gain
+  NodeId node;
+  int round;
+  bool operator<(const QueueEntry& other) const {
+    if (gain != other.gain) return gain < other.gain;
+    return node > other.node;
+  }
+};
+
+}  // namespace
+
+double SimpathSpreadFrom(const Graph& graph, NodeId u,
+                         const std::vector<NodeId>& excluded, double eta,
+                         uint64_t max_steps, uint64_t* steps) {
+  PathEnumerator enumerator(graph);
+  enumerator.SetExcluded(excluded);
+  uint64_t local_steps = 0;
+  double result = enumerator.Enumerate(u, eta, max_steps, &local_steps);
+  if (steps != nullptr) *steps += local_steps;
+  return result;
+}
+
+Status RunSimpath(const Graph& graph, const SimpathOptions& options, int k,
+                  std::vector<NodeId>* seeds, SimpathStats* stats) {
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+  if (k < 1 || static_cast<uint64_t>(k) > n) {
+    return Status::InvalidArgument("k must be in [1, n], got " +
+                                   std::to_string(k));
+  }
+  if (!(options.eta > 0.0) || options.eta >= 1.0) {
+    return Status::InvalidArgument("eta must be in (0, 1)");
+  }
+  if (options.look_ahead < 1) {
+    return Status::InvalidArgument("look_ahead must be >= 1");
+  }
+
+  Timer timer;
+  SimpathStats local_stats;
+  PathEnumerator enumerator(graph);
+
+  // Round 0: σ({v}) for every node, with nothing excluded.
+  std::priority_queue<QueueEntry> heap;
+  enumerator.SetExcluded({});
+  for (NodeId v = 0; v < n; ++v) {
+    double sigma = enumerator.Enumerate(
+        v, options.eta, options.max_path_steps, &local_stats.path_steps);
+    ++local_stats.spread_evaluations;
+    heap.push(QueueEntry{sigma, sigma, v, 0});
+  }
+
+  std::vector<NodeId> current;
+  double sigma_current = 0.0;
+  int round = 0;
+  std::vector<NodeId> candidate;
+
+  while (static_cast<int>(current.size()) < k && !heap.empty()) {
+    if (heap.top().round == round) {
+      // Fresh maximum: select it (lazy-forward argument — stale gains are
+      // upper bounds by submodularity of LT spread).
+      QueueEntry top = heap.top();
+      heap.pop();
+      current.push_back(top.node);
+      sigma_current = top.total;
+      ++round;
+      continue;
+    }
+    // Look-ahead: refresh up to `look_ahead` stale top candidates at once.
+    std::vector<QueueEntry> batch;
+    while (!heap.empty() &&
+           static_cast<int>(batch.size()) < options.look_ahead &&
+           heap.top().round != round) {
+      batch.push_back(heap.top());
+      heap.pop();
+    }
+    for (QueueEntry& entry : batch) {
+      candidate = current;
+      candidate.push_back(entry.node);
+      entry.total =
+          SeedSetSpread(&enumerator, candidate, options.eta,
+                        options.max_path_steps, &local_stats.path_steps);
+      local_stats.spread_evaluations +=
+          static_cast<uint64_t>(candidate.size());
+      entry.gain = entry.total - sigma_current;
+      entry.round = round;
+      heap.push(entry);
+    }
+  }
+
+  *seeds = std::move(current);
+  local_stats.seconds_total = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = local_stats;
+  return Status::OK();
+}
+
+}  // namespace timpp

@@ -1,0 +1,40 @@
+// Algorithm 2 (KptEstimation): an adaptive sampling procedure that returns
+// KPT* ∈ [KPT/4, OPT] with probability at least 1 - n^-ℓ, where KPT is the
+// mean spread of a size-k set sampled from the in-degree-proportional
+// distribution V* (Lemma 5: KPT = n·E[κ(R)], κ(R) = 1 - (1 - w(R)/m)^k).
+#ifndef TIMPP_CORE_KPT_ESTIMATOR_H_
+#define TIMPP_CORE_KPT_ESTIMATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "util/rng.h"
+
+namespace timpp {
+
+/// Output of Algorithm 2.
+struct KptEstimate {
+  /// KPT* — the lower bound of OPT used to size θ.
+  double kpt_star = 1.0;
+  /// RR sets generated in the *last executed iteration* (the paper's R′),
+  /// reused by Algorithm 3. Index already built.
+  std::unique_ptr<RRCollection> last_iteration_rr;
+  /// Iteration (1-based) the algorithm terminated in; 0 if it fell through
+  /// all iterations and returned the trivial bound KPT* = 1.
+  int terminated_iteration = 0;
+  /// Total RR sets generated across all iterations.
+  uint64_t rr_sets_generated = 0;
+  /// Total edges examined across all traversals (cost accounting).
+  uint64_t edges_examined = 0;
+};
+
+/// Runs Algorithm 2 with seed-set size `k` and confidence exponent `ell`.
+/// `sampler` fixes the graph and diffusion model; `rng` supplies all
+/// randomness (deterministic given its state).
+KptEstimate EstimateKpt(RRSampler& sampler, int k, double ell, Rng& rng);
+
+}  // namespace timpp
+
+#endif  // TIMPP_CORE_KPT_ESTIMATOR_H_

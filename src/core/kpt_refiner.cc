@@ -1,0 +1,59 @@
+#include "core/kpt_refiner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/parameters.h"
+#include "coverage/greedy_cover.h"
+#include "graph/graph.h"
+#include "util/visit_marker.h"
+
+namespace timpp {
+
+KptRefinement RefineKpt(RRSampler& sampler, const RRCollection& r_prime,
+                        int k, double kpt_star, double eps_prime, double ell,
+                        Rng& rng) {
+  const Graph& graph = sampler.graph();
+  const uint64_t n = graph.num_nodes();
+
+  KptRefinement result;
+
+  // Lines 2-6: greedy max coverage on R′ yields the intermediate set S′_k.
+  CoverResult cover = GreedyMaxCover(r_prime, k);
+  result.intermediate_seeds = cover.seeds;
+
+  // Lines 7-8: θ′ = λ′ / KPT*.
+  const double lambda_prime = ComputeLambdaPrime(n, eps_prime, ell);
+  result.theta_prime =
+      static_cast<uint64_t>(std::max(1.0, std::ceil(lambda_prime / kpt_star)));
+
+  // Lines 9-10: fraction of θ′ fresh RR sets covered by S′_k. Membership is
+  // tested against a seed bitmap while the sets stream by — the sets are
+  // never stored, keeping this step's memory footprint trivial.
+  VisitMarker is_seed(graph.num_nodes());
+  is_seed.NewEpoch();
+  for (NodeId s : result.intermediate_seeds) is_seed.Visit(s);
+
+  uint64_t covered = 0;
+  std::vector<NodeId> scratch;
+  for (uint64_t i = 0; i < result.theta_prime; ++i) {
+    RRSampleInfo info = sampler.SampleRandomRoot(rng, &scratch);
+    result.edges_examined += info.edges_examined;
+    for (NodeId v : scratch) {
+      if (is_seed.Visited(v)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  result.covered_fraction =
+      static_cast<double>(covered) / static_cast<double>(result.theta_prime);
+
+  // Lines 11-12: KPT′ = f·n/(1+ε′); KPT+ = max(KPT′, KPT*).
+  result.kpt_prime = result.covered_fraction * static_cast<double>(n) /
+                     (1.0 + eps_prime);
+  result.kpt_plus = std::max(result.kpt_prime, kpt_star);
+  return result;
+}
+
+}  // namespace timpp

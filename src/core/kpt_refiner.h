@@ -1,0 +1,44 @@
+// Algorithm 3 (RefineKPT): the intermediate step that turns TIM into TIM+.
+// Greedily extracts a promising size-k set S′ from Algorithm 2's final RR
+// batch, estimates its spread on θ′ fresh RR sets, and returns
+// KPT+ = max(KPT′, KPT*) — a (potentially much) tighter lower bound of OPT
+// that shrinks θ and with it the node-selection phase (§4.1).
+#ifndef TIMPP_CORE_KPT_REFINER_H_
+#define TIMPP_CORE_KPT_REFINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// Output of Algorithm 3.
+struct KptRefinement {
+  /// KPT+ = max(KPT′, KPT*) ∈ [KPT*, OPT] with probability >= 1 - n^-ℓ.
+  double kpt_plus = 0.0;
+  /// KPT′ = f·n/(1+ε′), the fresh-sample estimate before the max.
+  double kpt_prime = 0.0;
+  /// The intermediate seed set S′_k extracted from R′.
+  std::vector<NodeId> intermediate_seeds;
+  /// θ′ — number of fresh RR sets generated for the estimate.
+  uint64_t theta_prime = 0;
+  /// Fraction f of the fresh sets covered by S′_k.
+  double covered_fraction = 0.0;
+  /// Cost accounting.
+  uint64_t edges_examined = 0;
+};
+
+/// Runs Algorithm 3. `r_prime` is Algorithm 2's last-iteration collection
+/// (index must be built); `kpt_star` its estimate; `eps_prime` the
+/// intermediate accuracy ε′ (see RecommendedEpsPrime).
+KptRefinement RefineKpt(RRSampler& sampler, const RRCollection& r_prime,
+                        int k, double kpt_star, double eps_prime, double ell,
+                        Rng& rng);
+
+}  // namespace timpp
+
+#endif  // TIMPP_CORE_KPT_REFINER_H_

@@ -1,0 +1,52 @@
+// Algorithm 1 (NodeSelection): sample θ random RR sets, then solve greedy
+// maximum coverage over them. With θ >= λ/OPT (Equation 5) the returned set
+// is (1-1/e-ε)-approximate with probability >= 1 - n^-ℓ (Theorem 1).
+//
+// Sampling can be parallelized: RR sets are i.i.d., so worker threads with
+// independent RNG streams produce a collection with the same distribution.
+// This is the single-machine half of the paper's §8 future-work direction
+// (distributing TIM); results are deterministic in (seed, num_threads).
+#ifndef TIMPP_CORE_NODE_SELECTOR_H_
+#define TIMPP_CORE_NODE_SELECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rrset/rr_sampler.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// Output of Algorithm 1.
+struct NodeSelection {
+  /// The selected seed set S*_k, in selection order.
+  std::vector<NodeId> seeds;
+  /// Fraction F_R(S*_k) of the θ RR sets covered; n·F_R(S) is an unbiased
+  /// spread estimate (Corollary 1).
+  double covered_fraction = 0.0;
+  /// θ — number of RR sets sampled.
+  uint64_t theta = 0;
+  /// Peak heap bytes of the RR collection (Figure 12's metric).
+  size_t rr_memory_bytes = 0;
+  /// Cost accounting.
+  uint64_t edges_examined = 0;
+  /// Wall-clock split between the sampling and coverage halves.
+  double seconds_sampling = 0.0;
+  double seconds_coverage = 0.0;
+};
+
+/// Runs Algorithm 1 with the given θ, sampling on the calling thread.
+NodeSelection SelectNodes(RRSampler& sampler, int k, uint64_t theta, Rng& rng);
+
+/// Runs Algorithm 1 with `num_threads` sampling workers. Each worker owns a
+/// forked RNG stream and a private sampler over the same (graph, model,
+/// custom_model, max_hops) configuration as `prototype`; their batches are
+/// merged in worker order, so output is deterministic in (rng state,
+/// num_threads). num_threads <= 1 falls back to SelectNodes.
+NodeSelection SelectNodesParallel(RRSampler& prototype, int k, uint64_t theta,
+                                  unsigned num_threads, Rng& rng);
+
+}  // namespace timpp
+
+#endif  // TIMPP_CORE_NODE_SELECTOR_H_

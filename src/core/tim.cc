@@ -1,0 +1,110 @@
+#include "core/tim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/kpt_estimator.h"
+#include "core/kpt_refiner.h"
+#include "core/node_selector.h"
+#include "core/parameters.h"
+#include "rrset/rr_sampler.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace timpp {
+
+Status ValidateImParameters(const Graph& graph, int k, double epsilon,
+                            double ell) {
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("graph has no nodes");
+  }
+  if (k < 1 || static_cast<uint64_t>(k) > graph.num_nodes()) {
+    return Status::InvalidArgument("k must be in [1, n], got " +
+                                   std::to_string(k));
+  }
+  if (!(epsilon > 0.0) || epsilon > 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1]");
+  }
+  if (!(ell > 0.0)) {
+    return Status::InvalidArgument("ell must be positive");
+  }
+  return Status::OK();
+}
+
+Status TimSolver::Run(const TimOptions& options, TimResult* result) const {
+  TIMPP_RETURN_NOT_OK(
+      ValidateImParameters(graph_, options.k, options.epsilon, options.ell));
+  if (options.model == DiffusionModel::kTriggering &&
+      options.custom_model == nullptr) {
+    return Status::InvalidArgument(
+        "model == kTriggering requires options.custom_model");
+  }
+
+  const uint64_t n = graph_.num_nodes();
+  TimStats stats;
+
+  double ell = options.ell;
+  if (options.adjust_ell) {
+    ell = options.use_refinement ? AdjustEllForTimPlus(ell, n)
+                                 : AdjustEllForTim(ell, n);
+  }
+  stats.ell_used = ell;
+  stats.lambda = ComputeLambda(n, options.k, options.epsilon, ell);
+
+  RRSampler sampler(graph_, options.model, options.custom_model,
+                    options.max_hops);
+  Rng rng(options.seed);
+  Timer total_timer;
+
+  // Phase 1: parameter estimation (Algorithm 2).
+  Timer phase_timer;
+  KptEstimate kpt = EstimateKpt(sampler, options.k, ell, rng);
+  stats.seconds_kpt_estimation = phase_timer.ElapsedSeconds();
+  stats.kpt_star = kpt.kpt_star;
+  stats.rr_sets_kpt = kpt.rr_sets_generated;
+  stats.edges_examined += kpt.edges_examined;
+
+  // Intermediate step (Algorithm 3) — TIM+ only.
+  double kpt_bound = kpt.kpt_star;
+  if (options.use_refinement) {
+    const double eps_prime =
+        options.eps_prime > 0.0
+            ? options.eps_prime
+            : RecommendedEpsPrime(options.epsilon, options.k, ell);
+    stats.eps_prime = eps_prime;
+
+    phase_timer.Reset();
+    KptRefinement refinement =
+        RefineKpt(sampler, *kpt.last_iteration_rr, options.k, kpt.kpt_star,
+                  eps_prime, ell, rng);
+    stats.seconds_kpt_refinement = phase_timer.ElapsedSeconds();
+    stats.kpt_plus = refinement.kpt_plus;
+    stats.theta_prime = refinement.theta_prime;
+    stats.edges_examined += refinement.edges_examined;
+    kpt_bound = refinement.kpt_plus;
+  } else {
+    stats.kpt_plus = kpt.kpt_star;
+  }
+
+  // Phase 2: node selection (Algorithm 1) with θ = λ / KPT bound.
+  stats.theta =
+      static_cast<uint64_t>(std::max(1.0, std::ceil(stats.lambda / kpt_bound)));
+
+  phase_timer.Reset();
+  NodeSelection selection = SelectNodesParallel(
+      sampler, options.k, stats.theta, options.num_threads, rng);
+  stats.seconds_node_selection = phase_timer.ElapsedSeconds();
+
+  stats.estimated_spread =
+      selection.covered_fraction * static_cast<double>(n);
+  stats.rr_memory_bytes = selection.rr_memory_bytes;
+  stats.edges_examined += selection.edges_examined;
+  stats.seconds_total = total_timer.ElapsedSeconds();
+
+  result->seeds = std::move(selection.seeds);
+  result->stats = stats;
+  return Status::OK();
+}
+
+}  // namespace timpp

@@ -1,0 +1,111 @@
+// TIM and TIM+ — the paper's two-phase influence maximization algorithms.
+//
+//   TIM  (§3.3): Algorithm 2 → θ = λ/KPT*          → Algorithm 1.
+//   TIM+ (§4.1): Algorithm 2 → Algorithm 3 → θ = λ/KPT+ → Algorithm 1.
+//
+// Both return a (1-1/e-ε)-approximate seed set with probability at least
+// 1 - n^-ℓ (after the ℓ adjustment) in O((k+ℓ)(m+n)·log n / ε²) expected
+// time under the triggering model — IC and LT included as special cases.
+#ifndef TIMPP_CORE_TIM_H_
+#define TIMPP_CORE_TIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/triggering.h"
+#include "graph/graph.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// Configuration of a TIM/TIM+ run.
+struct TimOptions {
+  /// Seed-set size k ∈ [1, n].
+  int k = 50;
+  /// Approximation slack ε ∈ (0, 1]; the guarantee is (1-1/e-ε).
+  double epsilon = 0.1;
+  /// Confidence exponent: failure probability at most n^-ℓ. Must be > 0.
+  double ell = 1.0;
+  /// Diffusion model; kTriggering requires custom_model.
+  DiffusionModel model = DiffusionModel::kIC;
+  /// Borrowed; must outlive the run. Used when model == kTriggering.
+  const TriggeringModel* custom_model = nullptr;
+  /// true → TIM+ (with Algorithm 3 refinement); false → plain TIM.
+  bool use_refinement = true;
+  /// Intermediate accuracy ε′ for Algorithm 3; <= 0 selects the paper's
+  /// recommended 5·cbrt(ℓ·ε²/(k+ℓ)).
+  double eps_prime = 0.0;
+  /// Scale ℓ so the final success probability is 1 - n^-ℓ despite the
+  /// 2·n^-ℓ (TIM) / 3·n^-ℓ (TIM+) union bounds (§3.3, §4.1).
+  bool adjust_ell = true;
+  /// Bound on propagation rounds (0 = unlimited): optimizes the
+  /// time-critical spread "nodes activated within max_hops rounds"
+  /// instead of the eventual spread (Chen et al., AAAI'12; the paper's
+  /// related-work setting [4]). All guarantees carry over because depth-d
+  /// RR sets satisfy the depth-d analog of Lemma 2.
+  uint32_t max_hops = 0;
+  /// Sampling worker threads for the node-selection phase (Algorithm 1
+  /// samples i.i.d. RR sets, so it parallelizes embarrassingly). Results
+  /// are deterministic in (seed, num_threads). 1 = fully sequential.
+  unsigned num_threads = 1;
+  /// Master RNG seed; every run with equal options is bit-reproducible.
+  uint64_t seed = 0x7145ULL;
+};
+
+/// Everything measured during a run — feeds Figures 4, 5, and 12.
+struct TimStats {
+  double lambda = 0.0;        // Equation 4
+  double kpt_star = 0.0;      // Algorithm 2 output
+  double kpt_plus = 0.0;      // Algorithm 3 output (TIM+; else = kpt_star)
+  double eps_prime = 0.0;     // ε′ actually used (0 for plain TIM)
+  double ell_used = 0.0;      // ℓ after adjustment
+  uint64_t theta = 0;         // RR sets sampled by Algorithm 1
+  uint64_t theta_prime = 0;   // RR sets sampled by Algorithm 3 (TIM+)
+  uint64_t rr_sets_kpt = 0;   // RR sets sampled by Algorithm 2
+
+  double seconds_kpt_estimation = 0.0;  // Algorithm 2
+  double seconds_kpt_refinement = 0.0;  // Algorithm 3
+  double seconds_node_selection = 0.0;  // Algorithm 1
+  double seconds_total = 0.0;
+
+  /// n·F_R(S) — the unbiased spread estimate of the returned seeds on the
+  /// node-selection RR sets (Corollary 1).
+  double estimated_spread = 0.0;
+  /// Peak RR-collection bytes during node selection (Figure 12).
+  size_t rr_memory_bytes = 0;
+  /// Total edges examined across all three phases.
+  uint64_t edges_examined = 0;
+};
+
+/// Result of a run.
+struct TimResult {
+  std::vector<NodeId> seeds;
+  TimStats stats;
+};
+
+/// Influence-maximization solver bound to one graph.
+///
+///   TimSolver solver(graph);
+///   TimOptions options;
+///   options.k = 50;
+///   TimResult result;
+///   Status s = solver.Run(options, &result);
+class TimSolver {
+ public:
+  explicit TimSolver(const Graph& graph) : graph_(graph) {}
+
+  /// Validates `options` and executes TIM or TIM+.
+  Status Run(const TimOptions& options, TimResult* result) const;
+
+ private:
+  const Graph& graph_;
+};
+
+/// Option validation shared with baselines that take (k, ε, ℓ).
+Status ValidateImParameters(const Graph& graph, int k, double epsilon,
+                            double ell);
+
+}  // namespace timpp
+
+#endif  // TIMPP_CORE_TIM_H_

@@ -1,0 +1,140 @@
+#include "coverage/greedy_cover.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/bit_vector.h"
+
+namespace timpp {
+
+namespace {
+
+// Shared selection bookkeeping: marks `v` selected, kills its live sets and
+// decrements the live-coverage counts of every member of a dying set.
+// Returns the marginal coverage of `v`.
+uint64_t SelectNode(const RRCollection& rr, NodeId v, BitVector* dead,
+                    std::vector<uint64_t>* counts) {
+  uint64_t marginal = 0;
+  for (RRSetId id : rr.SetsContaining(v)) {
+    if (dead->Get(id)) continue;
+    dead->Set(id);
+    ++marginal;
+    for (NodeId u : rr.Set(id)) --(*counts)[u];
+  }
+  return marginal;
+}
+
+}  // namespace
+
+CoverResult GreedyMaxCover(const RRCollection& rr, int k) {
+  const NodeId n = rr.num_graph_nodes();
+  CoverResult result;
+  if (k <= 0 || n == 0) return result;
+
+  std::vector<uint64_t> counts(n);
+  for (NodeId v = 0; v < n; ++v) counts[v] = rr.CoverageCount(v);
+
+  // Max-heap ordered by (count desc, id asc); entries carry the count at
+  // push time. Coverage counts only decrease, so a popped entry whose count
+  // is still current is the global argmax (lazy-forward evaluation).
+  struct Entry {
+    uint64_t count;
+    NodeId node;
+    bool operator<(const Entry& other) const {
+      if (count != other.count) return count < other.count;
+      return node > other.node;
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (NodeId v = 0; v < n; ++v) heap.push(Entry{counts[v], v});
+
+  BitVector dead(rr.num_sets());
+  std::vector<char> selected(n, 0);
+
+  while (static_cast<int>(result.seeds.size()) < k && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (selected[top.node]) continue;
+    if (top.count != counts[top.node]) {
+      heap.push(Entry{counts[top.node], top.node});  // stale; re-evaluate
+      continue;
+    }
+    selected[top.node] = 1;
+    uint64_t marginal = SelectNode(rr, top.node, &dead, &counts);
+    result.seeds.push_back(top.node);
+    result.marginal_coverage.push_back(marginal);
+    result.covered_sets += marginal;
+  }
+
+  result.covered_fraction =
+      rr.num_sets() > 0 ? static_cast<double>(result.covered_sets) /
+                              static_cast<double>(rr.num_sets())
+                        : 0.0;
+  return result;
+}
+
+CoverResult NaiveGreedyMaxCover(const RRCollection& rr, int k) {
+  const NodeId n = rr.num_graph_nodes();
+  CoverResult result;
+  if (k <= 0 || n == 0) return result;
+
+  std::vector<uint64_t> counts(n);
+  for (NodeId v = 0; v < n; ++v) counts[v] = rr.CoverageCount(v);
+
+  BitVector dead(rr.num_sets());
+  std::vector<char> selected(n, 0);
+
+  for (int round = 0; round < k; ++round) {
+    NodeId best = kInvalidNode;
+    uint64_t best_count = 0;
+    bool found = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (selected[v]) continue;
+      if (!found || counts[v] > best_count) {
+        best = v;
+        best_count = counts[v];
+        found = true;
+      }
+    }
+    if (!found) break;
+    selected[best] = 1;
+    uint64_t marginal = SelectNode(rr, best, &dead, &counts);
+    result.seeds.push_back(best);
+    result.marginal_coverage.push_back(marginal);
+    result.covered_sets += marginal;
+  }
+
+  result.covered_fraction =
+      rr.num_sets() > 0 ? static_cast<double>(result.covered_sets) /
+                              static_cast<double>(rr.num_sets())
+                        : 0.0;
+  return result;
+}
+
+uint64_t BruteForceMaxCover(const RRCollection& rr, int k) {
+  const NodeId n = rr.num_graph_nodes();
+  if (k <= 0 || n == 0) return 0;
+  const int kk = std::min<int>(k, n);
+
+  std::vector<NodeId> subset(kk);
+  for (int i = 0; i < kk; ++i) subset[i] = static_cast<NodeId>(i);
+
+  BitVector covered(rr.num_sets());
+  uint64_t best = 0;
+  while (true) {
+    covered.Reset();
+    for (NodeId v : subset) {
+      for (RRSetId id : rr.SetsContaining(v)) covered.Set(id);
+    }
+    best = std::max<uint64_t>(best, covered.Count());
+
+    int i = kk - 1;
+    while (i >= 0 && subset[i] == n - static_cast<NodeId>(kk - i)) --i;
+    if (i < 0) break;
+    ++subset[i];
+    for (int j = i + 1; j < kk; ++j) subset[j] = subset[j - 1] + 1;
+  }
+  return best;
+}
+
+}  // namespace timpp

@@ -1,0 +1,234 @@
+#include "diffusion/exact_spread.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace timpp {
+
+namespace {
+
+constexpr uint64_t kMaxIcEdges = 20;          // 2^20 worlds ~ 1M
+constexpr double kMaxLtWorlds = 1u << 24;     // ~16M
+
+struct FlatEdge {
+  NodeId from;
+  NodeId to;
+  double prob;
+};
+
+std::vector<FlatEdge> CollectEdges(const Graph& graph) {
+  std::vector<FlatEdge> edges;
+  edges.reserve(graph.num_edges());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const Arc& a : graph.OutArcs(v)) {
+      edges.push_back(FlatEdge{v, a.node, a.prob});
+    }
+  }
+  return edges;
+}
+
+// Number of nodes reachable from `seeds` using only edges whose bit is set
+// in `mask`.
+uint64_t ReachableUnderMask(const Graph& graph,
+                            const std::vector<FlatEdge>& edges, uint64_t mask,
+                            std::span<const NodeId> seeds) {
+  const NodeId n = graph.num_nodes();
+  std::vector<char> active(n, 0);
+  std::vector<NodeId> queue;
+  for (NodeId s : seeds) {
+    if (!active[s]) {
+      active[s] = 1;
+      queue.push_back(s);
+    }
+  }
+  // Adjacency of the live world, built per call (graphs here are tiny).
+  std::vector<std::vector<NodeId>> adj(n);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (mask & (1ULL << i)) adj[edges[i].from].push_back(edges[i].to);
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    for (NodeId t : adj[queue[head]]) {
+      if (!active[t]) {
+        active[t] = 1;
+        queue.push_back(t);
+      }
+    }
+  }
+  return queue.size();
+}
+
+// Enumerates all k-subsets of [0, n), invoking fn(subset). Returns false if
+// fn ever returns false (to allow early abort on error).
+template <typename Fn>
+bool ForEachSubset(NodeId n, int k, Fn&& fn) {
+  std::vector<NodeId> subset(k);
+  for (int i = 0; i < k; ++i) subset[i] = static_cast<NodeId>(i);
+  while (true) {
+    if (!fn(subset)) return false;
+    // Advance to the next combination in lexicographic order.
+    int i = k - 1;
+    while (i >= 0 && subset[i] == n - static_cast<NodeId>(k - i)) --i;
+    if (i < 0) return true;
+    ++subset[i];
+    for (int j = i + 1; j < k; ++j) subset[j] = subset[j - 1] + 1;
+  }
+}
+
+}  // namespace
+
+Status ExactSpreadIC(const Graph& graph, std::span<const NodeId> seeds,
+                     double* spread) {
+  const std::vector<FlatEdge> edges = CollectEdges(graph);
+  if (edges.size() > kMaxIcEdges) {
+    return Status::InvalidArgument(
+        "ExactSpreadIC supports at most " + std::to_string(kMaxIcEdges) +
+        " edges, got " + std::to_string(edges.size()));
+  }
+  const uint64_t worlds = 1ULL << edges.size();
+  double total = 0.0;
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    double p = 1.0;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      p *= (mask & (1ULL << i)) ? edges[i].prob : 1.0 - edges[i].prob;
+    }
+    if (p == 0.0) continue;
+    total += p * static_cast<double>(
+                     ReachableUnderMask(graph, edges, mask, seeds));
+  }
+  *spread = total;
+  return Status::OK();
+}
+
+Status ExactSpreadLT(const Graph& graph, std::span<const NodeId> seeds,
+                     double* spread) {
+  const NodeId n = graph.num_nodes();
+  double world_count = 1.0;
+  for (NodeId v = 0; v < n; ++v) {
+    world_count *= static_cast<double>(graph.InDegree(v) + 1);
+    if (world_count > kMaxLtWorlds) {
+      return Status::InvalidArgument("ExactSpreadLT world count too large");
+    }
+  }
+
+  // Odometer over per-node choices: choice[v] in [0, indeg(v)] where
+  // indeg(v) means "no in-neighbor chosen" and j < indeg(v) selects the
+  // j-th in-arc (with probability equal to that arc's weight).
+  std::vector<uint32_t> choice(n, 0);
+  std::vector<char> active(n);
+  std::vector<NodeId> queue;
+
+  double total = 0.0;
+  while (true) {
+    // Probability of this world.
+    double p = 1.0;
+    for (NodeId v = 0; v < n; ++v) {
+      auto arcs = graph.InArcs(v);
+      if (choice[v] < arcs.size()) {
+        p *= arcs[choice[v]].prob;
+      } else {
+        double sum = 0.0;
+        for (const Arc& a : arcs) sum += a.prob;
+        p *= std::max(0.0, 1.0 - sum);
+      }
+    }
+    if (p > 0.0) {
+      // Live world: arc (chosen in-neighbor -> v). Fixpoint activation.
+      std::fill(active.begin(), active.end(), 0);
+      queue.clear();
+      for (NodeId s : seeds) {
+        if (!active[s]) {
+          active[s] = 1;
+          queue.push_back(s);
+        }
+      }
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (NodeId v = 0; v < n; ++v) {
+          if (active[v]) continue;
+          auto arcs = graph.InArcs(v);
+          if (choice[v] < arcs.size() && active[arcs[choice[v]].node]) {
+            active[v] = 1;
+            queue.push_back(v);
+            changed = true;
+          }
+        }
+      }
+      total += p * static_cast<double>(queue.size());
+    }
+
+    // Advance the odometer.
+    NodeId v = 0;
+    while (v < n) {
+      if (choice[v] < graph.InDegree(v)) {
+        ++choice[v];
+        break;
+      }
+      choice[v] = 0;
+      ++v;
+    }
+    if (v == n) break;
+  }
+  *spread = total;
+  return Status::OK();
+}
+
+namespace {
+
+template <typename SpreadFn>
+Status BruteForceOptimal(const Graph& graph, int k, SpreadFn&& spread_fn,
+                         std::vector<NodeId>* best_seeds,
+                         double* best_spread) {
+  const NodeId n = graph.num_nodes();
+  if (k <= 0 || static_cast<NodeId>(k) > n) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  if (n > 14) {
+    return Status::InvalidArgument("brute force supports at most 14 nodes");
+  }
+  double best = -1.0;
+  std::vector<NodeId> best_set;
+  Status inner_status = Status::OK();
+  ForEachSubset(n, k, [&](const std::vector<NodeId>& subset) {
+    double s = 0.0;
+    inner_status = spread_fn(subset, &s);
+    if (!inner_status.ok()) return false;
+    if (s > best) {
+      best = s;
+      best_set = subset;
+    }
+    return true;
+  });
+  TIMPP_RETURN_NOT_OK(inner_status);
+  *best_seeds = std::move(best_set);
+  *best_spread = best;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BruteForceOptimalIC(const Graph& graph, int k,
+                           std::vector<NodeId>* best_seeds,
+                           double* best_spread) {
+  return BruteForceOptimal(
+      graph, k,
+      [&graph](std::span<const NodeId> seeds, double* out) {
+        return ExactSpreadIC(graph, seeds, out);
+      },
+      best_seeds, best_spread);
+}
+
+Status BruteForceOptimalLT(const Graph& graph, int k,
+                           std::vector<NodeId>* best_seeds,
+                           double* best_spread) {
+  return BruteForceOptimal(
+      graph, k,
+      [&graph](std::span<const NodeId> seeds, double* out) {
+        return ExactSpreadLT(graph, seeds, out);
+      },
+      best_seeds, best_spread);
+}
+
+}  // namespace timpp

@@ -1,0 +1,43 @@
+// Exact expected-spread computation by exhaustive world enumeration.
+//
+// Computing E[I(S)] is #P-hard in general (Chen et al.), so these oracles
+// are exponential by design and guarded by hard size limits. They exist to
+// verify the probabilistic machinery (Lemma 2, Corollary 1, the
+// (1-1/e-ε) guarantee) on tiny graphs in the test suite.
+#ifndef TIMPP_DIFFUSION_EXACT_SPREAD_H_
+#define TIMPP_DIFFUSION_EXACT_SPREAD_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// Exact E[I(S)] under IC by enumerating all 2^m live-edge worlds.
+/// Fails with InvalidArgument if the graph has more than 24 edges.
+Status ExactSpreadIC(const Graph& graph, std::span<const NodeId> seeds,
+                     double* spread);
+
+/// Exact E[I(S)] under LT by enumerating each node's triggering choice
+/// (one of its in-neighbors, with the edge weight as probability, or none).
+/// Fails with InvalidArgument if the product of (indeg+1) over all nodes
+/// exceeds ~16M worlds.
+Status ExactSpreadLT(const Graph& graph, std::span<const NodeId> seeds,
+                     double* spread);
+
+/// Exhaustive influence maximization: finds the size-k seed set with maximum
+/// exact spread (the paper's OPT) under IC. Exponential in both the edge
+/// count and C(n, k); intended for graphs with <= 12 nodes / 24 edges.
+Status BruteForceOptimalIC(const Graph& graph, int k,
+                           std::vector<NodeId>* best_seeds, double* best_spread);
+
+/// Same under LT.
+Status BruteForceOptimalLT(const Graph& graph, int k,
+                           std::vector<NodeId>* best_seeds, double* best_spread);
+
+}  // namespace timpp
+
+#endif  // TIMPP_DIFFUSION_EXACT_SPREAD_H_

@@ -1,0 +1,51 @@
+#include "diffusion/ic_simulator.h"
+
+namespace timpp {
+
+uint64_t IcSimulator::Simulate(std::span<const NodeId> seeds, Rng& rng,
+                               uint32_t max_hops) {
+  return SimulateCollect(seeds, rng, nullptr, max_hops);
+}
+
+uint64_t IcSimulator::SimulateCollect(std::span<const NodeId> seeds, Rng& rng,
+                                      std::vector<NodeId>* activated,
+                                      uint32_t max_hops) {
+  visited_.NewEpoch();
+  queue_.clear();
+  if (activated != nullptr) activated->clear();
+
+  uint64_t count = 0;
+  for (NodeId s : seeds) {
+    if (visited_.VisitIfNew(s)) {
+      queue_.push_back(s);
+      ++count;
+      if (activated != nullptr) activated->push_back(s);
+    }
+  }
+
+  // BFS over live out-arcs; each arc flips its own coin exactly once, which
+  // matches the "activated node gets one chance per outgoing edge" process.
+  // Hop bounding tracks the index where the current BFS level ends.
+  size_t level_end = queue_.size();
+  uint32_t hops = 0;
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    if (head == level_end) {
+      ++hops;
+      level_end = queue_.size();
+    }
+    if (max_hops != 0 && hops >= max_hops) break;
+    NodeId u = queue_[head];
+    for (const Arc& a : graph_.OutArcs(u)) {
+      if (visited_.Visited(a.node)) continue;
+      if (rng.NextBernoulli(a.prob)) {
+        visited_.Visit(a.node);
+        queue_.push_back(a.node);
+        ++count;
+        if (activated != nullptr) activated->push_back(a.node);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace timpp

@@ -1,0 +1,51 @@
+// Forward Monte-Carlo simulation of one cascade under the independent
+// cascade model (§2.1 of the paper).
+#ifndef TIMPP_DIFFUSION_IC_SIMULATOR_H_
+#define TIMPP_DIFFUSION_IC_SIMULATOR_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/types.h"
+#include "util/visit_marker.h"
+
+namespace timpp {
+
+/// Runs IC cascades on a fixed graph. Holds reusable scratch (a visit marker
+/// and a BFS queue) so repeated simulations do not allocate. Not thread-safe;
+/// create one simulator per thread.
+class IcSimulator {
+ public:
+  explicit IcSimulator(const Graph& graph)
+      : graph_(graph), visited_(graph.num_nodes()) {
+    queue_.reserve(256);
+  }
+
+  /// Simulates one cascade from `seeds`; returns the number of activated
+  /// nodes (including the seeds themselves). Duplicate seeds are counted
+  /// once. Equivalent to sampling a live-edge graph g (each edge kept with
+  /// p(e)) and counting nodes reachable from the seed set.
+  ///
+  /// `max_hops` bounds the number of propagation rounds (0 = unlimited):
+  /// the time-critical variant where the cascade is cut off after a
+  /// deadline (Chen et al., AAAI'12 — cited as [4] by the paper).
+  uint64_t Simulate(std::span<const NodeId> seeds, Rng& rng,
+                    uint32_t max_hops = 0);
+
+  /// As Simulate(), but also appends every activated node to `*activated`
+  /// (cleared first). Used by baselines that need per-node activation data.
+  uint64_t SimulateCollect(std::span<const NodeId> seeds, Rng& rng,
+                           std::vector<NodeId>* activated,
+                           uint32_t max_hops = 0);
+
+ private:
+  const Graph& graph_;
+  VisitMarker visited_;
+  std::vector<NodeId> queue_;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_DIFFUSION_IC_SIMULATOR_H_

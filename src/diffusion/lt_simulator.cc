@@ -1,0 +1,105 @@
+#include "diffusion/lt_simulator.h"
+
+#include <algorithm>
+
+namespace timpp {
+
+uint64_t LtSimulator::Simulate(std::span<const NodeId> seeds, Rng& rng,
+                               uint32_t max_hops) {
+  active_.NewEpoch();
+  touched_.NewEpoch();
+  queue_.clear();
+
+  uint64_t count = 0;
+  for (NodeId s : seeds) {
+    if (active_.VisitIfNew(s)) {
+      queue_.push_back(s);
+      ++count;
+    }
+  }
+
+  // FIFO order keeps the queue level-ordered, so a node's queue position
+  // is its activation round; hop bounding cuts after `max_hops` rounds.
+  size_t level_end = queue_.size();
+  uint32_t hops = 0;
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    if (head == level_end) {
+      ++hops;
+      level_end = queue_.size();
+    }
+    if (max_hops != 0 && hops >= max_hops) break;
+    NodeId u = queue_[head];
+    for (const Arc& a : graph_.OutArcs(u)) {
+      NodeId v = a.node;
+      if (active_.Visited(v)) continue;
+      if (touched_.VisitIfNew(v)) {
+        threshold_[v] = rng.NextDouble();
+        weight_in_[v] = 0.0;
+      }
+      weight_in_[v] += a.prob;
+      if (weight_in_[v] >= threshold_[v]) {
+        active_.Visit(v);
+        queue_.push_back(v);
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+const std::vector<NodeId>& TriggeringSimulator::TriggerSet(NodeId v, Rng& rng) {
+  if (sampled_.VisitIfNew(v)) {
+    trigger_sets_[v].clear();
+    model_.SampleTriggeringSet(graph_, v, rng, &trigger_sets_[v]);
+  }
+  return trigger_sets_[v];
+}
+
+uint64_t TriggeringSimulator::Simulate(std::span<const NodeId> seeds,
+                                       Rng& rng, uint32_t max_hops) {
+  return SimulateCollect(seeds, rng, nullptr, max_hops);
+}
+
+uint64_t TriggeringSimulator::SimulateCollect(std::span<const NodeId> seeds,
+                                              Rng& rng,
+                                              std::vector<NodeId>* activated,
+                                              uint32_t max_hops) {
+  active_.NewEpoch();
+  sampled_.NewEpoch();
+  queue_.clear();
+
+  uint64_t count = 0;
+  for (NodeId s : seeds) {
+    if (active_.VisitIfNew(s)) {
+      queue_.push_back(s);
+      ++count;
+    }
+  }
+
+  size_t level_end = queue_.size();
+  uint32_t hops = 0;
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    if (head == level_end) {
+      ++hops;
+      level_end = queue_.size();
+    }
+    if (max_hops != 0 && hops >= max_hops) break;
+    NodeId u = queue_[head];
+    for (const Arc& a : graph_.OutArcs(u)) {
+      NodeId v = a.node;
+      if (active_.Visited(v)) continue;
+      const std::vector<NodeId>& trig = TriggerSet(v, rng);
+      if (std::find(trig.begin(), trig.end(), u) != trig.end()) {
+        active_.Visit(v);
+        queue_.push_back(v);
+        ++count;
+      }
+    }
+  }
+  if (activated != nullptr) {
+    activated->assign(queue_.begin(), queue_.begin() + count);
+  }
+  return count;
+}
+
+}  // namespace timpp

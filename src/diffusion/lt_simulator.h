@@ -1,0 +1,88 @@
+// Forward Monte-Carlo simulation of one cascade under the linear threshold
+// model, plus a generic simulator for arbitrary triggering models (§4.2).
+#ifndef TIMPP_DIFFUSION_LT_SIMULATOR_H_
+#define TIMPP_DIFFUSION_LT_SIMULATOR_H_
+
+#include <span>
+#include <vector>
+
+#include "diffusion/triggering.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/types.h"
+#include "util/visit_marker.h"
+
+namespace timpp {
+
+/// Runs LT cascades using the threshold formulation: node v draws a uniform
+/// threshold on first contact and activates once the total weight of its
+/// active in-neighbors reaches it. Kempe et al. prove this is equivalent in
+/// distribution to the triggering-set formulation (each node picks at most
+/// one in-neighbor). Not thread-safe; one simulator per thread.
+class LtSimulator {
+ public:
+  explicit LtSimulator(const Graph& graph)
+      : graph_(graph),
+        active_(graph.num_nodes()),
+        touched_(graph.num_nodes()),
+        threshold_(graph.num_nodes(), 0.0),
+        weight_in_(graph.num_nodes(), 0.0) {
+    queue_.reserve(256);
+  }
+
+  /// Simulates one cascade from `seeds`; returns #activated nodes.
+  /// `max_hops` bounds propagation rounds (0 = unlimited) for the
+  /// time-critical variant.
+  uint64_t Simulate(std::span<const NodeId> seeds, Rng& rng,
+                    uint32_t max_hops = 0);
+
+ private:
+  const Graph& graph_;
+  VisitMarker active_;
+  VisitMarker touched_;  // has a threshold been drawn this cascade?
+  std::vector<double> threshold_;
+  std::vector<double> weight_in_;  // active in-weight accumulated so far
+  std::vector<NodeId> queue_;
+};
+
+/// Forward simulation under an arbitrary triggering model. Each node's
+/// triggering set is sampled lazily on first contact and cached for the
+/// rest of the cascade (the static live-edge equivalence makes the sampling
+/// time immaterial). Not thread-safe.
+class TriggeringSimulator {
+ public:
+  TriggeringSimulator(const Graph& graph, const TriggeringModel& model)
+      : graph_(graph),
+        model_(model),
+        active_(graph.num_nodes()),
+        sampled_(graph.num_nodes()),
+        trigger_sets_(graph.num_nodes()) {
+    queue_.reserve(256);
+  }
+
+  /// Simulates one cascade from `seeds`; returns #activated nodes.
+  /// `max_hops` bounds propagation rounds (0 = unlimited).
+  uint64_t Simulate(std::span<const NodeId> seeds, Rng& rng,
+                    uint32_t max_hops = 0);
+
+  /// As Simulate(), but also appends every activated node to `*activated`
+  /// (cleared first; may be null).
+  uint64_t SimulateCollect(std::span<const NodeId> seeds, Rng& rng,
+                           std::vector<NodeId>* activated,
+                           uint32_t max_hops = 0);
+
+ private:
+  /// Triggering set of `v`, sampling it if this cascade has not yet.
+  const std::vector<NodeId>& TriggerSet(NodeId v, Rng& rng);
+
+  const Graph& graph_;
+  const TriggeringModel& model_;
+  VisitMarker active_;
+  VisitMarker sampled_;
+  std::vector<std::vector<NodeId>> trigger_sets_;
+  std::vector<NodeId> queue_;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_DIFFUSION_LT_SIMULATOR_H_

@@ -1,0 +1,41 @@
+#include "diffusion/triggering.h"
+
+namespace timpp {
+
+const char* DiffusionModelName(DiffusionModel model) {
+  switch (model) {
+    case DiffusionModel::kIC:
+      return "IC";
+    case DiffusionModel::kLT:
+      return "LT";
+    case DiffusionModel::kTriggering:
+      return "triggering";
+  }
+  return "unknown";
+}
+
+void IcTriggeringModel::SampleTriggeringSet(const Graph& graph, NodeId v,
+                                            Rng& rng,
+                                            std::vector<NodeId>* out) const {
+  for (const Arc& a : graph.InArcs(v)) {
+    if (rng.NextBernoulli(a.prob)) out->push_back(a.node);
+  }
+}
+
+void LtTriggeringModel::SampleTriggeringSet(const Graph& graph, NodeId v,
+                                            Rng& rng,
+                                            std::vector<NodeId>* out) const {
+  // One uniform draw selects either an in-neighbor (with probability equal
+  // to its weight) or nothing (with the leftover probability). This is the
+  // paper's §7.2 observation: LT consumes one random number per node.
+  double r = rng.NextDouble();
+  for (const Arc& a : graph.InArcs(v)) {
+    if (r < a.prob) {
+      out->push_back(a.node);
+      return;
+    }
+    r -= a.prob;
+  }
+}
+
+}  // namespace timpp

@@ -1,0 +1,71 @@
+// The triggering model (Kempe et al.; §4.2 of the paper) and its two
+// prominent specializations, IC and LT.
+//
+// A triggering model assigns each node v a distribution T(v) over subsets of
+// v's in-neighbors. A cascade from seed set S activates v at time i+1 iff
+// some node of v's sampled triggering set is active at time i. The IC model
+// is the triggering model where each in-neighbor joins independently with
+// its edge probability; the LT model is the one where the triggering set is
+// a single in-neighbor (chosen with probability equal to its edge weight) or
+// empty.
+#ifndef TIMPP_DIFFUSION_TRIGGERING_H_
+#define TIMPP_DIFFUSION_TRIGGERING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// Which built-in diffusion model to use. kTriggering selects a
+/// caller-provided TriggeringModel implementation.
+enum class DiffusionModel {
+  kIC,
+  kLT,
+  kTriggering,
+};
+
+/// Name suitable for logs and bench output ("IC", "LT", "triggering").
+const char* DiffusionModelName(DiffusionModel model);
+
+/// User-extensible triggering distribution. Implementations must be
+/// deterministic in (graph, v, rng state) and thread-compatible (callers
+/// never share one Rng across threads).
+class TriggeringModel {
+ public:
+  virtual ~TriggeringModel() = default;
+
+  /// Samples a triggering set for `v`: appends the chosen in-neighbors of
+  /// `v` to `*out` (which the caller has cleared). Every appended node must
+  /// be an in-neighbor of `v` in `graph`.
+  virtual void SampleTriggeringSet(const Graph& graph, NodeId v, Rng& rng,
+                                   std::vector<NodeId>* out) const = 0;
+
+  /// Human-readable name for diagnostics.
+  virtual const char* name() const = 0;
+};
+
+/// IC as a triggering model: each in-neighbor u joins independently with the
+/// probability of the edge (u, v). Reference semantics for tests; the IC
+/// hot paths in the samplers/simulators are specialized and bypass this.
+class IcTriggeringModel : public TriggeringModel {
+ public:
+  void SampleTriggeringSet(const Graph& graph, NodeId v, Rng& rng,
+                           std::vector<NodeId>* out) const override;
+  const char* name() const override { return "IC-as-triggering"; }
+};
+
+/// LT as a triggering model: at most one in-neighbor, picked with
+/// probability equal to its in-edge weight (weights must sum to <= 1).
+class LtTriggeringModel : public TriggeringModel {
+ public:
+  void SampleTriggeringSet(const Graph& graph, NodeId v, Rng& rng,
+                           std::vector<NodeId>* out) const override;
+  const char* name() const override { return "LT-as-triggering"; }
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_DIFFUSION_TRIGGERING_H_

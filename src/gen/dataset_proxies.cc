@@ -1,0 +1,65 @@
+#include "gen/dataset_proxies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/weight_models.h"
+
+namespace timpp {
+
+const std::vector<DatasetSpec>& AllDatasetSpecs() {
+  static const std::vector<DatasetSpec> kSpecs = {
+      {Dataset::kNetHept, "NetHEPT", 15000, 4.1, true},
+      {Dataset::kEpinions, "Epinions", 76000, 13.4, false},
+      {Dataset::kDblp, "DBLP", 655000, 6.1, true},
+      {Dataset::kLiveJournal, "LiveJournal", 4800000, 28.5, false},
+      {Dataset::kTwitter, "Twitter", 41600000, 70.5, false},
+  };
+  return kSpecs;
+}
+
+const DatasetSpec& SpecFor(Dataset dataset) {
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    if (spec.dataset == dataset) return spec;
+  }
+  return AllDatasetSpecs().front();  // unreachable for valid enum values
+}
+
+Status BuildDatasetProxy(Dataset dataset, double scale, WeightScheme scheme,
+                         uint64_t seed, Graph* graph) {
+  if (!(scale > 0.0) || scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  const DatasetSpec& spec = SpecFor(dataset);
+  const NodeId n = static_cast<NodeId>(
+      std::max<uint64_t>(64, static_cast<uint64_t>(
+                                 std::llround(spec.nodes * scale))));
+
+  GraphBuilder builder;
+  if (spec.undirected) {
+    // Table 2's "average degree" is 2m/n, and Barabási–Albert yields
+    // average degree ~2*attach, so attach = avg_degree / 2 (rounded).
+    const unsigned attach = std::max<unsigned>(
+        1, static_cast<unsigned>(std::llround(spec.avg_degree / 2.0)));
+    GenBarabasiAlbert(n, attach, seed, &builder);
+  } else {
+    // For directed graphs, Table 2 reports 2m/n; arcs per node is half.
+    GenDirectedScaleFree(n, spec.avg_degree / 2.0, seed, &builder);
+  }
+  builder.RemoveSelfLoops();
+  builder.DeduplicateEdges();
+
+  switch (scheme) {
+    case WeightScheme::kWeightedCascadeIC:
+      AssignWeightedCascade(&builder);
+      break;
+    case WeightScheme::kRandomLT:
+      AssignRandomLT(&builder, seed ^ 0x5eedf00dULL);
+      break;
+  }
+  return builder.Build(graph);
+}
+
+}  // namespace timpp

@@ -1,0 +1,60 @@
+// Synthetic stand-ins for the paper's Table 2 datasets.
+//
+// The SIGMOD'14 evaluation uses five SNAP/KAIST graphs (NetHEPT, Epinions,
+// DBLP, LiveJournal, Twitter). Those files cannot be downloaded in this
+// offline environment, so each dataset is replaced by a seeded power-law
+// generator matched on the characteristics that drive TIM's behaviour:
+// node count, average degree, directedness, and a heavy-tailed degree
+// distribution (EPT is in-degree weighted; weighted-cascade probabilities
+// are 1/indeg). A `scale` knob shrinks node count (degree structure is kept)
+// so every benchmark runs on a laptop; scale=1.0 restores paper-sized n.
+// Real edge lists, if available, load through graph/graph_io.h unchanged.
+#ifndef TIMPP_GEN_DATASET_PROXIES_H_
+#define TIMPP_GEN_DATASET_PROXIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace timpp {
+
+/// The five evaluation datasets of Table 2.
+enum class Dataset {
+  kNetHept,      // 15K nodes, 31K undirected edges, avg degree 4.1
+  kEpinions,     // 76K nodes, 509K directed edges, avg degree 13.4
+  kDblp,         // 655K nodes, 2M undirected edges, avg degree 6.1
+  kLiveJournal,  // 4.8M nodes, 69M directed edges, avg degree 28.5
+  kTwitter,      // 41.6M nodes, 1.5G directed edges, avg degree 70.5
+};
+
+/// Static description of a dataset (paper-scale numbers).
+struct DatasetSpec {
+  Dataset dataset;
+  std::string name;
+  uint64_t nodes;        // paper-scale n
+  double avg_degree;     // paper's Table 2 "average degree" (2m/n)
+  bool undirected;
+};
+
+/// Specs for all five datasets, in Table 2 order.
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+const DatasetSpec& SpecFor(Dataset dataset);
+
+/// Which propagation model's edge weights to install.
+enum class WeightScheme {
+  kWeightedCascadeIC,  // p(e) = 1/indeg(target) — the paper's IC setting
+  kRandomLT,           // random in-weights normalized per node — LT setting
+};
+
+/// Builds the proxy graph for `dataset` at `scale` (fraction of paper-scale
+/// node count, clamped to >= 64 nodes) with the given weight scheme.
+/// Deterministic in (dataset, scale, seed).
+Status BuildDatasetProxy(Dataset dataset, double scale, WeightScheme scheme,
+                         uint64_t seed, Graph* graph);
+
+}  // namespace timpp
+
+#endif  // TIMPP_GEN_DATASET_PROXIES_H_

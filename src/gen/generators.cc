@@ -1,0 +1,183 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace timpp {
+
+void GenErdosRenyi(NodeId n, uint64_t m, uint64_t seed, GraphBuilder* builder) {
+  builder->ReserveNodes(n);
+  builder->ReserveEdges(builder->num_edges() + m);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> used;
+  used.reserve(m * 2);
+  uint64_t added = 0;
+  while (added < m) {
+    NodeId u = rng.NextNode(n);
+    NodeId v = rng.NextNode(n);
+    if (u == v) continue;
+    uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (!used.insert(key).second) continue;
+    builder->AddEdge(u, v);
+    ++added;
+  }
+}
+
+void GenBarabasiAlbert(NodeId n, unsigned attach, uint64_t seed,
+                       GraphBuilder* builder) {
+  if (n == 0) return;
+  builder->ReserveNodes(n);
+  Rng rng(seed);
+
+  const NodeId core = std::min<NodeId>(n, attach + 1);
+  // Endpoint pool: each occurrence of a node id gives it one unit of degree
+  // mass, so uniform sampling from the pool is degree-proportional sampling.
+  std::vector<NodeId> pool;
+  pool.reserve(2 * static_cast<size_t>(attach) * n);
+
+  // Seed clique over the first `core` nodes.
+  for (NodeId u = 0; u < core; ++u) {
+    for (NodeId v = u + 1; v < core; ++v) {
+      builder->AddUndirectedEdge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+
+  std::vector<NodeId> targets;
+  for (NodeId v = core; v < n; ++v) {
+    targets.clear();
+    const unsigned want = std::min<unsigned>(attach, v);
+    // Rejection-sample `want` distinct degree-proportional targets.
+    while (targets.size() < want) {
+      NodeId t = pool.empty() ? rng.NextNode(v)
+                              : pool[rng.NextBounded(pool.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      builder->AddUndirectedEdge(v, t);
+      pool.push_back(v);
+      pool.push_back(t);
+    }
+  }
+}
+
+void GenDirectedScaleFree(NodeId n, double avg_out_degree, uint64_t seed,
+                          GraphBuilder* builder) {
+  if (n == 0) return;
+  builder->ReserveNodes(n);
+  Rng rng(seed);
+
+  // Target pool: one smoothing token per node plus one token per received
+  // arc => P(target = v) ∝ indeg(v) + 1.
+  std::vector<NodeId> pool;
+  pool.reserve(static_cast<size_t>((avg_out_degree + 1.0) * n));
+
+  const uint64_t whole = static_cast<uint64_t>(avg_out_degree);
+  const double frac = avg_out_degree - static_cast<double>(whole);
+
+  std::vector<NodeId> chosen;  // this node's targets, for duplicate checks
+  for (NodeId v = 0; v < n; ++v) {
+    pool.push_back(v);
+    if (v == 0) continue;
+    const uint64_t arcs =
+        std::min<uint64_t>(whole + (rng.NextBernoulli(frac) ? 1 : 0), v);
+    chosen.clear();
+    for (uint64_t i = 0; i < arcs; ++i) {
+      // Resample on self-loops and duplicate targets (hub collisions are
+      // common under preferential attachment); fall back to a uniform pick
+      // so the requested out-degree is met even for tiny graphs.
+      NodeId t = kInvalidNode;
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        NodeId candidate = attempt < 8 ? pool[rng.NextBounded(pool.size())]
+                                       : rng.NextNode(v + 1);
+        if (candidate == v) continue;
+        if (std::find(chosen.begin(), chosen.end(), candidate) !=
+            chosen.end()) {
+          continue;
+        }
+        t = candidate;
+        break;
+      }
+      if (t == kInvalidNode) continue;  // node saturated; give up this arc
+      chosen.push_back(t);
+      builder->AddEdge(v, t);
+      pool.push_back(t);
+    }
+  }
+}
+
+void GenWattsStrogatz(NodeId n, unsigned k_half, double beta, uint64_t seed,
+                      GraphBuilder* builder) {
+  if (n < 2) return;
+  builder->ReserveNodes(n);
+  Rng rng(seed);
+  for (NodeId v = 0; v < n; ++v) {
+    for (unsigned j = 1; j <= k_half; ++j) {
+      NodeId t = (v + j) % n;
+      if (rng.NextBernoulli(beta)) {
+        // Rewire to a uniform random non-self target.
+        do {
+          t = rng.NextNode(n);
+        } while (t == v);
+      }
+      builder->AddUndirectedEdge(v, t);
+    }
+  }
+}
+
+void GenDirectedPath(NodeId n, GraphBuilder* builder) {
+  builder->ReserveNodes(n);
+  for (NodeId v = 0; v + 1 < n; ++v) builder->AddEdge(v, v + 1);
+}
+
+void GenDirectedCycle(NodeId n, GraphBuilder* builder) {
+  GenDirectedPath(n, builder);
+  if (n >= 2) builder->AddEdge(n - 1, 0);
+}
+
+void GenStarOut(NodeId n, GraphBuilder* builder) {
+  builder->ReserveNodes(n);
+  for (NodeId v = 1; v < n; ++v) builder->AddEdge(0, v);
+}
+
+void GenStarIn(NodeId n, GraphBuilder* builder) {
+  builder->ReserveNodes(n);
+  for (NodeId v = 1; v < n; ++v) builder->AddEdge(v, 0);
+}
+
+void GenCompleteDirected(NodeId n, GraphBuilder* builder) {
+  builder->ReserveNodes(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) builder->AddEdge(u, v);
+    }
+  }
+}
+
+void GenGridUndirected(NodeId width, NodeId height, GraphBuilder* builder) {
+  builder->ReserveNodes(width * height);
+  auto id = [width](NodeId x, NodeId y) { return y * width + x; };
+  for (NodeId y = 0; y < height; ++y) {
+    for (NodeId x = 0; x < width; ++x) {
+      if (x + 1 < width) builder->AddUndirectedEdge(id(x, y), id(x + 1, y));
+      if (y + 1 < height) builder->AddUndirectedEdge(id(x, y), id(x, y + 1));
+    }
+  }
+}
+
+void GenBinaryTreeOut(unsigned depth, GraphBuilder* builder) {
+  const NodeId n = static_cast<NodeId>((1ULL << (depth + 1)) - 1);
+  builder->ReserveNodes(n);
+  for (NodeId v = 0; 2 * v + 2 < n; ++v) {
+    builder->AddEdge(v, 2 * v + 1);
+    builder->AddEdge(v, 2 * v + 2);
+  }
+}
+
+}  // namespace timpp

@@ -1,0 +1,50 @@
+// Synthetic graph generators. These serve two roles:
+//  1. Dataset proxies — power-law generators parameterized to match the
+//     SNAP datasets of the paper's Table 2 (see gen/dataset_proxies.h).
+//  2. Structured toy graphs with analytically known behaviour for tests.
+// All generators are deterministic given their seed.
+#ifndef TIMPP_GEN_GENERATORS_H_
+#define TIMPP_GEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph_builder.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// Erdős–Rényi G(n, m): m directed edges sampled uniformly (self-loops and
+/// duplicates rejected).
+void GenErdosRenyi(NodeId n, uint64_t m, uint64_t seed, GraphBuilder* builder);
+
+/// Barabási–Albert preferential attachment, undirected (each edge inserted
+/// as two arcs). Starts from a small seed clique; every new node attaches to
+/// `attach` distinct existing nodes chosen proportionally to degree.
+/// Produces ~attach*n undirected edges, i.e. average degree ~2*attach.
+void GenBarabasiAlbert(NodeId n, unsigned attach, uint64_t seed,
+                       GraphBuilder* builder);
+
+/// Directed scale-free graph: each node emits on average `avg_out_degree`
+/// arcs whose targets are chosen by preferential attachment on in-degree
+/// (plus one smoothing token per node), giving the heavy-tailed in-degree
+/// distribution typical of follower networks such as Epinions/Twitter.
+void GenDirectedScaleFree(NodeId n, double avg_out_degree, uint64_t seed,
+                          GraphBuilder* builder);
+
+/// Watts–Strogatz small world: ring lattice with `k_half` neighbors per side
+/// rewired with probability `beta`. Undirected.
+void GenWattsStrogatz(NodeId n, unsigned k_half, double beta, uint64_t seed,
+                      GraphBuilder* builder);
+
+/// Deterministic toy graphs for tests.
+void GenDirectedPath(NodeId n, GraphBuilder* builder);   // 0->1->...->n-1
+void GenDirectedCycle(NodeId n, GraphBuilder* builder);  // ... ->0
+void GenStarOut(NodeId n, GraphBuilder* builder);        // 0 -> {1..n-1}
+void GenStarIn(NodeId n, GraphBuilder* builder);         // {1..n-1} -> 0
+void GenCompleteDirected(NodeId n, GraphBuilder* builder);
+void GenGridUndirected(NodeId width, NodeId height, GraphBuilder* builder);
+void GenBinaryTreeOut(unsigned depth, GraphBuilder* builder);  // root -> leaves
+
+}  // namespace timpp
+
+#endif  // TIMPP_GEN_GENERATORS_H_

@@ -1,0 +1,4 @@
+#include "graph/graph.h"
+
+// Graph is header-only today; this translation unit anchors the type for
+// future out-of-line additions and keeps the build list uniform.

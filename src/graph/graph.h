@@ -1,0 +1,85 @@
+// Immutable directed graph in CSR form with per-edge propagation
+// probabilities, materializing both the forward adjacency (out-arcs, used by
+// forward diffusion simulation) and the transpose adjacency (in-arcs, used
+// by reverse-reachable-set sampling; the paper calls the transpose G^T).
+#ifndef TIMPP_GRAPH_GRAPH_H_
+#define TIMPP_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.h"
+
+namespace timpp {
+
+/// One directed arc endpoint as seen from an adjacency list: the other
+/// endpoint plus the propagation probability p(e) of the underlying edge.
+struct Arc {
+  NodeId node;
+  float prob;
+};
+
+/// Immutable weighted directed graph. Construct via GraphBuilder.
+///
+/// Both adjacency directions are stored because the algorithms in the paper
+/// need both: forward Monte-Carlo simulation of a cascade walks out-arcs,
+/// while randomized reverse BFS (RR-set generation, Definition 2) walks
+/// in-arcs. Arc order within a list follows insertion order of the builder.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of nodes n. Nodes are densely numbered [0, n).
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Number of directed edges m.
+  uint64_t num_edges() const { return static_cast<uint64_t>(out_arcs_.size()); }
+
+  /// Out-arcs of `v`: arcs (v -> a.node) with probability a.prob.
+  std::span<const Arc> OutArcs(NodeId v) const {
+    return {out_arcs_.data() + out_offsets_[v],
+            out_arcs_.data() + out_offsets_[v + 1]};
+  }
+
+  /// In-arcs of `v`: arcs (a.node -> v) with probability a.prob.
+  std::span<const Arc> InArcs(NodeId v) const {
+    return {in_arcs_.data() + in_offsets_[v],
+            in_arcs_.data() + in_offsets_[v + 1]};
+  }
+
+  uint64_t OutDegree(NodeId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+
+  uint64_t InDegree(NodeId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Sum of in-arc probabilities of `v`. Under the LT interpretation this is
+  /// the total incoming weight; a well-formed LT graph has sums <= 1.
+  double InProbSum(NodeId v) const {
+    double s = 0;
+    for (const Arc& a : InArcs(v)) s += a.prob;
+    return s;
+  }
+
+  /// Heap bytes held by the adjacency arrays (Figure 12 accounting).
+  size_t MemoryBytes() const {
+    return (out_offsets_.size() + in_offsets_.size()) * sizeof(EdgeIndex) +
+           (out_arcs_.size() + in_arcs_.size()) * sizeof(Arc);
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  std::vector<EdgeIndex> out_offsets_;  // size n+1
+  std::vector<Arc> out_arcs_;           // size m
+  std::vector<EdgeIndex> in_offsets_;   // size n+1
+  std::vector<Arc> in_arcs_;            // size m
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_GRAPH_GRAPH_H_

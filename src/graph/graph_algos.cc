@@ -1,0 +1,137 @@
+#include "graph/graph_algos.h"
+
+#include <algorithm>
+
+namespace timpp {
+
+std::vector<uint32_t> CoreDecomposition(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(graph.OutDegree(v) + graph.InDegree(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Bucket sort nodes by degree (Batagelj–Zaveršnik peeling).
+  std::vector<NodeId> bucket_start(max_degree + 2, 0);
+  for (NodeId v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (uint32_t d = 1; d <= max_degree + 1; ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<NodeId> order(n);       // nodes sorted by current degree
+  std::vector<NodeId> position(n);    // node -> index in `order`
+  {
+    std::vector<NodeId> fill(bucket_start.begin(), bucket_start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      position[v] = fill[degree[v]];
+      order[position[v]] = v;
+      ++fill[degree[v]];
+    }
+  }
+
+  std::vector<uint32_t> core = degree;
+  auto lower_degree = [&](NodeId u) {
+    // Move u one bucket down, keeping `order` partitioned by degree.
+    const uint32_t d = core[u];
+    const NodeId first_same = bucket_start[d];
+    const NodeId u_pos = position[u];
+    NodeId swap_node = order[first_same];
+    std::swap(order[first_same], order[u_pos]);
+    position[u] = first_same;
+    position[swap_node] = u_pos;
+    ++bucket_start[d];
+    --core[u];
+  };
+
+  for (NodeId idx = 0; idx < n; ++idx) {
+    const NodeId v = order[idx];
+    // v is peeled with its current degree as its core number; neighbors
+    // with higher current degree lose one unit.
+    for (const Arc& a : graph.OutArcs(v)) {
+      if (core[a.node] > core[v]) lower_degree(a.node);
+    }
+    for (const Arc& a : graph.InArcs(v)) {
+      if (core[a.node] > core[v]) lower_degree(a.node);
+    }
+  }
+  return core;
+}
+
+std::vector<NodeId> StronglyConnectedComponents(const Graph& graph,
+                                                NodeId* num_components) {
+  const NodeId n = graph.num_nodes();
+  constexpr NodeId kUnvisited = kInvalidNode;
+
+  std::vector<NodeId> index(n, kUnvisited);  // DFS discovery order
+  std::vector<NodeId> lowlink(n, 0);
+  std::vector<NodeId> component(n, kUnvisited);
+  std::vector<char> on_stack(n, 0);
+  std::vector<NodeId> scc_stack;
+  NodeId next_index = 0;
+  NodeId next_component = 0;
+
+  // Iterative Tarjan: each frame remembers which out-arc to resume at.
+  struct Frame {
+    NodeId node;
+    size_t arc;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back(Frame{root, 0});
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      NodeId v = frame.node;
+      if (frame.arc == 0) {
+        index[v] = lowlink[v] = next_index++;
+        scc_stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      auto arcs = graph.OutArcs(v);
+      bool descended = false;
+      while (frame.arc < arcs.size()) {
+        NodeId w = arcs[frame.arc++].node;
+        if (index[w] == kUnvisited) {
+          dfs.push_back(Frame{w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+
+      if (lowlink[v] == index[v]) {
+        // v is an SCC root: pop its component.
+        NodeId w;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = 0;
+          component[w] = next_component;
+        } while (w != v);
+        ++next_component;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        NodeId parent = dfs.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next_component;
+  return component;
+}
+
+uint64_t LargestSccSize(const Graph& graph) {
+  NodeId count = 0;
+  std::vector<NodeId> component = StronglyConnectedComponents(graph, &count);
+  std::vector<uint64_t> sizes(count, 0);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) ++sizes[component[v]];
+  uint64_t best = 0;
+  for (uint64_t s : sizes) best = std::max(best, s);
+  return best;
+}
+
+}  // namespace timpp

@@ -1,0 +1,33 @@
+// Classic graph decompositions used by influence-maximization heuristics
+// and by dataset diagnostics: k-core (k-shell) numbers and strongly
+// connected components.
+#ifndef TIMPP_GRAPH_GRAPH_ALGOS_H_
+#define TIMPP_GRAPH_GRAPH_ALGOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// k-core (k-shell) decomposition over total degree (in + out, parallel
+/// arcs counted). core[v] = largest k such that v belongs to a subgraph
+/// where every node has total degree >= k. Kitsak et al. (Nature Physics
+/// 2010) argue the k-shell index locates influential spreaders — the basis
+/// of the k-core seeding heuristic. O(n + m) bucket peeling.
+std::vector<uint32_t> CoreDecomposition(const Graph& graph);
+
+/// Strongly connected components via iterative Tarjan. Returns the
+/// component id of every node (ids are dense, in reverse topological
+/// order of the condensation) and sets *num_components.
+std::vector<NodeId> StronglyConnectedComponents(const Graph& graph,
+                                                NodeId* num_components);
+
+/// Size of the largest strongly connected component.
+uint64_t LargestSccSize(const Graph& graph);
+
+}  // namespace timpp
+
+#endif  // TIMPP_GRAPH_GRAPH_ALGOS_H_

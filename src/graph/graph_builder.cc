@@ -1,0 +1,83 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace timpp {
+
+void GraphBuilder::ReserveNodes(NodeId n) {
+  num_nodes_ = std::max(num_nodes_, n);
+}
+
+void GraphBuilder::AddEdge(NodeId from, NodeId to, float prob) {
+  edges_.push_back(RawEdge{from, to, prob});
+  num_nodes_ = std::max(num_nodes_, static_cast<NodeId>(std::max(from, to) + 1));
+}
+
+void GraphBuilder::AddUndirectedEdge(NodeId u, NodeId v, float prob) {
+  AddEdge(u, v, prob);
+  AddEdge(v, u, prob);
+}
+
+void GraphBuilder::DeduplicateEdges() {
+  std::stable_sort(edges_.begin(), edges_.end(),
+                   [](const RawEdge& a, const RawEdge& b) {
+                     if (a.from != b.from) return a.from < b.from;
+                     return a.to < b.to;
+                   });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const RawEdge& a, const RawEdge& b) {
+                             return a.from == b.from && a.to == b.to;
+                           }),
+               edges_.end());
+}
+
+void GraphBuilder::RemoveSelfLoops() {
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const RawEdge& e) { return e.from == e.to; }),
+               edges_.end());
+}
+
+Status GraphBuilder::Build(Graph* out) const {
+  for (const RawEdge& e : edges_) {
+    if (!std::isfinite(e.prob) || e.prob < 0.0f || e.prob > 1.0f) {
+      return Status::InvalidArgument(
+          "edge (" + std::to_string(e.from) + " -> " + std::to_string(e.to) +
+          ") has probability outside [0, 1]: " + std::to_string(e.prob));
+    }
+  }
+
+  const NodeId n = num_nodes_;
+  const size_t m = edges_.size();
+
+  Graph g;
+  g.num_nodes_ = n;
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  g.out_arcs_.resize(m);
+  g.in_arcs_.resize(m);
+
+  // Counting sort into both CSR directions.
+  for (const RawEdge& e : edges_) {
+    ++g.out_offsets_[e.from + 1];
+    ++g.in_offsets_[e.to + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  std::vector<EdgeIndex> out_fill(g.out_offsets_.begin(),
+                                  g.out_offsets_.end() - 1);
+  std::vector<EdgeIndex> in_fill(g.in_offsets_.begin(),
+                                 g.in_offsets_.end() - 1);
+  for (const RawEdge& e : edges_) {
+    g.out_arcs_[out_fill[e.from]++] = Arc{e.to, e.prob};
+    g.in_arcs_[in_fill[e.to]++] = Arc{e.from, e.prob};
+  }
+
+  *out = std::move(g);
+  return Status::OK();
+}
+
+}  // namespace timpp

@@ -1,0 +1,131 @@
+#include "graph/graph_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace timpp {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'I', 'M', 'G'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status ReadEdgeList(const std::string& path, const EdgeListOptions& options,
+                    GraphBuilder* builder) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Skip blank and comment lines.
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if (options.comment_chars.find(line[start]) != std::string::npos) continue;
+
+    std::istringstream ss(line);
+    long long u = -1, v = -1;
+    double p = options.default_prob;
+    if (!(ss >> u >> v)) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": expected 'u v [p]'");
+    }
+    ss >> p;  // optional third column; keeps default on failure
+    if (u < 0 || v < 0) {
+      return Status::Corruption(path + ":" + std::to_string(line_no) +
+                                ": negative node id");
+    }
+    const NodeId from = static_cast<NodeId>(u);
+    const NodeId to = static_cast<NodeId>(v);
+    const float prob = static_cast<float>(p);
+    if (options.undirected) {
+      builder->AddUndirectedEdge(from, to, prob);
+    } else {
+      builder->AddEdge(from, to, prob);
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "# timpp edge list: n=" << graph.num_nodes()
+      << " m=" << graph.num_edges() << "\n";
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const Arc& a : graph.OutArcs(v)) {
+      out << v << ' ' << a.node << ' ' << a.prob << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Status WriteBinary(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+
+  out.write(kMagic, sizeof(kMagic));
+  uint32_t version = kVersion;
+  uint64_t n = graph.num_nodes();
+  uint64_t m = graph.num_edges();
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const Arc& a : graph.OutArcs(v)) {
+      uint32_t from = v;
+      out.write(reinterpret_cast<const char*>(&from), sizeof(from));
+      out.write(reinterpret_cast<const char*>(&a.node), sizeof(a.node));
+      out.write(reinterpret_cast<const char*>(&a.prob), sizeof(a.prob));
+    }
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Status ReadBinary(const std::string& path, Graph* graph) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  uint32_t version = 0;
+  uint64_t n = 0, m = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  if (!in) return Status::Corruption(path + ": truncated header");
+  if (version != kVersion) {
+    return Status::Corruption(path + ": unsupported version " +
+                              std::to_string(version));
+  }
+
+  GraphBuilder builder;
+  builder.ReserveNodes(static_cast<NodeId>(n));
+  builder.ReserveEdges(m);
+  for (uint64_t i = 0; i < m; ++i) {
+    uint32_t from = 0, to = 0;
+    float prob = 0;
+    in.read(reinterpret_cast<char*>(&from), sizeof(from));
+    in.read(reinterpret_cast<char*>(&to), sizeof(to));
+    in.read(reinterpret_cast<char*>(&prob), sizeof(prob));
+    if (!in) return Status::Corruption(path + ": truncated edge records");
+    builder.AddEdge(from, to, prob);
+  }
+  return builder.Build(graph);
+}
+
+}  // namespace timpp

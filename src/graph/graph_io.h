@@ -1,0 +1,42 @@
+// Graph serialization: SNAP-style text edge lists (the format of the
+// datasets in Table 2) and a fast binary container.
+#ifndef TIMPP_GRAPH_GRAPH_IO_H_
+#define TIMPP_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "util/status.h"
+
+namespace timpp {
+
+/// Options for reading text edge lists.
+struct EdgeListOptions {
+  /// If true, each line "u v" is inserted as two arcs (u->v and v->u), the
+  /// convention for the undirected datasets NetHEPT and DBLP.
+  bool undirected = false;
+  /// Default probability for lines without a third column. Weight-model
+  /// passes typically overwrite this afterwards.
+  float default_prob = 1.0f;
+  /// Lines beginning with these characters are skipped (SNAP uses '#').
+  std::string comment_chars = "#%";
+};
+
+/// Parses a whitespace-separated edge list ("u v" or "u v p" per line) into
+/// `builder` (appending to existing content). Node ids must be non-negative
+/// integers; ids are used as-is (no compaction).
+Status ReadEdgeList(const std::string& path, const EdgeListOptions& options,
+                    GraphBuilder* builder);
+
+/// Writes "from to prob" lines.
+Status WriteEdgeList(const Graph& graph, const std::string& path);
+
+/// Binary container: magic, version, n, m, then (from, to, prob) triples.
+/// Round-trips exactly (modulo arc ordering, which Build() canonicalizes).
+Status WriteBinary(const Graph& graph, const std::string& path);
+Status ReadBinary(const std::string& path, Graph* graph);
+
+}  // namespace timpp
+
+#endif  // TIMPP_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,44 @@
+// Summary statistics over graphs — powers the Table 2 bench and sanity
+// checks on the synthetic dataset proxies.
+#ifndef TIMPP_GRAPH_GRAPH_STATS_H_
+#define TIMPP_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace timpp {
+
+/// Degree and connectivity summary of a graph.
+struct GraphStats {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;          // directed arc count m
+  double avg_out_degree = 0.0;     // m / n
+  uint64_t max_out_degree = 0;
+  uint64_t max_in_degree = 0;
+  uint64_t num_isolated = 0;       // nodes with no arcs at all
+  uint64_t num_weak_components = 0;
+  uint64_t largest_weak_component = 0;
+};
+
+/// Computes all fields of GraphStats (one BFS sweep for components).
+GraphStats ComputeGraphStats(const Graph& graph);
+
+/// Out-degree histogram: bucket[d] = #nodes with out-degree d, truncated at
+/// `max_degree` (the tail is accumulated into the last bucket).
+std::vector<uint64_t> OutDegreeHistogram(const Graph& graph,
+                                         uint64_t max_degree);
+
+/// Renders a row in the style of the paper's Table 2:
+///   name  n  m  type  average degree
+/// where `type` is "directed"/"undirected" as declared by the caller and the
+/// average degree follows the paper's convention (m/n for directed graphs,
+/// arc-count/n for undirected graphs whose arcs are stored both ways).
+std::string FormatTable2Row(const std::string& name, const Graph& graph,
+                            bool undirected);
+
+}  // namespace timpp
+
+#endif  // TIMPP_GRAPH_GRAPH_STATS_H_

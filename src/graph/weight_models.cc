@@ -1,0 +1,60 @@
+#include "graph/weight_models.h"
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace timpp {
+
+namespace {
+
+// In-degree of every node given the builder's current edge list.
+std::vector<uint64_t> CountInDegrees(const GraphBuilder& builder) {
+  std::vector<uint64_t> indeg(builder.num_nodes(), 0);
+  for (const RawEdge& e : builder.edges()) ++indeg[e.to];
+  return indeg;
+}
+
+}  // namespace
+
+void AssignWeightedCascade(GraphBuilder* builder) {
+  std::vector<uint64_t> indeg = CountInDegrees(*builder);
+  for (RawEdge& e : builder->edges()) {
+    e.prob = indeg[e.to] > 0 ? 1.0f / static_cast<float>(indeg[e.to]) : 0.0f;
+  }
+}
+
+void AssignUniform(GraphBuilder* builder, float p) {
+  for (RawEdge& e : builder->edges()) e.prob = p;
+}
+
+void AssignTrivalency(GraphBuilder* builder, uint64_t seed) {
+  static constexpr float kLevels[3] = {0.1f, 0.01f, 0.001f};
+  Rng rng(seed);
+  for (RawEdge& e : builder->edges()) {
+    e.prob = kLevels[rng.NextBounded(3)];
+  }
+}
+
+void AssignRandomLT(GraphBuilder* builder, uint64_t seed) {
+  Rng rng(seed);
+  // Draw raw weights, then normalize per target node.
+  std::vector<double> sums(builder->num_nodes(), 0.0);
+  for (RawEdge& e : builder->edges()) {
+    e.prob = static_cast<float>(rng.NextDouble());
+    sums[e.to] += e.prob;
+  }
+  for (RawEdge& e : builder->edges()) {
+    if (sums[e.to] > 0.0) {
+      e.prob = static_cast<float>(e.prob / sums[e.to]);
+    }
+  }
+}
+
+void AssignUniformLT(GraphBuilder* builder) {
+  // Identical arithmetic to weighted cascade; kept as a named pass because
+  // the semantics differ (LT weight vs IC probability).
+  AssignWeightedCascade(builder);
+}
+
+}  // namespace timpp

@@ -1,0 +1,37 @@
+// Edge-probability assignment passes. §7.1 of the paper fixes two standard
+// parameterizations: the weighted-cascade IC setting p(e) = 1/indeg(target),
+// and the LT setting of random in-weights normalized to sum to 1 per node.
+// Trivalency and uniform settings are provided for completeness (both are
+// widely used in the cited prior work).
+#ifndef TIMPP_GRAPH_WEIGHT_MODELS_H_
+#define TIMPP_GRAPH_WEIGHT_MODELS_H_
+
+#include <cstdint>
+
+#include "graph/graph_builder.h"
+
+namespace timpp {
+
+/// Weighted cascade (the paper's IC setting): every edge e = (u, v) gets
+/// p(e) = 1 / indeg(v), where indeg counts edges currently in the builder.
+void AssignWeightedCascade(GraphBuilder* builder);
+
+/// Uniform probability p on every edge.
+void AssignUniform(GraphBuilder* builder, float p);
+
+/// Trivalency model: each edge draws p(e) uniformly from {0.1, 0.01, 0.001}.
+void AssignTrivalency(GraphBuilder* builder, uint64_t seed);
+
+/// The paper's LT setting: each in-neighbor of v gets a weight drawn
+/// uniformly from [0, 1], then weights into v are normalized to sum to 1.
+/// Nodes with no in-edges are unaffected.
+void AssignRandomLT(GraphBuilder* builder, uint64_t seed);
+
+/// LT weights proportional to edge multiplicity: w(u, v) = c(u,v)/indeg(v),
+/// the classic "uniform LT" of Kempe et al. With simple graphs this is
+/// 1/indeg(v) per edge.
+void AssignUniformLT(GraphBuilder* builder);
+
+}  // namespace timpp
+
+#endif  // TIMPP_GRAPH_WEIGHT_MODELS_H_

@@ -1,0 +1,69 @@
+#include "rrset/rr_collection.h"
+
+#include <algorithm>
+
+namespace timpp {
+
+RRSetId RRCollection::Add(std::span<const NodeId> nodes, uint64_t width) {
+  nodes_.insert(nodes_.end(), nodes.begin(), nodes.end());
+  offsets_.push_back(nodes_.size());
+  widths_.push_back(width);
+  total_width_ += width;
+  index_built_ = false;
+  return static_cast<RRSetId>(num_sets() - 1);
+}
+
+void RRCollection::BuildIndex() {
+  index_offsets_.assign(num_nodes_ + 1, 0);
+  index_sets_.resize(nodes_.size());
+
+  for (NodeId v : nodes_) ++index_offsets_[v + 1];
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    index_offsets_[v + 1] += index_offsets_[v];
+  }
+  std::vector<EdgeIndex> fill(index_offsets_.begin(), index_offsets_.end() - 1);
+  const size_t sets = num_sets();
+  for (size_t id = 0; id < sets; ++id) {
+    for (NodeId v : Set(static_cast<RRSetId>(id))) {
+      index_sets_[fill[v]++] = static_cast<RRSetId>(id);
+    }
+  }
+  index_built_ = true;
+}
+
+double RRCollection::CoveredFraction(std::span<const NodeId> seeds) const {
+  if (num_sets() == 0) return 0.0;
+  // Count distinct covered sets by merging the per-seed id lists through a
+  // scratch bitmap sized by set count.
+  std::vector<char> covered(num_sets(), 0);
+  size_t count = 0;
+  for (NodeId s : seeds) {
+    for (RRSetId id : SetsContaining(s)) {
+      if (!covered[id]) {
+        covered[id] = 1;
+        ++count;
+      }
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(num_sets());
+}
+
+size_t RRCollection::MemoryBytes() const {
+  return offsets_.capacity() * sizeof(EdgeIndex) +
+         nodes_.capacity() * sizeof(NodeId) +
+         widths_.capacity() * sizeof(uint64_t) +
+         index_offsets_.capacity() * sizeof(EdgeIndex) +
+         index_sets_.capacity() * sizeof(RRSetId);
+}
+
+void RRCollection::Clear() {
+  offsets_.assign(1, 0);
+  nodes_.clear();
+  widths_.clear();
+  total_width_ = 0;
+  index_built_ = false;
+  index_offsets_.clear();
+  index_sets_.clear();
+}
+
+}  // namespace timpp

@@ -1,0 +1,90 @@
+// Storage for a batch of RR sets (the paper's R) with the inverted index
+// needed by the greedy max-coverage step and exact memory accounting for
+// the Figure 12 experiment.
+#ifndef TIMPP_RRSET_RR_COLLECTION_H_
+#define TIMPP_RRSET_RR_COLLECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.h"
+
+namespace timpp {
+
+/// Flat, append-only container of RR sets.
+///
+/// Sets are stored back-to-back in one node array with an offset array
+/// (CSR layout). After all sets are added, BuildIndex() materializes the
+/// inverted node -> set-ids index used by coverage computations. Adding
+/// after BuildIndex() invalidates the index (checked in debug builds via
+/// index_built()).
+class RRCollection {
+ public:
+  explicit RRCollection(NodeId num_nodes) : num_nodes_(num_nodes) {
+    offsets_.push_back(0);
+  }
+
+  /// Appends one RR set; returns its id. `width` is w(R) from Equation 1.
+  RRSetId Add(std::span<const NodeId> nodes, uint64_t width);
+
+  /// Number of stored sets (the paper's θ once sampling finishes).
+  size_t num_sets() const { return offsets_.size() - 1; }
+
+  /// Total nodes across all sets.
+  size_t total_nodes() const { return nodes_.size(); }
+
+  /// Number of nodes the host graph has (index width).
+  NodeId num_graph_nodes() const { return num_nodes_; }
+
+  /// Nodes of set `id`.
+  std::span<const NodeId> Set(RRSetId id) const {
+    return {nodes_.data() + offsets_[id], nodes_.data() + offsets_[id + 1]};
+  }
+
+  /// Width w(R) of set `id`.
+  uint64_t Width(RRSetId id) const { return widths_[id]; }
+
+  /// Sum of widths over all sets.
+  uint64_t TotalWidth() const { return total_width_; }
+
+  /// Builds (or rebuilds) the inverted index. O(total_nodes).
+  void BuildIndex();
+  bool index_built() const { return index_built_; }
+
+  /// Ids of the sets containing node `v`. Requires BuildIndex().
+  std::span<const RRSetId> SetsContaining(NodeId v) const {
+    return {index_sets_.data() + index_offsets_[v],
+            index_sets_.data() + index_offsets_[v + 1]};
+  }
+
+  /// Number of sets containing `v` (the initial greedy coverage count).
+  uint64_t CoverageCount(NodeId v) const {
+    return index_offsets_[v + 1] - index_offsets_[v];
+  }
+
+  /// Fraction of sets that contain at least one node of `seeds` — the
+  /// paper's F_R(S). O(Σ |sets containing seeds|) via the index.
+  double CoveredFraction(std::span<const NodeId> seeds) const;
+
+  /// Heap bytes of set storage plus index (Figure 12's memory metric).
+  size_t MemoryBytes() const;
+
+  /// Releases everything.
+  void Clear();
+
+ private:
+  NodeId num_nodes_;
+  std::vector<EdgeIndex> offsets_;   // per-set start into nodes_
+  std::vector<NodeId> nodes_;        // concatenated set members
+  std::vector<uint64_t> widths_;     // per-set w(R)
+  uint64_t total_width_ = 0;
+
+  bool index_built_ = false;
+  std::vector<EdgeIndex> index_offsets_;  // per-node start into index_sets_
+  std::vector<RRSetId> index_sets_;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_RRSET_RR_COLLECTION_H_

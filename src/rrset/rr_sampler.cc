@@ -1,0 +1,141 @@
+#include "rrset/rr_sampler.h"
+
+namespace timpp {
+
+RRSampleInfo RRSampler::SampleRandomRoot(Rng& rng, std::vector<NodeId>* out) {
+  const NodeId root =
+      root_dist_ != nullptr && !root_dist_->empty()
+          ? static_cast<NodeId>(root_dist_->Sample(rng))
+          : rng.NextNode(graph_.num_nodes());
+  return SampleForRoot(root, rng, out);
+}
+
+RRSampleInfo RRSampler::SampleForRoot(NodeId root, Rng& rng,
+                                      std::vector<NodeId>* out) {
+  switch (model_) {
+    case DiffusionModel::kIC:
+      return SampleIC(root, rng, out);
+    case DiffusionModel::kLT:
+      return SampleLT(root, rng, out);
+    case DiffusionModel::kTriggering:
+      return SampleTriggering(root, rng, out);
+  }
+  return RRSampleInfo{};
+}
+
+RRSampleInfo RRSampler::SampleIC(NodeId root, Rng& rng,
+                                 std::vector<NodeId>* out) {
+  RRSampleInfo info;
+  info.root = root;
+
+  visited_.NewEpoch();
+  set_.clear();
+  visited_.Visit(root);
+  set_.push_back(root);
+  info.width += graph_.InDegree(root);
+
+  // Reverse BFS: one independent coin per examined in-arc, exactly the
+  // "remove each edge with probability 1-p(e), take nodes that reach root"
+  // process of Definition 1 (deferred edge decisions). FIFO order keeps
+  // the queue level-ordered for the optional depth bound.
+  size_t level_end = set_.size();
+  uint32_t hops = 0;
+  for (size_t head = 0; head < set_.size(); ++head) {
+    if (head == level_end) {
+      ++hops;
+      level_end = set_.size();
+    }
+    if (max_hops_ != 0 && hops >= max_hops_) break;
+    NodeId v = set_[head];
+    for (const Arc& a : graph_.InArcs(v)) {
+      ++info.edges_examined;
+      if (visited_.Visited(a.node)) continue;
+      if (rng.NextBernoulli(a.prob)) {
+        visited_.Visit(a.node);
+        set_.push_back(a.node);
+        info.width += graph_.InDegree(a.node);
+      }
+    }
+  }
+  *out = set_;
+  return info;
+}
+
+RRSampleInfo RRSampler::SampleLT(NodeId root, Rng& rng,
+                                 std::vector<NodeId>* out) {
+  RRSampleInfo info;
+  info.root = root;
+
+  visited_.NewEpoch();
+  set_.clear();
+  visited_.Visit(root);
+  set_.push_back(root);
+  info.width += graph_.InDegree(root);
+
+  // Reverse random walk: each visited node draws ONE uniform number and
+  // uses it to select at most one in-neighbor (weights sum to <= 1). The
+  // walk stops when the leftover mass is drawn, when a node has no
+  // in-arcs, or when it closes a cycle onto an already-visited node.
+  NodeId v = root;
+  uint32_t steps = 0;
+  while (max_hops_ == 0 || steps++ < max_hops_) {
+    auto arcs = graph_.InArcs(v);
+    if (arcs.empty()) break;
+    info.edges_examined += arcs.size();  // the scan cost; one RNG draw only
+    double r = rng.NextDouble();
+    NodeId picked = kInvalidNode;
+    for (const Arc& a : arcs) {
+      if (r < a.prob) {
+        picked = a.node;
+        break;
+      }
+      r -= a.prob;
+    }
+    if (picked == kInvalidNode) break;       // "no in-neighbor" outcome
+    if (!visited_.VisitIfNew(picked)) break;  // cycle closed
+    set_.push_back(picked);
+    info.width += graph_.InDegree(picked);
+    v = picked;
+  }
+  *out = set_;
+  return info;
+}
+
+RRSampleInfo RRSampler::SampleTriggering(NodeId root, Rng& rng,
+                                         std::vector<NodeId>* out) {
+  RRSampleInfo info;
+  info.root = root;
+
+  visited_.NewEpoch();
+  set_.clear();
+  visited_.Visit(root);
+  set_.push_back(root);
+  info.width += graph_.InDegree(root);
+
+  // Reverse BFS over the triggering graph distribution G (§4.2): each
+  // dequeued node samples its triggering set once; every member has a live
+  // arc into the node, so in reverse we traverse to every unvisited member.
+  size_t level_end = set_.size();
+  uint32_t hops = 0;
+  for (size_t head = 0; head < set_.size(); ++head) {
+    if (head == level_end) {
+      ++hops;
+      level_end = set_.size();
+    }
+    if (max_hops_ != 0 && hops >= max_hops_) break;
+    NodeId v = set_[head];
+    info.edges_examined += graph_.InDegree(v);
+    trigger_scratch_.clear();
+    custom_model_->SampleTriggeringSet(graph_, v, rng, &trigger_scratch_);
+    for (NodeId u : trigger_scratch_) {
+      if (visited_.VisitIfNew(u)) {
+        set_.push_back(u);
+        info.width += graph_.InDegree(u);
+      }
+    }
+  }
+  *out = set_;
+  return info;
+}
+
+}  // namespace timpp

@@ -1,0 +1,97 @@
+// Random reverse-reachable (RR) set generation (Definitions 1-2 of the
+// paper) via randomized reverse BFS on the transpose graph.
+//
+// Under IC, each in-arc of a dequeued node is kept with its probability
+// (one coin per examined edge). Under LT, each dequeued node picks at most
+// one in-neighbor with probability equal to the in-edge weight (one random
+// draw per node) — the §7.2 cost asymmetry the paper measures. A generic
+// path accepts any TriggeringModel (§4.2).
+#ifndef TIMPP_RRSET_RR_SAMPLER_H_
+#define TIMPP_RRSET_RR_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/triggering.h"
+#include "graph/graph.h"
+#include "util/alias_table.h"
+#include "util/rng.h"
+#include "util/types.h"
+#include "util/visit_marker.h"
+
+namespace timpp {
+
+/// Byproduct measurements of one RR-set sample.
+struct RRSampleInfo {
+  /// Number of edges examined by the traversal (the cost unit of Borgs et
+  /// al.'s threshold τ and of the paper's O(θ·EPT) analysis).
+  uint64_t edges_examined = 0;
+  /// Width w(R) of the sampled set: the number of edges in G pointing to
+  /// nodes of R, i.e. Σ_{v∈R} indeg(v) (Equation 1). κ(R) in Algorithm 2 is
+  /// computed from this.
+  uint64_t width = 0;
+  /// Root node the set was generated for.
+  NodeId root = kInvalidNode;
+};
+
+/// Samples RR sets on a fixed graph under a fixed model. Holds reusable
+/// traversal scratch; not thread-safe — create one sampler per thread.
+class RRSampler {
+ public:
+  /// `custom_model` is borrowed and only consulted when
+  /// model == DiffusionModel::kTriggering. `max_hops` bounds the reverse
+  /// traversal depth (0 = unlimited): a depth-d RR set contains exactly the
+  /// nodes that would activate the root within d rounds, the time-critical
+  /// influence variant (Chen et al., AAAI'12, the paper's [4]).
+  RRSampler(const Graph& graph, DiffusionModel model,
+            const TriggeringModel* custom_model = nullptr,
+            uint32_t max_hops = 0)
+      : graph_(graph),
+        model_(model),
+        custom_model_(custom_model),
+        max_hops_(max_hops),
+        visited_(graph.num_nodes()) {
+    set_.reserve(256);
+    trigger_scratch_.reserve(16);
+  }
+
+  DiffusionModel model() const { return model_; }
+  const Graph& graph() const { return graph_; }
+  const TriggeringModel* custom_model() const { return custom_model_; }
+  uint32_t max_hops() const { return max_hops_; }
+
+  /// Installs a non-uniform root distribution (borrowed; must outlive the
+  /// sampler). Used by node-weighted influence maximization: sampling the
+  /// root ∝ w(v) makes W·F_R(S) an unbiased estimator of the weighted
+  /// spread Σ_v w(v)·P[S activates v]. nullptr restores uniform roots.
+  void SetRootDistribution(const AliasTable* roots) { root_dist_ = roots; }
+
+  /// Samples an RR set for a root chosen uniformly at random (Definition 2)
+  /// or from the installed root distribution. The set (which always
+  /// contains the root) is appended to `*out`, which is cleared first.
+  /// Returns measurement info.
+  RRSampleInfo SampleRandomRoot(Rng& rng, std::vector<NodeId>* out);
+
+  /// Samples an RR set for the given root (Definition 1 with a fresh random
+  /// live-edge world).
+  RRSampleInfo SampleForRoot(NodeId root, Rng& rng, std::vector<NodeId>* out);
+
+ private:
+  RRSampleInfo SampleIC(NodeId root, Rng& rng, std::vector<NodeId>* out);
+  RRSampleInfo SampleLT(NodeId root, Rng& rng, std::vector<NodeId>* out);
+  RRSampleInfo SampleTriggering(NodeId root, Rng& rng,
+                                std::vector<NodeId>* out);
+
+  const Graph& graph_;
+  DiffusionModel model_;
+  const TriggeringModel* custom_model_;
+  uint32_t max_hops_;
+  const AliasTable* root_dist_ = nullptr;
+  VisitMarker visited_;
+  std::vector<NodeId> set_;  // doubles as the BFS queue
+  std::vector<NodeId> trigger_scratch_;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_RRSET_RR_SAMPLER_H_

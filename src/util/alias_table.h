@@ -1,0 +1,89 @@
+// Walker/Vose alias method: O(1) sampling from an arbitrary discrete
+// distribution after O(n) preprocessing. Used for weighted RR-set root
+// selection in node-weighted influence maximization.
+#ifndef TIMPP_UTIL_ALIAS_TABLE_H_
+#define TIMPP_UTIL_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// Immutable discrete distribution over [0, n) with O(1) Sample().
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds from non-negative weights (need not be normalized). Entries
+  /// with zero weight are never sampled. At least one weight must be
+  /// positive; otherwise the table is empty and Sample() returns 0.
+  explicit AliasTable(const std::vector<double>& weights) { Build(weights); }
+
+  void Build(const std::vector<double>& weights) {
+    const size_t n = weights.size();
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+    total_ = 0.0;
+    for (double w : weights) total_ += w > 0.0 ? w : 0.0;
+    if (n == 0 || total_ <= 0.0) {
+      prob_.clear();
+      alias_.clear();
+      return;
+    }
+
+    // Vose's stable partition into small/large columns.
+    std::vector<double> scaled(n);
+    std::vector<uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+      scaled[i] = w * static_cast<double>(n) / total_;
+      (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const uint32_t s = small.back();
+      small.pop_back();
+      const uint32_t l = large.back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] -= 1.0 - scaled[s];
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    // Numerical leftovers are full columns.
+    for (uint32_t l : large) prob_[l] = 1.0;
+    for (uint32_t s : small) prob_[s] = 1.0;
+  }
+
+  /// True if the table has at least one sampleable entry.
+  bool empty() const { return prob_.empty(); }
+
+  /// Number of entries.
+  size_t size() const { return prob_.size(); }
+
+  /// Sum of the positive input weights.
+  double total_weight() const { return total_; }
+
+  /// Draws an index with probability weight[i]/total_weight() in O(1).
+  uint32_t Sample(Rng& rng) const {
+    if (prob_.empty()) return 0;
+    const uint32_t column =
+        static_cast<uint32_t>(rng.NextBounded(prob_.size()));
+    return rng.NextDouble() < prob_[column] ? column : alias_[column];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+  double total_ = 0.0;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_UTIL_ALIAS_TABLE_H_

@@ -1,0 +1,43 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace timpp {
+
+double LogBinomial(uint64_t n, uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double SafeLogN(uint64_t n) {
+  return std::log(static_cast<double>(std::max<uint64_t>(n, 2)));
+}
+
+int FloorLog2(uint64_t n) {
+  int r = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+double ChernoffUpperTail(double delta, double c, double mu) {
+  return std::exp(-delta * delta / (2.0 + delta) * c * mu);
+}
+
+double ChernoffLowerTail(double delta, double c, double mu) {
+  return std::exp(-delta * delta / 2.0 * c * mu);
+}
+
+double ChernoffSampleSize(double delta, double mu_lo, double fail_prob) {
+  // exp(-δ²/(2+δ)·c·μ) <= fail_prob  ⇔  c >= (2+δ)/δ² · ln(1/fail_prob) / μ.
+  return (2.0 + delta) / (delta * delta) * std::log(1.0 / fail_prob) / mu_lo;
+}
+
+}  // namespace timpp

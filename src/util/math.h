@@ -1,0 +1,35 @@
+// Numeric helpers used by the parameter machinery of TIM/TIM+ (Eq. 4,
+// Algorithm 2's iteration budgets, Lemma 10's bound on Greedy's r).
+#ifndef TIMPP_UTIL_MATH_H_
+#define TIMPP_UTIL_MATH_H_
+
+#include <cstdint>
+
+namespace timpp {
+
+/// Natural logarithm of the binomial coefficient C(n, k).
+/// Exact via lgamma; log C(n,k) appears in Eq. 4's λ.
+double LogBinomial(uint64_t n, uint64_t k);
+
+/// Natural log of n, guarded so that n <= 1 yields ln(2) (the paper assumes
+/// n >= 2; the guard keeps degenerate test graphs from producing λ <= 0).
+double SafeLogN(uint64_t n);
+
+/// floor(log2(n)) for n >= 1.
+int FloorLog2(uint64_t n);
+
+/// Chernoff upper-tail bound: Pr[X - cμ >= δ·cμ] <= exp(-δ²/(2+δ)·cμ)
+/// for X the sum of c i.i.d. [0,1] variables with mean μ (Lemma 1).
+double ChernoffUpperTail(double delta, double c, double mu);
+
+/// Chernoff lower-tail bound: Pr[X - cμ <= -δ·cμ] <= exp(-δ²/2·cμ).
+double ChernoffLowerTail(double delta, double c, double mu);
+
+/// Sample size c such that the empirical mean of c i.i.d. [0,1] samples with
+/// true mean >= mu_lo deviates by a δ relative error with probability at
+/// most `fail_prob` (two-sided, using the weaker (2+δ) exponent).
+double ChernoffSampleSize(double delta, double mu_lo, double fail_prob);
+
+}  // namespace timpp
+
+#endif  // TIMPP_UTIL_MATH_H_

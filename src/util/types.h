@@ -1,0 +1,28 @@
+// Core scalar types shared by every timpp module.
+#ifndef TIMPP_UTIL_TYPES_H_
+#define TIMPP_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace timpp {
+
+/// Identifier of a node in a Graph. Nodes are densely numbered [0, n).
+using NodeId = uint32_t;
+
+/// Index of an edge inside a CSR adjacency array. 64-bit so that
+/// billion-edge graphs (the paper's Twitter dataset has 1.5G edges) fit.
+using EdgeIndex = uint64_t;
+
+/// Identifier of one RR set inside an RRCollection.
+using RRSetId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no RR set".
+inline constexpr RRSetId kInvalidRRSet = std::numeric_limits<RRSetId>::max();
+
+}  // namespace timpp
+
+#endif  // TIMPP_UTIL_TYPES_H_

@@ -1,0 +1,54 @@
+// Epoch-stamped visited marker: O(1) "clear" between the millions of
+// randomized BFS traversals that RR-set sampling performs.
+#ifndef TIMPP_UTIL_VISIT_MARKER_H_
+#define TIMPP_UTIL_VISIT_MARKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace timpp {
+
+/// Tracks which nodes the current traversal has visited without paying O(n)
+/// to reset between traversals: each traversal bumps a 32-bit epoch and a
+/// node is "visited" iff its stamp equals the current epoch. When the epoch
+/// wraps (every 2^32 traversals) the stamp array is zeroed once.
+class VisitMarker {
+ public:
+  explicit VisitMarker(size_t n) : stamps_(n, 0), epoch_(1) {}
+
+  /// Begins a new traversal; all nodes become unvisited in O(1).
+  void NewEpoch() {
+    if (++epoch_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  /// Marks `v` visited in the current epoch.
+  void Visit(NodeId v) { stamps_[v] = epoch_; }
+
+  /// True iff `v` was visited in the current epoch.
+  bool Visited(NodeId v) const { return stamps_[v] == epoch_; }
+
+  /// Un-marks `v` (backtracking support). Valid because epochs start at 1.
+  void Unvisit(NodeId v) { stamps_[v] = 0; }
+
+  /// Marks `v` visited; returns true if it was not visited before.
+  bool VisitIfNew(NodeId v) {
+    if (stamps_[v] == epoch_) return false;
+    stamps_[v] = epoch_;
+    return true;
+  }
+
+  size_t size() const { return stamps_.size(); }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_UTIL_VISIT_MARKER_H_

@@ -1,0 +1,165 @@
+// Tests for baselines/celf_greedy.h — Kempe et al.'s Greedy and the
+// CELF/CELF++ lazy-forward variants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/celf_greedy.h"
+#include "diffusion/exact_spread.h"
+#include "diffusion/triggering.h"
+#include "tests/test_util.h"
+
+namespace timpp {
+namespace {
+
+using testing::MakeChain;
+using testing::MakeOutStar;
+using testing::MakeTwoCommunities;
+
+CelfOptions SmallOptions(GreedyVariant variant,
+                         DiffusionModel model = DiffusionModel::kIC) {
+  CelfOptions options;
+  options.variant = variant;
+  options.num_mc_samples = 3000;
+  options.model = model;
+  options.seed = 4242;
+  return options;
+}
+
+TEST(CelfValidationTest, RejectsBadInputs) {
+  Graph g = MakeChain(4, 0.5f);
+  std::vector<NodeId> seeds;
+  CelfOptions options = SmallOptions(GreedyVariant::kCelf);
+  EXPECT_TRUE(RunCelfGreedy(g, options, 0, &seeds, nullptr)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RunCelfGreedy(g, options, 9, &seeds, nullptr)
+                  .IsInvalidArgument());
+  options.num_mc_samples = 0;
+  EXPECT_TRUE(RunCelfGreedy(g, options, 1, &seeds, nullptr)
+                  .IsInvalidArgument());
+  Graph empty;
+  EXPECT_TRUE(RunCelfGreedy(empty, SmallOptions(GreedyVariant::kCelf), 1,
+                            &seeds, nullptr)
+                  .IsInvalidArgument());
+  CelfOptions trig = SmallOptions(GreedyVariant::kCelf);
+  trig.model = DiffusionModel::kTriggering;  // no custom model supplied
+  EXPECT_TRUE(RunCelfGreedy(g, trig, 1, &seeds, nullptr).IsInvalidArgument());
+}
+
+class CelfVariantTest : public ::testing::TestWithParam<GreedyVariant> {};
+
+TEST_P(CelfVariantTest, FindsTheHubOnAStar) {
+  Graph g = MakeOutStar(12, 0.6f);
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(
+      RunCelfGreedy(g, SmallOptions(GetParam()), 1, &seeds, nullptr).ok());
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST_P(CelfVariantTest, NearOptimalOnTwoCommunitiesIC) {
+  Graph g = MakeTwoCommunities(0.35f);
+  const int k = 2;
+  double opt = 0;
+  std::vector<NodeId> opt_seeds;
+  ASSERT_TRUE(BruteForceOptimalIC(g, k, &opt_seeds, &opt).ok());
+
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(
+      RunCelfGreedy(g, SmallOptions(GetParam()), k, &seeds, nullptr).ok());
+  double spread = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, seeds, &spread).ok());
+  EXPECT_GE(spread, 0.85 * opt)
+      << "variant produced a clearly sub-greedy set";
+}
+
+TEST_P(CelfVariantTest, ReturnsDistinctSeeds) {
+  Graph g = MakeTwoCommunities(0.4f);
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(
+      RunCelfGreedy(g, SmallOptions(GetParam()), 4, &seeds, nullptr).ok());
+  std::set<NodeId> distinct(seeds.begin(), seeds.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST_P(CelfVariantTest, WorksUnderLT) {
+  Graph g = testing::MakeGraph(6, {{0, 1, 0.8f},
+                                   {1, 2, 0.8f},
+                                   {0, 3, 0.4f},
+                                   {3, 4, 0.9f},
+                                   {4, 5, 0.9f},
+                                   {2, 5, 0.1f}});
+  double opt = 0;
+  std::vector<NodeId> opt_seeds;
+  ASSERT_TRUE(BruteForceOptimalLT(g, 1, &opt_seeds, &opt).ok());
+
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(RunCelfGreedy(g, SmallOptions(GetParam(), DiffusionModel::kLT),
+                            1, &seeds, nullptr)
+                  .ok());
+  double spread = 0;
+  ASSERT_TRUE(ExactSpreadLT(g, seeds, &spread).ok());
+  EXPECT_GE(spread, 0.85 * opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, CelfVariantTest,
+                         ::testing::Values(GreedyVariant::kPlain,
+                                           GreedyVariant::kCelf,
+                                           GreedyVariant::kCelfPlusPlus));
+
+TEST(CelfStatsTest, LazyVariantsEvaluateFarLessThanPlain) {
+  Graph g = MakeTwoCommunities(0.35f);
+  const int k = 3;
+
+  CelfStats plain_stats, celf_stats;
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(RunCelfGreedy(g, SmallOptions(GreedyVariant::kPlain), k, &seeds,
+                            &plain_stats)
+                  .ok());
+  ASSERT_TRUE(RunCelfGreedy(g, SmallOptions(GreedyVariant::kCelf), k, &seeds,
+                            &celf_stats)
+                  .ok());
+  // Plain: ~k·n evaluations. CELF: n + a handful of re-evaluations.
+  EXPECT_GT(plain_stats.spread_evaluations, celf_stats.spread_evaluations);
+  EXPECT_EQ(plain_stats.spread_after_round.size(), static_cast<size_t>(k));
+}
+
+TEST(CelfStatsTest, SpreadAfterRoundIsNonDecreasing) {
+  Graph g = MakeTwoCommunities(0.35f);
+  CelfStats stats;
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(RunCelfGreedy(g, SmallOptions(GreedyVariant::kCelfPlusPlus), 4,
+                            &seeds, &stats)
+                  .ok());
+  for (size_t i = 1; i < stats.spread_after_round.size(); ++i) {
+    EXPECT_GE(stats.spread_after_round[i],
+              stats.spread_after_round[i - 1] - 0.2)
+        << "cumulative spread should grow with each seed";
+  }
+}
+
+TEST(CelfTest, DeterministicGivenSeed) {
+  Graph g = MakeTwoCommunities(0.35f);
+  std::vector<NodeId> a, b;
+  ASSERT_TRUE(RunCelfGreedy(g, SmallOptions(GreedyVariant::kCelfPlusPlus), 3,
+                            &a, nullptr)
+                  .ok());
+  ASSERT_TRUE(RunCelfGreedy(g, SmallOptions(GreedyVariant::kCelfPlusPlus), 3,
+                            &b, nullptr)
+                  .ok());
+  EXPECT_EQ(a, b);
+}
+
+TEST(CelfTest, CustomTriggeringModelPath) {
+  Graph g = MakeOutStar(8, 0.7f);
+  IcTriggeringModel model;
+  CelfOptions options = SmallOptions(GreedyVariant::kCelf);
+  options.model = DiffusionModel::kTriggering;
+  options.custom_model = &model;
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(RunCelfGreedy(g, options, 1, &seeds, nullptr).ok());
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+}  // namespace
+}  // namespace timpp

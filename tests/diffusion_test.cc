@@ -1,0 +1,394 @@
+// Tests for diffusion/: forward simulators, the Monte-Carlo estimator and
+// the exact-spread oracles, cross-validated against hand-computed values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diffusion/exact_spread.h"
+#include "diffusion/ic_simulator.h"
+#include "diffusion/lt_simulator.h"
+#include "diffusion/spread_estimator.h"
+#include "diffusion/triggering.h"
+#include "gen/generators.h"
+#include "graph/weight_models.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace timpp {
+namespace {
+
+using testing::ExpectClose;
+using testing::MakeChain;
+using testing::MakeGraph;
+using testing::MakeOutStar;
+using testing::MakeTwoCommunities;
+
+// ------------------------------------------------------------ IC forward --
+
+TEST(IcSimulatorTest, DeterministicChainActivatesEverything) {
+  Graph g = MakeChain(6, 1.0f);
+  IcSimulator sim(g);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(sim.Simulate(seeds, rng), 6u);
+}
+
+TEST(IcSimulatorTest, ZeroProbabilityActivatesOnlySeeds) {
+  Graph g = MakeChain(6, 0.0f);
+  IcSimulator sim(g);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {0, 3};
+  EXPECT_EQ(sim.Simulate(seeds, rng), 2u);
+}
+
+TEST(IcSimulatorTest, DuplicateSeedsCountOnce) {
+  Graph g = MakeChain(4, 0.0f);
+  IcSimulator sim(g);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {2, 2, 2};
+  EXPECT_EQ(sim.Simulate(seeds, rng), 1u);
+}
+
+TEST(IcSimulatorTest, MidChainSeedActivatesOnlyDownstream) {
+  Graph g = MakeChain(6, 1.0f);
+  IcSimulator sim(g);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {3};
+  EXPECT_EQ(sim.Simulate(seeds, rng), 3u);  // 3, 4, 5
+}
+
+TEST(IcSimulatorTest, CollectReturnsActivatedNodes) {
+  Graph g = MakeChain(4, 1.0f);
+  IcSimulator sim(g);
+  Rng rng(1);
+  std::vector<NodeId> activated;
+  std::vector<NodeId> seeds = {1};
+  EXPECT_EQ(sim.SimulateCollect(seeds, rng, &activated), 3u);
+  EXPECT_EQ(activated, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(IcSimulatorTest, MeanMatchesClosedFormOnChain) {
+  // E[I({0})] on a p-chain of length 4 = 1 + p + p² + p³.
+  const float p = 0.5f;
+  Graph g = MakeChain(4, p);
+  IcSimulator sim(g);
+  Rng rng(42);
+  const int r = 200000;
+  double total = 0;
+  std::vector<NodeId> seeds = {0};
+  for (int i = 0; i < r; ++i) total += sim.Simulate(seeds, rng);
+  ExpectClose(1 + 0.5 + 0.25 + 0.125, total / r, 0.01);
+}
+
+TEST(IcSimulatorTest, MeanMatchesClosedFormOnStar) {
+  // E[I({hub})] on an out-star = 1 + (n-1)p.
+  Graph g = MakeOutStar(11, 0.3f);
+  IcSimulator sim(g);
+  Rng rng(43);
+  const int r = 100000;
+  double total = 0;
+  std::vector<NodeId> seeds = {0};
+  for (int i = 0; i < r; ++i) total += sim.Simulate(seeds, rng);
+  ExpectClose(1 + 10 * 0.3, total / r, 0.01);
+}
+
+// ------------------------------------------------------------ LT forward --
+
+TEST(LtSimulatorTest, WeightOneChainActivatesEverything) {
+  Graph g = MakeChain(5, 1.0f);
+  LtSimulator sim(g);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(sim.Simulate(seeds, rng), 5u);
+}
+
+TEST(LtSimulatorTest, ZeroWeightActivatesOnlySeeds) {
+  Graph g = MakeChain(5, 0.0f);
+  LtSimulator sim(g);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(sim.Simulate(seeds, rng), 1u);
+}
+
+TEST(LtSimulatorTest, MeanMatchesChainClosedForm) {
+  // On a weight-w chain each node activates iff its threshold <= w, so
+  // E[I({0})] = 1 + w + w² + w³ exactly as in IC.
+  const float w = 0.6f;
+  Graph g = MakeChain(4, w);
+  LtSimulator sim(g);
+  Rng rng(44);
+  const int r = 200000;
+  double total = 0;
+  std::vector<NodeId> seeds = {0};
+  for (int i = 0; i < r; ++i) total += sim.Simulate(seeds, rng);
+  ExpectClose(1 + 0.6 + 0.36 + 0.216, total / r, 0.01);
+}
+
+TEST(LtSimulatorTest, TwoInfluencersAddWeights) {
+  // 0 -> 2 (0.4), 1 -> 2 (0.4). With both seeds active node 2 activates
+  // with probability 0.8 (threshold <= 0.8).
+  Graph g = MakeGraph(3, {{0, 2, 0.4f}, {1, 2, 0.4f}});
+  LtSimulator sim(g);
+  Rng rng(45);
+  const int r = 200000;
+  double total = 0;
+  std::vector<NodeId> seeds = {0, 1};
+  for (int i = 0; i < r; ++i) total += sim.Simulate(seeds, rng);
+  ExpectClose(2 + 0.8, total / r, 0.01);
+}
+
+// ----------------------------------------------------- triggering models --
+
+TEST(TriggeringTest, ModelNames) {
+  EXPECT_STREQ(DiffusionModelName(DiffusionModel::kIC), "IC");
+  EXPECT_STREQ(DiffusionModelName(DiffusionModel::kLT), "LT");
+  EXPECT_STREQ(DiffusionModelName(DiffusionModel::kTriggering), "triggering");
+}
+
+TEST(TriggeringTest, IcTriggeringSampleRespectsProbabilities) {
+  Graph g = MakeGraph(3, {{0, 2, 1.0f}, {1, 2, 0.0f}});
+  IcTriggeringModel model;
+  Rng rng(1);
+  std::vector<NodeId> out;
+  for (int i = 0; i < 100; ++i) {
+    out.clear();
+    model.SampleTriggeringSet(g, 2, rng, &out);
+    ASSERT_EQ(out.size(), 1u);  // p=1 edge always in, p=0 edge never
+    EXPECT_EQ(out[0], 0u);
+  }
+}
+
+TEST(TriggeringTest, LtTriggeringPicksAtMostOne) {
+  Graph g = MakeGraph(4, {{0, 3, 0.3f}, {1, 3, 0.3f}, {2, 3, 0.3f}});
+  LtTriggeringModel model;
+  Rng rng(2);
+  std::vector<NodeId> out;
+  int empty = 0;
+  const int r = 100000;
+  std::vector<int> picks(3, 0);
+  for (int i = 0; i < r; ++i) {
+    out.clear();
+    model.SampleTriggeringSet(g, 3, rng, &out);
+    ASSERT_LE(out.size(), 1u);
+    if (out.empty()) {
+      ++empty;
+    } else {
+      ++picks[out[0]];
+    }
+  }
+  ExpectClose(0.1, empty / static_cast<double>(r), 0.05, 0.01);
+  for (int v = 0; v < 3; ++v) {
+    ExpectClose(0.3, picks[v] / static_cast<double>(r), 0.05, 0.01);
+  }
+}
+
+TEST(TriggeringSimulatorTest, IcTriggeringMatchesNativeIcMean) {
+  Graph g = MakeTwoCommunities(0.4f);
+  IcTriggeringModel model;
+  TriggeringSimulator trig_sim(g, model);
+  IcSimulator ic_sim(g);
+  Rng rng_a(46), rng_b(47);
+  const int r = 100000;
+  double trig_total = 0, ic_total = 0;
+  std::vector<NodeId> seeds = {0, 7};
+  for (int i = 0; i < r; ++i) {
+    trig_total += trig_sim.Simulate(seeds, rng_a);
+    ic_total += ic_sim.Simulate(seeds, rng_b);
+  }
+  ExpectClose(ic_total / r, trig_total / r, 0.02);
+}
+
+TEST(TriggeringSimulatorTest, LtTriggeringMatchesNativeLtMean) {
+  // LT triggering-set semantics vs the threshold simulator: Kempe et al.'s
+  // equivalence, checked numerically.
+  Graph g = MakeGraph(5, {{0, 2, 0.5f},
+                          {1, 2, 0.5f},
+                          {2, 3, 0.7f},
+                          {0, 3, 0.3f},
+                          {3, 4, 1.0f}});
+  LtTriggeringModel model;
+  TriggeringSimulator trig_sim(g, model);
+  LtSimulator lt_sim(g);
+  Rng rng_a(48), rng_b(49);
+  const int r = 200000;
+  double trig_total = 0, lt_total = 0;
+  std::vector<NodeId> seeds = {0};
+  for (int i = 0; i < r; ++i) {
+    trig_total += trig_sim.Simulate(seeds, rng_a);
+    lt_total += lt_sim.Simulate(seeds, rng_b);
+  }
+  ExpectClose(lt_total / r, trig_total / r, 0.02);
+}
+
+// ------------------------------------------------------- exact IC oracle --
+
+TEST(ExactSpreadICTest, ChainClosedForm) {
+  Graph g = MakeChain(4, 0.5f);
+  double spread = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, std::vector<NodeId>{0}, &spread).ok());
+  EXPECT_NEAR(spread, 1 + 0.5 + 0.25 + 0.125, 1e-9);
+}
+
+TEST(ExactSpreadICTest, StarClosedForm) {
+  Graph g = MakeOutStar(6, 0.2f);
+  double spread = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, std::vector<NodeId>{0}, &spread).ok());
+  EXPECT_NEAR(spread, 1 + 5 * 0.2, 1e-6);  // p stored as float32
+}
+
+TEST(ExactSpreadICTest, LeafSeedHasUnitSpread) {
+  Graph g = MakeOutStar(6, 0.9f);
+  double spread = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, std::vector<NodeId>{3}, &spread).ok());
+  EXPECT_NEAR(spread, 1.0, 1e-9);
+}
+
+TEST(ExactSpreadICTest, DiamondWithDependentPaths) {
+  // 0->1 (p), 0->2 (p), 1->3 (p), 2->3 (p): P[3 activated] = 1-(1-p²)².
+  const double p = 0.5;
+  Graph g = MakeGraph(4, {{0, 1, 0.5f}, {0, 2, 0.5f}, {1, 3, 0.5f},
+                          {2, 3, 0.5f}});
+  double spread = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, std::vector<NodeId>{0}, &spread).ok());
+  const double p3 = 1 - std::pow(1 - p * p, 2);
+  EXPECT_NEAR(spread, 1 + 2 * p + p3, 1e-9);
+}
+
+TEST(ExactSpreadICTest, RejectsTooManyEdges) {
+  Graph g = testing::MakeChain(30, 0.5f);  // 29 edges > limit
+  double spread = 0;
+  EXPECT_TRUE(
+      ExactSpreadIC(g, std::vector<NodeId>{0}, &spread).IsInvalidArgument());
+}
+
+TEST(ExactSpreadICTest, MatchesMonteCarloOnTwoCommunities) {
+  Graph g = MakeTwoCommunities(0.35f);
+  double exact = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, std::vector<NodeId>{0, 5}, &exact).ok());
+
+  SpreadEstimatorOptions options;
+  options.num_samples = 300000;
+  options.model = DiffusionModel::kIC;
+  SpreadEstimator estimator(g, options);
+  double mc = estimator.Estimate(std::vector<NodeId>{0, 5}, 50);
+  ExpectClose(exact, mc, 0.01);
+}
+
+// ------------------------------------------------------- exact LT oracle --
+
+TEST(ExactSpreadLTTest, ChainClosedForm) {
+  Graph g = MakeChain(4, 0.6f);
+  double spread = 0;
+  ASSERT_TRUE(ExactSpreadLT(g, std::vector<NodeId>{0}, &spread).ok());
+  EXPECT_NEAR(spread, 1 + 0.6 + 0.36 + 0.216, 1e-6);  // float32 p
+}
+
+TEST(ExactSpreadLTTest, MatchesMonteCarloOnSmallGraph) {
+  Graph g = MakeGraph(5, {{0, 2, 0.5f},
+                          {1, 2, 0.5f},
+                          {2, 3, 0.7f},
+                          {0, 3, 0.3f},
+                          {3, 4, 1.0f}});
+  double exact = 0;
+  ASSERT_TRUE(ExactSpreadLT(g, std::vector<NodeId>{0}, &exact).ok());
+
+  SpreadEstimatorOptions options;
+  options.num_samples = 300000;
+  options.model = DiffusionModel::kLT;
+  SpreadEstimator estimator(g, options);
+  double mc = estimator.Estimate(std::vector<NodeId>{0}, 51);
+  ExpectClose(exact, mc, 0.01);
+}
+
+TEST(ExactSpreadLTTest, RejectsHugeWorldCount) {
+  // Complete digraph on 12 nodes: world count 12^12 >> the guard.
+  GraphBuilder builder;
+  GenCompleteDirected(12, &builder);
+  AssignUniform(&builder, 0.05f);
+  Graph g;
+  ASSERT_TRUE(builder.Build(&g).ok());
+  double spread = 0;
+  EXPECT_TRUE(
+      ExactSpreadLT(g, std::vector<NodeId>{0}, &spread).IsInvalidArgument());
+}
+
+// ------------------------------------------------------- brute force OPT --
+
+TEST(BruteForceTest, FindsObviousOptimumIC) {
+  // Hub 0 with p=0.9 spokes dominates; OPT for k=1 must be the hub.
+  Graph g = MakeOutStar(8, 0.9f);
+  std::vector<NodeId> best;
+  double best_spread = 0;
+  ASSERT_TRUE(BruteForceOptimalIC(g, 1, &best, &best_spread).ok());
+  ASSERT_EQ(best.size(), 1u);
+  EXPECT_EQ(best[0], 0u);
+  EXPECT_NEAR(best_spread, 1 + 7 * 0.9, 1e-5);  // float32 p
+}
+
+TEST(BruteForceTest, KEqualsTwoPicksHubPlusLeaf) {
+  Graph g = MakeOutStar(6, 0.5f);
+  std::vector<NodeId> best;
+  double best_spread = 0;
+  ASSERT_TRUE(BruteForceOptimalIC(g, 2, &best, &best_spread).ok());
+  // Hub + any leaf: 2 + 4*0.5 = 4. (Hub spread 1+5*.5=3.5, leaf adds 1 but
+  // removes its own 0.5 contribution -> 3.5 + 1 - 0.5 = 4.)
+  EXPECT_NEAR(best_spread, 4.0, 1e-9);
+  EXPECT_EQ(best[0], 0u);
+}
+
+TEST(BruteForceTest, RejectsBadK) {
+  Graph g = MakeChain(4, 0.5f);
+  std::vector<NodeId> best;
+  double spread = 0;
+  EXPECT_TRUE(BruteForceOptimalIC(g, 0, &best, &spread).IsInvalidArgument());
+  EXPECT_TRUE(BruteForceOptimalIC(g, 5, &best, &spread).IsInvalidArgument());
+}
+
+TEST(BruteForceTest, LtOptimumOnChain) {
+  Graph g = MakeChain(5, 0.9f);
+  std::vector<NodeId> best;
+  double spread = 0;
+  ASSERT_TRUE(BruteForceOptimalLT(g, 1, &best, &spread).ok());
+  EXPECT_EQ(best[0], 0u);  // head of the chain reaches everyone
+}
+
+// ------------------------------------------------------ spread estimator --
+
+TEST(SpreadEstimatorTest, DeterministicGivenSeed) {
+  Graph g = MakeTwoCommunities(0.4f);
+  SpreadEstimatorOptions options;
+  options.num_samples = 5000;
+  SpreadEstimator estimator(g, options);
+  double a = estimator.Estimate(std::vector<NodeId>{0}, 99);
+  double b = estimator.Estimate(std::vector<NodeId>{0}, 99);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(SpreadEstimatorTest, MultiThreadedIsDeterministicAndAccurate) {
+  Graph g = MakeTwoCommunities(0.4f);
+  double exact = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, std::vector<NodeId>{0}, &exact).ok());
+
+  SpreadEstimatorOptions options;
+  options.num_samples = 200000;
+  options.num_threads = 4;
+  SpreadEstimator estimator(g, options);
+  double a = estimator.Estimate(std::vector<NodeId>{0}, 7);
+  double b = estimator.Estimate(std::vector<NodeId>{0}, 7);
+  EXPECT_DOUBLE_EQ(a, b);
+  ExpectClose(exact, a, 0.02);
+}
+
+TEST(SpreadEstimatorTest, CustomTriggeringModelPath) {
+  Graph g = MakeChain(4, 1.0f);
+  IcTriggeringModel model;
+  SpreadEstimatorOptions options;
+  options.num_samples = 100;
+  options.model = DiffusionModel::kTriggering;
+  options.custom_model = &model;
+  SpreadEstimator estimator(g, options);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(std::vector<NodeId>{0}, 1), 4.0);
+}
+
+}  // namespace
+}  // namespace timpp

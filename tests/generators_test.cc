@@ -1,0 +1,261 @@
+// Unit tests for gen/generators.h and gen/dataset_proxies.h.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/dataset_proxies.h"
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "tests/test_util.h"
+
+namespace timpp {
+namespace {
+
+Graph BuildFrom(GraphBuilder& builder) {
+  Graph g;
+  Status s = builder.Build(&g);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return g;
+}
+
+TEST(GeneratorsTest, ErdosRenyiExactEdgeCount) {
+  GraphBuilder builder;
+  GenErdosRenyi(100, 500, 1, &builder);
+  Graph g = BuildFrom(builder);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 500u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiNoSelfLoopsOrDuplicates) {
+  GraphBuilder builder;
+  GenErdosRenyi(30, 200, 2, &builder);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const RawEdge& e : builder.edges()) {
+    EXPECT_NE(e.from, e.to);
+    EXPECT_TRUE(seen.insert({e.from, e.to}).second) << "duplicate edge";
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministic) {
+  GraphBuilder b1, b2;
+  GenErdosRenyi(50, 100, 7, &b1);
+  GenErdosRenyi(50, 100, 7, &b2);
+  ASSERT_EQ(b1.edges().size(), b2.edges().size());
+  for (size_t i = 0; i < b1.edges().size(); ++i) {
+    EXPECT_EQ(b1.edges()[i].from, b2.edges()[i].from);
+    EXPECT_EQ(b1.edges()[i].to, b2.edges()[i].to);
+  }
+}
+
+TEST(GeneratorsTest, BarabasiAlbertAverageDegree) {
+  GraphBuilder builder;
+  GenBarabasiAlbert(2000, 3, 3, &builder);
+  Graph g = BuildFrom(builder);
+  EXPECT_EQ(g.num_nodes(), 2000u);
+  // ~attach undirected edges per node => ~2*attach arcs per node.
+  const double avg_arcs =
+      static_cast<double>(g.num_edges()) / g.num_nodes();
+  EXPECT_NEAR(avg_arcs, 6.0, 0.5);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertIsConnected) {
+  GraphBuilder builder;
+  GenBarabasiAlbert(500, 2, 4, &builder);
+  Graph g = BuildFrom(builder);
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_weak_components, 1u);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertHasHeavyTail) {
+  GraphBuilder builder;
+  GenBarabasiAlbert(5000, 2, 5, &builder);
+  Graph g = BuildFrom(builder);
+  GraphStats stats = ComputeGraphStats(g);
+  // Preferential attachment should produce a hub far above the mean degree
+  // of ~4; a uniform random graph of the same density would peak ~15.
+  EXPECT_GT(stats.max_out_degree, 50u);
+}
+
+TEST(GeneratorsTest, DirectedScaleFreeAverageOutDegree) {
+  GraphBuilder builder;
+  GenDirectedScaleFree(5000, 7.0, 6, &builder);
+  Graph g = BuildFrom(builder);
+  const double avg = static_cast<double>(g.num_edges()) / g.num_nodes();
+  EXPECT_NEAR(avg, 7.0, 0.5);  // self-loop skips cause slight undershoot
+}
+
+TEST(GeneratorsTest, DirectedScaleFreeInDegreeHeavyTail) {
+  GraphBuilder builder;
+  GenDirectedScaleFree(5000, 5.0, 8, &builder);
+  Graph g = BuildFrom(builder);
+  uint64_t max_in = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  EXPECT_GT(max_in, 100u);  // hubs accumulate in-links
+}
+
+TEST(GeneratorsTest, WattsStrogatzDegree) {
+  GraphBuilder builder;
+  GenWattsStrogatz(100, 2, 0.0, 9, &builder);
+  Graph g = BuildFrom(builder);
+  // beta=0: pure ring lattice, every node has exactly 2 out + 2 in arcs
+  // from its own insertions plus 2 of each from neighbors = degree 4 total
+  // (arcs: each undirected edge stored twice).
+  EXPECT_EQ(g.num_edges(), 100u * 2 * 2);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.OutDegree(v) + g.InDegree(v), 8u);
+  }
+}
+
+TEST(GeneratorsTest, ToyGraphShapes) {
+  {
+    GraphBuilder b;
+    GenDirectedPath(4, &b);
+    Graph g = BuildFrom(b);
+    EXPECT_EQ(g.num_edges(), 3u);
+    EXPECT_EQ(g.OutDegree(3), 0u);
+  }
+  {
+    GraphBuilder b;
+    GenDirectedCycle(4, &b);
+    Graph g = BuildFrom(b);
+    EXPECT_EQ(g.num_edges(), 4u);
+    EXPECT_EQ(g.OutDegree(3), 1u);
+  }
+  {
+    GraphBuilder b;
+    GenStarOut(5, &b);
+    Graph g = BuildFrom(b);
+    EXPECT_EQ(g.OutDegree(0), 4u);
+    EXPECT_EQ(g.InDegree(0), 0u);
+  }
+  {
+    GraphBuilder b;
+    GenStarIn(5, &b);
+    Graph g = BuildFrom(b);
+    EXPECT_EQ(g.InDegree(0), 4u);
+    EXPECT_EQ(g.OutDegree(0), 0u);
+  }
+  {
+    GraphBuilder b;
+    GenCompleteDirected(4, &b);
+    Graph g = BuildFrom(b);
+    EXPECT_EQ(g.num_edges(), 12u);
+  }
+  {
+    GraphBuilder b;
+    GenGridUndirected(3, 3, &b);
+    Graph g = BuildFrom(b);
+    EXPECT_EQ(g.num_nodes(), 9u);
+    EXPECT_EQ(g.num_edges(), 24u);  // 12 undirected edges
+  }
+  {
+    GraphBuilder b;
+    GenBinaryTreeOut(3, &b);
+    Graph g = BuildFrom(b);
+    EXPECT_EQ(g.num_nodes(), 15u);
+    EXPECT_EQ(g.num_edges(), 14u);
+    EXPECT_EQ(g.InDegree(0), 0u);
+  }
+}
+
+// -------------------------------------------------------- dataset proxies --
+
+TEST(DatasetProxiesTest, AllSpecsPresent) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].name, "NetHEPT");
+  EXPECT_EQ(specs[4].name, "Twitter");
+  EXPECT_EQ(SpecFor(Dataset::kDblp).name, "DBLP");
+  EXPECT_TRUE(SpecFor(Dataset::kDblp).undirected);
+  EXPECT_FALSE(SpecFor(Dataset::kLiveJournal).undirected);
+}
+
+TEST(DatasetProxiesTest, RejectsBadScale) {
+  Graph g;
+  EXPECT_TRUE(BuildDatasetProxy(Dataset::kNetHept, 0.0,
+                                WeightScheme::kWeightedCascadeIC, 1, &g)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(BuildDatasetProxy(Dataset::kNetHept, 1.5,
+                                WeightScheme::kWeightedCascadeIC, 1, &g)
+                  .IsInvalidArgument());
+}
+
+TEST(DatasetProxiesTest, NetHeptProxyMatchesSpecShape) {
+  Graph g;
+  ASSERT_TRUE(BuildDatasetProxy(Dataset::kNetHept, 1.0,
+                                WeightScheme::kWeightedCascadeIC, 1, &g)
+                  .ok());
+  const auto& spec = SpecFor(Dataset::kNetHept);
+  EXPECT_NEAR(static_cast<double>(g.num_nodes()),
+              static_cast<double>(spec.nodes), spec.nodes * 0.01);
+  const double avg_degree =
+      static_cast<double>(g.num_edges()) / g.num_nodes();
+  EXPECT_NEAR(avg_degree, spec.avg_degree, 0.8);
+}
+
+TEST(DatasetProxiesTest, ScaleShrinksNodeCount) {
+  Graph small, tiny;
+  ASSERT_TRUE(BuildDatasetProxy(Dataset::kEpinions, 0.1,
+                                WeightScheme::kWeightedCascadeIC, 1, &small)
+                  .ok());
+  ASSERT_TRUE(BuildDatasetProxy(Dataset::kEpinions, 0.05,
+                                WeightScheme::kWeightedCascadeIC, 1, &tiny)
+                  .ok());
+  EXPECT_NEAR(small.num_nodes(), 7600u, 80);
+  EXPECT_NEAR(tiny.num_nodes(), 3800u, 40);
+}
+
+TEST(DatasetProxiesTest, ICWeightsAreWeightedCascade) {
+  Graph g;
+  ASSERT_TRUE(BuildDatasetProxy(Dataset::kNetHept, 0.05,
+                                WeightScheme::kWeightedCascadeIC, 2, &g)
+                  .ok());
+  for (NodeId v = 0; v < g.num_nodes() && v < 200; ++v) {
+    for (const Arc& a : g.InArcs(v)) {
+      EXPECT_NEAR(a.prob, 1.0 / static_cast<double>(g.InDegree(v)), 1e-5);
+    }
+  }
+}
+
+TEST(DatasetProxiesTest, LTWeightsNormalized) {
+  Graph g;
+  ASSERT_TRUE(BuildDatasetProxy(Dataset::kEpinions, 0.02,
+                                WeightScheme::kRandomLT, 3, &g)
+                  .ok());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InDegree(v) == 0) continue;
+    EXPECT_NEAR(g.InProbSum(v), 1.0, 1e-3) << "node " << v;
+  }
+}
+
+TEST(DatasetProxiesTest, DeterministicInSeed) {
+  Graph a, b;
+  ASSERT_TRUE(BuildDatasetProxy(Dataset::kNetHept, 0.05,
+                                WeightScheme::kWeightedCascadeIC, 11, &a)
+                  .ok());
+  ASSERT_TRUE(BuildDatasetProxy(Dataset::kNetHept, 0.05,
+                                WeightScheme::kWeightedCascadeIC, 11, &b)
+                  .ok());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    auto arcs_a = a.OutArcs(v);
+    auto arcs_b = b.OutArcs(v);
+    ASSERT_EQ(arcs_a.size(), arcs_b.size());
+    for (size_t i = 0; i < arcs_a.size(); ++i) {
+      EXPECT_EQ(arcs_a[i].node, arcs_b[i].node);
+    }
+  }
+}
+
+TEST(DatasetProxiesTest, MinimumSizeClamp) {
+  Graph g;
+  ASSERT_TRUE(BuildDatasetProxy(Dataset::kNetHept, 1e-9,
+                                WeightScheme::kWeightedCascadeIC, 1, &g)
+                  .ok());
+  EXPECT_GE(g.num_nodes(), 64u);
+}
+
+}  // namespace
+}  // namespace timpp

@@ -1,0 +1,192 @@
+// Tests for graph/graph_algos.h (k-core decomposition, SCC) and the
+// k-core seeding heuristic built on it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/heuristics.h"
+#include "gen/generators.h"
+#include "graph/graph_algos.h"
+#include "tests/test_util.h"
+
+namespace timpp {
+namespace {
+
+using testing::MakeChain;
+using testing::MakeGraph;
+
+// ---------------------------------------------------------------- k-core --
+
+TEST(CoreDecompositionTest, ChainIsOneCore) {
+  // Undirected-degree view of a directed chain: endpoints degree 1,
+  // middles degree 2; peeling gives core number 1 everywhere.
+  Graph g = MakeChain(6, 1.0f);
+  auto core = CoreDecomposition(g);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(core[v], 1u) << "node " << v;
+}
+
+TEST(CoreDecompositionTest, CompleteGraphIsNMinusOneCore) {
+  GraphBuilder b;
+  GenCompleteDirected(5, &b);  // every node: total degree 8
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  auto core = CoreDecomposition(g);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(core[v], 8u);
+}
+
+TEST(CoreDecompositionTest, CliqueWithPendantVertex) {
+  // Directed triangle (core 2 in total-degree terms: each triangle node
+  // has degree 2 inside) plus a pendant 3 -> 0.
+  Graph g = MakeGraph(4, {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {3, 0, 1}});
+  auto core = CoreDecomposition(g);
+  EXPECT_EQ(core[3], 1u);
+  EXPECT_EQ(core[0], 2u);
+  EXPECT_EQ(core[1], 2u);
+  EXPECT_EQ(core[2], 2u);
+}
+
+TEST(CoreDecompositionTest, IsolatedNodesAreZeroCore) {
+  GraphBuilder b;
+  b.ReserveNodes(3);
+  b.AddEdge(0, 1);
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  auto core = CoreDecomposition(g);
+  EXPECT_EQ(core[2], 0u);
+  EXPECT_EQ(core[0], 1u);
+  EXPECT_EQ(core[1], 1u);
+}
+
+TEST(CoreDecompositionTest, CoreNeverExceedsDegree) {
+  GraphBuilder b;
+  GenBarabasiAlbert(500, 3, 77, &b);
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  auto core = CoreDecomposition(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_LE(core[v], g.OutDegree(v) + g.InDegree(v));
+  }
+}
+
+TEST(CoreDecompositionTest, CoreSubgraphPropertyHolds) {
+  // Every node with core number >= c must have >= c neighbors with core
+  // number >= c (the defining property of the c-core).
+  GraphBuilder b;
+  GenBarabasiAlbert(300, 2, 99, &b);
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  auto core = CoreDecomposition(g);
+  uint32_t max_core = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_core = std::max(max_core, core[v]);
+  }
+  ASSERT_GE(max_core, 2u);
+  const uint32_t c = max_core;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (core[v] < c) continue;
+    uint32_t strong_neighbors = 0;
+    for (const Arc& a : g.OutArcs(v)) strong_neighbors += core[a.node] >= c;
+    for (const Arc& a : g.InArcs(v)) strong_neighbors += core[a.node] >= c;
+    EXPECT_GE(strong_neighbors, c) << "node " << v;
+  }
+}
+
+// ------------------------------------------------------------------- SCC --
+
+TEST(SccTest, ChainHasSingletonComponents) {
+  Graph g = MakeChain(5, 1.0f);
+  NodeId count = 0;
+  auto comp = StronglyConnectedComponents(g, &count);
+  EXPECT_EQ(count, 5u);
+  std::set<NodeId> distinct(comp.begin(), comp.end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  GraphBuilder b;
+  GenDirectedCycle(6, &b);
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  NodeId count = 0;
+  auto comp = StronglyConnectedComponents(g, &count);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(LargestSccSize(g), 6u);
+}
+
+TEST(SccTest, TwoCyclesWithBridge) {
+  // Cycle {0,1,2}, cycle {3,4,5}, bridge 2 -> 3: two SCCs of size 3.
+  Graph g = MakeGraph(6, {{0, 1, 1}, {1, 2, 1}, {2, 0, 1},
+                          {3, 4, 1}, {4, 5, 1}, {5, 3, 1},
+                          {2, 3, 1}});
+  NodeId count = 0;
+  auto comp = StronglyConnectedComponents(g, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_EQ(comp[4], comp[5]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_EQ(LargestSccSize(g), 3u);
+}
+
+TEST(SccTest, ReverseTopologicalComponentIds) {
+  // Tarjan emits components in reverse topological order of the
+  // condensation: a sink SCC gets id 0.
+  Graph g = MakeGraph(4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}});  // path DAG
+  NodeId count = 0;
+  auto comp = StronglyConnectedComponents(g, &count);
+  EXPECT_EQ(count, 4u);
+  EXPECT_LT(comp[3], comp[0]) << "sink must be emitted before source";
+}
+
+TEST(SccTest, SelfContainedOnEmptyAndIsolated) {
+  GraphBuilder b;
+  b.ReserveNodes(4);
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  NodeId count = 0;
+  auto comp = StronglyConnectedComponents(g, &count);
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(LargestSccSize(g), 1u);
+}
+
+TEST(SccTest, LargeRandomGraphTerminatesAndCovers) {
+  GraphBuilder b;
+  GenDirectedScaleFree(5000, 4.0, 5, &b);
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  NodeId count = 0;
+  auto comp = StronglyConnectedComponents(g, &count);
+  EXPECT_GT(count, 0u);
+  for (NodeId c : comp) EXPECT_LT(c, count);
+}
+
+// --------------------------------------------------------- k-core seeding --
+
+TEST(KCoreHeuristicTest, PicksInnerCoreOverHighDegreePeriphery) {
+  // A directed 4-clique (inner core) plus a star hub with 6 spokes whose
+  // hub has the highest out-degree but core number 1.
+  std::vector<RawEdge> edges;
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) edges.push_back({u, v, 1.0f});
+    }
+  }
+  for (NodeId s = 5; s <= 10; ++s) edges.push_back({4, s, 1.0f});
+  Graph g = MakeGraph(11, edges);
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(SelectByKCore(g, 1, &seeds).ok());
+  EXPECT_LT(seeds[0], 4u) << "clique member outranks the star hub by core";
+}
+
+TEST(KCoreHeuristicTest, ValidatesAndReturnsDistinct) {
+  Graph g = testing::MakeTwoCommunities(0.3f);
+  std::vector<NodeId> seeds;
+  EXPECT_TRUE(SelectByKCore(g, 0, &seeds).IsInvalidArgument());
+  ASSERT_TRUE(SelectByKCore(g, 4, &seeds).ok());
+  EXPECT_EQ(std::set<NodeId>(seeds.begin(), seeds.end()).size(), 4u);
+}
+
+}  // namespace
+}  // namespace timpp

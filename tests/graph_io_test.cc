@@ -1,0 +1,190 @@
+// Unit tests for graph/graph_io.h: text edge lists and the binary format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "graph/graph_io.h"
+#include "tests/test_util.h"
+
+namespace timpp {
+namespace {
+
+// RAII temp file that deletes itself.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents = "") {
+    path_ = ::testing::TempDir() + "/timpp_io_test_" +
+            std::to_string(counter_++) + ".tmp";
+    if (!contents.empty()) {
+      std::ofstream out(path_);
+      out << contents;
+    }
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  static int counter_;
+  std::string path_;
+};
+int TempFile::counter_ = 0;
+
+TEST(EdgeListTest, ParsesSimpleList) {
+  TempFile file("0 1\n1 2\n2 0\n");
+  GraphBuilder builder;
+  ASSERT_TRUE(ReadEdgeList(file.path(), EdgeListOptions{}, &builder).ok());
+  Graph g;
+  ASSERT_TRUE(builder.Build(&g).ok());
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_FLOAT_EQ(g.OutArcs(0)[0].prob, 1.0f);  // default prob
+}
+
+TEST(EdgeListTest, ParsesProbabilityColumn) {
+  TempFile file("0 1 0.25\n1 2 0.75\n");
+  GraphBuilder builder;
+  ASSERT_TRUE(ReadEdgeList(file.path(), EdgeListOptions{}, &builder).ok());
+  Graph g;
+  ASSERT_TRUE(builder.Build(&g).ok());
+  EXPECT_FLOAT_EQ(g.OutArcs(0)[0].prob, 0.25f);
+  EXPECT_FLOAT_EQ(g.OutArcs(1)[0].prob, 0.75f);
+}
+
+TEST(EdgeListTest, SkipsCommentsAndBlankLines) {
+  TempFile file("# SNAP header\n% matrix-market header\n\n  \n0 1\n");
+  GraphBuilder builder;
+  ASSERT_TRUE(ReadEdgeList(file.path(), EdgeListOptions{}, &builder).ok());
+  EXPECT_EQ(builder.num_edges(), 1u);
+}
+
+TEST(EdgeListTest, UndirectedOptionDoublesArcs) {
+  TempFile file("0 1\n1 2\n");
+  EdgeListOptions options;
+  options.undirected = true;
+  GraphBuilder builder;
+  ASSERT_TRUE(ReadEdgeList(file.path(), options, &builder).ok());
+  EXPECT_EQ(builder.num_edges(), 4u);
+}
+
+TEST(EdgeListTest, DefaultProbOption) {
+  TempFile file("0 1\n");
+  EdgeListOptions options;
+  options.default_prob = 0.125f;
+  GraphBuilder builder;
+  ASSERT_TRUE(ReadEdgeList(file.path(), options, &builder).ok());
+  Graph g;
+  ASSERT_TRUE(builder.Build(&g).ok());
+  EXPECT_FLOAT_EQ(g.OutArcs(0)[0].prob, 0.125f);
+}
+
+TEST(EdgeListTest, MissingFileIsIOError) {
+  GraphBuilder builder;
+  Status s = ReadEdgeList("/nonexistent/really/not/here.txt",
+                          EdgeListOptions{}, &builder);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+}
+
+TEST(EdgeListTest, MalformedLineIsCorruption) {
+  TempFile file("0 1\nnot numbers\n");
+  GraphBuilder builder;
+  Status s = ReadEdgeList(file.path(), EdgeListOptions{}, &builder);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.message().find(":2"), std::string::npos)
+      << "should name line 2: " << s.message();
+}
+
+TEST(EdgeListTest, NegativeIdIsCorruption) {
+  TempFile file("-3 1\n");
+  GraphBuilder builder;
+  EXPECT_TRUE(
+      ReadEdgeList(file.path(), EdgeListOptions{}, &builder).IsCorruption());
+}
+
+TEST(EdgeListTest, WriteReadRoundTrip) {
+  Graph original = testing::MakeTwoCommunities(0.25f);
+  TempFile file;
+  ASSERT_TRUE(WriteEdgeList(original, file.path()).ok());
+
+  GraphBuilder builder;
+  ASSERT_TRUE(ReadEdgeList(file.path(), EdgeListOptions{}, &builder).ok());
+  Graph restored;
+  ASSERT_TRUE(builder.Build(&restored).ok());
+
+  ASSERT_EQ(restored.num_nodes(), original.num_nodes());
+  ASSERT_EQ(restored.num_edges(), original.num_edges());
+  for (NodeId v = 0; v < original.num_nodes(); ++v) {
+    auto a = original.OutArcs(v);
+    auto b = restored.OutArcs(v);
+    ASSERT_EQ(a.size(), b.size()) << "node " << v;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].node, b[i].node);
+      EXPECT_FLOAT_EQ(a[i].prob, b[i].prob);
+    }
+  }
+}
+
+TEST(BinaryIoTest, RoundTripPreservesEverything) {
+  Graph original = testing::MakeTwoCommunities(0.37f);
+  TempFile file;
+  ASSERT_TRUE(WriteBinary(original, file.path()).ok());
+
+  Graph restored;
+  ASSERT_TRUE(ReadBinary(file.path(), &restored).ok());
+  ASSERT_EQ(restored.num_nodes(), original.num_nodes());
+  ASSERT_EQ(restored.num_edges(), original.num_edges());
+  for (NodeId v = 0; v < original.num_nodes(); ++v) {
+    auto a = original.OutArcs(v);
+    auto b = restored.OutArcs(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].node, b[i].node);
+      EXPECT_FLOAT_EQ(a[i].prob, b[i].prob);
+    }
+  }
+}
+
+TEST(BinaryIoTest, BadMagicIsCorruption) {
+  TempFile file("GARBAGE DATA THAT IS NOT A TIMG FILE");
+  Graph g;
+  EXPECT_TRUE(ReadBinary(file.path(), &g).IsCorruption());
+}
+
+TEST(BinaryIoTest, TruncatedFileIsCorruption) {
+  Graph original = testing::MakeChain(5, 0.5f);
+  TempFile file;
+  ASSERT_TRUE(WriteBinary(original, file.path()).ok());
+  // Truncate to half size.
+  std::ifstream in(file.path(), std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  out.close();
+
+  Graph g;
+  EXPECT_TRUE(ReadBinary(file.path(), &g).IsCorruption());
+}
+
+TEST(BinaryIoTest, MissingFileIsIOError) {
+  Graph g;
+  EXPECT_TRUE(ReadBinary("/nonexistent/file.bin", &g).IsIOError());
+}
+
+TEST(BinaryIoTest, EmptyGraphRoundTrips) {
+  GraphBuilder builder;
+  builder.ReserveNodes(7);
+  Graph original;
+  ASSERT_TRUE(builder.Build(&original).ok());
+  TempFile file;
+  ASSERT_TRUE(WriteBinary(original, file.path()).ok());
+  Graph restored;
+  ASSERT_TRUE(ReadBinary(file.path(), &restored).ok());
+  EXPECT_EQ(restored.num_nodes(), 7u);
+  EXPECT_EQ(restored.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace timpp

@@ -1,0 +1,161 @@
+// Tests for coverage/greedy_cover.h, including the parameterized property
+// sweep that pins the lazy implementation to the naive reference and the
+// (1-1/e) quality bound against the exhaustive optimum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coverage/greedy_cover.h"
+#include "rrset/rr_collection.h"
+#include "util/rng.h"
+
+namespace timpp {
+namespace {
+
+RRCollection MakeCollection(NodeId num_nodes,
+                            const std::vector<std::vector<NodeId>>& sets) {
+  RRCollection rr(num_nodes);
+  for (const auto& s : sets) rr.Add(s, 0);
+  rr.BuildIndex();
+  return rr;
+}
+
+TEST(GreedyCoverTest, SingleBestNode) {
+  RRCollection rr = MakeCollection(4, {{0, 1}, {1, 2}, {1}, {3}});
+  CoverResult result = GreedyMaxCover(rr, 1);
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_EQ(result.seeds[0], 1u);
+  EXPECT_EQ(result.covered_sets, 3u);
+  EXPECT_DOUBLE_EQ(result.covered_fraction, 0.75);
+}
+
+TEST(GreedyCoverTest, SecondPickMaximizesMarginalNotTotal) {
+  // Node 0 covers sets {0,1,2}; node 1 covers {0,1,3}; node 2 covers {4,5}.
+  // After picking 0, node 1's marginal is 1 but node 2's is 2.
+  RRCollection rr = MakeCollection(
+      3, {{0, 1}, {0, 1}, {0}, {1}, {2}, {2}});
+  CoverResult result = GreedyMaxCover(rr, 2);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_EQ(result.seeds[0], 0u);
+  EXPECT_EQ(result.seeds[1], 2u);
+  EXPECT_EQ(result.covered_sets, 5u);
+  EXPECT_EQ(result.marginal_coverage[0], 3u);
+  EXPECT_EQ(result.marginal_coverage[1], 2u);
+}
+
+TEST(GreedyCoverTest, TieBreaksBySmallerNodeId) {
+  RRCollection rr = MakeCollection(3, {{1}, {2}});
+  CoverResult result = GreedyMaxCover(rr, 1);
+  EXPECT_EQ(result.seeds[0], 1u);  // both cover one set; smaller id wins
+}
+
+TEST(GreedyCoverTest, KLargerThanUsefulNodesStillReturnsK) {
+  RRCollection rr = MakeCollection(5, {{0}, {0}});
+  CoverResult result = GreedyMaxCover(rr, 3);
+  EXPECT_EQ(result.seeds.size(), 3u);
+  EXPECT_EQ(result.covered_sets, 2u);
+  EXPECT_EQ(result.marginal_coverage[1], 0u);  // padding picks add nothing
+}
+
+TEST(GreedyCoverTest, EmptyCollection) {
+  RRCollection rr(4);
+  rr.BuildIndex();
+  CoverResult result = GreedyMaxCover(rr, 2);
+  EXPECT_EQ(result.seeds.size(), 2u);
+  EXPECT_EQ(result.covered_sets, 0u);
+  EXPECT_DOUBLE_EQ(result.covered_fraction, 0.0);
+}
+
+TEST(GreedyCoverTest, KZeroReturnsNothing) {
+  RRCollection rr = MakeCollection(2, {{0}});
+  CoverResult result = GreedyMaxCover(rr, 0);
+  EXPECT_TRUE(result.seeds.empty());
+}
+
+TEST(GreedyCoverTest, MarginalsAreNonIncreasing) {
+  Rng rng(100);
+  std::vector<std::vector<NodeId>> sets;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<NodeId> s;
+    const int size = 1 + static_cast<int>(rng.NextBounded(5));
+    for (int j = 0; j < size; ++j) {
+      s.push_back(static_cast<NodeId>(rng.NextBounded(40)));
+    }
+    sets.push_back(s);
+  }
+  RRCollection rr = MakeCollection(40, sets);
+  CoverResult result = GreedyMaxCover(rr, 10);
+  for (size_t i = 1; i < result.marginal_coverage.size(); ++i) {
+    EXPECT_LE(result.marginal_coverage[i], result.marginal_coverage[i - 1])
+        << "greedy marginal gains must be non-increasing (submodularity)";
+  }
+}
+
+// Parameterized sweep: lazy greedy must match the naive reference bit for
+// bit across instance shapes, and both must clear the (1-1/e) bound
+// against the exhaustive optimum.
+struct CoverCase {
+  int num_nodes;
+  int num_sets;
+  int max_set_size;
+  int k;
+  uint64_t seed;
+};
+
+class GreedyCoverPropertyTest : public ::testing::TestWithParam<CoverCase> {};
+
+TEST_P(GreedyCoverPropertyTest, LazyMatchesNaiveExactly) {
+  const CoverCase& c = GetParam();
+  Rng rng(c.seed);
+  std::vector<std::vector<NodeId>> sets;
+  for (int i = 0; i < c.num_sets; ++i) {
+    std::vector<NodeId> s;
+    const int size = 1 + static_cast<int>(rng.NextBounded(c.max_set_size));
+    for (int j = 0; j < size; ++j) {
+      s.push_back(static_cast<NodeId>(rng.NextBounded(c.num_nodes)));
+    }
+    sets.push_back(s);
+  }
+  RRCollection rr = MakeCollection(c.num_nodes, sets);
+
+  CoverResult lazy = GreedyMaxCover(rr, c.k);
+  CoverResult naive = NaiveGreedyMaxCover(rr, c.k);
+  EXPECT_EQ(lazy.seeds, naive.seeds);
+  EXPECT_EQ(lazy.covered_sets, naive.covered_sets);
+  EXPECT_EQ(lazy.marginal_coverage, naive.marginal_coverage);
+}
+
+TEST_P(GreedyCoverPropertyTest, GreedyBeatsOneMinusOneOverEOfOptimum) {
+  const CoverCase& c = GetParam();
+  if (c.num_nodes > 16) GTEST_SKIP() << "brute force too large";
+  Rng rng(c.seed ^ 0xabcdef);
+  std::vector<std::vector<NodeId>> sets;
+  for (int i = 0; i < c.num_sets; ++i) {
+    std::vector<NodeId> s;
+    const int size = 1 + static_cast<int>(rng.NextBounded(c.max_set_size));
+    for (int j = 0; j < size; ++j) {
+      s.push_back(static_cast<NodeId>(rng.NextBounded(c.num_nodes)));
+    }
+    sets.push_back(s);
+  }
+  RRCollection rr = MakeCollection(c.num_nodes, sets);
+
+  CoverResult greedy = GreedyMaxCover(rr, c.k);
+  uint64_t opt = BruteForceMaxCover(rr, c.k);
+  EXPECT_GE(static_cast<double>(greedy.covered_sets),
+            (1.0 - 1.0 / std::exp(1.0)) * static_cast<double>(opt) - 1e-9)
+      << "greedy=" << greedy.covered_sets << " opt=" << opt;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GreedyCoverPropertyTest,
+    ::testing::Values(CoverCase{10, 50, 3, 3, 1}, CoverCase{10, 50, 3, 3, 2},
+                      CoverCase{16, 200, 5, 4, 3}, CoverCase{16, 200, 5, 8, 4},
+                      CoverCase{12, 30, 2, 5, 5}, CoverCase{12, 500, 6, 6, 6},
+                      CoverCase{100, 1000, 8, 10, 7},
+                      CoverCase{100, 1000, 8, 25, 8},
+                      CoverCase{500, 5000, 10, 50, 9},
+                      CoverCase{16, 16, 1, 16, 10}));
+
+}  // namespace
+}  // namespace timpp

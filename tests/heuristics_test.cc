@@ -1,0 +1,120 @@
+// Tests for baselines/heuristics.h.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/heuristics.h"
+#include "tests/test_util.h"
+
+namespace timpp {
+namespace {
+
+using testing::MakeChain;
+using testing::MakeGraph;
+using testing::MakeOutStar;
+using testing::MakeTwoCommunities;
+
+TEST(HeuristicsValidationTest, AllRejectBadK) {
+  Graph g = MakeChain(4, 0.5f);
+  std::vector<NodeId> seeds;
+  EXPECT_TRUE(SelectByDegree(g, 0, &seeds).IsInvalidArgument());
+  EXPECT_TRUE(SelectByDegree(g, 5, &seeds).IsInvalidArgument());
+  EXPECT_TRUE(SelectSingleDiscount(g, 0, &seeds).IsInvalidArgument());
+  EXPECT_TRUE(SelectDegreeDiscount(g, 0, 0.01, &seeds).IsInvalidArgument());
+  EXPECT_TRUE(SelectByPageRank(g, 0, 0.85, 20, &seeds).IsInvalidArgument());
+  EXPECT_TRUE(SelectRandom(g, 0, 1, &seeds).IsInvalidArgument());
+}
+
+TEST(DegreeTest, TopKByOutDegree) {
+  // Node 0: degree 3; node 1: degree 2; node 2: degree 1.
+  Graph g = MakeGraph(5, {{0, 1, 1}, {0, 2, 1}, {0, 3, 1},
+                          {1, 2, 1}, {1, 3, 1}, {2, 3, 1}});
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(SelectByDegree(g, 2, &seeds).ok());
+  EXPECT_EQ(seeds, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(DegreeTest, TieBreaksBySmallerId) {
+  Graph g = MakeGraph(4, {{2, 0, 1}, {1, 0, 1}});  // nodes 1,2 both degree 1
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(SelectByDegree(g, 1, &seeds).ok());
+  EXPECT_EQ(seeds[0], 1u);
+}
+
+TEST(SingleDiscountTest, DiscountsEdgesIntoChosenSeeds) {
+  // SingleDiscount semantics: an edge pointing into an already-selected
+  // seed is worthless, so its source loses one unit of effective degree.
+  // Hub 0 -> {1,2,3} is picked first. Node 4 -> {0, 5} then loses the edge
+  // into seed 0 (effective degree 1), so node 6 -> {7, 8} (degree 2) wins
+  // the second slot even though raw degrees tie.
+  Graph g = MakeGraph(9, {{0, 1, 1}, {0, 2, 1}, {0, 3, 1},
+                          {4, 0, 1}, {4, 5, 1},
+                          {6, 7, 1}, {6, 8, 1}});
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(SelectSingleDiscount(g, 2, &seeds).ok());
+  EXPECT_EQ(seeds[0], 0u);
+  EXPECT_EQ(seeds[1], 6u) << "node 4's edge into seed 0 should be discounted";
+}
+
+TEST(DegreeDiscountTest, PicksHubFirstAndAvoidsItsAudience) {
+  Graph g = MakeGraph(8, {{0, 1, 0.1f}, {0, 2, 0.1f}, {0, 3, 0.1f},
+                          {1, 2, 0.1f}, {1, 3, 0.1f},
+                          {5, 6, 0.1f}, {5, 7, 0.1f}});
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(SelectDegreeDiscount(g, 2, 0.1, &seeds).ok());
+  EXPECT_EQ(seeds[0], 0u);
+  EXPECT_EQ(seeds[1], 5u);
+}
+
+TEST(DegreeDiscountTest, NonPositivePUsesMeanEdgeProbability) {
+  Graph g = MakeTwoCommunities(0.25f);
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(SelectDegreeDiscount(g, 3, 0.0, &seeds).ok());
+  EXPECT_EQ(seeds.size(), 3u);
+  EXPECT_EQ(std::set<NodeId>(seeds.begin(), seeds.end()).size(), 3u);
+}
+
+TEST(PageRankTest, ChainHeadRanksFirstOnTranspose) {
+  // PageRank on G^T concentrates mass at sources of influence: the chain
+  // head 0 feeds everything downstream.
+  Graph g = MakeChain(6, 1.0f);
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(SelectByPageRank(g, 1, 0.85, 50, &seeds).ok());
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(PageRankTest, HubOutranksSpokes) {
+  Graph g = MakeOutStar(10, 1.0f);
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(SelectByPageRank(g, 1, 0.85, 50, &seeds).ok());
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(PageRankTest, RejectsBadDamping) {
+  Graph g = MakeChain(4, 0.5f);
+  std::vector<NodeId> seeds;
+  EXPECT_TRUE(SelectByPageRank(g, 1, 0.0, 20, &seeds).IsInvalidArgument());
+  EXPECT_TRUE(SelectByPageRank(g, 1, 1.0, 20, &seeds).IsInvalidArgument());
+}
+
+TEST(RandomTest, DistinctAndDeterministic) {
+  Graph g = MakeTwoCommunities(0.3f);
+  std::vector<NodeId> a, b;
+  ASSERT_TRUE(SelectRandom(g, 5, 99, &a).ok());
+  ASSERT_TRUE(SelectRandom(g, 5, 99, &b).ok());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::set<NodeId>(a.begin(), a.end()).size(), 5u);
+  std::vector<NodeId> c;
+  ASSERT_TRUE(SelectRandom(g, 5, 100, &c).ok());
+  EXPECT_NE(a, c) << "different seeds should give different picks";
+}
+
+TEST(RandomTest, KEqualsNReturnsAllNodes) {
+  Graph g = MakeChain(6, 0.5f);
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(SelectRandom(g, 6, 1, &seeds).ok());
+  EXPECT_EQ(std::set<NodeId>(seeds.begin(), seeds.end()).size(), 6u);
+}
+
+}  // namespace
+}  // namespace timpp

@@ -1,0 +1,214 @@
+// Integration tests: whole algorithms compared against each other on a
+// mid-size synthetic social network — the cross-checks behind the paper's
+// experimental narrative (§7) at test-suite scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/celf_greedy.h"
+#include "baselines/heuristics.h"
+#include "baselines/irie.h"
+#include "baselines/ris.h"
+#include "baselines/simpath.h"
+#include "core/tim.h"
+#include "diffusion/spread_estimator.h"
+#include "gen/dataset_proxies.h"
+#include "tests/test_util.h"
+
+namespace timpp {
+namespace {
+
+// One shared mid-size network per weight scheme (NetHEPT proxy at 2%
+// scale: ~300 nodes) so the whole file stays fast.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ic_graph_ = new Graph();
+    lt_graph_ = new Graph();
+    ASSERT_TRUE(BuildDatasetProxy(Dataset::kNetHept, 0.02,
+                                  WeightScheme::kWeightedCascadeIC, 77,
+                                  ic_graph_)
+                    .ok());
+    ASSERT_TRUE(BuildDatasetProxy(Dataset::kNetHept, 0.02,
+                                  WeightScheme::kRandomLT, 77, lt_graph_)
+                    .ok());
+  }
+  static void TearDownTestSuite() {
+    delete ic_graph_;
+    delete lt_graph_;
+    ic_graph_ = nullptr;
+    lt_graph_ = nullptr;
+  }
+
+  static double Spread(const Graph& g, const std::vector<NodeId>& seeds,
+                       DiffusionModel model) {
+    SpreadEstimatorOptions options;
+    options.num_samples = 4000;
+    options.model = model;
+    SpreadEstimator estimator(g, options);
+    return estimator.Estimate(seeds, /*seed=*/31337);
+  }
+
+  static TimResult RunTim(const Graph& g, int k, DiffusionModel model,
+                          bool refine) {
+    TimOptions options;
+    options.k = k;
+    options.epsilon = 0.3;
+    options.model = model;
+    options.use_refinement = refine;
+    options.seed = 2024;
+    TimSolver solver(g);
+    TimResult result;
+    EXPECT_TRUE(solver.Run(options, &result).ok());
+    return result;
+  }
+
+  static Graph* ic_graph_;
+  static Graph* lt_graph_;
+};
+
+Graph* IntegrationTest::ic_graph_ = nullptr;
+Graph* IntegrationTest::lt_graph_ = nullptr;
+
+TEST_F(IntegrationTest, TimPlusMatchesTimQualityIC) {
+  const int k = 10;
+  TimResult tim = RunTim(*ic_graph_, k, DiffusionModel::kIC, false);
+  TimResult tim_plus = RunTim(*ic_graph_, k, DiffusionModel::kIC, true);
+  const double s_tim = Spread(*ic_graph_, tim.seeds, DiffusionModel::kIC);
+  const double s_plus =
+      Spread(*ic_graph_, tim_plus.seeds, DiffusionModel::kIC);
+  // §7.2 / Figure 5: no significant spread difference between TIM and TIM+.
+  EXPECT_NEAR(s_tim, s_plus, 0.1 * std::max(s_tim, s_plus));
+}
+
+TEST_F(IntegrationTest, RefinementShrinksTheta) {
+  // Figure 4's mechanism: KPT+ >= KPT* so TIM+ samples fewer RR sets.
+  const int k = 10;
+  TimOptions options;
+  options.k = k;
+  options.epsilon = 0.3;
+  options.seed = 5;
+  options.adjust_ell = false;  // same λ for a clean comparison
+  TimSolver solver(*ic_graph_);
+
+  options.use_refinement = false;
+  TimResult tim;
+  ASSERT_TRUE(solver.Run(options, &tim).ok());
+  options.use_refinement = true;
+  TimResult tim_plus;
+  ASSERT_TRUE(solver.Run(options, &tim_plus).ok());
+
+  EXPECT_LT(tim_plus.stats.theta, tim.stats.theta);
+  EXPECT_GE(tim_plus.stats.kpt_plus, tim.stats.kpt_star);
+}
+
+TEST_F(IntegrationTest, TimPlusMatchesCelfPlusPlusQualityIC) {
+  // §7.2: the RR-sampling methods and the MC-greedy family agree on seed
+  // quality; TIM+ is just faster. Verify the quality half.
+  const int k = 5;
+  TimResult tim_plus = RunTim(*ic_graph_, k, DiffusionModel::kIC, true);
+
+  CelfOptions celf_options;
+  celf_options.variant = GreedyVariant::kCelfPlusPlus;
+  celf_options.num_mc_samples = 500;
+  celf_options.seed = 99;
+  std::vector<NodeId> celf_seeds;
+  ASSERT_TRUE(
+      RunCelfGreedy(*ic_graph_, celf_options, k, &celf_seeds, nullptr).ok());
+
+  const double s_tim = Spread(*ic_graph_, tim_plus.seeds, DiffusionModel::kIC);
+  const double s_celf = Spread(*ic_graph_, celf_seeds, DiffusionModel::kIC);
+  EXPECT_GE(s_tim, 0.9 * s_celf);
+}
+
+TEST_F(IntegrationTest, TimPlusBeatsRandomAndMatchesOrBeatsDegreeIC) {
+  const int k = 10;
+  TimResult tim_plus = RunTim(*ic_graph_, k, DiffusionModel::kIC, true);
+  std::vector<NodeId> degree_seeds, random_seeds;
+  ASSERT_TRUE(SelectByDegree(*ic_graph_, k, &degree_seeds).ok());
+  ASSERT_TRUE(SelectRandom(*ic_graph_, k, 7, &random_seeds).ok());
+
+  const double s_tim = Spread(*ic_graph_, tim_plus.seeds, DiffusionModel::kIC);
+  const double s_degree =
+      Spread(*ic_graph_, degree_seeds, DiffusionModel::kIC);
+  const double s_random =
+      Spread(*ic_graph_, random_seeds, DiffusionModel::kIC);
+  EXPECT_GE(s_tim, 0.95 * s_degree);
+  EXPECT_GT(s_tim, 1.3 * s_random)
+      << "an approximation algorithm must clearly beat random selection";
+}
+
+TEST_F(IntegrationTest, TimPlusMatchesOrBeatsIrieIC) {
+  // Figure 9's shape: TIM+ spreads are >= IRIE's.
+  const int k = 10;
+  TimResult tim_plus = RunTim(*ic_graph_, k, DiffusionModel::kIC, true);
+  IrieOptions irie_options;
+  std::vector<NodeId> irie_seeds;
+  ASSERT_TRUE(RunIrie(*ic_graph_, irie_options, k, &irie_seeds, nullptr).ok());
+
+  const double s_tim = Spread(*ic_graph_, tim_plus.seeds, DiffusionModel::kIC);
+  const double s_irie = Spread(*ic_graph_, irie_seeds, DiffusionModel::kIC);
+  EXPECT_GE(s_tim, 0.9 * s_irie);
+}
+
+TEST_F(IntegrationTest, TimPlusMatchesOrBeatsSimpathLT) {
+  // Figure 11's shape: TIM+ spreads are >= SIMPATH's under LT.
+  const int k = 5;
+  TimResult tim_plus = RunTim(*lt_graph_, k, DiffusionModel::kLT, true);
+  SimpathOptions simpath_options;
+  simpath_options.eta = 1e-3;
+  std::vector<NodeId> simpath_seeds;
+  ASSERT_TRUE(
+      RunSimpath(*lt_graph_, simpath_options, k, &simpath_seeds, nullptr)
+          .ok());
+
+  const double s_tim = Spread(*lt_graph_, tim_plus.seeds, DiffusionModel::kLT);
+  const double s_simpath =
+      Spread(*lt_graph_, simpath_seeds, DiffusionModel::kLT);
+  EXPECT_GE(s_tim, 0.9 * s_simpath);
+}
+
+TEST_F(IntegrationTest, RisAgreesWithTimOnSeedsQuality) {
+  const int k = 5;
+  TimResult tim_plus = RunTim(*ic_graph_, k, DiffusionModel::kIC, true);
+  RisOptions ris_options;
+  ris_options.epsilon = 0.3;
+  ris_options.tau_scale = 0.05;  // keep the τ threshold test-sized
+  std::vector<NodeId> ris_seeds;
+  ASSERT_TRUE(RunRis(*ic_graph_, ris_options, k, &ris_seeds, nullptr).ok());
+
+  const double s_tim = Spread(*ic_graph_, tim_plus.seeds, DiffusionModel::kIC);
+  const double s_ris = Spread(*ic_graph_, ris_seeds, DiffusionModel::kIC);
+  EXPECT_GE(s_tim, 0.9 * s_ris);
+  EXPECT_GE(s_ris, 0.7 * s_tim);
+}
+
+TEST_F(IntegrationTest, MemoryShrinksWithLooserEpsilon) {
+  // Figure 12's mechanism: |R| = λ/KPT+ and λ ∝ 1/ε².
+  TimOptions options;
+  options.k = 10;
+  options.seed = 8;
+  TimSolver solver(*ic_graph_);
+
+  options.epsilon = 0.2;
+  TimResult tight;
+  ASSERT_TRUE(solver.Run(options, &tight).ok());
+  options.epsilon = 0.5;
+  TimResult loose;
+  ASSERT_TRUE(solver.Run(options, &loose).ok());
+  EXPECT_GT(tight.stats.rr_memory_bytes, loose.stats.rr_memory_bytes);
+  EXPECT_GT(tight.stats.theta, loose.stats.theta);
+}
+
+TEST_F(IntegrationTest, LtThetaUsuallySmallerThanIcOnProxies) {
+  // §7.4 observes KPT+ tends to be larger under LT (normalized weights sum
+  // to 1, so cascades run deeper), shrinking R. Directional check.
+  const int k = 10;
+  TimResult ic = RunTim(*ic_graph_, k, DiffusionModel::kIC, true);
+  TimResult lt = RunTim(*lt_graph_, k, DiffusionModel::kLT, true);
+  EXPECT_GT(lt.stats.kpt_plus, ic.stats.kpt_plus * 0.5)
+      << "LT KPT+ collapsed unexpectedly";
+}
+
+}  // namespace
+}  // namespace timpp

@@ -1,0 +1,190 @@
+// Tests for the heuristic baselines IRIE (IC) and SIMPATH (LT).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baselines/irie.h"
+#include "baselines/simpath.h"
+#include "diffusion/exact_spread.h"
+#include "tests/test_util.h"
+
+namespace timpp {
+namespace {
+
+using testing::MakeChain;
+using testing::MakeGraph;
+using testing::MakeOutStar;
+using testing::MakeTwoCommunities;
+
+// ------------------------------------------------------------------ IRIE --
+
+TEST(IrieValidationTest, RejectsBadInputs) {
+  Graph g = MakeChain(4, 0.5f);
+  std::vector<NodeId> seeds;
+  IrieOptions options;
+  EXPECT_TRUE(RunIrie(g, options, 0, &seeds, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(RunIrie(g, options, 9, &seeds, nullptr).IsInvalidArgument());
+  options.alpha = 1.0;
+  EXPECT_TRUE(RunIrie(g, options, 1, &seeds, nullptr).IsInvalidArgument());
+  options.alpha = -0.5;
+  EXPECT_TRUE(RunIrie(g, options, 1, &seeds, nullptr).IsInvalidArgument());
+  Graph empty;
+  EXPECT_TRUE(
+      RunIrie(empty, IrieOptions{}, 1, &seeds, nullptr).IsInvalidArgument());
+}
+
+TEST(IrieTest, FindsTheHubOnAStar) {
+  Graph g = MakeOutStar(20, 0.5f);
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(RunIrie(g, IrieOptions{}, 1, &seeds, nullptr).ok());
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(IrieTest, RankReflectsDownstreamReach) {
+  // On a chain the head has the longest downstream run, so rank order
+  // should be 0 first.
+  Graph g = MakeChain(8, 0.9f);
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(RunIrie(g, IrieOptions{}, 1, &seeds, nullptr).ok());
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(IrieTest, SecondSeedAvoidsFirstSeedsAudience) {
+  // Two disjoint stars: hubs 0 (9 spokes) and 10 (8 spokes). IE damping
+  // must push the second pick to the other star's hub rather than a spoke
+  // of the first.
+  std::vector<RawEdge> edges;
+  for (NodeId v = 1; v <= 9; ++v) edges.push_back({0, v, 0.9f});
+  for (NodeId v = 11; v <= 18; ++v) edges.push_back({10, v, 0.9f});
+  Graph g = testing::MakeGraph(19, edges);
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(RunIrie(g, IrieOptions{}, 2, &seeds, nullptr).ok());
+  std::set<NodeId> chosen(seeds.begin(), seeds.end());
+  EXPECT_TRUE(chosen.count(0));
+  EXPECT_TRUE(chosen.count(10));
+}
+
+TEST(IrieTest, DistinctSeedsAndDeterminism) {
+  Graph g = MakeTwoCommunities(0.4f);
+  std::vector<NodeId> a, b;
+  IrieStats stats;
+  ASSERT_TRUE(RunIrie(g, IrieOptions{}, 4, &a, &stats).ok());
+  ASSERT_TRUE(RunIrie(g, IrieOptions{}, 4, &b, nullptr).ok());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::set<NodeId>(a.begin(), a.end()).size(), 4u);
+  EXPECT_GT(stats.rank_sweeps, 0u);
+}
+
+TEST(IrieTest, DecentQualityVsBruteForce) {
+  Graph g = MakeTwoCommunities(0.35f);
+  double opt = 0;
+  std::vector<NodeId> opt_seeds;
+  ASSERT_TRUE(BruteForceOptimalIC(g, 2, &opt_seeds, &opt).ok());
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(RunIrie(g, IrieOptions{}, 2, &seeds, nullptr).ok());
+  double spread = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, seeds, &spread).ok());
+  // Heuristic: no guarantee, but on a 10-node graph it should be sane.
+  EXPECT_GE(spread, 0.7 * opt);
+}
+
+// --------------------------------------------------------------- SIMPATH --
+
+TEST(SimpathValidationTest, RejectsBadInputs) {
+  Graph g = MakeChain(4, 0.5f);
+  std::vector<NodeId> seeds;
+  SimpathOptions options;
+  EXPECT_TRUE(RunSimpath(g, options, 0, &seeds, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(RunSimpath(g, options, 9, &seeds, nullptr).IsInvalidArgument());
+  options.eta = 0.0;
+  EXPECT_TRUE(RunSimpath(g, options, 1, &seeds, nullptr).IsInvalidArgument());
+  options = SimpathOptions{};
+  options.look_ahead = 0;
+  EXPECT_TRUE(RunSimpath(g, options, 1, &seeds, nullptr).IsInvalidArgument());
+}
+
+TEST(SimpathSpreadTest, ChainClosedForm) {
+  // σ({0}) on a weight-w chain of 4 nodes = 1 + w + w² + w³ (single path).
+  Graph g = MakeChain(4, 0.5f);
+  uint64_t steps = 0;
+  double sigma = SimpathSpreadFrom(g, 0, {}, /*eta=*/1e-6, 0, &steps);
+  EXPECT_NEAR(sigma, 1 + 0.5 + 0.25 + 0.125, 1e-6);
+  EXPECT_GT(steps, 0u);
+}
+
+TEST(SimpathSpreadTest, MatchesExactLtSpreadOnDag) {
+  // On a DAG, LT spread = Σ_v P[v activated] and each simple path
+  // contributes independently (at most one in-edge fires per node), so the
+  // path-sum equals the exact LT spread when eta -> 0.
+  Graph g = MakeGraph(4, {{0, 1, 0.5f}, {0, 2, 0.3f}, {1, 3, 0.4f},
+                          {2, 3, 0.2f}});
+  double exact = 0;
+  ASSERT_TRUE(ExactSpreadLT(g, std::vector<NodeId>{0}, &exact).ok());
+  double sigma = SimpathSpreadFrom(g, 0, {}, 1e-9, 0, nullptr);
+  EXPECT_NEAR(sigma, exact, 1e-5);
+}
+
+TEST(SimpathSpreadTest, ExclusionRemovesPaths) {
+  Graph g = MakeChain(4, 0.5f);
+  double with = SimpathSpreadFrom(g, 0, {}, 1e-9, 0, nullptr);
+  double without = SimpathSpreadFrom(g, 0, {2}, 1e-9, 0, nullptr);
+  EXPECT_NEAR(without, 1 + 0.5, 1e-6);  // path stops before excluded node 2
+  EXPECT_LT(without, with);
+}
+
+TEST(SimpathSpreadTest, PruningReducesSpreadMonotonically) {
+  Graph g = MakeTwoCommunities(0.5f);
+  double fine = SimpathSpreadFrom(g, 0, {}, 1e-9, 0, nullptr);
+  double coarse = SimpathSpreadFrom(g, 0, {}, 0.2, 0, nullptr);
+  EXPECT_LE(coarse, fine + 1e-9);
+  EXPECT_GE(coarse, 1.0);
+}
+
+TEST(SimpathTest, FindsTheHubOnAStar) {
+  Graph g = MakeOutStar(16, 0.4f);
+  std::vector<NodeId> seeds;
+  SimpathStats stats;
+  ASSERT_TRUE(RunSimpath(g, SimpathOptions{}, 1, &seeds, &stats).ok());
+  EXPECT_EQ(seeds[0], 0u);
+  EXPECT_GT(stats.spread_evaluations, 0u);
+}
+
+TEST(SimpathTest, QualityVsBruteForceLT) {
+  Graph g = MakeGraph(6, {{0, 1, 0.8f},
+                          {1, 2, 0.8f},
+                          {0, 3, 0.4f},
+                          {3, 4, 0.9f},
+                          {4, 5, 0.9f},
+                          {2, 5, 0.1f}});
+  double opt = 0;
+  std::vector<NodeId> opt_seeds;
+  ASSERT_TRUE(BruteForceOptimalLT(g, 2, &opt_seeds, &opt).ok());
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(RunSimpath(g, SimpathOptions{}, 2, &seeds, nullptr).ok());
+  double spread = 0;
+  ASSERT_TRUE(ExactSpreadLT(g, seeds, &spread).ok());
+  EXPECT_GE(spread, 0.8 * opt);
+}
+
+TEST(SimpathTest, DistinctSeedsAndDeterminism) {
+  Graph g = MakeTwoCommunities(0.3f);
+  std::vector<NodeId> a, b;
+  ASSERT_TRUE(RunSimpath(g, SimpathOptions{}, 3, &a, nullptr).ok());
+  ASSERT_TRUE(RunSimpath(g, SimpathOptions{}, 3, &b, nullptr).ok());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::set<NodeId>(a.begin(), a.end()).size(), 3u);
+}
+
+TEST(SimpathTest, StepCapBoundsWork) {
+  Graph g = MakeTwoCommunities(0.5f);
+  SimpathOptions options;
+  options.max_path_steps = 50;  // absurdly tight
+  std::vector<NodeId> seeds;
+  SimpathStats stats;
+  ASSERT_TRUE(RunSimpath(g, options, 2, &seeds, &stats).ok());
+  EXPECT_EQ(seeds.size(), 2u);  // still returns k seeds, just cruder
+}
+
+}  // namespace
+}  // namespace timpp

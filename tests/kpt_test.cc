@@ -1,0 +1,200 @@
+// Tests for Algorithm 2 (KPT estimation) and Algorithm 3 (KPT refinement):
+// Lemma 5's identity, Theorem 2's KPT* ∈ [KPT/4, OPT] band, and
+// Lemma 8's KPT+ ∈ [KPT*, OPT] band, all checked on graphs small enough
+// for exact oracles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/kpt_estimator.h"
+#include "core/kpt_refiner.h"
+#include "core/parameters.h"
+#include "diffusion/exact_spread.h"
+#include "rrset/rr_sampler.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace timpp {
+namespace {
+
+using testing::ExpectClose;
+using testing::MakeChain;
+using testing::MakeOutStar;
+using testing::MakeTwoCommunities;
+
+// Exact KPT for small graphs: the mean spread of a set S* formed by k
+// in-degree-proportional samples (with replacement, duplicates removed).
+// For k=1 this is Σ_v (indeg(v)/m)·E[I({v})].
+double ExactKptK1(const Graph& g) {
+  const double m = static_cast<double>(g.num_edges());
+  double kpt = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InDegree(v) == 0) continue;
+    double spread = 0;
+    EXPECT_TRUE(ExactSpreadIC(g, std::vector<NodeId>{v}, &spread).ok());
+    kpt += (static_cast<double>(g.InDegree(v)) / m) * spread;
+  }
+  return kpt;
+}
+
+TEST(KptEstimatorTest, Lemma5IdentityHoldsNumerically) {
+  // KPT = n·E[κ(R)] for k=1: estimate E[κ(R)] by direct sampling and
+  // compare with the exact KPT.
+  Graph g = MakeTwoCommunities(0.35f);
+  const double n = g.num_nodes(), m = g.num_edges();
+
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(1);
+  std::vector<NodeId> scratch;
+  const int r = 300000;
+  double kappa_sum = 0;
+  for (int i = 0; i < r; ++i) {
+    RRSampleInfo info = sampler.SampleRandomRoot(rng, &scratch);
+    kappa_sum += 1.0 - std::pow(1.0 - info.width / m, 1);  // k = 1
+  }
+  const double estimated_kpt = n * kappa_sum / r;
+  ExpectClose(ExactKptK1(g), estimated_kpt, 0.02);
+}
+
+TEST(KptEstimatorTest, KptStarWithinTheoremTwoBand) {
+  // Theorem 2: KPT* ∈ [KPT/4, OPT] with high probability. On this graph we
+  // can compute both ends exactly for k=1.
+  Graph g = MakeTwoCommunities(0.35f);
+  double opt = 0;
+  std::vector<NodeId> opt_seeds;
+  ASSERT_TRUE(BruteForceOptimalIC(g, 1, &opt_seeds, &opt).ok());
+  const double kpt = ExactKptK1(g);
+
+  RRSampler sampler(g, DiffusionModel::kIC);
+  int in_band = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(1000 + t);
+    KptEstimate estimate = EstimateKpt(sampler, 1, 1.0, rng);
+    if (estimate.kpt_star >= kpt / 4 - 1e-9 &&
+        estimate.kpt_star <= opt + 1e-9) {
+      ++in_band;
+    }
+  }
+  EXPECT_GE(in_band, trials - 1)
+      << "KPT* fell outside [KPT/4, OPT] too often; kpt=" << kpt
+      << " opt=" << opt;
+}
+
+TEST(KptEstimatorTest, RetainsLastIterationRRSets) {
+  Graph g = MakeTwoCommunities(0.3f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(2);
+  KptEstimate estimate = EstimateKpt(sampler, 2, 1.0, rng);
+  ASSERT_NE(estimate.last_iteration_rr, nullptr);
+  EXPECT_GT(estimate.last_iteration_rr->num_sets(), 0u);
+  EXPECT_TRUE(estimate.last_iteration_rr->index_built());
+  EXPECT_GE(estimate.rr_sets_generated,
+            estimate.last_iteration_rr->num_sets());
+}
+
+TEST(KptEstimatorTest, DeterministicGivenRngState) {
+  Graph g = MakeTwoCommunities(0.3f);
+  RRSampler s1(g, DiffusionModel::kIC), s2(g, DiffusionModel::kIC);
+  Rng rng1(3), rng2(3);
+  KptEstimate a = EstimateKpt(s1, 3, 1.0, rng1);
+  KptEstimate b = EstimateKpt(s2, 3, 1.0, rng2);
+  EXPECT_DOUBLE_EQ(a.kpt_star, b.kpt_star);
+  EXPECT_EQ(a.terminated_iteration, b.terminated_iteration);
+  EXPECT_EQ(a.rr_sets_generated, b.rr_sets_generated);
+}
+
+TEST(KptEstimatorTest, KptStarGrowsWithK) {
+  // KPT increases with k (Equation 7 discussion), so KPT* should too,
+  // at least directionally on a graph with meaningful spread.
+  Graph g = MakeTwoCommunities(0.5f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng1(4), rng2(4);
+  KptEstimate k1 = EstimateKpt(sampler, 1, 1.0, rng1);
+  RRSampler sampler2(g, DiffusionModel::kIC);
+  KptEstimate k5 = EstimateKpt(sampler2, 5, 1.0, rng2);
+  EXPECT_GE(k5.kpt_star, k1.kpt_star * 0.9);
+}
+
+TEST(KptEstimatorTest, TrivialBoundOnEdgelessGraph) {
+  GraphBuilder builder;
+  builder.ReserveNodes(16);
+  Graph g;
+  ASSERT_TRUE(builder.Build(&g).ok());
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(5);
+  KptEstimate estimate = EstimateKpt(sampler, 2, 1.0, rng);
+  // κ(R) = 0 always -> falls through to the floor KPT* = 1.
+  EXPECT_DOUBLE_EQ(estimate.kpt_star, 1.0);
+  EXPECT_EQ(estimate.terminated_iteration, 0);
+}
+
+// ----------------------------------------------------------- Algorithm 3 --
+
+TEST(KptRefinerTest, KptPlusNeverBelowKptStar) {
+  Graph g = MakeTwoCommunities(0.35f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(6);
+  KptEstimate estimate = EstimateKpt(sampler, 2, 1.0, rng);
+  KptRefinement refinement =
+      RefineKpt(sampler, *estimate.last_iteration_rr, 2, estimate.kpt_star,
+                /*eps_prime=*/0.5, /*ell=*/1.0, rng);
+  EXPECT_GE(refinement.kpt_plus, estimate.kpt_star);
+  EXPECT_EQ(refinement.intermediate_seeds.size(), 2u);
+  EXPECT_GT(refinement.theta_prime, 0u);
+}
+
+TEST(KptRefinerTest, KptPlusStaysBelowOpt) {
+  // Lemma 8: KPT+ <= OPT with high probability.
+  Graph g = MakeTwoCommunities(0.35f);
+  double opt = 0;
+  std::vector<NodeId> opt_seeds;
+  ASSERT_TRUE(BruteForceOptimalIC(g, 2, &opt_seeds, &opt).ok());
+
+  RRSampler sampler(g, DiffusionModel::kIC);
+  int ok_count = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(2000 + t);
+    KptEstimate estimate = EstimateKpt(sampler, 2, 1.0, rng);
+    KptRefinement refinement =
+        RefineKpt(sampler, *estimate.last_iteration_rr, 2, estimate.kpt_star,
+                  0.5, 1.0, rng);
+    if (refinement.kpt_plus <= opt * 1.02) ++ok_count;
+  }
+  EXPECT_GE(ok_count, trials - 1);
+}
+
+TEST(KptRefinerTest, RefinementTightensTheBoundOnRealisticGraphs) {
+  // §4.1's motivation: KPT* is usually far below OPT; Algorithm 3 should
+  // produce a strictly larger bound on a graph with hubs.
+  Graph g = MakeOutStar(64, 0.9f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(7);
+  KptEstimate estimate = EstimateKpt(sampler, 1, 1.0, rng);
+  KptRefinement refinement =
+      RefineKpt(sampler, *estimate.last_iteration_rr, 1, estimate.kpt_star,
+                0.5, 1.0, rng);
+  // OPT = 1 + 63·0.9 ≈ 57.7 while KPT (avg over in-degree picks) is ~1.9:
+  // the refinement must capture most of the gap.
+  EXPECT_GT(refinement.kpt_plus, 4.0 * estimate.kpt_star);
+}
+
+TEST(KptRefinerTest, ThetaPrimeMatchesLambdaPrimeOverKptStar) {
+  Graph g = MakeTwoCommunities(0.3f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(8);
+  KptEstimate estimate = EstimateKpt(sampler, 2, 1.0, rng);
+  const double eps_prime = 0.4;
+  KptRefinement refinement =
+      RefineKpt(sampler, *estimate.last_iteration_rr, 2, estimate.kpt_star,
+                eps_prime, 1.0, rng);
+  const double lambda_prime =
+      ComputeLambdaPrime(g.num_nodes(), eps_prime, 1.0);
+  EXPECT_EQ(refinement.theta_prime,
+            static_cast<uint64_t>(
+                std::ceil(lambda_prime / estimate.kpt_star)));
+}
+
+}  // namespace
+}  // namespace timpp

@@ -1,0 +1,266 @@
+// Final coverage batch: behaviours not pinned elsewhere — generator edge
+// cases, empty-seed simulation, duplicate seeds in oracles, selector
+// boundary cases, parameter-formula edges, and RIS/IMM under the generic
+// triggering path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baselines/heuristics.h"
+#include "baselines/ris.h"
+#include "core/imm.h"
+#include "core/node_selector.h"
+#include "core/parameters.h"
+#include "diffusion/exact_spread.h"
+#include "diffusion/ic_simulator.h"
+#include "diffusion/triggering.h"
+#include "gen/generators.h"
+#include "rrset/rr_sampler.h"
+#include "tests/test_util.h"
+#include "util/alias_table.h"
+#include "util/rng.h"
+
+namespace timpp {
+namespace {
+
+using testing::MakeChain;
+using testing::MakeGraph;
+using testing::MakeTwoCommunities;
+
+// -------------------------------------------------------- generator edges --
+
+TEST(GeneratorEdgeTest, ErdosRenyiZeroEdges) {
+  GraphBuilder b;
+  GenErdosRenyi(10, 0, 1, &b);
+  EXPECT_EQ(b.num_edges(), 0u);
+  EXPECT_EQ(b.num_nodes(), 10u);
+}
+
+TEST(GeneratorEdgeTest, BarabasiAlbertTinyN) {
+  // n smaller than the seed clique: should degrade to a clique on n nodes.
+  GraphBuilder b;
+  GenBarabasiAlbert(2, 5, 1, &b);
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 2u);  // one undirected edge
+}
+
+TEST(GeneratorEdgeTest, WattsStrogatzFullRewire) {
+  GraphBuilder b;
+  GenWattsStrogatz(50, 2, 1.0, 2, &b);
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  EXPECT_EQ(g.num_edges(), 50u * 2 * 2);  // edge count invariant to beta
+  for (const RawEdge& e : b.edges()) EXPECT_NE(e.from, e.to);
+}
+
+TEST(GeneratorEdgeTest, DirectedScaleFreeZeroDegree) {
+  GraphBuilder b;
+  GenDirectedScaleFree(20, 0.0, 3, &b);
+  EXPECT_EQ(b.num_edges(), 0u);
+  EXPECT_EQ(b.num_nodes(), 20u);
+}
+
+TEST(GeneratorEdgeTest, SingleNodeToyGraphs) {
+  GraphBuilder b1, b2, b3;
+  GenDirectedPath(1, &b1);
+  GenDirectedCycle(1, &b2);
+  GenStarOut(1, &b3);
+  EXPECT_EQ(b1.num_edges(), 0u);
+  EXPECT_EQ(b2.num_edges(), 0u);
+  EXPECT_EQ(b3.num_edges(), 0u);
+}
+
+// ---------------------------------------------------------- simulators --
+
+TEST(SimulatorEdgeTest, EmptySeedSetActivatesNothing) {
+  Graph g = MakeChain(5, 1.0f);
+  IcSimulator sim(g);
+  Rng rng(1);
+  EXPECT_EQ(sim.Simulate(std::vector<NodeId>{}, rng), 0u);
+}
+
+TEST(SimulatorEdgeTest, AllNodesAsSeeds) {
+  Graph g = MakeChain(5, 0.3f);
+  IcSimulator sim(g);
+  Rng rng(2);
+  std::vector<NodeId> all = {0, 1, 2, 3, 4};
+  EXPECT_EQ(sim.Simulate(all, rng), 5u);
+}
+
+TEST(OracleEdgeTest, DuplicateSeedsDoNotInflateExactSpread) {
+  Graph g = MakeChain(4, 0.5f);
+  double once = 0, twice = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, std::vector<NodeId>{0}, &once).ok());
+  ASSERT_TRUE(ExactSpreadIC(g, std::vector<NodeId>{0, 0}, &twice).ok());
+  EXPECT_DOUBLE_EQ(once, twice);
+}
+
+TEST(OracleEdgeTest, FullSeedSetHasSpreadN) {
+  Graph g = MakeChain(4, 0.25f);
+  double spread = 0;
+  ASSERT_TRUE(
+      ExactSpreadIC(g, std::vector<NodeId>{0, 1, 2, 3}, &spread).ok());
+  EXPECT_DOUBLE_EQ(spread, 4.0);
+}
+
+// ----------------------------------------------------------- selection --
+
+TEST(NodeSelectionEdgeTest, ThetaOneStillSelects) {
+  Graph g = MakeTwoCommunities(0.4f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(3);
+  NodeSelection result = SelectNodes(sampler, 2, 1, rng);
+  EXPECT_EQ(result.seeds.size(), 2u);
+  EXPECT_EQ(result.theta, 1u);
+  EXPECT_GE(result.covered_fraction, 0.0);
+  EXPECT_LE(result.covered_fraction, 1.0);
+}
+
+TEST(NodeSelectionEdgeTest, CoveredFractionIsMonotoneInK) {
+  Graph g = MakeTwoCommunities(0.4f);
+  RRSampler s1(g, DiffusionModel::kIC), s2(g, DiffusionModel::kIC);
+  Rng rng1(4), rng2(4);
+  NodeSelection k1 = SelectNodes(s1, 1, 5000, rng1);
+  NodeSelection k3 = SelectNodes(s2, 3, 5000, rng2);
+  EXPECT_GE(k3.covered_fraction, k1.covered_fraction);
+}
+
+// ------------------------------------------------- triggering everywhere --
+
+TEST(TriggeringPathTest, RisWithCustomModel) {
+  Graph g = testing::MakeOutStar(16, 0.8f);
+  IcTriggeringModel model;
+  RisOptions options;
+  options.epsilon = 0.3;
+  options.model = DiffusionModel::kTriggering;
+  options.custom_model = &model;
+  options.tau_scale = 0.5;
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(RunRis(g, options, 1, &seeds, nullptr).ok());
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(TriggeringPathTest, ImmWithCustomModel) {
+  Graph g = testing::MakeOutStar(16, 0.8f);
+  IcTriggeringModel model;
+  ImmOptions options;
+  options.k = 1;
+  options.epsilon = 0.3;
+  options.model = DiffusionModel::kTriggering;
+  options.custom_model = &model;
+  ImmResult result;
+  ASSERT_TRUE(RunImm(g, options, &result).ok());
+  EXPECT_EQ(result.seeds[0], 0u);
+}
+
+TEST(TriggeringPathTest, ImmUnderNativeLtMatchesTriggeringLt) {
+  Graph g = MakeGraph(6, {{0, 1, 0.9f}, {1, 2, 0.9f}, {2, 3, 0.9f},
+                          {0, 4, 0.2f}, {4, 5, 0.3f}});
+  ImmOptions native;
+  native.k = 1;
+  native.epsilon = 0.3;
+  native.model = DiffusionModel::kLT;
+  ImmResult a;
+  ASSERT_TRUE(RunImm(g, native, &a).ok());
+
+  LtTriggeringModel model;
+  ImmOptions generic = native;
+  generic.model = DiffusionModel::kTriggering;
+  generic.custom_model = &model;
+  ImmResult b;
+  ASSERT_TRUE(RunImm(g, generic, &b).ok());
+  EXPECT_EQ(a.seeds, b.seeds) << "both must pick the dominant chain head";
+}
+
+// ------------------------------------------------------------ parameters --
+
+TEST(ParameterEdgeTest, RecommendedEpsPrimeAtKOne) {
+  // k=1, ℓ=1: ε' = 5·cbrt(ε²/2) — just pin the formula at the boundary.
+  EXPECT_NEAR(RecommendedEpsPrime(1.0, 1, 1.0), 5.0 * std::cbrt(0.5), 1e-12);
+}
+
+TEST(ParameterEdgeTest, LambdaPositiveForExtremeInputs) {
+  EXPECT_GT(ComputeLambda(2, 1, 1.0, 0.5), 0.0);
+  EXPECT_GT(ComputeLambda(1u << 30, 1000, 0.01, 4.0), 0.0);
+}
+
+TEST(ParameterEdgeTest, GreedySamplesScaleInverseWithOpt) {
+  const double small_opt = GreedyRequiredSamples(1000, 10, 0.2, 1.0, 10.0);
+  const double large_opt = GreedyRequiredSamples(1000, 10, 0.2, 1.0, 100.0);
+  EXPECT_NEAR(small_opt, 10.0 * large_opt, small_opt * 1e-9);
+}
+
+// ------------------------------------------------------------ heuristics --
+
+TEST(HeuristicEdgeTest, DegreeWithKEqualsN) {
+  Graph g = MakeChain(5, 1.0f);
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(SelectByDegree(g, 5, &seeds).ok());
+  EXPECT_EQ(std::set<NodeId>(seeds.begin(), seeds.end()).size(), 5u);
+}
+
+TEST(HeuristicEdgeTest, DegreeDiscountWithPOne) {
+  Graph g = MakeTwoCommunities(0.4f);
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(SelectDegreeDiscount(g, 3, 1.0, &seeds).ok());
+  EXPECT_EQ(std::set<NodeId>(seeds.begin(), seeds.end()).size(), 3u);
+}
+
+TEST(HeuristicEdgeTest, PageRankOnEdgelessGraphIsUniform) {
+  GraphBuilder b;
+  b.ReserveNodes(5);
+  Graph g;
+  ASSERT_TRUE(b.Build(&g).ok());
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(SelectByPageRank(g, 2, 0.85, 10, &seeds).ok());
+  EXPECT_EQ(seeds, (std::vector<NodeId>{0, 1}));  // ties -> smallest ids
+}
+
+// ------------------------------------------------------------ alias table --
+
+TEST(AliasTableEdgeTest, UniformWeightsAreUniform) {
+  AliasTable table(std::vector<double>(8, 2.5));
+  Rng rng(5);
+  std::vector<int> counts(8, 0);
+  const int r = 160000;
+  for (int i = 0; i < r; ++i) ++counts[table.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, r / 8, r / 8 / 10);
+}
+
+TEST(AliasTableEdgeTest, RebuildReplacesDistribution) {
+  AliasTable table(std::vector<double>{1.0, 0.0});
+  Rng rng(6);
+  EXPECT_EQ(table.Sample(rng), 0u);
+  table.Build(std::vector<double>{0.0, 1.0});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 1u);
+  EXPECT_DOUBLE_EQ(table.total_weight(), 1.0);
+}
+
+// --------------------------------------------------------------- sampler --
+
+TEST(SamplerEdgeTest, RootAlwaysFirstElement) {
+  Graph g = MakeTwoCommunities(0.5f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(7);
+  std::vector<NodeId> rr;
+  for (int i = 0; i < 100; ++i) {
+    RRSampleInfo info = sampler.SampleRandomRoot(rng, &rr);
+    ASSERT_FALSE(rr.empty());
+    EXPECT_EQ(rr.front(), info.root);
+  }
+}
+
+TEST(SamplerEdgeTest, WidthOfSingletonIsRootInDegree) {
+  Graph g = MakeChain(5, 0.0f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(8);
+  std::vector<NodeId> rr;
+  RRSampleInfo info = sampler.SampleForRoot(3, rng, &rr);
+  EXPECT_EQ(info.width, g.InDegree(3));
+}
+
+}  // namespace
+}  // namespace timpp

@@ -1,0 +1,119 @@
+// Tests for core/parameters.h — the λ/θ/ε′ machinery of Equations 4-5,
+// Algorithm 2's budgets, and Lemma 10's bound on Greedy's sample count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/parameters.h"
+#include "util/math.h"
+
+namespace timpp {
+namespace {
+
+TEST(ParametersTest, LambdaMatchesEquation4ByHand) {
+  // n=1000, k=1, eps=0.5, ell=1:
+  // λ = (8+2*0.5)*1000*(ln 1000 + ln 1000 + ln 2)/0.25
+  const double expected = 9.0 * 1000.0 *
+                          (std::log(1000.0) + std::log(1000.0) +
+                           std::log(2.0)) /
+                          0.25;
+  EXPECT_NEAR(ComputeLambda(1000, 1, 0.5, 1.0), expected, expected * 1e-9);
+}
+
+TEST(ParametersTest, LambdaDecreasesWithEpsilon) {
+  EXPECT_GT(ComputeLambda(1000, 10, 0.1, 1.0),
+            ComputeLambda(1000, 10, 0.2, 1.0));
+  EXPECT_GT(ComputeLambda(1000, 10, 0.2, 1.0),
+            ComputeLambda(1000, 10, 0.4, 1.0));
+}
+
+TEST(ParametersTest, LambdaIncreasesWithKAndEll) {
+  EXPECT_GT(ComputeLambda(1000, 20, 0.1, 1.0),
+            ComputeLambda(1000, 10, 0.1, 1.0));
+  EXPECT_GT(ComputeLambda(1000, 10, 0.1, 2.0),
+            ComputeLambda(1000, 10, 0.1, 1.0));
+}
+
+TEST(ParametersTest, LambdaScalesSuperlinearlyInN) {
+  // λ ~ n·log n (through both ln n and log C(n,k)).
+  const double l1 = ComputeLambda(1000, 10, 0.1, 1.0);
+  const double l2 = ComputeLambda(2000, 10, 0.1, 1.0);
+  EXPECT_GT(l2, 2.0 * l1);
+}
+
+TEST(ParametersTest, KptBudgetDoublesPerIteration) {
+  const double c1 = ComputeKptIterationBudget(10000, 1.0, 1);
+  const double c2 = ComputeKptIterationBudget(10000, 1.0, 2);
+  const double c5 = ComputeKptIterationBudget(10000, 1.0, 5);
+  EXPECT_NEAR(c2, 2.0 * c1, 1e-6);
+  EXPECT_NEAR(c5, 16.0 * c1, 1e-6);
+}
+
+TEST(ParametersTest, KptBudgetMatchesEquation9) {
+  // c_i = (6 ℓ ln n + 6 ln log2(n)) · 2^i
+  const uint64_t n = 4096;
+  const double expected =
+      (6.0 * std::log(4096.0) + 6.0 * std::log(12.0)) * 8.0;
+  EXPECT_NEAR(ComputeKptIterationBudget(n, 1.0, 3), expected, 1e-6);
+}
+
+TEST(ParametersTest, KptMaxIterationsIsLog2Minus1) {
+  EXPECT_EQ(KptMaxIterations(1024), 9);
+  EXPECT_EQ(KptMaxIterations(1 << 20), 19);
+  EXPECT_EQ(KptMaxIterations(2), 1);   // clamped to at least one iteration
+  EXPECT_EQ(KptMaxIterations(1), 1);
+}
+
+TEST(ParametersTest, LambdaPrimeMatchesAlgorithm3Line7) {
+  // λ' = (2+ε')·ℓ·n·ln n / ε'²
+  const double expected = 2.5 * 1.0 * 1000.0 * std::log(1000.0) / 0.25;
+  EXPECT_NEAR(ComputeLambdaPrime(1000, 0.5, 1.0), expected, expected * 1e-9);
+}
+
+TEST(ParametersTest, RecommendedEpsPrimeFormula) {
+  // ε' = 5 · cbrt(ℓ·ε²/(k+ℓ))
+  EXPECT_NEAR(RecommendedEpsPrime(0.1, 50, 1.0),
+              5.0 * std::cbrt(0.01 / 51.0), 1e-12);
+}
+
+TEST(ParametersTest, RecommendedEpsPrimeRespectsTheoryFloor) {
+  // TIM+ keeps TIM's complexity when ε' >= ε/√k; the recommended value
+  // must clear that floor across the experimental range.
+  for (int k : {1, 5, 10, 25, 50}) {
+    for (double eps : {0.1, 0.2, 0.5, 1.0}) {
+      EXPECT_GE(RecommendedEpsPrime(eps, k, 1.0),
+                eps / std::sqrt(static_cast<double>(k)))
+          << "k=" << k << " eps=" << eps;
+    }
+  }
+}
+
+TEST(ParametersTest, EllAdjustmentsRestoreSuccessProbability) {
+  // With ℓ' = ℓ(1 + ln2/ln n):  2·n^-ℓ' <= n^-ℓ.
+  for (uint64_t n : {100ULL, 10000ULL, 1000000ULL}) {
+    const double ell = 1.0;
+    const double ell_tim = AdjustEllForTim(ell, n);
+    EXPECT_LE(2.0 * std::pow(static_cast<double>(n), -ell_tim),
+              std::pow(static_cast<double>(n), -ell) * 1.0000001);
+    const double ell_plus = AdjustEllForTimPlus(ell, n);
+    EXPECT_LE(3.0 * std::pow(static_cast<double>(n), -ell_plus),
+              std::pow(static_cast<double>(n), -ell) * 1.0000001);
+  }
+}
+
+TEST(ParametersTest, GreedyRequiredSamplesExceedsCustomaryTenThousand) {
+  // §7.1: on the experimental datasets the Lemma 10 bound always exceeds
+  // the customary r=10000 (which therefore favors CELF++).
+  const double r =
+      GreedyRequiredSamples(15000, 50, 0.1, 1.0, /*opt=*/1000.0);
+  EXPECT_GT(r, 10000.0);
+}
+
+TEST(ParametersTest, GreedyRequiredSamplesScalesWithKSquared) {
+  const double r10 = GreedyRequiredSamples(10000, 10, 0.1, 1.0, 500.0);
+  const double r20 = GreedyRequiredSamples(10000, 20, 0.1, 1.0, 500.0);
+  EXPECT_GT(r20, 3.5 * r10);  // ~4x from the 8k² term
+}
+
+}  // namespace
+}  // namespace timpp

@@ -1,0 +1,276 @@
+// Parameterized property sweeps across graph shapes × diffusion models —
+// the statistical identities the whole method rests on, checked broadly:
+//   * Corollary 1: n·F_R(S) is an unbiased estimator of E[I(S)]
+//   * Equation 7 sandwich: (n/m)·EPT <= KPT <= OPT
+//   * parallel node selection ≡ sequential in distribution & determinism
+//   * end-to-end TIM+ quality across shapes
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "core/node_selector.h"
+#include "core/tim.h"
+#include "diffusion/exact_spread.h"
+#include "diffusion/spread_estimator.h"
+#include "gen/generators.h"
+#include "graph/weight_models.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace timpp {
+namespace {
+
+using testing::ExpectClose;
+
+enum class Shape { kChain, kStar, kCycle, kTwoCommunities, kDiamond, kTree };
+
+struct PropertyCase {
+  Shape shape;
+  DiffusionModel model;
+  float p;
+
+  // Pretty-printer so failures and --gtest_list_tests are readable.
+  friend void PrintTo(const PropertyCase& c, std::ostream* os) {
+    const char* names[] = {"Chain", "Star", "Cycle", "TwoComm", "Diamond",
+                           "Tree"};
+    *os << names[static_cast<int>(c.shape)] << "_"
+        << DiffusionModelName(c.model) << "_p" << c.p;
+  }
+};
+
+Graph BuildShape(Shape shape, float p) {
+  switch (shape) {
+    case Shape::kChain:
+      return testing::MakeChain(6, p);
+    case Shape::kStar:
+      return testing::MakeOutStar(8, p);
+    case Shape::kCycle: {
+      GraphBuilder b;
+      GenDirectedCycle(6, &b);
+      AssignUniform(&b, p);
+      Graph g;
+      EXPECT_TRUE(b.Build(&g).ok());
+      return g;
+    }
+    case Shape::kTwoCommunities:
+      return testing::MakeTwoCommunities(p);
+    case Shape::kDiamond:
+      return testing::MakeGraph(
+          4, {{0, 1, p}, {0, 2, p}, {1, 3, p}, {2, 3, p}});
+    case Shape::kTree: {
+      GraphBuilder b;
+      GenBinaryTreeOut(2, &b);  // 7 nodes — inside the brute-force limit
+      AssignUniform(&b, p);
+      Graph g;
+      EXPECT_TRUE(b.Build(&g).ok());
+      return g;
+    }
+  }
+  return Graph();
+}
+
+// LT needs in-weight sums <= 1; all shapes above have max in-degree <= 2
+// except TwoCommunities (3), so cap p for LT cases at construction time.
+float CapForLT(Shape shape, DiffusionModel model, float p) {
+  if (model != DiffusionModel::kLT) return p;
+  if (shape == Shape::kTwoCommunities) return std::min(p, 0.33f);
+  return std::min(p, 0.5f);
+}
+
+double ExactSpread(const Graph& g, DiffusionModel model,
+                   const std::vector<NodeId>& seeds) {
+  double spread = 0;
+  Status status = model == DiffusionModel::kLT
+                      ? ExactSpreadLT(g, seeds, &spread)
+                      : ExactSpreadIC(g, seeds, &spread);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return spread;
+}
+
+class DiffusionPropertyTest : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  Graph graph_;
+  void SetUp() override {
+    const PropertyCase& c = GetParam();
+    graph_ = BuildShape(c.shape, CapForLT(c.shape, c.model, c.p));
+  }
+};
+
+TEST_P(DiffusionPropertyTest, Corollary1UnbiasedSpreadEstimator) {
+  const PropertyCase& c = GetParam();
+  // S = two spaced nodes (or one if the graph is tiny).
+  std::vector<NodeId> seeds = {0};
+  if (graph_.num_nodes() > 4) seeds.push_back(graph_.num_nodes() / 2);
+
+  const double exact = ExactSpread(graph_, c.model, seeds);
+
+  RRSampler sampler(graph_, c.model);
+  Rng rng(0xc0ffee ^ static_cast<uint64_t>(c.p * 1000));
+  RRCollection rr(graph_.num_nodes());
+  std::vector<NodeId> scratch;
+  const int theta = 120000;
+  for (int i = 0; i < theta; ++i) {
+    RRSampleInfo info = sampler.SampleRandomRoot(rng, &scratch);
+    rr.Add(scratch, info.width);
+  }
+  rr.BuildIndex();
+  ExpectClose(exact, rr.CoveredFraction(seeds) * graph_.num_nodes(), 0.03);
+}
+
+TEST_P(DiffusionPropertyTest, ForwardSimulationMatchesExactOracle) {
+  const PropertyCase& c = GetParam();
+  std::vector<NodeId> seeds = {0};
+  const double exact = ExactSpread(graph_, c.model, seeds);
+
+  SpreadEstimatorOptions options;
+  options.num_samples = 120000;
+  options.model = c.model;
+  SpreadEstimator estimator(graph_, options);
+  ExpectClose(exact, estimator.Estimate(seeds, 77), 0.03);
+}
+
+TEST_P(DiffusionPropertyTest, Equation7Sandwich) {
+  // (n/m)·EPT <= KPT(k) <= OPT for k = 2, all measured quantities.
+  const PropertyCase& c = GetParam();
+  if (graph_.num_edges() == 0) GTEST_SKIP();
+  const double n = graph_.num_nodes(), m = graph_.num_edges();
+
+  RRSampler sampler(graph_, c.model);
+  Rng rng(123);
+  std::vector<NodeId> scratch;
+  const int r = 60000;
+  double width_sum = 0, kappa_sum = 0;
+  const int k = 2;
+  for (int i = 0; i < r; ++i) {
+    RRSampleInfo info = sampler.SampleRandomRoot(rng, &scratch);
+    width_sum += static_cast<double>(info.width);
+    kappa_sum += 1.0 - std::pow(1.0 - info.width / m, k);
+  }
+  const double ept_bound = (n / m) * (width_sum / r);  // (n/m)·EPT
+  const double kpt = n * kappa_sum / r;                // Lemma 5
+
+  std::vector<NodeId> opt_seeds;
+  double opt = 0;
+  Status status = c.model == DiffusionModel::kLT
+                      ? BruteForceOptimalLT(graph_, k, &opt_seeds, &opt)
+                      : BruteForceOptimalIC(graph_, k, &opt_seeds, &opt);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  EXPECT_LE(ept_bound, kpt * 1.03 + 0.02) << "(n/m)EPT <= KPT violated";
+  EXPECT_LE(kpt, opt * 1.03 + 0.02) << "KPT <= OPT violated";
+}
+
+TEST_P(DiffusionPropertyTest, TimPlusMeetsApproximationGuarantee) {
+  const PropertyCase& c = GetParam();
+  const int k = 2;
+  std::vector<NodeId> opt_seeds;
+  double opt = 0;
+  Status status = c.model == DiffusionModel::kLT
+                      ? BruteForceOptimalLT(graph_, k, &opt_seeds, &opt)
+                      : BruteForceOptimalIC(graph_, k, &opt_seeds, &opt);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  TimOptions options;
+  options.k = k;
+  options.epsilon = 0.3;
+  options.model = c.model;
+  options.seed = 4242;
+  TimSolver solver(graph_);
+  TimResult result;
+  ASSERT_TRUE(solver.Run(options, &result).ok());
+
+  const double spread = ExactSpread(graph_, c.model, result.seeds);
+  EXPECT_GE(spread, (1.0 - 1.0 / std::exp(1.0) - 0.3) * opt - 1e-9)
+      << "spread=" << spread << " opt=" << opt;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndModels, DiffusionPropertyTest,
+    ::testing::Values(
+        PropertyCase{Shape::kChain, DiffusionModel::kIC, 0.5f},
+        PropertyCase{Shape::kChain, DiffusionModel::kLT, 0.5f},
+        PropertyCase{Shape::kChain, DiffusionModel::kIC, 0.9f},
+        PropertyCase{Shape::kStar, DiffusionModel::kIC, 0.3f},
+        PropertyCase{Shape::kStar, DiffusionModel::kLT, 0.3f},
+        PropertyCase{Shape::kCycle, DiffusionModel::kIC, 0.6f},
+        PropertyCase{Shape::kCycle, DiffusionModel::kLT, 0.6f},
+        PropertyCase{Shape::kTwoCommunities, DiffusionModel::kIC, 0.35f},
+        PropertyCase{Shape::kTwoCommunities, DiffusionModel::kLT, 0.3f},
+        PropertyCase{Shape::kDiamond, DiffusionModel::kIC, 0.5f},
+        PropertyCase{Shape::kDiamond, DiffusionModel::kLT, 0.4f},
+        PropertyCase{Shape::kTree, DiffusionModel::kIC, 0.7f},
+        PropertyCase{Shape::kTree, DiffusionModel::kLT, 0.5f}));
+
+// ------------------------------------------------- parallel node selection --
+
+TEST(ParallelSelectionTest, DeterministicGivenSeedAndThreads) {
+  Graph g = testing::MakeTwoCommunities(0.35f);
+  RRSampler s1(g, DiffusionModel::kIC), s2(g, DiffusionModel::kIC);
+  Rng rng1(9), rng2(9);
+  NodeSelection a = SelectNodesParallel(s1, 3, 20000, 4, rng1);
+  NodeSelection b = SelectNodesParallel(s2, 3, 20000, 4, rng2);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_DOUBLE_EQ(a.covered_fraction, b.covered_fraction);
+  EXPECT_EQ(a.edges_examined, b.edges_examined);
+}
+
+TEST(ParallelSelectionTest, SingleThreadFallbackMatchesSequential) {
+  Graph g = testing::MakeTwoCommunities(0.35f);
+  RRSampler s1(g, DiffusionModel::kIC), s2(g, DiffusionModel::kIC);
+  Rng rng1(10), rng2(10);
+  NodeSelection seq = SelectNodes(s1, 3, 10000, rng1);
+  NodeSelection par = SelectNodesParallel(s2, 3, 10000, 1, rng2);
+  EXPECT_EQ(seq.seeds, par.seeds);
+  EXPECT_DOUBLE_EQ(seq.covered_fraction, par.covered_fraction);
+}
+
+TEST(ParallelSelectionTest, MatchesSequentialQuality) {
+  // Different RNG schedules ⇒ possibly different seeds, but the estimated
+  // spreads must agree closely (both estimate the same maximization).
+  Graph g = testing::MakeTwoCommunities(0.35f);
+  RRSampler s1(g, DiffusionModel::kIC), s2(g, DiffusionModel::kIC);
+  Rng rng1(11), rng2(11);
+  NodeSelection seq = SelectNodes(s1, 2, 50000, rng1);
+  NodeSelection par = SelectNodesParallel(s2, 2, 50000, 3, rng2);
+  EXPECT_NEAR(seq.covered_fraction, par.covered_fraction,
+              0.05 * seq.covered_fraction + 0.005);
+}
+
+TEST(ParallelSelectionTest, TimSolverWithThreadsStaysCorrect) {
+  Graph g = testing::MakeTwoCommunities(0.35f);
+  double opt = 0;
+  std::vector<NodeId> opt_seeds;
+  ASSERT_TRUE(BruteForceOptimalIC(g, 2, &opt_seeds, &opt).ok());
+
+  TimOptions options;
+  options.k = 2;
+  options.epsilon = 0.3;
+  options.num_threads = 4;
+  options.seed = 12;
+  TimSolver solver(g);
+  TimResult result;
+  ASSERT_TRUE(solver.Run(options, &result).ok());
+  double spread = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, result.seeds, &spread).ok());
+  EXPECT_GE(spread, 0.9 * opt);
+
+  TimResult again;
+  ASSERT_TRUE(solver.Run(options, &again).ok());
+  EXPECT_EQ(result.seeds, again.seeds) << "threaded runs must reproduce";
+}
+
+TEST(ParallelSelectionTest, ThetaSplitCoversRemainder) {
+  Graph g = testing::MakeChain(5, 0.5f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(13);
+  // 10007 sets across 4 workers: 2501 + 3*2502 — total must be exact.
+  NodeSelection result = SelectNodesParallel(sampler, 1, 10007, 4, rng);
+  EXPECT_EQ(result.theta, 10007u);
+}
+
+}  // namespace
+}  // namespace timpp

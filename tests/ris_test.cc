@@ -1,0 +1,126 @@
+// Tests for baselines/ris.h — Borgs et al.'s threshold-based reverse
+// influence sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ris.h"
+#include "diffusion/exact_spread.h"
+#include "diffusion/triggering.h"
+#include "tests/test_util.h"
+
+namespace timpp {
+namespace {
+
+using testing::MakeOutStar;
+using testing::MakeTwoCommunities;
+
+RisOptions SmallOptions() {
+  RisOptions options;
+  options.epsilon = 0.3;
+  options.ell = 1.0;
+  options.tau_scale = 1.0;
+  options.seed = 515;
+  return options;
+}
+
+TEST(RisValidationTest, RejectsBadInputs) {
+  Graph g = MakeTwoCommunities(0.3f);
+  std::vector<NodeId> seeds;
+  RisOptions options = SmallOptions();
+  EXPECT_TRUE(RunRis(g, options, 0, &seeds, nullptr).IsInvalidArgument());
+  EXPECT_TRUE(RunRis(g, options, 100, &seeds, nullptr).IsInvalidArgument());
+  options.epsilon = 0.0;
+  EXPECT_TRUE(RunRis(g, options, 1, &seeds, nullptr).IsInvalidArgument());
+  options = SmallOptions();
+  options.model = DiffusionModel::kTriggering;
+  EXPECT_TRUE(RunRis(g, options, 1, &seeds, nullptr).IsInvalidArgument());
+}
+
+TEST(RisTest, StopsAtTauAndReportsCost) {
+  Graph g = MakeTwoCommunities(0.3f);
+  std::vector<NodeId> seeds;
+  RisStats stats;
+  ASSERT_TRUE(RunRis(g, SmallOptions(), 2, &seeds, &stats).ok());
+  EXPECT_EQ(seeds.size(), 2u);
+  EXPECT_GT(stats.tau, 0.0);
+  EXPECT_GE(static_cast<double>(stats.cost_examined), stats.tau)
+      << "sampling must continue until the cost threshold is crossed";
+  EXPECT_GT(stats.rr_sets_generated, 0u);
+  EXPECT_FALSE(stats.hit_set_cap);
+  EXPECT_GT(stats.covered_fraction, 0.0);
+}
+
+TEST(RisTest, TauScalesWithKAndEpsilon) {
+  Graph g = MakeTwoCommunities(0.3f);
+  std::vector<NodeId> seeds;
+  RisStats k1, k3, eps_tight;
+  ASSERT_TRUE(RunRis(g, SmallOptions(), 1, &seeds, &k1).ok());
+  ASSERT_TRUE(RunRis(g, SmallOptions(), 3, &seeds, &k3).ok());
+  EXPECT_NEAR(k3.tau, 3.0 * k1.tau, 1e-6);
+
+  RisOptions tight = SmallOptions();
+  tight.epsilon = 0.15;  // half of 0.3 -> tau x8 from the ε³ term
+  ASSERT_TRUE(RunRis(g, tight, 1, &seeds, &eps_tight).ok());
+  EXPECT_NEAR(eps_tight.tau, 8.0 * k1.tau, k1.tau * 1e-6);
+}
+
+TEST(RisTest, SetCapStopsEarly) {
+  Graph g = MakeTwoCommunities(0.3f);
+  RisOptions options = SmallOptions();
+  options.max_rr_sets = 10;
+  std::vector<NodeId> seeds;
+  RisStats stats;
+  ASSERT_TRUE(RunRis(g, options, 1, &seeds, &stats).ok());
+  EXPECT_TRUE(stats.hit_set_cap);
+  EXPECT_EQ(stats.rr_sets_generated, 10u);
+}
+
+TEST(RisTest, FindsTheHubOnAStar) {
+  Graph g = MakeOutStar(32, 0.8f);
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(RunRis(g, SmallOptions(), 1, &seeds, nullptr).ok());
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(RisTest, QualityOnTwoCommunities) {
+  Graph g = MakeTwoCommunities(0.35f);
+  const int k = 2;
+  double opt = 0;
+  std::vector<NodeId> opt_seeds;
+  ASSERT_TRUE(BruteForceOptimalIC(g, k, &opt_seeds, &opt).ok());
+
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(RunRis(g, SmallOptions(), k, &seeds, nullptr).ok());
+  double spread = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, seeds, &spread).ok());
+  EXPECT_GE(spread, (1.0 - 1.0 / std::exp(1.0) - 0.3) * opt);
+}
+
+TEST(RisTest, WorksUnderLTViaTriggeringExtension) {
+  // §4.2 notes RIS is IC-only as published; our implementation reuses the
+  // generalized RR sampler, mirroring how the paper extended it for the
+  // experiments.
+  Graph g = testing::MakeGraph(6, {{0, 1, 0.9f},
+                                   {1, 2, 0.9f},
+                                   {2, 3, 0.9f},
+                                   {4, 5, 0.1f},
+                                   {0, 4, 0.2f},
+                                   {3, 5, 0.3f}});
+  RisOptions options = SmallOptions();
+  options.model = DiffusionModel::kLT;
+  std::vector<NodeId> seeds;
+  ASSERT_TRUE(RunRis(g, options, 1, &seeds, nullptr).ok());
+  EXPECT_EQ(seeds[0], 0u) << "head of the high-weight chain dominates";
+}
+
+TEST(RisTest, DeterministicGivenSeed) {
+  Graph g = MakeTwoCommunities(0.35f);
+  std::vector<NodeId> a, b;
+  ASSERT_TRUE(RunRis(g, SmallOptions(), 2, &a, nullptr).ok());
+  ASSERT_TRUE(RunRis(g, SmallOptions(), 2, &b, nullptr).ok());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace timpp

@@ -1,0 +1,350 @@
+// Tests for rrset/: samplers (IC, LT, triggering) and RRCollection,
+// including the statistical lemmas that make RR sampling sound:
+// Lemma 2 / Corollary 1 (coverage fraction is an unbiased spread
+// estimator) and Lemma 4 ((n/m)·EPT = E[I({v*})]).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "diffusion/exact_spread.h"
+#include "diffusion/spread_estimator.h"
+#include "diffusion/triggering.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_sampler.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace timpp {
+namespace {
+
+using testing::ExpectClose;
+using testing::MakeChain;
+using testing::MakeGraph;
+using testing::MakeOutStar;
+using testing::MakeTwoCommunities;
+
+// ----------------------------------------------------------- IC sampling --
+
+TEST(RRSamplerICTest, DeterministicChainCollectsAllAncestors) {
+  Graph g = MakeChain(5, 1.0f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(1);
+  std::vector<NodeId> rr;
+  RRSampleInfo info = sampler.SampleForRoot(4, rng, &rr);
+  std::set<NodeId> members(rr.begin(), rr.end());
+  EXPECT_EQ(members, (std::set<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(info.root, 4u);
+}
+
+TEST(RRSamplerICTest, ZeroProbabilityYieldsSingletonRoot) {
+  Graph g = MakeChain(5, 0.0f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(1);
+  std::vector<NodeId> rr;
+  RRSampleInfo info = sampler.SampleForRoot(3, rng, &rr);
+  EXPECT_EQ(rr, (std::vector<NodeId>{3}));
+  EXPECT_EQ(info.edges_examined, 1u);  // 3's single in-edge was examined
+}
+
+TEST(RRSamplerICTest, SourceNodeHasEmptyInNeighborhood) {
+  Graph g = MakeChain(5, 1.0f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(1);
+  std::vector<NodeId> rr;
+  RRSampleInfo info = sampler.SampleForRoot(0, rng, &rr);
+  EXPECT_EQ(rr, (std::vector<NodeId>{0}));
+  EXPECT_EQ(info.edges_examined, 0u);
+}
+
+TEST(RRSamplerICTest, WidthIsInDegreeSumOfMembers) {
+  Graph g = MakeTwoCommunities(1.0f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(2);
+  std::vector<NodeId> rr;
+  for (int trial = 0; trial < 50; ++trial) {
+    RRSampleInfo info = sampler.SampleRandomRoot(rng, &rr);
+    uint64_t expected_width = 0;
+    for (NodeId v : rr) expected_width += g.InDegree(v);
+    EXPECT_EQ(info.width, expected_width);
+  }
+}
+
+TEST(RRSamplerICTest, MembersAreDistinct) {
+  Graph g = MakeTwoCommunities(0.8f);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(3);
+  std::vector<NodeId> rr;
+  for (int trial = 0; trial < 200; ++trial) {
+    sampler.SampleRandomRoot(rng, &rr);
+    std::set<NodeId> members(rr.begin(), rr.end());
+    EXPECT_EQ(members.size(), rr.size());
+  }
+}
+
+TEST(RRSamplerICTest, MembershipProbabilityMatchesActivationProbability) {
+  // Lemma 2 on a chain: P[0 ∈ RR(3)] must equal P[seed {0} activates 3]
+  // = p³.
+  const float p = 0.6f;
+  Graph g = MakeChain(4, p);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(4);
+  std::vector<NodeId> rr;
+  const int r = 200000;
+  int hits = 0;
+  for (int i = 0; i < r; ++i) {
+    sampler.SampleForRoot(3, rng, &rr);
+    if (std::find(rr.begin(), rr.end(), 0u) != rr.end()) ++hits;
+  }
+  ExpectClose(std::pow(p, 3), hits / static_cast<double>(r), 0.03, 0.01);
+}
+
+// ----------------------------------------------------------- LT sampling --
+
+TEST(RRSamplerLTTest, WalkIsAPath) {
+  Graph g = MakeTwoCommunities(0.2f);
+  RRSampler sampler(g, DiffusionModel::kLT);
+  Rng rng(5);
+  std::vector<NodeId> rr;
+  for (int trial = 0; trial < 200; ++trial) {
+    sampler.SampleRandomRoot(rng, &rr);
+    std::set<NodeId> members(rr.begin(), rr.end());
+    EXPECT_EQ(members.size(), rr.size()) << "LT RR set must be a simple walk";
+  }
+}
+
+TEST(RRSamplerLTTest, WeightOneChainWalksToSource) {
+  Graph g = MakeChain(5, 1.0f);
+  RRSampler sampler(g, DiffusionModel::kLT);
+  Rng rng(6);
+  std::vector<NodeId> rr;
+  sampler.SampleForRoot(4, rng, &rr);
+  EXPECT_EQ(rr, (std::vector<NodeId>{4, 3, 2, 1, 0}));
+}
+
+TEST(RRSamplerLTTest, MembershipMatchesLtActivationProbability) {
+  // Lemma 2 under LT: P[0 ∈ RR(2)] = P[{0} activates 2]. On the diamond
+  // 0->1 (.5), 0->2 (.3), 1->2 (.5): exact LT spread gives the target.
+  Graph g = MakeGraph(3, {{0, 1, 0.5f}, {0, 2, 0.3f}, {1, 2, 0.5f}});
+  double exact = 0;
+  ASSERT_TRUE(ExactSpreadLT(g, std::vector<NodeId>{0}, &exact).ok());
+  const double p_activate_2 = exact - 1.0 - 0.5;  // E[I] = 1 + P[1] + P[2]
+
+  RRSampler sampler(g, DiffusionModel::kLT);
+  Rng rng(7);
+  std::vector<NodeId> rr;
+  const int r = 300000;
+  int hits = 0;
+  for (int i = 0; i < r; ++i) {
+    sampler.SampleForRoot(2, rng, &rr);
+    if (std::find(rr.begin(), rr.end(), 0u) != rr.end()) ++hits;
+  }
+  ExpectClose(p_activate_2, hits / static_cast<double>(r), 0.03, 0.01);
+}
+
+// --------------------------------------------------- triggering sampling --
+
+TEST(RRSamplerTriggeringTest, IcTriggeringMatchesNativeIcStatistically) {
+  Graph g = MakeTwoCommunities(0.4f);
+  IcTriggeringModel model;
+  RRSampler native(g, DiffusionModel::kIC);
+  RRSampler generic(g, DiffusionModel::kTriggering, &model);
+  Rng rng_a(8), rng_b(9);
+  std::vector<NodeId> rr;
+  const int r = 100000;
+  double native_size = 0, generic_size = 0;
+  for (int i = 0; i < r; ++i) {
+    native.SampleRandomRoot(rng_a, &rr);
+    native_size += rr.size();
+    generic.SampleRandomRoot(rng_b, &rr);
+    generic_size += rr.size();
+  }
+  ExpectClose(native_size / r, generic_size / r, 0.02);
+}
+
+TEST(RRSamplerTriggeringTest, LtTriggeringMatchesNativeLtStatistically) {
+  Graph g = MakeGraph(5, {{0, 2, 0.5f},
+                          {1, 2, 0.5f},
+                          {2, 3, 0.7f},
+                          {0, 3, 0.3f},
+                          {3, 4, 1.0f}});
+  LtTriggeringModel model;
+  RRSampler native(g, DiffusionModel::kLT);
+  RRSampler generic(g, DiffusionModel::kTriggering, &model);
+  Rng rng_a(10), rng_b(11);
+  std::vector<NodeId> rr;
+  const int r = 200000;
+  double native_size = 0, generic_size = 0;
+  for (int i = 0; i < r; ++i) {
+    native.SampleRandomRoot(rng_a, &rr);
+    native_size += rr.size();
+    generic.SampleRandomRoot(rng_b, &rr);
+    generic_size += rr.size();
+  }
+  ExpectClose(native_size / r, generic_size / r, 0.02);
+}
+
+// ----------------------------------------------------------- Corollary 1 --
+
+TEST(RRStatisticalTest, CoverageFractionIsUnbiasedSpreadEstimatorIC) {
+  Graph g = MakeTwoCommunities(0.35f);
+  const std::vector<NodeId> seeds = {1, 6};
+  double exact = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, seeds, &exact).ok());
+
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(12);
+  RRCollection rr(g.num_nodes());
+  std::vector<NodeId> scratch;
+  const int theta = 200000;
+  for (int i = 0; i < theta; ++i) {
+    RRSampleInfo info = sampler.SampleRandomRoot(rng, &scratch);
+    rr.Add(scratch, info.width);
+  }
+  rr.BuildIndex();
+  const double estimate = rr.CoveredFraction(seeds) * g.num_nodes();
+  ExpectClose(exact, estimate, 0.02);
+}
+
+TEST(RRStatisticalTest, CoverageFractionIsUnbiasedSpreadEstimatorLT) {
+  Graph g = MakeGraph(5, {{0, 2, 0.5f},
+                          {1, 2, 0.5f},
+                          {2, 3, 0.7f},
+                          {0, 3, 0.3f},
+                          {3, 4, 1.0f}});
+  const std::vector<NodeId> seeds = {0};
+  double exact = 0;
+  ASSERT_TRUE(ExactSpreadLT(g, seeds, &exact).ok());
+
+  RRSampler sampler(g, DiffusionModel::kLT);
+  Rng rng(13);
+  RRCollection rr(g.num_nodes());
+  std::vector<NodeId> scratch;
+  const int theta = 200000;
+  for (int i = 0; i < theta; ++i) {
+    RRSampleInfo info = sampler.SampleRandomRoot(rng, &scratch);
+    rr.Add(scratch, info.width);
+  }
+  rr.BuildIndex();
+  const double estimate = rr.CoveredFraction(seeds) * g.num_nodes();
+  ExpectClose(exact, estimate, 0.02);
+}
+
+// --------------------------------------------------------------- Lemma 4 --
+
+TEST(RRStatisticalTest, Lemma4EptIdentity) {
+  // (n/m)·EPT = E[I({v*})] with v* drawn ∝ in-degree.
+  Graph g = MakeTwoCommunities(0.35f);
+  const double n = g.num_nodes(), m = g.num_edges();
+
+  // LHS: average RR width over many samples.
+  RRSampler sampler(g, DiffusionModel::kIC);
+  Rng rng(14);
+  std::vector<NodeId> scratch;
+  const int r = 200000;
+  double width_sum = 0;
+  for (int i = 0; i < r; ++i) {
+    width_sum += sampler.SampleRandomRoot(rng, &scratch).width;
+  }
+  const double lhs = (n / m) * (width_sum / r);
+
+  // RHS: exact spread of v*, averaged over the in-degree distribution.
+  double rhs = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InDegree(v) == 0) continue;
+    double spread = 0;
+    ASSERT_TRUE(ExactSpreadIC(g, std::vector<NodeId>{v}, &spread).ok());
+    rhs += (static_cast<double>(g.InDegree(v)) / m) * spread;
+  }
+  ExpectClose(rhs, lhs, 0.02);
+}
+
+// ------------------------------------------------------------ collection --
+
+TEST(RRCollectionTest, AddAndRetrieve) {
+  RRCollection rr(5);
+  std::vector<NodeId> s1 = {0, 2};
+  std::vector<NodeId> s2 = {1};
+  EXPECT_EQ(rr.Add(s1, 7), 0u);
+  EXPECT_EQ(rr.Add(s2, 3), 1u);
+  EXPECT_EQ(rr.num_sets(), 2u);
+  EXPECT_EQ(rr.total_nodes(), 3u);
+  EXPECT_EQ(rr.Width(0), 7u);
+  EXPECT_EQ(rr.Width(1), 3u);
+  EXPECT_EQ(rr.TotalWidth(), 10u);
+  EXPECT_EQ(std::vector<NodeId>(rr.Set(0).begin(), rr.Set(0).end()), s1);
+}
+
+TEST(RRCollectionTest, InvertedIndex) {
+  RRCollection rr(4);
+  rr.Add(std::vector<NodeId>{0, 1}, 0);
+  rr.Add(std::vector<NodeId>{1, 2}, 0);
+  rr.Add(std::vector<NodeId>{1}, 0);
+  rr.BuildIndex();
+  EXPECT_TRUE(rr.index_built());
+  EXPECT_EQ(rr.CoverageCount(0), 1u);
+  EXPECT_EQ(rr.CoverageCount(1), 3u);
+  EXPECT_EQ(rr.CoverageCount(2), 1u);
+  EXPECT_EQ(rr.CoverageCount(3), 0u);
+  auto sets = rr.SetsContaining(1);
+  EXPECT_EQ(std::vector<RRSetId>(sets.begin(), sets.end()),
+            (std::vector<RRSetId>{0, 1, 2}));
+}
+
+TEST(RRCollectionTest, AddAfterIndexInvalidates) {
+  RRCollection rr(3);
+  rr.Add(std::vector<NodeId>{0}, 0);
+  rr.BuildIndex();
+  rr.Add(std::vector<NodeId>{1}, 0);
+  EXPECT_FALSE(rr.index_built());
+}
+
+TEST(RRCollectionTest, CoveredFractionCountsDistinctSets) {
+  RRCollection rr(4);
+  rr.Add(std::vector<NodeId>{0, 1}, 0);
+  rr.Add(std::vector<NodeId>{1, 2}, 0);
+  rr.Add(std::vector<NodeId>{3}, 0);
+  rr.Add(std::vector<NodeId>{0, 2}, 0);
+  rr.BuildIndex();
+  // {0, 1} covers sets 0, 1, 3 — set 0 must not double-count.
+  EXPECT_DOUBLE_EQ(rr.CoveredFraction(std::vector<NodeId>{0, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(rr.CoveredFraction(std::vector<NodeId>{3}), 0.25);
+  EXPECT_DOUBLE_EQ(rr.CoveredFraction(std::vector<NodeId>{}), 0.0);
+}
+
+TEST(RRCollectionTest, ClearResetsEverything) {
+  RRCollection rr(3);
+  rr.Add(std::vector<NodeId>{0, 1, 2}, 9);
+  rr.BuildIndex();
+  rr.Clear();
+  EXPECT_EQ(rr.num_sets(), 0u);
+  EXPECT_EQ(rr.total_nodes(), 0u);
+  EXPECT_EQ(rr.TotalWidth(), 0u);
+  EXPECT_FALSE(rr.index_built());
+  // Reusable after Clear.
+  rr.Add(std::vector<NodeId>{1}, 2);
+  rr.BuildIndex();
+  EXPECT_EQ(rr.CoverageCount(1), 1u);
+}
+
+TEST(RRCollectionTest, MemoryBytesGrows) {
+  RRCollection rr(100);
+  const size_t before = rr.MemoryBytes();
+  std::vector<NodeId> big(50);
+  for (int i = 0; i < 100; ++i) rr.Add(big, 0);
+  rr.BuildIndex();
+  EXPECT_GT(rr.MemoryBytes(), before);
+  EXPECT_GE(rr.MemoryBytes(), 100 * 50 * sizeof(NodeId));
+}
+
+TEST(RRCollectionTest, EmptyCollectionEdgeCases) {
+  RRCollection rr(3);
+  rr.BuildIndex();
+  EXPECT_EQ(rr.num_sets(), 0u);
+  EXPECT_DOUBLE_EQ(rr.CoveredFraction(std::vector<NodeId>{0, 1, 2}), 0.0);
+  EXPECT_EQ(rr.CoverageCount(0), 0u);
+}
+
+}  // namespace
+}  // namespace timpp

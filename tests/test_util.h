@@ -1,0 +1,73 @@
+// Shared helpers for the timpp test suite: small canonical graphs and
+// statistical assertion helpers for Monte-Carlo comparisons.
+#ifndef TIMPP_TESTS_TEST_UTIL_H_
+#define TIMPP_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "util/types.h"
+
+namespace timpp {
+namespace testing {
+
+/// Builds a graph from explicit (from, to, prob) triples; aborts the test on
+/// builder failure.
+inline Graph MakeGraph(NodeId num_nodes,
+                       const std::vector<RawEdge>& edges) {
+  GraphBuilder builder;
+  builder.ReserveNodes(num_nodes);
+  for (const RawEdge& e : edges) builder.AddEdge(e.from, e.to, e.prob);
+  Graph g;
+  Status s = builder.Build(&g);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return g;
+}
+
+/// 0 -> 1 -> 2 -> ... with probability p on every edge.
+inline Graph MakeChain(NodeId n, float p) {
+  std::vector<RawEdge> edges;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1, p});
+  return MakeGraph(n, edges);
+}
+
+/// Hub 0 -> {1..n-1} with probability p on every spoke.
+inline Graph MakeOutStar(NodeId n, float p) {
+  std::vector<RawEdge> edges;
+  for (NodeId v = 1; v < n; ++v) edges.push_back({0, v, p});
+  return MakeGraph(n, edges);
+}
+
+/// A 10-node, 15-arc test network with two communities (0-4 dense, 5-9
+/// sparse) bridged by 4->5. Small enough for the exact IC oracle
+/// (15 <= 20 edges) yet structured enough that influence maximization has a
+/// non-trivial answer.
+inline Graph MakeTwoCommunities(float p) {
+  std::vector<RawEdge> edges = {
+      {0, 1, p}, {0, 2, p}, {1, 2, p}, {1, 3, p}, {2, 3, p},
+      {3, 4, p}, {2, 0, p}, {4, 0, p},                          // community A
+      {4, 5, p},                                                // bridge
+      {5, 6, p}, {6, 7, p}, {7, 8, p}, {8, 9, p}, {5, 8, p},
+      {9, 5, p},                                                // community B
+  };
+  return MakeGraph(10, edges);
+}
+
+/// EXPECT that two Monte-Carlo quantities agree within both an absolute
+/// floor and a relative band. MC tests in this suite use fixed seeds, so
+/// they are deterministic; the band just needs to absorb the sampling error
+/// of the chosen sample sizes.
+inline void ExpectClose(double expected, double actual, double rel_tol,
+                        double abs_tol = 0.05) {
+  const double tol = std::max(abs_tol, rel_tol * std::abs(expected));
+  EXPECT_NEAR(expected, actual, tol)
+      << "expected=" << expected << " actual=" << actual;
+}
+
+}  // namespace testing
+}  // namespace timpp
+
+#endif  // TIMPP_TESTS_TEST_UTIL_H_

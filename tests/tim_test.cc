@@ -1,0 +1,316 @@
+// End-to-end tests of TIM and TIM+ (core/tim.h): option validation,
+// determinism, stats plumbing, and — the headline — the (1-1/e-ε)
+// approximation guarantee checked against exhaustive optima under both IC
+// and LT, plus the general triggering-model path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/tim.h"
+#include "diffusion/exact_spread.h"
+#include "diffusion/triggering.h"
+#include "tests/test_util.h"
+
+namespace timpp {
+namespace {
+
+using testing::MakeChain;
+using testing::MakeOutStar;
+using testing::MakeTwoCommunities;
+
+TimOptions SmallOptions(int k, DiffusionModel model = DiffusionModel::kIC) {
+  TimOptions options;
+  options.k = k;
+  options.epsilon = 0.3;
+  options.ell = 1.0;
+  options.model = model;
+  options.seed = 7777;
+  return options;
+}
+
+// ------------------------------------------------------------ validation --
+
+TEST(TimValidationTest, RejectsEmptyGraph) {
+  Graph g;
+  TimSolver solver(g);
+  TimResult result;
+  EXPECT_TRUE(solver.Run(SmallOptions(1), &result).IsInvalidArgument());
+}
+
+TEST(TimValidationTest, RejectsBadK) {
+  Graph g = MakeChain(5, 0.5f);
+  TimSolver solver(g);
+  TimResult result;
+  EXPECT_TRUE(solver.Run(SmallOptions(0), &result).IsInvalidArgument());
+  EXPECT_TRUE(solver.Run(SmallOptions(-3), &result).IsInvalidArgument());
+  EXPECT_TRUE(solver.Run(SmallOptions(6), &result).IsInvalidArgument());
+}
+
+TEST(TimValidationTest, RejectsBadEpsilon) {
+  Graph g = MakeChain(5, 0.5f);
+  TimSolver solver(g);
+  TimResult result;
+  TimOptions options = SmallOptions(1);
+  options.epsilon = 0.0;
+  EXPECT_TRUE(solver.Run(options, &result).IsInvalidArgument());
+  options.epsilon = 1.5;
+  EXPECT_TRUE(solver.Run(options, &result).IsInvalidArgument());
+  options.epsilon = -0.1;
+  EXPECT_TRUE(solver.Run(options, &result).IsInvalidArgument());
+}
+
+TEST(TimValidationTest, RejectsBadEll) {
+  Graph g = MakeChain(5, 0.5f);
+  TimSolver solver(g);
+  TimResult result;
+  TimOptions options = SmallOptions(1);
+  options.ell = 0.0;
+  EXPECT_TRUE(solver.Run(options, &result).IsInvalidArgument());
+}
+
+TEST(TimValidationTest, TriggeringModelRequiresCustomModel) {
+  Graph g = MakeChain(5, 0.5f);
+  TimSolver solver(g);
+  TimResult result;
+  TimOptions options = SmallOptions(1, DiffusionModel::kTriggering);
+  EXPECT_TRUE(solver.Run(options, &result).IsInvalidArgument());
+}
+
+// --------------------------------------------------------- basic results --
+
+TEST(TimTest, ReturnsKDistinctSeeds) {
+  Graph g = MakeTwoCommunities(0.4f);
+  TimSolver solver(g);
+  TimResult result;
+  ASSERT_TRUE(solver.Run(SmallOptions(3), &result).ok());
+  EXPECT_EQ(result.seeds.size(), 3u);
+  std::set<NodeId> distinct(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  for (NodeId s : result.seeds) EXPECT_LT(s, g.num_nodes());
+}
+
+TEST(TimTest, DeterministicGivenSeed) {
+  Graph g = MakeTwoCommunities(0.4f);
+  TimSolver solver(g);
+  TimResult a, b;
+  ASSERT_TRUE(solver.Run(SmallOptions(2), &a).ok());
+  ASSERT_TRUE(solver.Run(SmallOptions(2), &b).ok());
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_DOUBLE_EQ(a.stats.kpt_star, b.stats.kpt_star);
+  EXPECT_EQ(a.stats.theta, b.stats.theta);
+}
+
+TEST(TimTest, DifferentSeedsMayDifferButStayValid) {
+  Graph g = MakeTwoCommunities(0.4f);
+  TimSolver solver(g);
+  TimOptions options = SmallOptions(2);
+  options.seed = 1;
+  TimResult a;
+  ASSERT_TRUE(solver.Run(options, &a).ok());
+  options.seed = 2;
+  TimResult b;
+  ASSERT_TRUE(solver.Run(options, &b).ok());
+  EXPECT_EQ(a.seeds.size(), b.seeds.size());
+}
+
+TEST(TimTest, StatsAreInternallyConsistent) {
+  Graph g = MakeTwoCommunities(0.4f);
+  TimSolver solver(g);
+  TimResult result;
+  ASSERT_TRUE(solver.Run(SmallOptions(2), &result).ok());
+  const TimStats& s = result.stats;
+  EXPECT_GT(s.lambda, 0.0);
+  EXPECT_GT(s.kpt_star, 0.0);
+  EXPECT_GE(s.kpt_plus, s.kpt_star);
+  // θ = ceil(λ / KPT+).
+  EXPECT_EQ(s.theta, static_cast<uint64_t>(std::ceil(s.lambda / s.kpt_plus)));
+  EXPECT_GT(s.rr_sets_kpt, 0u);
+  EXPECT_GE(s.seconds_total, 0.0);
+  EXPECT_GT(s.rr_memory_bytes, 0u);
+  EXPECT_GT(s.estimated_spread, 0.0);
+  EXPECT_LE(s.estimated_spread, g.num_nodes());
+  // ℓ was adjusted upward for the union bound.
+  EXPECT_GT(s.ell_used, 1.0);
+}
+
+TEST(TimTest, PlainTimSkipsRefinement) {
+  Graph g = MakeTwoCommunities(0.4f);
+  TimSolver solver(g);
+  TimOptions options = SmallOptions(2);
+  options.use_refinement = false;
+  TimResult result;
+  ASSERT_TRUE(solver.Run(options, &result).ok());
+  EXPECT_EQ(result.stats.theta_prime, 0u);
+  EXPECT_DOUBLE_EQ(result.stats.kpt_plus, result.stats.kpt_star);
+  EXPECT_DOUBLE_EQ(result.stats.seconds_kpt_refinement, 0.0);
+}
+
+TEST(TimTest, TimPlusThetaNeverLargerThanTims) {
+  Graph g = MakeOutStar(128, 0.8f);
+  TimSolver solver(g);
+  TimOptions tim = SmallOptions(1);
+  tim.use_refinement = false;
+  tim.adjust_ell = false;  // equalize λ between the two runs
+  TimOptions tim_plus = tim;
+  tim_plus.use_refinement = true;
+  TimResult r_tim, r_plus;
+  ASSERT_TRUE(solver.Run(tim, &r_tim).ok());
+  ASSERT_TRUE(solver.Run(tim_plus, &r_plus).ok());
+  EXPECT_LE(r_plus.stats.theta, r_tim.stats.theta)
+      << "KPT+ >= KPT* must shrink θ";
+}
+
+// ------------------------------------------------- approximation quality --
+
+// The paper's guarantee is probabilistic ((1-1/e-ε) with prob 1-n^-ℓ); on
+// these tiny graphs the guarantee holds deterministically for the fixed
+// seeds used here, and exact oracles let us verify it outright.
+TEST(TimQualityTest, MeetsGuaranteeOnTwoCommunitiesIC) {
+  Graph g = MakeTwoCommunities(0.35f);
+  for (int k : {1, 2, 3}) {
+    double opt = 0;
+    std::vector<NodeId> opt_seeds;
+    ASSERT_TRUE(BruteForceOptimalIC(g, k, &opt_seeds, &opt).ok());
+
+    TimSolver solver(g);
+    TimResult result;
+    ASSERT_TRUE(solver.Run(SmallOptions(k), &result).ok());
+    double spread = 0;
+    ASSERT_TRUE(ExactSpreadIC(g, result.seeds, &spread).ok());
+    EXPECT_GE(spread, (1.0 - 1.0 / std::exp(1.0) - 0.3) * opt)
+        << "k=" << k << " spread=" << spread << " opt=" << opt;
+    // In practice TIM+ is near-optimal on graphs this small.
+    EXPECT_GE(spread, 0.9 * opt) << "k=" << k;
+  }
+}
+
+TEST(TimQualityTest, MeetsGuaranteeOnStarIC) {
+  Graph g = MakeOutStar(10, 0.5f);
+  double opt = 0;
+  std::vector<NodeId> opt_seeds;
+  ASSERT_TRUE(BruteForceOptimalIC(g, 1, &opt_seeds, &opt).ok());
+
+  TimSolver solver(g);
+  TimResult result;
+  ASSERT_TRUE(solver.Run(SmallOptions(1), &result).ok());
+  EXPECT_EQ(result.seeds[0], 0u) << "the hub is the unique optimum";
+  double spread = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, result.seeds, &spread).ok());
+  EXPECT_NEAR(spread, opt, 1e-9);
+}
+
+TEST(TimQualityTest, MeetsGuaranteeUnderLT) {
+  Graph g = testing::MakeGraph(6, {{0, 1, 0.8f},
+                                   {1, 2, 0.8f},
+                                   {0, 3, 0.4f},
+                                   {3, 4, 0.9f},
+                                   {4, 5, 0.9f},
+                                   {2, 5, 0.1f}});
+  for (int k : {1, 2}) {
+    double opt = 0;
+    std::vector<NodeId> opt_seeds;
+    ASSERT_TRUE(BruteForceOptimalLT(g, k, &opt_seeds, &opt).ok());
+
+    TimSolver solver(g);
+    TimResult result;
+    ASSERT_TRUE(solver.Run(SmallOptions(k, DiffusionModel::kLT), &result).ok());
+    double spread = 0;
+    ASSERT_TRUE(ExactSpreadLT(g, result.seeds, &spread).ok());
+    EXPECT_GE(spread, (1.0 - 1.0 / std::exp(1.0) - 0.3) * opt)
+        << "k=" << k << " spread=" << spread << " opt=" << opt;
+  }
+}
+
+TEST(TimQualityTest, CustomTriggeringModelMatchesIcResult) {
+  // Running TIM with IC-as-triggering must select seeds of the same
+  // quality as the native IC path (not necessarily identical sets, since
+  // RNG streams differ).
+  Graph g = MakeTwoCommunities(0.35f);
+  IcTriggeringModel model;
+  TimSolver solver(g);
+
+  TimOptions native = SmallOptions(2);
+  TimResult native_result;
+  ASSERT_TRUE(solver.Run(native, &native_result).ok());
+
+  TimOptions triggering = SmallOptions(2, DiffusionModel::kTriggering);
+  triggering.custom_model = &model;
+  TimResult trig_result;
+  ASSERT_TRUE(solver.Run(triggering, &trig_result).ok());
+
+  double native_spread = 0, trig_spread = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, native_result.seeds, &native_spread).ok());
+  ASSERT_TRUE(ExactSpreadIC(g, trig_result.seeds, &trig_spread).ok());
+  EXPECT_NEAR(native_spread, trig_spread, 0.15 * native_spread);
+}
+
+TEST(TimQualityTest, EstimatedSpreadTracksExactSpread) {
+  // Corollary 1 consequence: the solver's n·F_R(S) estimate should land
+  // near the exact spread of the returned set.
+  Graph g = MakeTwoCommunities(0.35f);
+  TimSolver solver(g);
+  TimResult result;
+  ASSERT_TRUE(solver.Run(SmallOptions(2), &result).ok());
+  double exact = 0;
+  ASSERT_TRUE(ExactSpreadIC(g, result.seeds, &exact).ok());
+  EXPECT_NEAR(result.stats.estimated_spread, exact, 0.15 * exact + 0.2);
+}
+
+// Parameterized ε sweep: tightening ε must not break anything and must
+// increase θ (more RR sets for more accuracy).
+class TimEpsilonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TimEpsilonSweep, RunsAndThetaScalesInverseSquared) {
+  Graph g = MakeTwoCommunities(0.35f);
+  TimSolver solver(g);
+  TimOptions options = SmallOptions(2);
+  options.epsilon = GetParam();
+  TimResult result;
+  ASSERT_TRUE(solver.Run(options, &result).ok());
+  EXPECT_EQ(result.seeds.size(), 2u);
+
+  if (GetParam() <= 0.5) {
+    TimOptions looser = options;
+    looser.epsilon = GetParam() * 2.0;
+    TimResult loose_result;
+    ASSERT_TRUE(solver.Run(looser, &loose_result).ok());
+    EXPECT_GT(result.stats.theta, loose_result.stats.theta)
+        << "halving ε must increase θ";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, TimEpsilonSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.5, 1.0));
+
+// Parameterized k sweep on a mid-size synthetic graph: structural checks
+// that hold for any k.
+class TimKSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimKSweep, SeedsDistinctAndSpreadMonotonicInK) {
+  Graph g = MakeTwoCommunities(0.35f);
+  TimSolver solver(g);
+  TimResult result;
+  TimOptions options = SmallOptions(GetParam());
+  ASSERT_TRUE(solver.Run(options, &result).ok());
+  std::set<NodeId> distinct(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(distinct.size(), result.seeds.size());
+
+  if (GetParam() > 1) {
+    TimOptions smaller = options;
+    smaller.k = GetParam() - 1;
+    TimResult prev;
+    ASSERT_TRUE(solver.Run(smaller, &prev).ok());
+    double spread_k = 0, spread_prev = 0;
+    ASSERT_TRUE(ExactSpreadIC(g, result.seeds, &spread_k).ok());
+    ASSERT_TRUE(ExactSpreadIC(g, prev.seeds, &spread_prev).ok());
+    EXPECT_GE(spread_k, spread_prev - 0.05)
+        << "spread must not decrease when k grows";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TimKSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace timpp

@@ -1,0 +1,153 @@
+// Tests for the time-critical (bounded-horizon) extension: max_hops in the
+// simulators, the RR sampler, the spread estimator and TIM itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/tim.h"
+#include "diffusion/ic_simulator.h"
+#include "diffusion/lt_simulator.h"
+#include "diffusion/spread_estimator.h"
+#include "rrset/rr_sampler.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace timpp {
+namespace {
+
+using testing::ExpectClose;
+using testing::MakeChain;
+using testing::MakeGraph;
+
+TEST(TimeCriticalSimulatorTest, IcChainStopsAtHorizon) {
+  Graph g = MakeChain(10, 1.0f);  // deterministic propagation
+  IcSimulator sim(g);
+  Rng rng(1);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(sim.Simulate(seeds, rng, 0), 10u);   // unlimited
+  EXPECT_EQ(sim.Simulate(seeds, rng, 1), 2u);    // seed + 1 round
+  EXPECT_EQ(sim.Simulate(seeds, rng, 3), 4u);
+  EXPECT_EQ(sim.Simulate(seeds, rng, 99), 10u);  // horizon beyond diameter
+}
+
+TEST(TimeCriticalSimulatorTest, LtChainStopsAtHorizon) {
+  Graph g = MakeChain(10, 1.0f);
+  LtSimulator sim(g);
+  Rng rng(2);
+  std::vector<NodeId> seeds = {0};
+  EXPECT_EQ(sim.Simulate(seeds, rng, 0), 10u);
+  EXPECT_EQ(sim.Simulate(seeds, rng, 2), 3u);
+}
+
+TEST(TimeCriticalSimulatorTest, MultiSourceRoundsCountFromAllSeeds) {
+  // Seeds 0 and 5 on a p=1 chain: after 1 round, {0,1,5,6} are active.
+  Graph g = MakeChain(10, 1.0f);
+  IcSimulator sim(g);
+  Rng rng(3);
+  std::vector<NodeId> seeds = {0, 5};
+  EXPECT_EQ(sim.Simulate(seeds, rng, 1), 4u);
+}
+
+TEST(TimeCriticalSimulatorTest, BoundedMeanMatchesClosedForm) {
+  // E[I_2({0})] on a p-chain = 1 + p + p².
+  const double p = 0.5;
+  Graph g = MakeChain(8, 0.5f);
+  SpreadEstimatorOptions options;
+  options.num_samples = 200000;
+  options.max_hops = 2;
+  SpreadEstimator estimator(g, options);
+  ExpectClose(1 + p + p * p, estimator.Estimate(std::vector<NodeId>{0}, 7),
+              0.01);
+}
+
+TEST(TimeCriticalSamplerTest, DepthBoundedRRSetOnChain) {
+  Graph g = MakeChain(10, 1.0f);
+  RRSampler sampler(g, DiffusionModel::kIC, nullptr, /*max_hops=*/2);
+  Rng rng(4);
+  std::vector<NodeId> rr;
+  sampler.SampleForRoot(9, rng, &rr);
+  std::sort(rr.begin(), rr.end());
+  EXPECT_EQ(rr, (std::vector<NodeId>{7, 8, 9}))
+      << "depth-2 RR set must stop two hops upstream";
+}
+
+TEST(TimeCriticalSamplerTest, LtWalkBounded) {
+  Graph g = MakeChain(10, 1.0f);
+  RRSampler sampler(g, DiffusionModel::kLT, nullptr, /*max_hops=*/3);
+  Rng rng(5);
+  std::vector<NodeId> rr;
+  sampler.SampleForRoot(9, rng, &rr);
+  EXPECT_EQ(rr.size(), 4u);  // root + 3 steps
+}
+
+TEST(TimeCriticalSamplerTest, MembershipMatchesBoundedActivation) {
+  // Depth-d Lemma 2: P[u ∈ RR_d(v)] = P[{u} activates v within d rounds].
+  // On a p-chain, P[0 activates 3 within 2 rounds] = 0 (3 hops away), and
+  // P[1 activates 3 within 2] = p².
+  const float p = 0.7f;
+  Graph g = MakeChain(4, p);
+  RRSampler sampler(g, DiffusionModel::kIC, nullptr, /*max_hops=*/2);
+  Rng rng(6);
+  std::vector<NodeId> rr;
+  const int r = 100000;
+  int hits0 = 0, hits1 = 0;
+  for (int i = 0; i < r; ++i) {
+    sampler.SampleForRoot(3, rng, &rr);
+    hits0 += std::find(rr.begin(), rr.end(), 0u) != rr.end();
+    hits1 += std::find(rr.begin(), rr.end(), 1u) != rr.end();
+  }
+  EXPECT_EQ(hits0, 0);
+  ExpectClose(p * p, hits1 / static_cast<double>(r), 0.03, 0.01);
+}
+
+TEST(TimeCriticalTimTest, HorizonChangesTheOptimalSeed) {
+  // A long p=1 chain (head spread = 8 unlimited) vs a hub with 5 spokes
+  // (spread 6). Unlimited TIM must take the chain head; with a 1-round
+  // deadline the chain head only reaches 2 nodes and the hub wins.
+  std::vector<RawEdge> edges;
+  for (NodeId v = 0; v + 1 < 8; ++v) edges.push_back({v, v + 1, 1.0f});
+  for (NodeId s = 9; s <= 13; ++s) edges.push_back({8, s, 1.0f});
+  Graph g = testing::MakeGraph(14, edges);
+
+  TimOptions options;
+  options.k = 1;
+  options.epsilon = 0.2;
+  options.seed = 99;
+  TimSolver solver(g);
+
+  TimResult unlimited;
+  ASSERT_TRUE(solver.Run(options, &unlimited).ok());
+  EXPECT_EQ(unlimited.seeds[0], 0u);
+
+  options.max_hops = 1;
+  TimResult deadline;
+  ASSERT_TRUE(solver.Run(options, &deadline).ok());
+  EXPECT_EQ(deadline.seeds[0], 8u)
+      << "with a 1-round deadline the 5-spoke hub beats the chain head";
+}
+
+TEST(TimeCriticalTimTest, BoundedSpreadEstimateIsConsistent) {
+  Graph g = testing::MakeTwoCommunities(0.4f);
+  TimOptions options;
+  options.k = 2;
+  options.epsilon = 0.3;
+  options.max_hops = 2;
+  options.seed = 5;
+  TimSolver solver(g);
+  TimResult result;
+  ASSERT_TRUE(solver.Run(options, &result).ok());
+
+  SpreadEstimatorOptions est;
+  est.num_samples = 200000;
+  est.max_hops = 2;
+  SpreadEstimator estimator(g, est);
+  const double bounded_spread = estimator.Estimate(result.seeds, 8);
+  EXPECT_NEAR(result.stats.estimated_spread, bounded_spread,
+              0.1 * bounded_spread + 0.2)
+      << "n*F_R(S) over depth-bounded RR sets must estimate the bounded "
+         "spread";
+}
+
+}  // namespace
+}  // namespace timpp

@@ -1,0 +1,156 @@
+// Unit tests for graph/weight_models.h and graph/graph_stats.h.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/weight_models.h"
+#include "tests/test_util.h"
+
+namespace timpp {
+namespace {
+
+TEST(WeightModelsTest, WeightedCascadeIsOneOverInDegree) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 2);
+  builder.AddEdge(0, 1);
+  AssignWeightedCascade(&builder);
+  Graph g;
+  ASSERT_TRUE(builder.Build(&g).ok());
+  // Node 2 has indegree 3 -> each incoming edge gets 1/3.
+  for (const Arc& a : g.InArcs(2)) EXPECT_FLOAT_EQ(a.prob, 1.0f / 3.0f);
+  // Node 1 has indegree 1 -> probability 1.
+  EXPECT_FLOAT_EQ(g.InArcs(1)[0].prob, 1.0f);
+}
+
+TEST(WeightModelsTest, UniformSetsEveryEdge) {
+  GraphBuilder builder;
+  GenDirectedCycle(5, &builder);
+  AssignUniform(&builder, 0.05f);
+  Graph g;
+  ASSERT_TRUE(builder.Build(&g).ok());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Arc& a : g.OutArcs(v)) EXPECT_FLOAT_EQ(a.prob, 0.05f);
+  }
+}
+
+TEST(WeightModelsTest, TrivalencyUsesOnlyThreeLevels) {
+  GraphBuilder builder;
+  GenErdosRenyi(50, 300, /*seed=*/1, &builder);
+  AssignTrivalency(&builder, /*seed=*/2);
+  Graph g;
+  ASSERT_TRUE(builder.Build(&g).ok());
+  std::set<float> seen;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const Arc& a : g.OutArcs(v)) seen.insert(a.prob);
+  }
+  EXPECT_LE(seen.size(), 3u);
+  for (float p : seen) {
+    EXPECT_TRUE(p == 0.1f || p == 0.01f || p == 0.001f) << p;
+  }
+  EXPECT_EQ(seen.size(), 3u) << "300 edges should hit all three levels";
+}
+
+TEST(WeightModelsTest, TrivalencyIsDeterministicInSeed) {
+  GraphBuilder b1, b2;
+  GenErdosRenyi(30, 100, 1, &b1);
+  GenErdosRenyi(30, 100, 1, &b2);
+  AssignTrivalency(&b1, 9);
+  AssignTrivalency(&b2, 9);
+  for (size_t i = 0; i < b1.edges().size(); ++i) {
+    EXPECT_FLOAT_EQ(b1.edges()[i].prob, b2.edges()[i].prob);
+  }
+}
+
+TEST(WeightModelsTest, RandomLTWeightsSumToOnePerNode) {
+  GraphBuilder builder;
+  GenErdosRenyi(40, 200, /*seed=*/3, &builder);
+  AssignRandomLT(&builder, /*seed=*/4);
+  Graph g;
+  ASSERT_TRUE(builder.Build(&g).ok());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InDegree(v) == 0) continue;
+    EXPECT_NEAR(g.InProbSum(v), 1.0, 1e-4) << "node " << v;
+  }
+}
+
+TEST(WeightModelsTest, UniformLTMatchesWeightedCascadeArithmetic) {
+  GraphBuilder b1, b2;
+  GenErdosRenyi(20, 60, 5, &b1);
+  GenErdosRenyi(20, 60, 5, &b2);
+  AssignWeightedCascade(&b1);
+  AssignUniformLT(&b2);
+  for (size_t i = 0; i < b1.edges().size(); ++i) {
+    EXPECT_FLOAT_EQ(b1.edges()[i].prob, b2.edges()[i].prob);
+  }
+}
+
+// ----------------------------------------------------------- graph stats --
+
+TEST(GraphStatsTest, ChainStats) {
+  Graph g = testing::MakeChain(5, 1.0f);
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 5u);
+  EXPECT_EQ(stats.num_edges, 4u);
+  EXPECT_EQ(stats.max_out_degree, 1u);
+  EXPECT_EQ(stats.max_in_degree, 1u);
+  EXPECT_EQ(stats.num_isolated, 0u);
+  EXPECT_EQ(stats.num_weak_components, 1u);
+  EXPECT_EQ(stats.largest_weak_component, 5u);
+}
+
+TEST(GraphStatsTest, DisconnectedComponentsCounted) {
+  Graph g = testing::MakeGraph(6, {{0, 1, 1.0f}, {2, 3, 1.0f}});
+  GraphStats stats = ComputeGraphStats(g);
+  // {0,1}, {2,3}, {4}, {5} -> 4 weak components, two isolated nodes.
+  EXPECT_EQ(stats.num_weak_components, 4u);
+  EXPECT_EQ(stats.num_isolated, 2u);
+  EXPECT_EQ(stats.largest_weak_component, 2u);
+}
+
+TEST(GraphStatsTest, WeakComponentsIgnoreDirection) {
+  // 0 -> 1 <- 2: weakly connected despite no directed path 0..2.
+  Graph g = testing::MakeGraph(3, {{0, 1, 1.0f}, {2, 1, 1.0f}});
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_weak_components, 1u);
+}
+
+TEST(GraphStatsTest, OutDegreeHistogram) {
+  Graph g = testing::MakeOutStar(5, 1.0f);  // center degree 4, leaves 0
+  auto hist = OutDegreeHistogram(g, 10);
+  EXPECT_EQ(hist[0], 4u);
+  EXPECT_EQ(hist[4], 1u);
+}
+
+TEST(GraphStatsTest, HistogramTailTruncates) {
+  Graph g = testing::MakeOutStar(10, 1.0f);  // center degree 9
+  auto hist = OutDegreeHistogram(g, 3);
+  EXPECT_EQ(hist[3], 1u);  // the degree-9 hub lands in the last bucket
+}
+
+TEST(GraphStatsTest, Table2RowDirectedConvention) {
+  Graph g = testing::MakeChain(4, 1.0f);  // 3 arcs
+  std::string row = FormatTable2Row("Toy", g, /*undirected=*/false);
+  EXPECT_NE(row.find("Toy"), std::string::npos);
+  EXPECT_NE(row.find("directed"), std::string::npos);
+  // avg degree = 2m/n = 6/4 = 1.5
+  EXPECT_NE(row.find("1.5"), std::string::npos);
+}
+
+TEST(GraphStatsTest, Table2RowUndirectedHalvesArcCount) {
+  GraphBuilder builder;
+  builder.AddUndirectedEdge(0, 1);
+  builder.AddUndirectedEdge(1, 2);
+  Graph g;
+  ASSERT_TRUE(builder.Build(&g).ok());
+  std::string row = FormatTable2Row("U", g, /*undirected=*/true);
+  EXPECT_NE(row.find("undirected"), std::string::npos);
+  // m reported = 2 (not 4 arcs); avg degree = 2*2/3 = 1.3
+  EXPECT_NE(row.find(" 2 "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace timpp

@@ -1,0 +1,250 @@
+// Tests for node-weighted influence maximization: the alias-table
+// substrate, weighted RR-root sampling, the weighted spread estimator and
+// weighted IMM end to end.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/imm.h"
+#include "diffusion/spread_estimator.h"
+#include "rrset/rr_sampler.h"
+#include "tests/test_util.h"
+#include "util/alias_table.h"
+#include "util/rng.h"
+
+namespace timpp {
+namespace {
+
+using testing::ExpectClose;
+using testing::MakeChain;
+using testing::MakeGraph;
+
+// -------------------------------------------------------------- alias --
+
+TEST(AliasTableTest, EmptyAndAllZero) {
+  AliasTable empty;
+  EXPECT_TRUE(empty.empty());
+  AliasTable zeros(std::vector<double>{0.0, 0.0});
+  EXPECT_TRUE(zeros.empty());
+  Rng rng(1);
+  EXPECT_EQ(zeros.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, SingletonAlwaysSampled) {
+  AliasTable table(std::vector<double>{3.5});
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(table.total_weight(), 3.5);
+}
+
+TEST(AliasTableTest, MatchesDistribution) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int r = 400000;
+  for (int i = 0; i < r; ++i) ++counts[table.Sample(rng)];
+  for (int i = 0; i < 4; ++i) {
+    ExpectClose(weights[i] / 10.0, counts[i] / static_cast<double>(r), 0.02,
+                0.005);
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightEntriesNeverSampled) {
+  AliasTable table(std::vector<double>{1.0, 0.0, 1.0, 0.0});
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i) {
+    const uint32_t s = table.Sample(rng);
+    EXPECT_TRUE(s == 0 || s == 2) << s;
+  }
+}
+
+TEST(AliasTableTest, HighlySkewedDistribution) {
+  std::vector<double> weights(100, 1e-6);
+  weights[42] = 1.0;
+  AliasTable table(weights);
+  Rng rng(5);
+  int hits = 0;
+  const int r = 100000;
+  for (int i = 0; i < r; ++i) hits += table.Sample(rng) == 42;
+  EXPECT_GT(hits / static_cast<double>(r), 0.99);
+}
+
+// ------------------------------------------------- weighted RR sampling --
+
+TEST(WeightedRootTest, RootsFollowTheInstalledDistribution) {
+  Graph g = MakeChain(4, 0.5f);
+  const std::vector<double> weights = {0.0, 0.0, 0.0, 1.0};
+  AliasTable roots(weights);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  sampler.SetRootDistribution(&roots);
+  Rng rng(6);
+  std::vector<NodeId> rr;
+  for (int i = 0; i < 200; ++i) {
+    RRSampleInfo info = sampler.SampleRandomRoot(rng, &rr);
+    EXPECT_EQ(info.root, 3u);
+  }
+  sampler.SetRootDistribution(nullptr);  // uniform again
+  bool saw_other = false;
+  for (int i = 0; i < 200; ++i) {
+    saw_other |= sampler.SampleRandomRoot(rng, &rr).root != 3u;
+  }
+  EXPECT_TRUE(saw_other);
+}
+
+TEST(WeightedRootTest, WeightedCoverageEstimatesWeightedSpread) {
+  // W·F_R(S) must estimate Σ_v w(v)·P[S activates v]. On a 0.5-chain with
+  // seed {0}: P[v activated] = 0.5^v, so with weights (1, 0, 0, 8) the
+  // weighted spread is 1 + 8·0.125 = 2.
+  Graph g = MakeChain(4, 0.5f);
+  const std::vector<double> weights = {1.0, 0.0, 0.0, 8.0};
+  AliasTable roots(weights);
+  RRSampler sampler(g, DiffusionModel::kIC);
+  sampler.SetRootDistribution(&roots);
+  Rng rng(7);
+  std::vector<NodeId> rr;
+  const int r = 300000;
+  int covered = 0;
+  const std::vector<NodeId> seeds = {0};
+  for (int i = 0; i < r; ++i) {
+    sampler.SampleRandomRoot(rng, &rr);
+    for (NodeId v : rr) {
+      if (v == 0) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  const double estimate =
+      roots.total_weight() * covered / static_cast<double>(r);
+  ExpectClose(2.0, estimate, 0.02);
+}
+
+// ---------------------------------------------------- weighted estimator --
+
+TEST(WeightedSpreadEstimatorTest, MatchesClosedFormIC) {
+  Graph g = MakeChain(4, 0.5f);
+  const std::vector<double> weights = {1.0, 0.0, 0.0, 8.0};
+  SpreadEstimatorOptions options;
+  options.num_samples = 300000;
+  options.node_weights = &weights;
+  SpreadEstimator estimator(g, options);
+  ExpectClose(2.0, estimator.Estimate(std::vector<NodeId>{0}, 8), 0.02);
+}
+
+TEST(WeightedSpreadEstimatorTest, MatchesUnweightedWhenAllOnes) {
+  Graph g = testing::MakeTwoCommunities(0.35f);
+  const std::vector<double> ones(g.num_nodes(), 1.0);
+  SpreadEstimatorOptions weighted;
+  weighted.num_samples = 100000;
+  weighted.node_weights = &ones;
+  SpreadEstimatorOptions plain = weighted;
+  plain.node_weights = nullptr;
+  const std::vector<NodeId> seeds = {0, 6};
+  const double a = SpreadEstimator(g, weighted).Estimate(seeds, 9);
+  const double b = SpreadEstimator(g, plain).Estimate(seeds, 9);
+  ExpectClose(b, a, 0.02);
+}
+
+TEST(WeightedSpreadEstimatorTest, WeightedLTPath) {
+  // Weighted LT routes through the triggering adapter; check against the
+  // chain closed form with weight only on the last node.
+  Graph g = MakeChain(4, 0.6f);
+  std::vector<double> weights(4, 0.0);
+  weights[3] = 10.0;
+  SpreadEstimatorOptions options;
+  options.num_samples = 300000;
+  options.model = DiffusionModel::kLT;
+  options.node_weights = &weights;
+  SpreadEstimator estimator(g, options);
+  ExpectClose(10.0 * 0.6 * 0.6 * 0.6,
+              estimator.Estimate(std::vector<NodeId>{0}, 10), 0.03);
+}
+
+// -------------------------------------------------------- weighted IMM --
+
+TEST(WeightedImmTest, ValidatesWeights) {
+  Graph g = MakeChain(4, 0.5f);
+  ImmOptions options;
+  options.k = 1;
+  options.epsilon = 0.3;
+  ImmResult result;
+  std::vector<double> bad_size = {1.0};
+  options.node_weights = &bad_size;
+  EXPECT_TRUE(RunImm(g, options, &result).IsInvalidArgument());
+  std::vector<double> negative = {1.0, -1.0, 1.0, 1.0};
+  options.node_weights = &negative;
+  EXPECT_TRUE(RunImm(g, options, &result).IsInvalidArgument());
+  std::vector<double> zeros(4, 0.0);
+  options.node_weights = &zeros;
+  EXPECT_TRUE(RunImm(g, options, &result).IsInvalidArgument());
+}
+
+TEST(WeightedImmTest, WeightsRedirectTheChoice) {
+  // Two separate deterministic chains: A = 0->1->2, B = 3->4->5. The
+  // weight mass sits on nodes 4 AND 5, so the head of chain B captures
+  // strictly more weight (w3+w4+w5) than seeding either heavy node
+  // directly — the weighted optimum is node 3, not a heavy node itself.
+  Graph g = MakeGraph(6, {{0, 1, 1.0f}, {1, 2, 1.0f},
+                          {3, 4, 1.0f}, {4, 5, 1.0f}});
+  std::vector<double> weights(6, 0.01);
+  weights[4] = 50.0;
+  weights[5] = 50.0;
+
+  ImmOptions options;
+  options.k = 1;
+  options.epsilon = 0.3;
+  options.node_weights = &weights;
+  options.seed = 77;
+  ImmResult result;
+  ASSERT_TRUE(RunImm(g, options, &result).ok());
+  EXPECT_EQ(result.seeds[0], 3u)
+      << "the chain head reaches both heavy nodes with certainty";
+}
+
+TEST(WeightedImmTest, WeightedEstimateAgreesWithForwardSimulation) {
+  Graph g = testing::MakeTwoCommunities(0.35f);
+  std::vector<double> weights(g.num_nodes(), 1.0);
+  weights[9] = 25.0;  // community B matters much more
+
+  ImmOptions options;
+  options.k = 2;
+  options.epsilon = 0.3;
+  options.node_weights = &weights;
+  options.seed = 13;
+  ImmResult result;
+  ASSERT_TRUE(RunImm(g, options, &result).ok());
+
+  SpreadEstimatorOptions est;
+  est.num_samples = 200000;
+  est.node_weights = &weights;
+  SpreadEstimator estimator(g, est);
+  const double forward = estimator.Estimate(result.seeds, 14);
+  EXPECT_NEAR(result.stats.estimated_spread, forward,
+              0.1 * forward + 0.2);
+}
+
+TEST(WeightedImmTest, AllOnesMatchesUnweightedSeeds) {
+  Graph g = testing::MakeTwoCommunities(0.35f);
+  const std::vector<double> ones(g.num_nodes(), 1.0);
+  ImmOptions options;
+  options.k = 2;
+  options.epsilon = 0.3;
+  options.seed = 15;
+  ImmResult plain;
+  ASSERT_TRUE(RunImm(g, options, &plain).ok());
+  options.node_weights = &ones;
+  ImmResult weighted;
+  ASSERT_TRUE(RunImm(g, options, &weighted).ok());
+  // Same distribution (uniform roots) but a different RNG consumption
+  // pattern; compare seed-set quality rather than identity.
+  SpreadEstimatorOptions est;
+  est.num_samples = 100000;
+  SpreadEstimator estimator(g, est);
+  EXPECT_NEAR(estimator.Estimate(plain.seeds, 16),
+              estimator.Estimate(weighted.seeds, 16), 0.5);
+}
+
+}  // namespace
+}  // namespace timpp
