@@ -97,6 +97,14 @@ void RunModel(const Graph& graph, DiffusionModel model, double eps,
     }
     std::printf("%5d %12.3f %12.3f %12.3f %12.3f\n", k, t_tim, t_plus, t_ris,
                 t_celf);
+    // Failed runs report -1 in the human table; keep them out of the JSON
+    // trend data (absent metric = missing data point, not a -1s timing).
+    const std::string prefix =
+        std::string(DiffusionModelName(model)) + ".k" + std::to_string(k);
+    if (t_tim >= 0) bench::RecordMetric(prefix + ".tim_seconds", t_tim);
+    if (t_plus >= 0) bench::RecordMetric(prefix + ".tim_plus_seconds", t_plus);
+    if (t_ris >= 0) bench::RecordMetric(prefix + ".ris_seconds", t_ris);
+    if (t_celf >= 0) bench::RecordMetric(prefix + ".celfpp_seconds", t_celf);
   }
 }
 

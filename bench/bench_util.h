@@ -6,11 +6,20 @@
 //                 keeps the run laptop-sized; --scale=1 is paper-sized)
 //   --seed=<u64>  master RNG seed
 //   --eps, --k and algorithm-specific knobs documented per binary.
+// Alongside the human-readable tables, every bench binary emits a
+// machine-readable mirror: the shared helpers (and any metric recorded via
+// RecordMetric) accumulate into a process-wide JSON document written to
+// BENCH_<binary>.json at exit, so the perf trajectory can be tracked
+// PR-over-PR by diffing or plotting those files.
 #ifndef TIMPP_BENCH_BENCH_UTIL_H_
 #define TIMPP_BENCH_BENCH_UTIL_H_
 
+#include <errno.h>  // program_invocation_short_name (glibc)
+
+#include <cctype>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "diffusion/spread_estimator.h"
@@ -21,6 +30,100 @@
 
 namespace timpp {
 namespace bench {
+
+/// Process-wide JSON mirror of a bench run. Flushed to
+/// BENCH_<binary>.json in the working directory when the process exits
+/// normally (static destructor); Flush() forces an earlier write.
+class JsonReport {
+ public:
+  static JsonReport& Global() {
+    static JsonReport report;
+    return report;
+  }
+
+  void SetTitle(const std::string& title, const std::string& notes) {
+    title_ = title;
+    notes_ = notes;
+  }
+
+  /// Records one numeric metric; emission order is preserved.
+  void AddMetric(const std::string& label, double value) {
+    metrics_.emplace_back(label, value);
+  }
+
+  void Flush() {
+    if (metrics_.empty() && title_.empty()) return;
+    const std::string binary = BinaryName();
+    const std::string path = "BENCH_" + binary + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"binary\": \"%s\",\n", Escaped(binary).c_str());
+    std::fprintf(f, "  \"title\": \"%s\",\n", Escaped(title_).c_str());
+    std::fprintf(f, "  \"notes\": \"%s\",\n", Escaped(notes_).c_str());
+    std::fprintf(f, "  \"metrics\": [");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"label\": \"%s\", \"value\": %.17g}",
+                   i == 0 ? "" : ",", Escaped(metrics_[i].first).c_str(),
+                   metrics_[i].second);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("[json] wrote %s (%zu metrics)\n", path.c_str(),
+                metrics_.size());
+  }
+
+  ~JsonReport() { Flush(); }
+
+ private:
+  JsonReport() = default;
+
+  /// File-name stem: the binary name where the platform exposes it, else a
+  /// slug of the title — distinct per bench either way, so suite runs in
+  /// one directory never overwrite each other's JSON.
+  std::string BinaryName() const {
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+    return program_invocation_short_name;
+#else
+    std::string slug;
+    for (char c : title_) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        slug.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      } else if (!slug.empty() && slug.back() != '_') {
+        slug.push_back('_');
+      }
+      if (slug.size() >= 48) break;
+    }
+    return slug.empty() ? "bench" : slug;
+#endif
+  }
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string title_;
+  std::string notes_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/// Records a metric into the JSON mirror without printing (benches keep
+/// their own table formatting for the human side).
+inline void RecordMetric(const std::string& label, double value) {
+  JsonReport::Global().AddMetric(label, value);
+}
 
 /// Default k sweep used across the paper's figures (k from 1 to 50).
 inline std::vector<int> DefaultKSweep() { return {1, 10, 20, 30, 40, 50}; }
@@ -53,20 +156,25 @@ inline double MeasureSpread(const Graph& graph,
   return estimator.Estimate(seeds, seed);
 }
 
-/// Prints the standard bench header naming the figure being reproduced.
+/// Prints the standard bench header naming the figure being reproduced,
+/// and titles the JSON mirror.
 inline void PrintHeader(const std::string& title, const std::string& notes) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title.c_str());
   if (!notes.empty()) std::printf("%s\n", notes.c_str());
   std::printf("==============================================================\n");
+  JsonReport::Global().SetTitle(title, notes);
 }
 
-/// Prints one dataset banner with its actual proxy size.
+/// Prints one dataset banner with its actual proxy size; the proxy size
+/// lands in the JSON mirror so scaled runs stay comparable.
 inline void PrintDatasetBanner(const std::string& name, const Graph& graph,
                                double scale) {
   std::printf("--- %s proxy (scale=%.4g): n=%u, m=%llu ---\n", name.c_str(),
               scale, graph.num_nodes(),
               static_cast<unsigned long long>(graph.num_edges()));
+  RecordMetric(name + ".n", static_cast<double>(graph.num_nodes()));
+  RecordMetric(name + ".m", static_cast<double>(graph.num_edges()));
 }
 
 }  // namespace bench

@@ -1,40 +1,41 @@
 // im_cli — command-line influence maximization over your own graphs.
 //
 // Loads a SNAP-style edge list ("u v" or "u v p" per line, '#' comments),
-// applies a weight scheme, runs the chosen algorithm and prints the seed
-// set with its estimated spread. The whole library behind one binary.
+// applies a weight scheme, runs any solver registered in the global
+// SolverRegistry and prints the seed set with its estimated spread. The
+// whole library behind one binary, with no per-algorithm branching: the
+// --algo flag is a registry lookup.
 //
 // Examples:
-//   ./build/examples/im_cli graph.txt --k=50 --algo=timplus --model=ic
-//   ./build/examples/im_cli graph.txt --undirected --weights=wc
-//        --algo=celf --celf_r=1000
-//   ./build/examples/im_cli graph.txt --algo=degree --k=20
+//   ./build/im_cli graph.txt --k=50 --algo=tim+ --model=ic --threads=8
+//   ./build/im_cli graph.txt --undirected --weights=wc --algo=celf++
+//        --mc=1000
+//   ./build/im_cli graph.txt --algo=degree --k=20
+//   ./build/im_cli --list_algos
 //
 // Flags:
 //   --k=50            seed-set size
-//   --algo=timplus    timplus | tim | ris | celf | irie | simpath |
-//                     degree | pagerank | random
+//   --algo=tim+       any registered solver; --list_algos prints them
 //   --model=ic        ic | lt   (defines both weights default and solver)
 //   --weights=wc      wc (1/indeg) | lt (normalized random) | keep (file) |
 //                     uniform:<p> | trivalency
 //   --eps=0.1 --ell=1 --seed=7 --mc=10000 --threads=1
+//                     (--celf_r is accepted as an alias for --mc; note the
+//                     old CLI's "celf" ran CELF++ — that variant is now
+//                     registered as "celf++", plain lazy-forward as "celf")
 //   --max_hops=0      bound propagation rounds (time-critical variant)
+//   --ris_tau_scale / --ris_max_sets / --ris_memory_budget
+//                     RIS cost-threshold and out-of-memory knobs
 //   --undirected      treat each input line as an undirected edge
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "baselines/celf_greedy.h"
-#include "baselines/heuristics.h"
-#include "baselines/irie.h"
-#include "baselines/ris.h"
-#include "baselines/simpath.h"
-#include "core/tim.h"
 #include "diffusion/spread_estimator.h"
+#include "engine/solver_registry.h"
 #include "graph/graph_io.h"
 #include "graph/weight_models.h"
 #include "util/flags.h"
-#include "util/timer.h"
 
 namespace {
 
@@ -43,29 +44,39 @@ int Fail(const timpp::Status& status) {
   return 1;
 }
 
+void PrintAlgos() {
+  std::printf("registered algorithms:");
+  for (const std::string& name : timpp::SolverRegistry::Global().Names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   timpp::Flags flags(argc, argv);
+  if (flags.GetBool("list_algos", false)) {
+    PrintAlgos();
+    return 0;
+  }
   if (flags.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: im_cli <edge-list> [--k=50] [--algo=timplus] "
-                 "[--model=ic] [--weights=wc] [--eps=0.1] ...\n");
+                 "usage: im_cli <edge-list> [--k=50] [--algo=tim+] "
+                 "[--model=ic] [--weights=wc] [--threads=N] [--eps=0.1] "
+                 "... | --list_algos\n");
     return 2;
   }
 
   const std::string path = flags.positional()[0];
-  const int k = static_cast<int>(flags.GetInt("k", 50));
-  const std::string algo = flags.GetString("algo", "timplus");
+  const std::string algo = flags.GetString("algo", "tim+");
   const std::string model_name = flags.GetString("model", "ic");
-  const double eps = flags.GetDouble("eps", 0.1);
-  const double ell = flags.GetDouble("ell", 1.0);
   const uint64_t seed = flags.GetInt("seed", 7);
-  const uint64_t mc = flags.GetInt("mc", 10000);
-  const unsigned threads =
-      static_cast<unsigned>(flags.GetInt("threads", 1));
-  const uint32_t max_hops =
-      static_cast<uint32_t>(flags.GetInt("max_hops", 0));
+  // --celf_r is the pre-registry spelling of the greedy family's sample
+  // count; honor it as an alias so old command lines keep their meaning.
+  const uint64_t mc =
+      flags.Has("celf_r") ? flags.GetInt("celf_r", 10000)
+                          : flags.GetInt("mc", 10000);
 
   const timpp::DiffusionModel model = model_name == "lt"
                                           ? timpp::DiffusionModel::kLT
@@ -101,82 +112,60 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(graph.num_edges()));
 
   // ---- solve --------------------------------------------------------
-  std::vector<timpp::NodeId> seeds;
-  timpp::Timer timer;
-  if (algo == "timplus" || algo == "tim") {
-    timpp::TimOptions options;
-    options.k = k;
-    options.epsilon = eps;
-    options.ell = ell;
-    options.model = model;
-    options.use_refinement = (algo == "timplus");
-    options.seed = seed;
-    options.num_threads = threads;
-    options.max_hops = max_hops;
-    timpp::TimSolver solver(graph);
-    timpp::TimResult result;
-    status = solver.Run(options, &result);
-    if (!status.ok()) return Fail(status);
-    seeds = result.seeds;
-    std::printf("%s: theta=%llu, KPT*=%.1f, KPT+=%.1f\n", algo.c_str(),
-                static_cast<unsigned long long>(result.stats.theta),
-                result.stats.kpt_star, result.stats.kpt_plus);
-  } else if (algo == "ris") {
-    timpp::RisOptions options;
-    options.epsilon = eps;
-    options.ell = ell;
-    options.model = model;
-    options.seed = seed;
-    options.tau_scale = flags.GetDouble("ris_tau_scale", 0.1);
-    options.max_rr_sets = flags.GetInt("ris_max_sets", 10000000);
-    status = timpp::RunRis(graph, options, k, &seeds, nullptr);
-    if (!status.ok()) return Fail(status);
-  } else if (algo == "celf") {
-    timpp::CelfOptions options;
-    options.variant = timpp::GreedyVariant::kCelfPlusPlus;
-    options.num_mc_samples = flags.GetInt("celf_r", 10000);
-    options.model = model;
-    options.seed = seed;
-    status = timpp::RunCelfGreedy(graph, options, k, &seeds, nullptr);
-    if (!status.ok()) return Fail(status);
-  } else if (algo == "irie") {
-    status = timpp::RunIrie(graph, timpp::IrieOptions{}, k, &seeds, nullptr);
-    if (!status.ok()) return Fail(status);
-  } else if (algo == "simpath") {
-    status =
-        timpp::RunSimpath(graph, timpp::SimpathOptions{}, k, &seeds, nullptr);
-    if (!status.ok()) return Fail(status);
-  } else if (algo == "degree") {
-    status = timpp::SelectByDegree(graph, k, &seeds);
-    if (!status.ok()) return Fail(status);
-  } else if (algo == "pagerank") {
-    status = timpp::SelectByPageRank(graph, k, 0.85, 50, &seeds);
-    if (!status.ok()) return Fail(status);
-  } else if (algo == "random") {
-    status = timpp::SelectRandom(graph, k, seed, &seeds);
-    if (!status.ok()) return Fail(status);
-  } else {
-    std::fprintf(stderr, "unknown --algo=%s\n", algo.c_str());
+  std::unique_ptr<timpp::InfluenceSolver> solver;
+  status = timpp::SolverRegistry::Global().Create(algo, graph, &solver);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    PrintAlgos();
     return 2;
   }
-  const double solve_seconds = timer.ElapsedSeconds();
+
+  timpp::SolverOptions options;
+  options.k = static_cast<int>(flags.GetInt("k", 50));
+  options.epsilon = flags.GetDouble("eps", 0.1);
+  options.ell = flags.GetDouble("ell", 1.0);
+  options.model = model;
+  options.max_hops = static_cast<uint32_t>(flags.GetInt("max_hops", 0));
+  options.num_threads =
+      static_cast<unsigned>(flags.GetInt("threads", 1));
+  options.seed = seed;
+  options.mc_samples = mc;
+  options.ris_tau_scale = flags.GetDouble("ris_tau_scale", 0.1);
+  options.ris_max_sets = flags.GetInt("ris_max_sets", 10000000);
+  options.ris_memory_budget_bytes =
+      static_cast<size_t>(flags.GetInt("ris_memory_budget", 0));
+
+  timpp::SolverResult result;
+  status = solver->Run(options, &result);
+  if (!status.ok()) return Fail(status);
 
   // ---- report -------------------------------------------------------
   timpp::SpreadEstimatorOptions est;
   est.num_samples = mc;
   est.model = model;
-  est.num_threads = threads;
-  est.max_hops = max_hops;
+  est.num_threads = options.num_threads;
+  est.max_hops = options.max_hops;
   timpp::SpreadEstimator estimator(graph, est);
-  const double spread = estimator.Estimate(seeds, seed ^ 0xabc);
+  const double spread = estimator.Estimate(result.seeds, seed ^ 0xabc);
 
-  std::printf("\nalgorithm=%s model=%s k=%d time=%.3fs\n", algo.c_str(),
-              timpp::DiffusionModelName(model), k, solve_seconds);
+  std::printf("\nalgorithm=%s model=%s k=%d time=%.3fs\n",
+              solver->name().c_str(), timpp::DiffusionModelName(model),
+              options.k, result.seconds_total);
+  if (!result.metrics.empty()) {
+    std::printf("stats:");
+    for (const auto& [name, value] : result.metrics) {
+      std::printf(" %s=%.6g", name.c_str(), value);
+    }
+    std::printf("\n");
+  }
+  if (result.estimated_spread > 0.0) {
+    std::printf("solver spread estimate: %.1f\n", result.estimated_spread);
+  }
   std::printf("expected spread (MC %llu): %.1f (%.2f%% of n)\n",
               static_cast<unsigned long long>(mc), spread,
               100.0 * spread / graph.num_nodes());
   std::printf("seeds:");
-  for (timpp::NodeId s : seeds) std::printf(" %u", s);
+  for (timpp::NodeId s : result.seeds) std::printf(" %u", s);
   std::printf("\n");
   return 0;
 }

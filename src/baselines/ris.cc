@@ -6,10 +6,9 @@
 
 #include "coverage/greedy_cover.h"
 #include "core/tim.h"
+#include "engine/sampling_engine.h"
 #include "rrset/rr_collection.h"
-#include "rrset/rr_sampler.h"
 #include "util/math.h"
-#include "util/rng.h"
 #include "util/timer.h"
 
 namespace timpp {
@@ -37,27 +36,27 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
   RisStats local_stats;
   local_stats.tau = tau;
 
-  RRSampler sampler(graph, options.model, options.custom_model);
-  Rng rng(options.seed);
-  RRCollection rr(graph.num_nodes());
-  std::vector<NodeId> scratch;
+  SamplingConfig sampling;
+  sampling.model = options.model;
+  sampling.custom_model = options.custom_model;
+  sampling.num_threads = options.num_threads;
+  sampling.seed = options.seed;
+  SamplingEngine engine(graph, sampling);
 
-  // Keep sampling until the cumulative examination cost reaches τ. The set
-  // in flight when the threshold falls is kept (Borgs et al. truncate
+  RRCollection rr(graph.num_nodes());
+  rr.set_memory_budget(options.memory_budget_bytes);
+
+  // Keep sampling until the cumulative examination cost (nodes added +
+  // edges examined, the units of Borgs et al.'s τ) reaches τ. The set in
+  // flight when the threshold falls is kept (Borgs et al. truncate
   // mid-set; retaining the completed set only strengthens coverage and
   // keeps the implementation simple).
-  while (static_cast<double>(local_stats.cost_examined) < tau) {
-    if (options.max_rr_sets != 0 &&
-        local_stats.rr_sets_generated >= options.max_rr_sets) {
-      local_stats.hit_set_cap = true;
-      break;
-    }
-    RRSampleInfo info = sampler.SampleRandomRoot(rng, &scratch);
-    rr.Add(scratch, info.width);
-    // Cost = nodes added + edges examined, the units of Borgs et al.'s τ.
-    local_stats.cost_examined += info.edges_examined + scratch.size();
-    ++local_stats.rr_sets_generated;
-  }
+  const SampleBatch batch =
+      engine.SampleUntilCost(&rr, tau, options.max_rr_sets);
+  local_stats.cost_examined = batch.traversal_cost;
+  local_stats.rr_sets_generated = batch.sets_added;
+  local_stats.hit_set_cap = batch.hit_set_cap;
+  local_stats.hit_memory_budget = batch.hit_memory_budget;
   rr.BuildIndex();
 
   CoverResult cover = GreedyMaxCover(rr, k);

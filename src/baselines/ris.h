@@ -32,6 +32,15 @@ struct RisOptions {
   double tau_scale = 1.0;
   /// Hard cap on generated RR sets (0 = none) as an out-of-memory guard.
   uint64_t max_rr_sets = 0;
+  /// Soft cap on the RR collection's heap bytes (0 = none); forwarded to
+  /// RRCollection::set_memory_budget and checked by the engine at its
+  /// fixed batch boundaries, so the cap can be overshot by up to one
+  /// batch of sets.
+  size_t memory_budget_bytes = 0;
+  /// Sampling worker threads (SamplingEngine). The cost-threshold stopping
+  /// rule is evaluated on the deterministic index-ordered sample stream,
+  /// so results are identical for any thread count.
+  unsigned num_threads = 1;
   uint64_t seed = 0xb0265ULL;
 };
 
@@ -41,6 +50,7 @@ struct RisStats {
   uint64_t rr_sets_generated = 0;
   uint64_t cost_examined = 0;     // nodes+edges examined while sampling
   bool hit_set_cap = false;       // stopped by max_rr_sets instead of τ
+  bool hit_memory_budget = false;  // stopped by memory_budget_bytes
   double covered_fraction = 0.0;  // F_R(seeds)
   double seconds_total = 0.0;
 };

@@ -6,11 +6,10 @@
 #include "core/parameters.h"
 #include "core/tim.h"
 #include "coverage/greedy_cover.h"
+#include "engine/sampling_engine.h"
 #include "rrset/rr_collection.h"
-#include "rrset/rr_sampler.h"
 #include "util/alias_table.h"
 #include "util/math.h"
-#include "util/rng.h"
 #include "util/timer.h"
 
 namespace timpp {
@@ -18,12 +17,9 @@ namespace timpp {
 namespace {
 
 // Grows `rr` with fresh random RR sets until it holds `target` sets.
-void GrowTo(RRSampler& sampler, Rng& rng, uint64_t target,
-            RRCollection* rr) {
-  std::vector<NodeId> scratch;
-  while (rr->num_sets() < target) {
-    RRSampleInfo info = sampler.SampleRandomRoot(rng, &scratch);
-    rr->Add(scratch, info.width);
+void GrowTo(SamplingEngine& engine, uint64_t target, RRCollection* rr) {
+  if (rr->num_sets() < target) {
+    engine.SampleInto(rr, target - rr->num_sets());
   }
 }
 
@@ -81,12 +77,16 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
                        (log_cnk + ell * ln_n + std::log(log2_n)) * n /
                        (eps_prime * eps_prime);
 
-  RRSampler sampler(graph, options.model, options.custom_model,
-                    options.max_hops);
+  SamplingConfig sampling;
+  sampling.model = options.model;
+  sampling.custom_model = options.custom_model;
+  sampling.max_hops = options.max_hops;
+  sampling.num_threads = options.num_threads;
+  sampling.seed = options.seed;
   if (options.node_weights != nullptr) {
-    sampler.SetRootDistribution(&root_dist);
+    sampling.root_distribution = &root_dist;
   }
-  Rng rng(options.seed);
+  SamplingEngine engine(graph, sampling);
 
   Timer phase_timer;
   RRCollection sampling_rr(graph.num_nodes());
@@ -96,7 +96,7 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
     const double x_i = n / std::pow(2.0, i);
     const uint64_t theta_i = static_cast<uint64_t>(
         std::max(1.0, std::ceil(stats.lambda_prime / x_i)));
-    GrowTo(sampler, rng, theta_i, &sampling_rr);
+    GrowTo(engine, theta_i, &sampling_rr);
     sampling_rr.BuildIndex();
     CoverResult cover = GreedyMaxCover(sampling_rr, options.k);
     stats.sampling_iterations = i;
@@ -133,7 +133,7 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
     }
   }
   sampling_rr.Clear();
-  GrowTo(sampler, rng, stats.theta, &selection_rr);
+  GrowTo(engine, stats.theta, &selection_rr);
   selection_rr.BuildIndex();
   stats.rr_memory_bytes = selection_rr.MemoryBytes();
 

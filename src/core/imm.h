@@ -18,6 +18,15 @@
 // stopping rule conditions the samples) later fixed by the authors — the
 // corrected variant regenerates fresh RR sets, and is the default here
 // (`reuse_samples` restores the original behaviour for study).
+//
+// All RR sets — every progressive x_i batch and the final θ batch — come
+// from one shared SamplingEngine, whose deterministic merge contract makes
+// the run bit-reproducible in `seed` alone: set i's content is a pure
+// function of (seed, global set index i), workers sample contiguous index
+// ranges into private shards, and shards merge in worker order == index
+// order. Consequently IMM returns identical seed sets and stats for any
+// `num_threads`, and the progressive batches simply extend one global
+// sample stream (grow-to-θ_i keeps the θ_{i-1} prefix untouched).
 #ifndef TIMPP_CORE_IMM_H_
 #define TIMPP_CORE_IMM_H_
 
@@ -53,6 +62,9 @@ struct ImmOptions {
   /// analysis carries verbatim because coverage indicators scaled by W
   /// stay in [0, W].
   const std::vector<double>* node_weights = nullptr;
+  /// Sampling worker threads for both phases (see the determinism note in
+  /// the header comment: results do not depend on this value).
+  unsigned num_threads = 1;
   uint64_t seed = 0x1e1eULL;
 };
 

@@ -1,15 +1,14 @@
 #include "core/kpt_estimator.h"
 
 #include <cmath>
-#include <vector>
 
 #include "core/parameters.h"
 #include "graph/graph.h"
 
 namespace timpp {
 
-KptEstimate EstimateKpt(RRSampler& sampler, int k, double ell, Rng& rng) {
-  const Graph& graph = sampler.graph();
+KptEstimate EstimateKpt(SamplingEngine& engine, int k, double ell) {
+  const Graph& graph = engine.graph();
   const uint64_t n = graph.num_nodes();
   const double m = static_cast<double>(graph.num_edges());
 
@@ -17,7 +16,6 @@ KptEstimate EstimateKpt(RRSampler& sampler, int k, double ell, Rng& rng) {
   result.last_iteration_rr = std::make_unique<RRCollection>(graph.num_nodes());
 
   const int max_iterations = KptMaxIterations(n);
-  std::vector<NodeId> scratch;
 
   for (int i = 1; i <= max_iterations; ++i) {
     const uint64_t ci = static_cast<uint64_t>(
@@ -26,19 +24,21 @@ KptEstimate EstimateKpt(RRSampler& sampler, int k, double ell, Rng& rng) {
     // Fresh sets each iteration; only the final iteration's R′ is retained
     // (Algorithm 3 reuses exactly those sets).
     result.last_iteration_rr->Clear();
+    const SampleBatch batch =
+        engine.SampleInto(result.last_iteration_rr.get(), ci);
+    result.edges_examined += batch.edges_examined;
+    result.rr_sets_generated += batch.sets_added;
 
+    // κ(R) = 1 - (1 - w(R)/m)^k  (Equation 8), read from the stored
+    // widths. An edgeless graph has m = 0 and w(R) = 0; κ = 0 then,
+    // matching KPT = 1 ≈ n·E[κ]+seeds.
     double sum = 0.0;
-    for (uint64_t j = 0; j < ci; ++j) {
-      RRSampleInfo info = sampler.SampleRandomRoot(rng, &scratch);
-      result.last_iteration_rr->Add(scratch, info.width);
-      result.edges_examined += info.edges_examined;
-      // κ(R) = 1 - (1 - w(R)/m)^k  (Equation 8). An edgeless graph has
-      // m = 0 and w(R) = 0; κ = 0 then, matching KPT = 1 ≈ n·E[κ]+seeds.
-      const double ratio =
-          m > 0.0 ? static_cast<double>(info.width) / m : 0.0;
+    for (size_t id = 0; id < result.last_iteration_rr->num_sets(); ++id) {
+      const double width = static_cast<double>(
+          result.last_iteration_rr->Width(static_cast<RRSetId>(id)));
+      const double ratio = m > 0.0 ? width / m : 0.0;
       sum += 1.0 - std::pow(1.0 - ratio, k);
     }
-    result.rr_sets_generated += ci;
 
     if (sum / static_cast<double>(ci) > 1.0 / std::pow(2.0, i)) {
       result.kpt_star =

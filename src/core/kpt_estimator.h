@@ -2,15 +2,18 @@
 // KPT* ∈ [KPT/4, OPT] with probability at least 1 - n^-ℓ, where KPT is the
 // mean spread of a size-k set sampled from the in-degree-proportional
 // distribution V* (Lemma 5: KPT = n·E[κ(R)], κ(R) = 1 - (1 - w(R)/m)^k).
+//
+// Sampling goes through the shared SamplingEngine, so the doubling loop is
+// parallel and its output deterministic in the engine's seed regardless of
+// thread count (see engine/sampling_engine.h for the merge contract).
 #ifndef TIMPP_CORE_KPT_ESTIMATOR_H_
 #define TIMPP_CORE_KPT_ESTIMATOR_H_
 
 #include <cstdint>
 #include <memory>
 
+#include "engine/sampling_engine.h"
 #include "rrset/rr_collection.h"
-#include "rrset/rr_sampler.h"
-#include "util/rng.h"
 
 namespace timpp {
 
@@ -31,9 +34,9 @@ struct KptEstimate {
 };
 
 /// Runs Algorithm 2 with seed-set size `k` and confidence exponent `ell`.
-/// `sampler` fixes the graph and diffusion model; `rng` supplies all
-/// randomness (deterministic given its state).
-KptEstimate EstimateKpt(RRSampler& sampler, int k, double ell, Rng& rng);
+/// `engine` fixes the graph, diffusion model, randomness and parallelism;
+/// the result is deterministic in (engine seed, engine sample position).
+KptEstimate EstimateKpt(SamplingEngine& engine, int k, double ell);
 
 }  // namespace timpp
 

@@ -10,10 +10,10 @@
 
 namespace timpp {
 
-KptRefinement RefineKpt(RRSampler& sampler, const RRCollection& r_prime,
-                        int k, double kpt_star, double eps_prime, double ell,
-                        Rng& rng) {
-  const Graph& graph = sampler.graph();
+KptRefinement RefineKpt(SamplingEngine& engine, const RRCollection& r_prime,
+                        int k, double kpt_star, double eps_prime,
+                        double ell) {
+  const Graph& graph = engine.graph();
   const uint64_t n = graph.num_nodes();
 
   KptRefinement result;
@@ -27,22 +27,29 @@ KptRefinement RefineKpt(RRSampler& sampler, const RRCollection& r_prime,
   result.theta_prime =
       static_cast<uint64_t>(std::max(1.0, std::ceil(lambda_prime / kpt_star)));
 
-  // Lines 9-10: fraction of θ′ fresh RR sets covered by S′_k. Membership is
-  // tested against a seed bitmap while the sets stream by — the sets are
-  // never stored, keeping this step's memory footprint trivial.
+  // Lines 9-10: fraction of θ′ fresh RR sets covered by S′_k. The sets are
+  // sampled in bounded chunks, tested against a seed bitmap, and dropped —
+  // the engine parallelizes each chunk, and only one chunk is ever
+  // resident, keeping this step's memory footprint small.
   VisitMarker is_seed(graph.num_nodes());
   is_seed.NewEpoch();
   for (NodeId s : result.intermediate_seeds) is_seed.Visit(s);
 
+  constexpr uint64_t kChunkSets = 1 << 16;
+  RRCollection chunk(graph.num_nodes());
   uint64_t covered = 0;
-  std::vector<NodeId> scratch;
-  for (uint64_t i = 0; i < result.theta_prime; ++i) {
-    RRSampleInfo info = sampler.SampleRandomRoot(rng, &scratch);
-    result.edges_examined += info.edges_examined;
-    for (NodeId v : scratch) {
-      if (is_seed.Visited(v)) {
-        ++covered;
-        break;
+  for (uint64_t sampled = 0; sampled < result.theta_prime;) {
+    const uint64_t want = std::min(kChunkSets, result.theta_prime - sampled);
+    chunk.Clear();
+    const SampleBatch batch = engine.SampleInto(&chunk, want);
+    result.edges_examined += batch.edges_examined;
+    sampled += batch.sets_added;
+    for (size_t id = 0; id < chunk.num_sets(); ++id) {
+      for (NodeId v : chunk.Set(static_cast<RRSetId>(id))) {
+        if (is_seed.Visited(v)) {
+          ++covered;
+          break;
+        }
       }
     }
   }

@@ -3,15 +3,18 @@
 // batch, estimates its spread on θ′ fresh RR sets, and returns
 // KPT+ = max(KPT′, KPT*) — a (potentially much) tighter lower bound of OPT
 // that shrinks θ and with it the node-selection phase (§4.1).
+//
+// The θ′ fresh sets come from the shared SamplingEngine (parallel,
+// deterministic in the engine seed); they are consumed in bounded chunks so
+// this step's memory footprint stays small.
 #ifndef TIMPP_CORE_KPT_REFINER_H_
 #define TIMPP_CORE_KPT_REFINER_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "engine/sampling_engine.h"
 #include "rrset/rr_collection.h"
-#include "rrset/rr_sampler.h"
-#include "util/rng.h"
 #include "util/types.h"
 
 namespace timpp {
@@ -35,9 +38,8 @@ struct KptRefinement {
 /// Runs Algorithm 3. `r_prime` is Algorithm 2's last-iteration collection
 /// (index must be built); `kpt_star` its estimate; `eps_prime` the
 /// intermediate accuracy ε′ (see RecommendedEpsPrime).
-KptRefinement RefineKpt(RRSampler& sampler, const RRCollection& r_prime,
-                        int k, double kpt_star, double eps_prime, double ell,
-                        Rng& rng);
+KptRefinement RefineKpt(SamplingEngine& engine, const RRCollection& r_prime,
+                        int k, double kpt_star, double eps_prime, double ell);
 
 }  // namespace timpp
 

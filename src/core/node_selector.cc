@@ -1,26 +1,22 @@
 #include "core/node_selector.h"
 
-#include <algorithm>
-#include <thread>
-#include <vector>
-
 #include "coverage/greedy_cover.h"
 #include "rrset/rr_collection.h"
 #include "util/timer.h"
 
 namespace timpp {
 
-namespace {
-
-NodeSelection FinishSelection(RRCollection& rr, int k, uint64_t theta,
-                              uint64_t edges_examined,
-                              double seconds_sampling) {
+NodeSelection SelectNodes(SamplingEngine& engine, int k, uint64_t theta) {
   NodeSelection result;
   result.theta = theta;
-  result.edges_examined = edges_examined;
-  result.seconds_sampling = seconds_sampling;
 
   Timer timer;
+  RRCollection rr(engine.graph().num_nodes());
+  const SampleBatch batch = engine.SampleInto(&rr, theta);
+  result.edges_examined = batch.edges_examined;
+  result.seconds_sampling = timer.ElapsedSeconds();
+
+  timer.Reset();
   rr.BuildIndex();
   result.rr_memory_bytes = rr.MemoryBytes();
   CoverResult cover = GreedyMaxCover(rr, k);
@@ -29,77 +25,6 @@ NodeSelection FinishSelection(RRCollection& rr, int k, uint64_t theta,
   result.seeds = std::move(cover.seeds);
   result.covered_fraction = cover.covered_fraction;
   return result;
-}
-
-}  // namespace
-
-NodeSelection SelectNodes(RRSampler& sampler, int k, uint64_t theta,
-                          Rng& rng) {
-  Timer timer;
-  RRCollection rr(sampler.graph().num_nodes());
-  uint64_t edges_examined = 0;
-  std::vector<NodeId> scratch;
-  for (uint64_t i = 0; i < theta; ++i) {
-    RRSampleInfo info = sampler.SampleRandomRoot(rng, &scratch);
-    rr.Add(scratch, info.width);
-    edges_examined += info.edges_examined;
-  }
-  return FinishSelection(rr, k, theta, edges_examined,
-                         timer.ElapsedSeconds());
-}
-
-NodeSelection SelectNodesParallel(RRSampler& prototype, int k, uint64_t theta,
-                                  unsigned num_threads, Rng& rng) {
-  if (num_threads <= 1 || theta < 2 * num_threads) {
-    return SelectNodes(prototype, k, theta, rng);
-  }
-
-  Timer timer;
-  const Graph& graph = prototype.graph();
-
-  // Deterministic work split: worker i samples counts[i] sets from its own
-  // forked stream; batches merge in worker order.
-  std::vector<uint64_t> worker_seeds(num_threads);
-  for (auto& s : worker_seeds) s = rng.Next();
-  std::vector<uint64_t> counts(num_threads, theta / num_threads);
-  counts[0] += theta % num_threads;
-
-  std::vector<RRCollection> batches;
-  batches.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) {
-    batches.emplace_back(graph.num_nodes());
-  }
-  std::vector<uint64_t> edge_counts(num_threads, 0);
-
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&, t] {
-      RRSampler sampler(graph, prototype.model(), prototype.custom_model(),
-                        prototype.max_hops());
-      Rng worker_rng(worker_seeds[t]);
-      std::vector<NodeId> scratch;
-      for (uint64_t i = 0; i < counts[t]; ++i) {
-        RRSampleInfo info = sampler.SampleRandomRoot(worker_rng, &scratch);
-        batches[t].Add(scratch, info.width);
-        edge_counts[t] += info.edges_examined;
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-
-  RRCollection merged(graph.num_nodes());
-  uint64_t edges_examined = 0;
-  for (unsigned t = 0; t < num_threads; ++t) {
-    for (size_t id = 0; id < batches[t].num_sets(); ++id) {
-      merged.Add(batches[t].Set(static_cast<RRSetId>(id)),
-                 batches[t].Width(static_cast<RRSetId>(id)));
-    }
-    edges_examined += edge_counts[t];
-    batches[t].Clear();
-  }
-  return FinishSelection(merged, k, theta, edges_examined,
-                         timer.ElapsedSeconds());
 }
 
 }  // namespace timpp

@@ -2,18 +2,23 @@
 // maximum coverage over them. With θ >= λ/OPT (Equation 5) the returned set
 // is (1-1/e-ε)-approximate with probability >= 1 - n^-ℓ (Theorem 1).
 //
-// Sampling can be parallelized: RR sets are i.i.d., so worker threads with
-// independent RNG streams produce a collection with the same distribution.
-// This is the single-machine half of the paper's §8 future-work direction
-// (distributing TIM); results are deterministic in (seed, num_threads).
+// Sampling goes through the shared SamplingEngine. RR sets are i.i.d., so
+// worker threads with independent per-index RNG streams produce a
+// collection with the same distribution — and, under the engine's
+// deterministic merge contract, the *same bytes*: each set's content is a
+// pure function of (engine seed, global set index), workers fill
+// contiguous index ranges into private shards, and shards merge in worker
+// order == index order. The selected seeds, covered fraction, and edge
+// counts are therefore identical for every num_threads setting, including
+// a fully sequential run. This is the single-machine half of the paper's
+// §8 future-work direction (distributing TIM).
 #ifndef TIMPP_CORE_NODE_SELECTOR_H_
 #define TIMPP_CORE_NODE_SELECTOR_H_
 
 #include <cstdint>
 #include <vector>
 
-#include "rrset/rr_sampler.h"
-#include "util/rng.h"
+#include "engine/sampling_engine.h"
 #include "util/types.h"
 
 namespace timpp {
@@ -36,16 +41,10 @@ struct NodeSelection {
   double seconds_coverage = 0.0;
 };
 
-/// Runs Algorithm 1 with the given θ, sampling on the calling thread.
-NodeSelection SelectNodes(RRSampler& sampler, int k, uint64_t theta, Rng& rng);
-
-/// Runs Algorithm 1 with `num_threads` sampling workers. Each worker owns a
-/// forked RNG stream and a private sampler over the same (graph, model,
-/// custom_model, max_hops) configuration as `prototype`; their batches are
-/// merged in worker order, so output is deterministic in (rng state,
-/// num_threads). num_threads <= 1 falls back to SelectNodes.
-NodeSelection SelectNodesParallel(RRSampler& prototype, int k, uint64_t theta,
-                                  unsigned num_threads, Rng& rng);
+/// Runs Algorithm 1 with the given θ on the engine's thread pool. Output is
+/// deterministic in the engine's (seed, sample position), independent of
+/// engine.num_threads().
+NodeSelection SelectNodes(SamplingEngine& engine, int k, uint64_t theta);
 
 }  // namespace timpp
 

@@ -8,8 +8,7 @@
 #include "core/kpt_refiner.h"
 #include "core/node_selector.h"
 #include "core/parameters.h"
-#include "rrset/rr_sampler.h"
-#include "util/rng.h"
+#include "engine/sampling_engine.h"
 #include "util/timer.h"
 
 namespace timpp {
@@ -52,14 +51,21 @@ Status TimSolver::Run(const TimOptions& options, TimResult* result) const {
   stats.ell_used = ell;
   stats.lambda = ComputeLambda(n, options.k, options.epsilon, ell);
 
-  RRSampler sampler(graph_, options.model, options.custom_model,
-                    options.max_hops);
-  Rng rng(options.seed);
+  // One engine serves all three phases: the global set-index stream runs
+  // through Algorithms 2, 3 and 1 in order, so the whole run is
+  // deterministic in (seed) and independent of num_threads.
+  SamplingConfig sampling;
+  sampling.model = options.model;
+  sampling.custom_model = options.custom_model;
+  sampling.max_hops = options.max_hops;
+  sampling.num_threads = options.num_threads;
+  sampling.seed = options.seed;
+  SamplingEngine engine(graph_, sampling);
   Timer total_timer;
 
   // Phase 1: parameter estimation (Algorithm 2).
   Timer phase_timer;
-  KptEstimate kpt = EstimateKpt(sampler, options.k, ell, rng);
+  KptEstimate kpt = EstimateKpt(engine, options.k, ell);
   stats.seconds_kpt_estimation = phase_timer.ElapsedSeconds();
   stats.kpt_star = kpt.kpt_star;
   stats.rr_sets_kpt = kpt.rr_sets_generated;
@@ -76,8 +82,8 @@ Status TimSolver::Run(const TimOptions& options, TimResult* result) const {
 
     phase_timer.Reset();
     KptRefinement refinement =
-        RefineKpt(sampler, *kpt.last_iteration_rr, options.k, kpt.kpt_star,
-                  eps_prime, ell, rng);
+        RefineKpt(engine, *kpt.last_iteration_rr, options.k, kpt.kpt_star,
+                  eps_prime, ell);
     stats.seconds_kpt_refinement = phase_timer.ElapsedSeconds();
     stats.kpt_plus = refinement.kpt_plus;
     stats.theta_prime = refinement.theta_prime;
@@ -92,8 +98,7 @@ Status TimSolver::Run(const TimOptions& options, TimResult* result) const {
       static_cast<uint64_t>(std::max(1.0, std::ceil(stats.lambda / kpt_bound)));
 
   phase_timer.Reset();
-  NodeSelection selection = SelectNodesParallel(
-      sampler, options.k, stats.theta, options.num_threads, rng);
+  NodeSelection selection = SelectNodes(engine, options.k, stats.theta);
   stats.seconds_node_selection = phase_timer.ElapsedSeconds();
 
   stats.estimated_spread =

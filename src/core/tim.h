@@ -45,9 +45,11 @@ struct TimOptions {
   /// related-work setting [4]). All guarantees carry over because depth-d
   /// RR sets satisfy the depth-d analog of Lemma 2.
   uint32_t max_hops = 0;
-  /// Sampling worker threads for the node-selection phase (Algorithm 1
-  /// samples i.i.d. RR sets, so it parallelizes embarrassingly). Results
-  /// are deterministic in (seed, num_threads). 1 = fully sequential.
+  /// Sampling worker threads shared by all three phases (Algorithms 2, 3
+  /// and 1 all consume i.i.d. RR sets from one SamplingEngine, so every
+  /// phase parallelizes embarrassingly). Under the engine's deterministic
+  /// merge contract results are bit-reproducible in `seed` alone —
+  /// independent of num_threads. 1 = fully sequential.
   unsigned num_threads = 1;
   /// Master RNG seed; every run with equal options is bit-reproducible.
   uint64_t seed = 0x7145ULL;

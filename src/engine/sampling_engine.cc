@@ -1,0 +1,176 @@
+#include "engine/sampling_engine.h"
+
+#include <algorithm>
+
+namespace timpp {
+
+namespace {
+
+// Fixed batch granularities. These are part of the determinism contract:
+// early-stop checks (memory budget, cost threshold, set cap) run at batch
+// boundaries, and keeping the boundaries independent of num_threads keeps
+// the stop points independent of it too.
+constexpr uint64_t kSetsPerBatch = 8192;
+// Cost-threshold sampling uses small batches so the overshoot past the
+// threshold (sampled but discarded sets) stays negligible.
+constexpr uint64_t kSetsPerCostBatch = 256;
+
+}  // namespace
+
+SamplingEngine::Shard::Shard(const Graph& graph, const SamplingConfig& config)
+    : sampler(graph, config.model, config.custom_model, config.max_hops),
+      sets(graph.num_nodes()) {
+  sampler.SetRootDistribution(config.root_distribution);
+  scratch.reserve(256);
+}
+
+SamplingEngine::SamplingEngine(const Graph& graph,
+                               const SamplingConfig& config)
+    : graph_(graph), config_(config) {
+  config_.num_threads = std::max(1u, config_.num_threads);
+  shards_.reserve(config_.num_threads);
+  for (unsigned w = 0; w < config_.num_threads; ++w) {
+    shards_.push_back(std::make_unique<Shard>(graph_, config_));
+  }
+  if (config_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_threads - 1);
+  }
+}
+
+SamplingEngine::~SamplingEngine() = default;
+
+Rng SamplingEngine::IndexRng(uint64_t index) const {
+  // Set i's whole traversal draws from an xoshiro stream seeded by a
+  // splitmix64 hash of (seed, i): content is a pure function of the global
+  // index, never of the worker that ran it.
+  uint64_t state = config_.seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  return Rng(SplitMix64(state));
+}
+
+void SamplingEngine::SampleRange(unsigned w, uint64_t begin, uint64_t end) {
+  Shard& shard = *shards_[w];
+  for (uint64_t i = begin; i < end; ++i) {
+    Rng rng = IndexRng(i);
+    const RRSampleInfo info =
+        shard.sampler.SampleRandomRoot(rng, &shard.scratch);
+    shard.sets.Add(shard.scratch, info.width);
+    shard.edges.push_back(info.edges_examined);
+  }
+}
+
+void SamplingEngine::FillShards(uint64_t count) {
+  for (auto& shard : shards_) {
+    shard->sets.Clear();
+    shard->edges.clear();
+  }
+  const uint64_t base = next_index_;
+  const unsigned nw = static_cast<unsigned>(shards_.size());
+  if (nw == 1 || count < 2 * nw) {
+    SampleRange(0, base, base + count);
+    return;
+  }
+  // Contiguous index split: worker w samples [base + w·q + min(w, r), …),
+  // so concatenating shards 0..nw-1 reproduces index order exactly.
+  const uint64_t q = count / nw;
+  const uint64_t r = count % nw;
+  pool_->ParallelRun(nw, [&](unsigned w) {
+    const uint64_t begin = base + w * q + std::min<uint64_t>(w, r);
+    const uint64_t end = begin + q + (w < r ? 1 : 0);
+    SampleRange(w, begin, end);
+  });
+}
+
+SampleBatch SamplingEngine::SampleInto(RRCollection* out, uint64_t count) {
+  SampleBatch total;
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    if (out->OverMemoryBudget()) {
+      total.hit_memory_budget = true;
+      break;
+    }
+    const uint64_t batch = std::min(remaining, kSetsPerBatch);
+    if (shards_.size() == 1) {
+      // Sequential fast path: append straight into the output, no shard
+      // copy. Identical output by the per-index seeding argument.
+      Shard& shard = *shards_[0];
+      for (uint64_t i = next_index_; i < next_index_ + batch; ++i) {
+        Rng rng = IndexRng(i);
+        const RRSampleInfo info =
+            shard.sampler.SampleRandomRoot(rng, &shard.scratch);
+        out->Add(shard.scratch, info.width);
+        total.edges_examined += info.edges_examined;
+        total.traversal_cost += info.edges_examined + shard.scratch.size();
+      }
+    } else {
+      FillShards(batch);
+      uint64_t batch_nodes = 0;
+      for (const auto& shard : shards_) batch_nodes += shard->sets.total_nodes();
+      out->Reserve(batch, batch_nodes);
+      uint64_t batch_edges = 0;
+      for (const auto& shard : shards_) {
+        out->AppendShard(shard->sets);
+        for (uint64_t e : shard->edges) batch_edges += e;
+        total.traversal_cost += shard->sets.total_nodes();
+      }
+      total.edges_examined += batch_edges;
+      total.traversal_cost += batch_edges;
+    }
+    total.sets_added += batch;
+    next_index_ += batch;
+    remaining -= batch;
+  }
+  return total;
+}
+
+SampleBatch SamplingEngine::SampleUntilCost(RRCollection* out,
+                                            double cost_threshold,
+                                            uint64_t max_sets) {
+  SampleBatch total;
+  bool stop = false;
+  while (!stop) {
+    if (static_cast<double>(total.traversal_cost) >= cost_threshold) break;
+    if (out->OverMemoryBudget()) {
+      total.hit_memory_budget = true;
+      break;
+    }
+    uint64_t batch = kSetsPerCostBatch;
+    if (max_sets != 0) {
+      if (total.sets_added >= max_sets) {
+        total.hit_set_cap = true;
+        break;
+      }
+      batch = std::min(batch, max_sets - total.sets_added);
+    }
+    FillShards(batch);
+    // Append in index order while the running cost is below the threshold;
+    // the set that crosses it is kept, the rest of the batch is discarded
+    // and its indices rewound (a later batch would regenerate them
+    // identically, so the stop point is batch-size independent).
+    uint64_t kept = 0;
+    for (const auto& shard : shards_) {
+      const size_t shard_sets = shard->sets.num_sets();
+      for (size_t j = 0; j < shard_sets && !stop; ++j) {
+        if (static_cast<double>(total.traversal_cost) >= cost_threshold) {
+          stop = true;
+          break;
+        }
+        if (max_sets != 0 && total.sets_added >= max_sets) {
+          total.hit_set_cap = true;
+          stop = true;
+          break;
+        }
+        const auto set = shard->sets.Set(static_cast<RRSetId>(j));
+        out->Add(set, shard->sets.Width(static_cast<RRSetId>(j)));
+        total.edges_examined += shard->edges[j];
+        total.traversal_cost += shard->edges[j] + set.size();
+        ++total.sets_added;
+        ++kept;
+      }
+      if (stop) break;
+    }
+    next_index_ += kept;
+  }
+  return total;
+}
+
+}  // namespace timpp

@@ -1,0 +1,51 @@
+#include "engine/solver_registry.h"
+
+namespace timpp {
+
+SolverRegistry& SolverRegistry::Global() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry();
+    RegisterBuiltinSolvers(r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status SolverRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (factories_.count(name) != 0) {
+    return Status::InvalidArgument("solver already registered: " + name);
+  }
+  factories_[name] = std::move(factory);
+  return Status::OK();
+}
+
+Status SolverRegistry::Create(const std::string& name, const Graph& graph,
+                              std::unique_ptr<InfluenceSolver>* solver) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      return Status::NotFound("no solver registered as '" + name + "'");
+    }
+    factory = it->second;
+  }
+  *solver = factory(graph);
+  return Status::OK();
+}
+
+bool SolverRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(name) != 0;
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+}  // namespace timpp

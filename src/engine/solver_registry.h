@@ -1,0 +1,71 @@
+// String-keyed registry of InfluenceSolver factories.
+//
+// The registry is how multi-algorithm surfaces (im_cli, benches, future
+// serving backends) reach every algorithm in the library through one code
+// path:
+//
+//   std::unique_ptr<InfluenceSolver> solver;
+//   TIMPP_RETURN_NOT_OK(SolverRegistry::Global().Create("tim+", graph,
+//                                                       &solver));
+//   SolverOptions options;
+//   options.k = 50;
+//   SolverResult result;
+//   TIMPP_RETURN_NOT_OK(solver->Run(options, &result));
+//
+// All built-in algorithms (TIM, TIM+, IMM, RIS, greedy/CELF/CELF++, IRIE,
+// SIMPATH, and the degree/pagerank/k-core/random heuristics) register at
+// Global() construction; user code may Register() additional factories at
+// runtime.
+#ifndef TIMPP_ENGINE_SOLVER_REGISTRY_H_
+#define TIMPP_ENGINE_SOLVER_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/solver.h"
+
+namespace timpp {
+
+/// Thread-safe name → factory map. Use the process-wide Global() instance
+/// unless a test needs an isolated registry.
+class SolverRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<InfluenceSolver>(const Graph&)>;
+
+  /// The process-wide registry, with all built-in solvers registered.
+  static SolverRegistry& Global();
+
+  /// An empty registry (no built-ins).
+  SolverRegistry() = default;
+
+  /// Registers `factory` under `name`. InvalidArgument on duplicates.
+  Status Register(const std::string& name, Factory factory);
+
+  /// Instantiates the solver registered under `name`, bound to `graph`
+  /// (borrowed; must outlive the solver). NotFound for unknown names.
+  Status Create(const std::string& name, const Graph& graph,
+                std::unique_ptr<InfluenceSolver>* solver) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Registers every built-in algorithm (defined in builtin_solvers.cc).
+/// Called once by Global(); exposed so tests can build isolated registries
+/// with the full algorithm set.
+void RegisterBuiltinSolvers(SolverRegistry* registry);
+
+}  // namespace timpp
+
+#endif  // TIMPP_ENGINE_SOLVER_REGISTRY_H_

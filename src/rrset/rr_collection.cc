@@ -13,6 +13,24 @@ RRSetId RRCollection::Add(std::span<const NodeId> nodes, uint64_t width) {
   return static_cast<RRSetId>(num_sets() - 1);
 }
 
+void RRCollection::AppendShard(const RRCollection& shard) {
+  const size_t base = nodes_.size();
+  nodes_.insert(nodes_.end(), shard.nodes_.begin(), shard.nodes_.end());
+  offsets_.reserve(offsets_.size() + shard.num_sets());
+  for (size_t i = 1; i < shard.offsets_.size(); ++i) {
+    offsets_.push_back(base + shard.offsets_[i]);
+  }
+  widths_.insert(widths_.end(), shard.widths_.begin(), shard.widths_.end());
+  total_width_ += shard.total_width_;
+  index_built_ = false;
+}
+
+void RRCollection::Reserve(size_t sets, size_t nodes) {
+  offsets_.reserve(offsets_.size() + sets);
+  widths_.reserve(widths_.size() + sets);
+  nodes_.reserve(nodes_.size() + nodes);
+}
+
 void RRCollection::BuildIndex() {
   index_offsets_.assign(num_nodes_ + 1, 0);
   index_sets_.resize(nodes_.size());
@@ -54,6 +72,14 @@ size_t RRCollection::MemoryBytes() const {
          widths_.capacity() * sizeof(uint64_t) +
          index_offsets_.capacity() * sizeof(EdgeIndex) +
          index_sets_.capacity() * sizeof(RRSetId);
+}
+
+size_t RRCollection::DataBytes() const {
+  return offsets_.size() * sizeof(EdgeIndex) +
+         nodes_.size() * sizeof(NodeId) +
+         widths_.size() * sizeof(uint64_t) +
+         index_offsets_.size() * sizeof(EdgeIndex) +
+         index_sets_.size() * sizeof(RRSetId);
 }
 
 void RRCollection::Clear() {

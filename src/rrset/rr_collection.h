@@ -28,6 +28,18 @@ class RRCollection {
   /// Appends one RR set; returns its id. `width` is w(R) from Equation 1.
   RRSetId Add(std::span<const NodeId> nodes, uint64_t width);
 
+  /// Bulk-appends every set of `shard` in shard order — the merge half of
+  /// the sampling engine's shard-append protocol: worker threads fill
+  /// private shard collections concurrently, then the engine appends the
+  /// shards in worker order, which (with index-seeded sampling) yields a
+  /// collection identical to a sequential run. One memmove per array
+  /// instead of per-set Add calls. Invalidates the index.
+  void AppendShard(const RRCollection& shard);
+
+  /// Pre-sizes the backing arrays (offsets/widths for `sets` more sets,
+  /// nodes for `nodes` more members).
+  void Reserve(size_t sets, size_t nodes);
+
   /// Number of stored sets (the paper's θ once sampling finishes).
   size_t num_sets() const { return offsets_.size() - 1; }
 
@@ -68,13 +80,36 @@ class RRCollection {
   double CoveredFraction(std::span<const NodeId> seeds) const;
 
   /// Heap bytes of set storage plus index (Figure 12's memory metric).
+  /// Capacity-based: counts what the allocator holds, including growth
+  /// slack.
   size_t MemoryBytes() const;
 
-  /// Releases everything.
+  /// Heap bytes actually filled with data (capacities excluded). This is
+  /// the basis of OverMemoryBudget: unlike MemoryBytes it is a pure
+  /// function of the stored sets, never of the allocation pattern, so
+  /// budget stops land at the same set regardless of how the collection
+  /// was filled (per-set Add vs bulk AppendShard; sequential vs parallel
+  /// engine paths).
+  size_t DataBytes() const;
+
+  /// Memory-budget hook: a soft cap on DataBytes() consulted by producers
+  /// that can stop early. The sampling engine checks it at its fixed,
+  /// thread-count-independent batch boundaries, so the cap may be
+  /// overshot by up to one batch. 0 (the default) means unlimited. The
+  /// collection itself never rejects an Add — enforcement is the
+  /// producer's job, which keeps append hot paths branch-free.
+  void set_memory_budget(size_t bytes) { memory_budget_ = bytes; }
+  size_t memory_budget() const { return memory_budget_; }
+  bool OverMemoryBudget() const {
+    return memory_budget_ != 0 && DataBytes() > memory_budget_;
+  }
+
+  /// Releases everything (budget excepted).
   void Clear();
 
  private:
   NodeId num_nodes_;
+  size_t memory_budget_ = 0;
   std::vector<EdgeIndex> offsets_;   // per-set start into nodes_
   std::vector<NodeId> nodes_;        // concatenated set members
   std::vector<uint64_t> widths_;     // per-set w(R)

@@ -272,11 +272,10 @@ TEST(EdgeCaseTest, KptEstimatorTerminatesEarlierOnHighSpreadGraphs) {
   Graph cold;
   ASSERT_TRUE(cold_builder.Build(&cold).ok());
 
-  RRSampler hot_sampler(hot, DiffusionModel::kIC);
-  RRSampler cold_sampler(cold, DiffusionModel::kIC);
-  Rng rng1(6), rng2(6);
-  KptEstimate hot_estimate = EstimateKpt(hot_sampler, 2, 1.0, rng1);
-  KptEstimate cold_estimate = EstimateKpt(cold_sampler, 2, 1.0, rng2);
+  SamplingEngine hot_engine(hot, testing::IcSampling(6));
+  SamplingEngine cold_engine(cold, testing::IcSampling(6));
+  KptEstimate hot_estimate = EstimateKpt(hot_engine, 2, 1.0);
+  KptEstimate cold_estimate = EstimateKpt(cold_engine, 2, 1.0);
   ASSERT_GT(hot_estimate.terminated_iteration, 0);
   EXPECT_GT(hot_estimate.kpt_star, cold_estimate.kpt_star);
   if (cold_estimate.terminated_iteration > 0) {

@@ -10,6 +10,7 @@
 #include "core/kpt_refiner.h"
 #include "core/parameters.h"
 #include "diffusion/exact_spread.h"
+#include "engine/sampling_engine.h"
 #include "rrset/rr_sampler.h"
 #include "tests/test_util.h"
 #include "util/rng.h"
@@ -18,6 +19,7 @@ namespace timpp {
 namespace {
 
 using testing::ExpectClose;
+using testing::IcSampling;
 using testing::MakeChain;
 using testing::MakeOutStar;
 using testing::MakeTwoCommunities;
@@ -65,12 +67,11 @@ TEST(KptEstimatorTest, KptStarWithinTheoremTwoBand) {
   ASSERT_TRUE(BruteForceOptimalIC(g, 1, &opt_seeds, &opt).ok());
   const double kpt = ExactKptK1(g);
 
-  RRSampler sampler(g, DiffusionModel::kIC);
   int in_band = 0;
   const int trials = 20;
   for (int t = 0; t < trials; ++t) {
-    Rng rng(1000 + t);
-    KptEstimate estimate = EstimateKpt(sampler, 1, 1.0, rng);
+    SamplingEngine engine(g, IcSampling(1000 + t));
+    KptEstimate estimate = EstimateKpt(engine, 1, 1.0);
     if (estimate.kpt_star >= kpt / 4 - 1e-9 &&
         estimate.kpt_star <= opt + 1e-9) {
       ++in_band;
@@ -83,9 +84,8 @@ TEST(KptEstimatorTest, KptStarWithinTheoremTwoBand) {
 
 TEST(KptEstimatorTest, RetainsLastIterationRRSets) {
   Graph g = MakeTwoCommunities(0.3f);
-  RRSampler sampler(g, DiffusionModel::kIC);
-  Rng rng(2);
-  KptEstimate estimate = EstimateKpt(sampler, 2, 1.0, rng);
+  SamplingEngine engine(g, IcSampling(2));
+  KptEstimate estimate = EstimateKpt(engine, 2, 1.0);
   ASSERT_NE(estimate.last_iteration_rr, nullptr);
   EXPECT_GT(estimate.last_iteration_rr->num_sets(), 0u);
   EXPECT_TRUE(estimate.last_iteration_rr->index_built());
@@ -93,12 +93,11 @@ TEST(KptEstimatorTest, RetainsLastIterationRRSets) {
             estimate.last_iteration_rr->num_sets());
 }
 
-TEST(KptEstimatorTest, DeterministicGivenRngState) {
+TEST(KptEstimatorTest, DeterministicGivenEngineSeed) {
   Graph g = MakeTwoCommunities(0.3f);
-  RRSampler s1(g, DiffusionModel::kIC), s2(g, DiffusionModel::kIC);
-  Rng rng1(3), rng2(3);
-  KptEstimate a = EstimateKpt(s1, 3, 1.0, rng1);
-  KptEstimate b = EstimateKpt(s2, 3, 1.0, rng2);
+  SamplingEngine e1(g, IcSampling(3)), e2(g, IcSampling(3));
+  KptEstimate a = EstimateKpt(e1, 3, 1.0);
+  KptEstimate b = EstimateKpt(e2, 3, 1.0);
   EXPECT_DOUBLE_EQ(a.kpt_star, b.kpt_star);
   EXPECT_EQ(a.terminated_iteration, b.terminated_iteration);
   EXPECT_EQ(a.rr_sets_generated, b.rr_sets_generated);
@@ -108,11 +107,9 @@ TEST(KptEstimatorTest, KptStarGrowsWithK) {
   // KPT increases with k (Equation 7 discussion), so KPT* should too,
   // at least directionally on a graph with meaningful spread.
   Graph g = MakeTwoCommunities(0.5f);
-  RRSampler sampler(g, DiffusionModel::kIC);
-  Rng rng1(4), rng2(4);
-  KptEstimate k1 = EstimateKpt(sampler, 1, 1.0, rng1);
-  RRSampler sampler2(g, DiffusionModel::kIC);
-  KptEstimate k5 = EstimateKpt(sampler2, 5, 1.0, rng2);
+  SamplingEngine e1(g, IcSampling(4)), e5(g, IcSampling(4));
+  KptEstimate k1 = EstimateKpt(e1, 1, 1.0);
+  KptEstimate k5 = EstimateKpt(e5, 5, 1.0);
   EXPECT_GE(k5.kpt_star, k1.kpt_star * 0.9);
 }
 
@@ -121,9 +118,8 @@ TEST(KptEstimatorTest, TrivialBoundOnEdgelessGraph) {
   builder.ReserveNodes(16);
   Graph g;
   ASSERT_TRUE(builder.Build(&g).ok());
-  RRSampler sampler(g, DiffusionModel::kIC);
-  Rng rng(5);
-  KptEstimate estimate = EstimateKpt(sampler, 2, 1.0, rng);
+  SamplingEngine engine(g, IcSampling(5));
+  KptEstimate estimate = EstimateKpt(engine, 2, 1.0);
   // κ(R) = 0 always -> falls through to the floor KPT* = 1.
   EXPECT_DOUBLE_EQ(estimate.kpt_star, 1.0);
   EXPECT_EQ(estimate.terminated_iteration, 0);
@@ -133,12 +129,11 @@ TEST(KptEstimatorTest, TrivialBoundOnEdgelessGraph) {
 
 TEST(KptRefinerTest, KptPlusNeverBelowKptStar) {
   Graph g = MakeTwoCommunities(0.35f);
-  RRSampler sampler(g, DiffusionModel::kIC);
-  Rng rng(6);
-  KptEstimate estimate = EstimateKpt(sampler, 2, 1.0, rng);
+  SamplingEngine engine(g, IcSampling(6));
+  KptEstimate estimate = EstimateKpt(engine, 2, 1.0);
   KptRefinement refinement =
-      RefineKpt(sampler, *estimate.last_iteration_rr, 2, estimate.kpt_star,
-                /*eps_prime=*/0.5, /*ell=*/1.0, rng);
+      RefineKpt(engine, *estimate.last_iteration_rr, 2, estimate.kpt_star,
+                /*eps_prime=*/0.5, /*ell=*/1.0);
   EXPECT_GE(refinement.kpt_plus, estimate.kpt_star);
   EXPECT_EQ(refinement.intermediate_seeds.size(), 2u);
   EXPECT_GT(refinement.theta_prime, 0u);
@@ -151,15 +146,14 @@ TEST(KptRefinerTest, KptPlusStaysBelowOpt) {
   std::vector<NodeId> opt_seeds;
   ASSERT_TRUE(BruteForceOptimalIC(g, 2, &opt_seeds, &opt).ok());
 
-  RRSampler sampler(g, DiffusionModel::kIC);
   int ok_count = 0;
   const int trials = 20;
   for (int t = 0; t < trials; ++t) {
-    Rng rng(2000 + t);
-    KptEstimate estimate = EstimateKpt(sampler, 2, 1.0, rng);
+    SamplingEngine engine(g, IcSampling(2000 + t));
+    KptEstimate estimate = EstimateKpt(engine, 2, 1.0);
     KptRefinement refinement =
-        RefineKpt(sampler, *estimate.last_iteration_rr, 2, estimate.kpt_star,
-                  0.5, 1.0, rng);
+        RefineKpt(engine, *estimate.last_iteration_rr, 2, estimate.kpt_star,
+                  0.5, 1.0);
     if (refinement.kpt_plus <= opt * 1.02) ++ok_count;
   }
   EXPECT_GE(ok_count, trials - 1);
@@ -169,12 +163,11 @@ TEST(KptRefinerTest, RefinementTightensTheBoundOnRealisticGraphs) {
   // §4.1's motivation: KPT* is usually far below OPT; Algorithm 3 should
   // produce a strictly larger bound on a graph with hubs.
   Graph g = MakeOutStar(64, 0.9f);
-  RRSampler sampler(g, DiffusionModel::kIC);
-  Rng rng(7);
-  KptEstimate estimate = EstimateKpt(sampler, 1, 1.0, rng);
+  SamplingEngine engine(g, IcSampling(7));
+  KptEstimate estimate = EstimateKpt(engine, 1, 1.0);
   KptRefinement refinement =
-      RefineKpt(sampler, *estimate.last_iteration_rr, 1, estimate.kpt_star,
-                0.5, 1.0, rng);
+      RefineKpt(engine, *estimate.last_iteration_rr, 1, estimate.kpt_star,
+                0.5, 1.0);
   // OPT = 1 + 63·0.9 ≈ 57.7 while KPT (avg over in-degree picks) is ~1.9:
   // the refinement must capture most of the gap.
   EXPECT_GT(refinement.kpt_plus, 4.0 * estimate.kpt_star);
@@ -182,13 +175,12 @@ TEST(KptRefinerTest, RefinementTightensTheBoundOnRealisticGraphs) {
 
 TEST(KptRefinerTest, ThetaPrimeMatchesLambdaPrimeOverKptStar) {
   Graph g = MakeTwoCommunities(0.3f);
-  RRSampler sampler(g, DiffusionModel::kIC);
-  Rng rng(8);
-  KptEstimate estimate = EstimateKpt(sampler, 2, 1.0, rng);
+  SamplingEngine engine(g, IcSampling(8));
+  KptEstimate estimate = EstimateKpt(engine, 2, 1.0);
   const double eps_prime = 0.4;
   KptRefinement refinement =
-      RefineKpt(sampler, *estimate.last_iteration_rr, 2, estimate.kpt_star,
-                eps_prime, 1.0, rng);
+      RefineKpt(engine, *estimate.last_iteration_rr, 2, estimate.kpt_star,
+                eps_prime, 1.0);
   const double lambda_prime =
       ComputeLambdaPrime(g.num_nodes(), eps_prime, 1.0);
   EXPECT_EQ(refinement.theta_prime,

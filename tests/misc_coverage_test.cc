@@ -110,9 +110,8 @@ TEST(OracleEdgeTest, FullSeedSetHasSpreadN) {
 
 TEST(NodeSelectionEdgeTest, ThetaOneStillSelects) {
   Graph g = MakeTwoCommunities(0.4f);
-  RRSampler sampler(g, DiffusionModel::kIC);
-  Rng rng(3);
-  NodeSelection result = SelectNodes(sampler, 2, 1, rng);
+  SamplingEngine engine(g, testing::IcSampling(3));
+  NodeSelection result = SelectNodes(engine, 2, 1);
   EXPECT_EQ(result.seeds.size(), 2u);
   EXPECT_EQ(result.theta, 1u);
   EXPECT_GE(result.covered_fraction, 0.0);
@@ -121,10 +120,9 @@ TEST(NodeSelectionEdgeTest, ThetaOneStillSelects) {
 
 TEST(NodeSelectionEdgeTest, CoveredFractionIsMonotoneInK) {
   Graph g = MakeTwoCommunities(0.4f);
-  RRSampler s1(g, DiffusionModel::kIC), s2(g, DiffusionModel::kIC);
-  Rng rng1(4), rng2(4);
-  NodeSelection k1 = SelectNodes(s1, 1, 5000, rng1);
-  NodeSelection k3 = SelectNodes(s2, 3, 5000, rng2);
+  SamplingEngine e1(g, testing::IcSampling(4)), e2(g, testing::IcSampling(4));
+  NodeSelection k1 = SelectNodes(e1, 1, 5000);
+  NodeSelection k3 = SelectNodes(e2, 3, 5000);
   EXPECT_GE(k3.covered_fraction, k1.covered_fraction);
 }
 

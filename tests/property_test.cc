@@ -209,35 +209,31 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(ParallelSelectionTest, DeterministicGivenSeedAndThreads) {
   Graph g = testing::MakeTwoCommunities(0.35f);
-  RRSampler s1(g, DiffusionModel::kIC), s2(g, DiffusionModel::kIC);
-  Rng rng1(9), rng2(9);
-  NodeSelection a = SelectNodesParallel(s1, 3, 20000, 4, rng1);
-  NodeSelection b = SelectNodesParallel(s2, 3, 20000, 4, rng2);
+  SamplingEngine e1(g, testing::IcSampling(9, 4));
+  SamplingEngine e2(g, testing::IcSampling(9, 4));
+  NodeSelection a = SelectNodes(e1, 3, 20000);
+  NodeSelection b = SelectNodes(e2, 3, 20000);
   EXPECT_EQ(a.seeds, b.seeds);
   EXPECT_DOUBLE_EQ(a.covered_fraction, b.covered_fraction);
   EXPECT_EQ(a.edges_examined, b.edges_examined);
 }
 
-TEST(ParallelSelectionTest, SingleThreadFallbackMatchesSequential) {
+TEST(ParallelSelectionTest, ThreadCountDoesNotChangeResults) {
+  // The engine's deterministic merge contract: thread count must not
+  // change a single byte of the output — seeds, coverage and cost all
+  // match the sequential run exactly.
   Graph g = testing::MakeTwoCommunities(0.35f);
-  RRSampler s1(g, DiffusionModel::kIC), s2(g, DiffusionModel::kIC);
-  Rng rng1(10), rng2(10);
-  NodeSelection seq = SelectNodes(s1, 3, 10000, rng1);
-  NodeSelection par = SelectNodesParallel(s2, 3, 10000, 1, rng2);
-  EXPECT_EQ(seq.seeds, par.seeds);
-  EXPECT_DOUBLE_EQ(seq.covered_fraction, par.covered_fraction);
-}
-
-TEST(ParallelSelectionTest, MatchesSequentialQuality) {
-  // Different RNG schedules ⇒ possibly different seeds, but the estimated
-  // spreads must agree closely (both estimate the same maximization).
-  Graph g = testing::MakeTwoCommunities(0.35f);
-  RRSampler s1(g, DiffusionModel::kIC), s2(g, DiffusionModel::kIC);
-  Rng rng1(11), rng2(11);
-  NodeSelection seq = SelectNodes(s1, 2, 50000, rng1);
-  NodeSelection par = SelectNodesParallel(s2, 2, 50000, 3, rng2);
-  EXPECT_NEAR(seq.covered_fraction, par.covered_fraction,
-              0.05 * seq.covered_fraction + 0.005);
+  SamplingEngine sequential(g, testing::IcSampling(10, 1));
+  NodeSelection reference = SelectNodes(sequential, 3, 10000);
+  for (unsigned threads : {2u, 3u, 8u}) {
+    SamplingEngine parallel(g, testing::IcSampling(10, threads));
+    NodeSelection result = SelectNodes(parallel, 3, 10000);
+    EXPECT_EQ(reference.seeds, result.seeds) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(reference.covered_fraction, result.covered_fraction)
+        << "threads=" << threads;
+    EXPECT_EQ(reference.edges_examined, result.edges_examined)
+        << "threads=" << threads;
+  }
 }
 
 TEST(ParallelSelectionTest, TimSolverWithThreadsStaysCorrect) {
@@ -265,11 +261,12 @@ TEST(ParallelSelectionTest, TimSolverWithThreadsStaysCorrect) {
 
 TEST(ParallelSelectionTest, ThetaSplitCoversRemainder) {
   Graph g = testing::MakeChain(5, 0.5f);
-  RRSampler sampler(g, DiffusionModel::kIC);
-  Rng rng(13);
-  // 10007 sets across 4 workers: 2501 + 3*2502 — total must be exact.
-  NodeSelection result = SelectNodesParallel(sampler, 1, 10007, 4, rng);
+  SamplingEngine engine(g, testing::IcSampling(13, 4));
+  // 10007 sets across 4 workers — the contiguous index split must cover
+  // the remainder exactly.
+  NodeSelection result = SelectNodes(engine, 1, 10007);
   EXPECT_EQ(result.theta, 10007u);
+  EXPECT_EQ(engine.sets_sampled(), 10007u);
 }
 
 }  // namespace

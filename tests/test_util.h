@@ -7,12 +7,23 @@
 
 #include <vector>
 
+#include "engine/sampling_engine.h"
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
 #include "util/types.h"
 
 namespace timpp {
 namespace testing {
+
+/// SamplingConfig for a plain-IC engine with the given seed and thread
+/// count — the common case across the suite.
+inline SamplingConfig IcSampling(uint64_t seed, unsigned num_threads = 1) {
+  SamplingConfig config;
+  config.model = DiffusionModel::kIC;
+  config.seed = seed;
+  config.num_threads = num_threads;
+  return config;
+}
 
 /// Builds a graph from explicit (from, to, prob) triples; aborts the test on
 /// builder failure.
