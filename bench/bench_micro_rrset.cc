@@ -1,7 +1,15 @@
 // Micro-benchmark (google-benchmark): RR-set sampling throughput for the
 // IC, LT and generic-triggering paths, and forward-simulation throughput
 // for comparison. Complements the figure benches with per-operation cost.
+//
+// On top of the google-benchmark timings, main() runs a fixed-work A/B of
+// geometric skip sampling vs per-arc coins on a weighted-cascade power-law
+// graph (mean in-degree ~20, the regime the skip path targets) and writes
+// sets/sec for both modes plus the speedup into BENCH_bench_micro_rrset.json
+// so the gain is tracked PR-over-PR.
 #include <benchmark/benchmark.h>
+
+#include <string>
 
 #include "bench/bench_util.h"
 #include "diffusion/ic_simulator.h"
@@ -9,6 +17,7 @@
 #include "diffusion/triggering.h"
 #include "rrset/rr_sampler.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace timpp {
 namespace {
@@ -23,6 +32,14 @@ const Graph& IcGraph() {
 const Graph& LtGraph() {
   static const Graph graph = bench::MustBuildProxy(
       Dataset::kNetHept, 0.1, WeightScheme::kRandomLT, 1);
+  return graph;
+}
+
+// Weighted-cascade power-law graph with mean in-degree ~2·attach = 20:
+// heavy-tailed degrees and whole-list constant-probability runs, the
+// workload where geometric skips replace the most coins.
+const Graph& WcPowerLawGraph() {
+  static const Graph graph = bench::MustBuildWcPowerLaw(30000, 10, 7);
   return graph;
 }
 
@@ -41,6 +58,34 @@ void BM_RRSampleIC(benchmark::State& state) {
       static_cast<double>(nodes) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_RRSampleIC);
+
+// Per-arc vs skip on the same weighted-cascade power-law graph: the pair
+// of timings the geometric-skip tentpole is judged by.
+void BM_RRSampleICPerArc(benchmark::State& state) {
+  RRSampler sampler(WcPowerLawGraph(), DiffusionModel::kIC, nullptr, 0,
+                    SamplerMode::kPerArc);
+  Rng rng(42);
+  std::vector<NodeId> rr;
+  for (auto _ : state) {
+    sampler.SampleRandomRoot(rng, &rr);
+    benchmark::DoNotOptimize(rr.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RRSampleICPerArc);
+
+void BM_RRSampleICSkip(benchmark::State& state) {
+  RRSampler sampler(WcPowerLawGraph(), DiffusionModel::kIC, nullptr, 0,
+                    SamplerMode::kSkip);
+  Rng rng(42);
+  std::vector<NodeId> rr;
+  for (auto _ : state) {
+    sampler.SampleRandomRoot(rng, &rr);
+    benchmark::DoNotOptimize(rr.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RRSampleICSkip);
 
 void BM_RRSampleLT(benchmark::State& state) {
   RRSampler sampler(LtGraph(), DiffusionModel::kLT);
@@ -93,7 +138,56 @@ void BM_ForwardSimulateLT(benchmark::State& state) {
 }
 BENCHMARK(BM_ForwardSimulateLT);
 
+// Fixed-work A/B measurement recorded into the JSON mirror (google-
+// benchmark re-enters benchmark bodies, so metrics are recorded here once
+// instead). Each mode samples `kAbSets` RR sets on the weighted-cascade
+// power-law graph from its own deterministic stream.
+void RecordSkipAbMetrics() {
+  constexpr uint64_t kAbSets = 50000;
+  const Graph& graph = WcPowerLawGraph();
+  bench::PrintHeader(
+      "micro: RR-set sampling throughput",
+      "A/B: geometric skip sampling vs per-arc coins, weighted-cascade "
+      "Barabasi-Albert n=30000 mean-indeg~20");
+  bench::RecordMetric("wc_powerlaw.n", static_cast<double>(graph.num_nodes()));
+  bench::RecordMetric("wc_powerlaw.m", static_cast<double>(graph.num_edges()));
+  bench::RecordMetric("wc_powerlaw.avg_in_run_len", graph.AvgInRunLength());
+
+  double sets_per_sec[2] = {0, 0};
+  const SamplerMode modes[2] = {SamplerMode::kPerArc, SamplerMode::kSkip};
+  const char* names[2] = {"perarc", "skip"};
+  for (int m = 0; m < 2; ++m) {
+    RRSampler sampler(graph, DiffusionModel::kIC, nullptr, 0, modes[m]);
+    Rng rng(42);
+    std::vector<NodeId> rr;
+    uint64_t nodes = 0;
+    Timer timer;
+    for (uint64_t i = 0; i < kAbSets; ++i) {
+      sampler.SampleRandomRoot(rng, &rr);
+      nodes += rr.size();
+    }
+    const double seconds = timer.ElapsedSeconds();
+    sets_per_sec[m] = static_cast<double>(kAbSets) / seconds;
+    std::printf("ic_%s: %.0f sets/sec (%.3fs for %llu sets, %.2f nodes/set)\n",
+                names[m], sets_per_sec[m], seconds,
+                static_cast<unsigned long long>(kAbSets),
+                static_cast<double>(nodes) / static_cast<double>(kAbSets));
+    bench::RecordMetric(std::string("ic_") + names[m] + ".sets_per_sec",
+                        sets_per_sec[m]);
+  }
+  const double speedup = sets_per_sec[1] / sets_per_sec[0];
+  std::printf("skip speedup over per-arc: %.2fx\n", speedup);
+  bench::RecordMetric("ic_skip.speedup_vs_perarc", speedup);
+}
+
 }  // namespace
 }  // namespace timpp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  timpp::RecordSkipAbMetrics();
+  return 0;
+}

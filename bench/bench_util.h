@@ -24,7 +24,10 @@
 
 #include "diffusion/spread_estimator.h"
 #include "gen/dataset_proxies.h"
+#include "gen/generators.h"
 #include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/weight_models.h"
 #include "util/flags.h"
 #include "util/types.h"
 
@@ -135,6 +138,23 @@ inline Graph MustBuildProxy(Dataset dataset, double scale,
   Status status = BuildDatasetProxy(dataset, scale, scheme, seed, &graph);
   if (!status.ok()) {
     std::fprintf(stderr, "failed to build dataset proxy: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  return graph;
+}
+
+/// Scale-free Barabasi-Albert graph with weighted-cascade probabilities
+/// (the paper's §7.1 IC setting; whole in-arc lists are single
+/// constant-probability runs), exiting the process on failure.
+inline Graph MustBuildWcPowerLaw(NodeId n, unsigned attach, uint64_t seed) {
+  GraphBuilder builder;
+  GenBarabasiAlbert(n, attach, seed, &builder);
+  AssignWeightedCascade(&builder);
+  Graph graph;
+  Status status = builder.Build(&graph);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to build WC power-law graph: %s\n",
                  status.ToString().c_str());
     std::exit(1);
   }

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""PR-over-PR trend report for the BENCH_*.json bench mirrors.
+
+Every bench binary writes a machine-readable BENCH_<binary>.json (see
+bench/bench_util.h). This script diffs two directories of those files —
+typically a committed baseline (bench/baselines/) against a fresh run —
+and prints per-metric deltas so perf regressions and wins are visible in
+CI logs without plotting anything.
+
+Usage:
+  compare_bench.py --baseline bench/baselines --current build [--threshold 5]
+
+Exit code is always 0 (the report is informational / non-blocking); pass
+--strict to exit 1 when any timing-like metric regresses by more than
+--threshold percent.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Metric-label substrings treated as "higher is better" when classifying a
+# delta as improvement vs regression; everything else (seconds, bytes,
+# edges, theta, ...) is "lower is better". Labels with no perf meaning
+# (sizes of inputs like ".n" / ".m") are reported but never classified.
+HIGHER_IS_BETTER = ("per_sec", "speedup", "spread", "coverage", "fraction")
+NEUTRAL = (".n", ".m", "num_sets", "total_nodes", "avg_in_run_len")
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {m["label"]: m["value"] for m in doc.get("metrics", [])}
+
+
+def classify(label, old, new):
+    if any(label.endswith(s) or s in label for s in NEUTRAL):
+        return "·"
+    if old == new:
+        return "="
+    better = new > old if any(s in label for s in HIGHER_IS_BETTER) else new < old
+    return "+" if better else "-"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="directory of baseline BENCH_*.json files")
+    parser.add_argument("--current", required=True,
+                        help="directory of freshly generated BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=5.0,
+                        help="percent change considered noteworthy")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regressions beyond --threshold")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.baseline):
+        print(f"[compare_bench] no baseline directory {args.baseline!r}; "
+              "nothing to compare (first run?)")
+        return 0
+
+    names = sorted(
+        f for f in os.listdir(args.current)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not names:
+        print(f"[compare_bench] no BENCH_*.json in {args.current!r}")
+        return 0
+
+    regressions = 0
+    for name in names:
+        cur_path = os.path.join(args.current, name)
+        base_path = os.path.join(args.baseline, name)
+        print(f"\n== {name} ==")
+        if not os.path.exists(base_path):
+            print("   (new bench — no baseline)")
+            for label, value in load_metrics(cur_path).items():
+                print(f"   {label:45s} {value:>14.6g}")
+            continue
+        base = load_metrics(base_path)
+        cur = load_metrics(cur_path)
+        for label, value in cur.items():
+            if label not in base:
+                print(f" n {label:45s} {value:>14.6g}")
+                continue
+            old = base[label]
+            pct = 0.0 if old == 0 else 100.0 * (value - old) / abs(old)
+            mark = classify(label, old, value)
+            flag = " <<<" if mark in "+-" and abs(pct) >= args.threshold else ""
+            if mark == "-" and abs(pct) >= args.threshold:
+                regressions += 1
+            print(f" {mark} {label:45s} {old:>14.6g} -> {value:>14.6g} "
+                  f"({pct:+6.1f}%){flag}")
+        for label in sorted(set(base) - set(cur)):
+            print(f" x {label:45s} (dropped)")
+
+    print(f"\n[compare_bench] {regressions} regression(s) beyond "
+          f"{args.threshold:.1f}%")
+    return 1 if args.strict and regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,10 @@
 //                     old CLI's "celf" ran CELF++ — that variant is now
 //                     registered as "celf++", plain lazy-forward as "celf")
 //   --max_hops=0      bound propagation rounds (time-critical variant)
+//   --sampler=auto    auto | perarc | skip — RR-traversal strategy:
+//                     geometric skip sampling over constant-probability
+//                     arc runs (fast on wc/uniform graphs) vs one coin
+//                     per arc; auto picks per graph
 //   --ris_tau_scale / --ris_max_sets / --ris_memory_budget
 //                     RIS cost-threshold and out-of-memory knobs
 //   --undirected      treat each input line as an undirected edge
@@ -120,8 +124,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string sampler = flags.GetString("sampler", "auto");
+  timpp::SamplerMode sampler_mode = timpp::SamplerMode::kAuto;
+  if (sampler == "perarc") {
+    sampler_mode = timpp::SamplerMode::kPerArc;
+  } else if (sampler == "skip") {
+    sampler_mode = timpp::SamplerMode::kSkip;
+  } else if (sampler != "auto") {
+    std::fprintf(stderr, "unknown --sampler=%s (auto|perarc|skip)\n",
+                 sampler.c_str());
+    return 2;
+  }
+
   timpp::SolverOptions options;
   options.k = static_cast<int>(flags.GetInt("k", 50));
+  options.sampler_mode = sampler_mode;
   options.epsilon = flags.GetDouble("eps", 0.1);
   options.ell = flags.GetDouble("ell", 1.0);
   options.model = model;
@@ -145,12 +162,14 @@ int main(int argc, char** argv) {
   est.model = model;
   est.num_threads = options.num_threads;
   est.max_hops = options.max_hops;
+  est.sampler_mode = sampler_mode;
   timpp::SpreadEstimator estimator(graph, est);
   const double spread = estimator.Estimate(result.seeds, seed ^ 0xabc);
 
-  std::printf("\nalgorithm=%s model=%s k=%d time=%.3fs\n",
+  std::printf("\nalgorithm=%s model=%s sampler=%s k=%d time=%.3fs\n",
               solver->name().c_str(), timpp::DiffusionModelName(model),
-              options.k, result.seconds_total);
+              timpp::SamplerModeName(sampler_mode), options.k,
+              result.seconds_total);
   if (!result.metrics.empty()) {
     std::printf("stats:");
     for (const auto& [name, value] : result.metrics) {

@@ -21,6 +21,7 @@ class SpreadOracle {
     estimator_options_.num_samples = options.num_mc_samples;
     estimator_options_.model = options.model;
     estimator_options_.custom_model = options.custom_model;
+    estimator_options_.sampler_mode = options.sampler_mode;
   }
 
   double Estimate(const Graph& graph, const std::vector<NodeId>& seeds) {

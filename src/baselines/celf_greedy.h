@@ -36,6 +36,8 @@ struct CelfOptions {
   DiffusionModel model = DiffusionModel::kIC;
   /// Borrowed; required when model == kTriggering.
   const TriggeringModel* custom_model = nullptr;
+  /// Arc-decision strategy of the forward IC cascades (see SamplerMode).
+  SamplerMode sampler_mode = SamplerMode::kAuto;
   uint64_t seed = 0xce1fULL;
 };
 

@@ -37,11 +37,11 @@ void SolveRanks(const Graph& graph, double alpha, int iterations,
 // by averaging `samples` IC cascades.
 void EstimateActivationProbability(const Graph& graph,
                                    const std::vector<NodeId>& seeds,
-                                   uint64_t samples, Rng& rng,
-                                   std::vector<double>* ap) {
+                                   uint64_t samples, SamplerMode sampler_mode,
+                                   Rng& rng, std::vector<double>* ap) {
   const NodeId n = graph.num_nodes();
   std::vector<uint32_t> hits(n, 0);
-  IcSimulator sim(graph);
+  IcSimulator sim(graph, sampler_mode);
   std::vector<NodeId> activated;
   for (uint64_t i = 0; i < samples; ++i) {
     sim.SimulateCollect(seeds, rng, &activated);
@@ -95,8 +95,8 @@ Status RunIrie(const Graph& graph, const IrieOptions& options, int k,
 
     if (round + 1 < k) {
       // IE step: refresh AP(·|S) and damp ranks for the next round.
-      EstimateActivationProbability(graph, chosen, options.ap_samples, rng,
-                                    &ap);
+      EstimateActivationProbability(graph, chosen, options.ap_samples,
+                                    options.sampler_mode, rng, &ap);
       for (NodeId v = 0; v < n; ++v) {
         damp[v] = selected[v] ? 0.0 : 1.0 - ap[v];
       }

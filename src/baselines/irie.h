@@ -33,6 +33,8 @@ struct IrieOptions {
   /// small MC estimate plays the same role and keeps this clean-room
   /// implementation simple — see DESIGN.md.)
   uint64_t ap_samples = 64;
+  /// Arc-decision strategy of the AP-estimation cascades (see SamplerMode).
+  SamplerMode sampler_mode = SamplerMode::kAuto;
   uint64_t seed = 0x121eULL;
 };
 

@@ -39,6 +39,7 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
   SamplingConfig sampling;
   sampling.model = options.model;
   sampling.custom_model = options.custom_model;
+  sampling.sampler_mode = options.sampler_mode;
   sampling.num_threads = options.num_threads;
   sampling.seed = options.seed;
   SamplingEngine engine(graph, sampling);

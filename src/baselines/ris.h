@@ -25,6 +25,10 @@ struct RisOptions {
   DiffusionModel model = DiffusionModel::kIC;
   /// Borrowed; required when model == kTriggering.
   const TriggeringModel* custom_model = nullptr;
+  /// RR-traversal strategy (see SamplerMode). edges_examined — and hence
+  /// the τ stopping rule — counts *decided* arcs in both modes, so the
+  /// stop point is mode-comparable; skip mode simply reaches it faster.
+  SamplerMode sampler_mode = SamplerMode::kAuto;
   /// Multiplier on the theoretical τ. Borgs et al. only pin τ up to a
   /// constant; 1.0 is the faithful setting, and benches may lower it to
   /// keep RIS runnable (trading away the worst-case guarantee, exactly the

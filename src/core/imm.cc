@@ -81,6 +81,7 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
   sampling.model = options.model;
   sampling.custom_model = options.custom_model;
   sampling.max_hops = options.max_hops;
+  sampling.sampler_mode = options.sampler_mode;
   sampling.num_threads = options.num_threads;
   sampling.seed = options.seed;
   if (options.node_weights != nullptr) {

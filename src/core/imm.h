@@ -50,6 +50,8 @@ struct ImmOptions {
   const TriggeringModel* custom_model = nullptr;
   /// Propagation-round bound (0 = unlimited), as in TimOptions.
   uint32_t max_hops = 0;
+  /// RR-traversal strategy (see SamplerMode and TimOptions::sampler_mode).
+  SamplerMode sampler_mode = SamplerMode::kAuto;
   /// true reproduces the original (dependence-flawed) sample reuse; false
   /// (default) regenerates fresh RR sets for the selection phase.
   bool reuse_samples = false;

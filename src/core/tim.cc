@@ -58,6 +58,7 @@ Status TimSolver::Run(const TimOptions& options, TimResult* result) const {
   sampling.model = options.model;
   sampling.custom_model = options.custom_model;
   sampling.max_hops = options.max_hops;
+  sampling.sampler_mode = options.sampler_mode;
   sampling.num_threads = options.num_threads;
   sampling.seed = options.seed;
   SamplingEngine engine(graph_, sampling);

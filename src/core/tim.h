@@ -45,6 +45,11 @@ struct TimOptions {
   /// related-work setting [4]). All guarantees carry over because depth-d
   /// RR sets satisfy the depth-d analog of Lemma 2.
   uint32_t max_hops = 0;
+  /// RR-traversal strategy (geometric skip sampling vs per-arc coins; see
+  /// SamplerMode). kAuto picks skip when the graph's constant-probability
+  /// in-arc runs are long (weighted cascade, uniform). Seed sets differ
+  /// bit-wise between modes but are statistically indistinguishable.
+  SamplerMode sampler_mode = SamplerMode::kAuto;
   /// Sampling worker threads shared by all three phases (Algorithms 2, 3
   /// and 1 all consume i.i.d. RR sets from one SamplingEngine, so every
   /// phase parallelizes embarrassingly). Under the engine's deterministic

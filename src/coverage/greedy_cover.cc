@@ -27,6 +27,103 @@ uint64_t SelectNode(const RRCollection& rr, NodeId v, BitVector* dead,
 }  // namespace
 
 CoverResult GreedyMaxCover(const RRCollection& rr, int k) {
+  return GreedyMaxCoverWithBucketCap(rr, k, uint64_t{1} << 20);
+}
+
+CoverResult GreedyMaxCoverWithBucketCap(const RRCollection& rr, int k,
+                                        uint64_t max_buckets) {
+  const NodeId n = rr.num_graph_nodes();
+  CoverResult result;
+  if (k <= 0 || n == 0) return result;
+
+  std::vector<uint64_t> counts(n);
+  uint64_t max_count = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    counts[v] = rr.CoverageCount(v);
+    max_count = std::max(max_count, counts[v]);
+  }
+
+  // Bucket queue with lazy decrease: every unselected node sits in exactly
+  // one bucket, possibly higher than its current count (counts only fall).
+  // The cursor walks from the top bucket downward; before a bucket is
+  // trusted its stale entries are relocated to their true buckets (each
+  // relocation moves a node strictly down, so total relocation work is
+  // bounded by the total count decrements, O(θ·avg|R|)). The selection
+  // from the cleaned top bucket is the exact greedy rule — max current
+  // count, ties to the smaller node id — so results are bit-identical to
+  // the heap path.
+  //
+  // Buckets hold single counts (shift 0) while max_count is small — then a
+  // cleaned bucket is all one count and the scan reduces to min-id. Counts
+  // scale with θ, not n, so a hub covered by a θ-sized fraction of sets
+  // would make a one-bucket-per-count array allocate O(θ) vectors; the
+  // shift coarsens buckets to count *ranges* just enough to cap the array,
+  // keeping memory O(min(max_count, 2^20) + n) while the in-bucket scan
+  // stays exact.
+  int shift = 0;
+  while ((max_count >> shift) >= std::max<uint64_t>(1, max_buckets)) ++shift;
+  const auto bucket_of = [shift](uint64_t count) { return count >> shift; };
+
+  std::vector<std::vector<NodeId>> buckets(bucket_of(max_count) + 1);
+  for (NodeId v = 0; v < n; ++v) buckets[bucket_of(counts[v])].push_back(v);
+
+  BitVector dead(rr.num_sets());
+  uint64_t cursor = bucket_of(max_count);
+
+  while (static_cast<int>(result.seeds.size()) < k) {
+    // Advance the cursor to the highest bucket with a current entry.
+    bool found = false;
+    while (true) {
+      std::vector<NodeId>& bucket = buckets[cursor];
+      size_t i = 0;
+      while (i < bucket.size()) {
+        const NodeId v = bucket[i];
+        if (bucket_of(counts[v]) != cursor) {
+          buckets[bucket_of(counts[v])].push_back(v);  // lazy decrease
+          bucket[i] = bucket.back();
+          bucket.pop_back();
+        } else {
+          ++i;
+        }
+      }
+      if (!bucket.empty()) {
+        found = true;
+        break;
+      }
+      if (cursor == 0) break;
+      --cursor;
+    }
+    if (!found) break;  // every node selected
+
+    // Exact argmax within the top bucket (count desc, id asc). With
+    // shift 0 all counts here equal the cursor and this is a min-id scan.
+    std::vector<NodeId>& bucket = buckets[cursor];
+    size_t best = 0;
+    for (size_t i = 1; i < bucket.size(); ++i) {
+      if (counts[bucket[i]] > counts[bucket[best]] ||
+          (counts[bucket[i]] == counts[bucket[best]] &&
+           bucket[i] < bucket[best])) {
+        best = i;
+      }
+    }
+    const NodeId v = bucket[best];
+    bucket[best] = bucket.back();
+    bucket.pop_back();
+
+    const uint64_t marginal = SelectNode(rr, v, &dead, &counts);
+    result.seeds.push_back(v);
+    result.marginal_coverage.push_back(marginal);
+    result.covered_sets += marginal;
+  }
+
+  result.covered_fraction =
+      rr.num_sets() > 0 ? static_cast<double>(result.covered_sets) /
+                              static_cast<double>(rr.num_sets())
+                        : 0.0;
+  return result;
+}
+
+CoverResult HeapGreedyMaxCover(const RRCollection& rr, int k) {
   const NodeId n = rr.num_graph_nodes();
   CoverResult result;
   if (k <= 0 || n == 0) return result;

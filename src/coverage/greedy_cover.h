@@ -26,11 +26,28 @@ struct CoverResult {
   double covered_fraction = 0.0;
 };
 
-/// Exact greedy via lazy evaluation: marginal coverage counts only decrease
-/// as sets die, so a max-heap with stale-entry re-push finds the argmax
-/// without rescanning all nodes (the classic CELF trick applied to
-/// coverage). Near-linear in Σ|R| in practice. Requires rr.index_built().
+/// Exact greedy via a bucket queue with lazy decrease: coverage counts are
+/// bounded by θ and only decrease as sets die, so nodes live in an array
+/// of count-indexed buckets and a monotonically descending cursor finds
+/// the argmax without any comparison-based ordering — O(n + max_count +
+/// total count decrements) = O(n + θ·avg|R|), versus the heap's
+/// O(n log n + stale re-pushes). When max_count would make one bucket per
+/// count allocate too much, buckets coarsen to count ranges (the in-bucket
+/// scan stays exact). Ties break by smaller node id; bit-identical to
+/// HeapGreedyMaxCover. Requires rr.index_built().
 CoverResult GreedyMaxCover(const RRCollection& rr, int k);
+
+/// GreedyMaxCover with an explicit cap on the bucket-array size (the
+/// default is 2^20). Exposed so tests can force the coarse-bucket path on
+/// small collections; results are cap-independent.
+CoverResult GreedyMaxCoverWithBucketCap(const RRCollection& rr, int k,
+                                        uint64_t max_buckets);
+
+/// The previous default: lazy evaluation on a max-heap with stale-entry
+/// re-push (the classic CELF trick applied to coverage). Kept as the A/B
+/// reference for the bucket queue — tests assert bit-identical CoverResult
+/// — and for the coverage micro-bench.
+CoverResult HeapGreedyMaxCover(const RRCollection& rr, int k);
 
 /// Reference implementation that rescans every node each round. O(k·n +
 /// k·Σ|R|). Used by tests (must match GreedyMaxCover exactly, ties broken

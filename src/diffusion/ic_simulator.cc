@@ -1,5 +1,7 @@
 #include "diffusion/ic_simulator.h"
 
+#include "graph/run_sampling.h"
+
 namespace timpp {
 
 uint64_t IcSimulator::Simulate(std::span<const NodeId> seeds, Rng& rng,
@@ -25,7 +27,10 @@ uint64_t IcSimulator::SimulateCollect(std::span<const NodeId> seeds, Rng& rng,
 
   // BFS over live out-arcs; each arc flips its own coin exactly once, which
   // matches the "activated node gets one chance per outgoing edge" process.
-  // Hop bounding tracks the index where the current BFS level ends.
+  // Hop bounding tracks the index where the current BFS level ends. In
+  // skip mode the live arcs of each constant-probability run are reached
+  // by geometric jumps instead of per-arc coins — the same live-arc
+  // distribution at O(1 + live) cost per run.
   size_t level_end = queue_.size();
   uint32_t hops = 0;
   for (size_t head = 0; head < queue_.size(); ++head) {
@@ -35,13 +40,22 @@ uint64_t IcSimulator::SimulateCollect(std::span<const NodeId> seeds, Rng& rng,
     }
     if (max_hops != 0 && hops >= max_hops) break;
     NodeId u = queue_[head];
-    for (const Arc& a : graph_.OutArcs(u)) {
-      if (visited_.Visited(a.node)) continue;
-      if (rng.NextBernoulli(a.prob)) {
-        visited_.Visit(a.node);
-        queue_.push_back(a.node);
+    const auto arcs = graph_.OutArcs(u);
+    const auto try_activate = [&](NodeId w) {
+      if (visited_.VisitIfNew(w)) {
+        queue_.push_back(w);
         ++count;
-        if (activated != nullptr) activated->push_back(a.node);
+        if (activated != nullptr) activated->push_back(w);
+      }
+    };
+    if (use_skip_) {
+      SampleLiveArcsInRuns(arcs, graph_.OutRunEnds(u),
+                           graph_.OutRunInvLog1mp(u), rng,
+                           [&](const Arc& a) { try_activate(a.node); });
+    } else {
+      for (const Arc& a : arcs) {
+        if (visited_.Visited(a.node)) continue;
+        if (rng.NextBernoulli(a.prob)) try_activate(a.node);
       }
     }
   }

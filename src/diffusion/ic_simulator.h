@@ -18,10 +18,23 @@ namespace timpp {
 /// create one simulator per thread.
 class IcSimulator {
  public:
-  explicit IcSimulator(const Graph& graph)
-      : graph_(graph), visited_(graph.num_nodes()) {
+  /// `mode` picks the arc-decision strategy: kAuto resolves to geometric
+  /// skip sampling when the graph's out-arc constant-probability runs are
+  /// long enough to amortize it (uniform / trivalency-grouped graphs;
+  /// weighted-cascade out-lists mix per-target probabilities and resolve
+  /// to per-arc). Both modes simulate the exact IC cascade distribution.
+  explicit IcSimulator(const Graph& graph,
+                       SamplerMode mode = SamplerMode::kAuto)
+      : graph_(graph),
+        use_skip_(mode == SamplerMode::kSkip ||
+                  (mode == SamplerMode::kAuto &&
+                   graph.AvgOutRunLength() >= kSkipRunLengthThreshold)),
+        visited_(graph.num_nodes()) {
     queue_.reserve(256);
   }
+
+  /// True when the traversal resolved to geometric skip sampling.
+  bool skip_mode() const { return use_skip_; }
 
   /// Simulates one cascade from `seeds`; returns the number of activated
   /// nodes (including the seeds themselves). Duplicate seeds are counted
@@ -42,6 +55,7 @@ class IcSimulator {
 
  private:
   const Graph& graph_;
+  bool use_skip_;
   VisitMarker visited_;
   std::vector<NodeId> queue_;
 };

@@ -23,7 +23,7 @@ double SpreadEstimator::EstimateSingleThread(std::span<const NodeId> seeds,
   if (options_.node_weights != nullptr) {
     const std::vector<double>& w = *options_.node_weights;
     double total_weight = 0.0;
-    IcSimulator ic(graph_);
+    IcSimulator ic(graph_, options_.sampler_mode);
     LtTriggeringModel lt_model;
     const TriggeringModel* model = options_.model == DiffusionModel::kLT
                                        ? &lt_model
@@ -48,7 +48,7 @@ double SpreadEstimator::EstimateSingleThread(std::span<const NodeId> seeds,
   uint64_t total = 0;
   switch (options_.model) {
     case DiffusionModel::kIC: {
-      IcSimulator sim(graph_);
+      IcSimulator sim(graph_, options_.sampler_mode);
       for (uint64_t i = 0; i < samples; ++i) {
         total += sim.Simulate(seeds, rng, options_.max_hops);
       }

@@ -28,6 +28,9 @@ struct SpreadEstimatorOptions {
   const TriggeringModel* custom_model = nullptr;
   /// Bound on propagation rounds (0 = unlimited) — time-critical variant.
   uint32_t max_hops = 0;
+  /// Arc-decision strategy for the forward IC cascades (see SamplerMode).
+  /// LT and triggering simulation never flip per-arc coins and ignore it.
+  SamplerMode sampler_mode = SamplerMode::kAuto;
   /// Optional per-node weights (borrowed; size n). When set, Estimate()
   /// returns the expected *weighted* spread Σ w(v)·P[v activated] instead
   /// of the expected activation count.

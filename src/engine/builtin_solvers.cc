@@ -37,6 +37,7 @@ class TimInfluenceSolver final : public InfluenceSolver {
     tim.custom_model = options.custom_model;
     tim.use_refinement = use_refinement_;
     tim.max_hops = options.max_hops;
+    tim.sampler_mode = options.sampler_mode;
     tim.num_threads = options.num_threads;
     tim.seed = options.seed;
 
@@ -82,6 +83,7 @@ class ImmInfluenceSolver final : public InfluenceSolver {
     imm.model = options.model;
     imm.custom_model = options.custom_model;
     imm.max_hops = options.max_hops;
+    imm.sampler_mode = options.sampler_mode;
     imm.num_threads = options.num_threads;
     imm.seed = options.seed;
 
@@ -122,6 +124,7 @@ class RisInfluenceSolver final : public InfluenceSolver {
     ris.ell = options.ell;
     ris.model = options.model;
     ris.custom_model = options.custom_model;
+    ris.sampler_mode = options.sampler_mode;
     ris.tau_scale = options.ris_tau_scale;
     ris.max_rr_sets = options.ris_max_sets;
     ris.memory_budget_bytes = options.ris_memory_budget_bytes;
@@ -165,6 +168,7 @@ class CelfInfluenceSolver final : public InfluenceSolver {
     celf.num_mc_samples = options.mc_samples;
     celf.model = options.model;
     celf.custom_model = options.custom_model;
+    celf.sampler_mode = options.sampler_mode;
     celf.seed = options.seed;
 
     CelfStats stats;
@@ -200,6 +204,7 @@ class IrieInfluenceSolver final : public InfluenceSolver {
   Status Run(const SolverOptions& options, SolverResult* result) override {
     IrieOptions irie;
     irie.alpha = options.irie_alpha;
+    irie.sampler_mode = options.sampler_mode;
     irie.seed = options.seed;
 
     IrieStats stats;

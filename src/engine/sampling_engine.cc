@@ -18,7 +18,8 @@ constexpr uint64_t kSetsPerCostBatch = 256;
 }  // namespace
 
 SamplingEngine::Shard::Shard(const Graph& graph, const SamplingConfig& config)
-    : sampler(graph, config.model, config.custom_model, config.max_hops),
+    : sampler(graph, config.model, config.custom_model, config.max_hops,
+              config.sampler_mode),
       sets(graph.num_nodes()) {
   sampler.SetRootDistribution(config.root_distribution);
   scratch.reserve(256);

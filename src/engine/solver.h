@@ -39,6 +39,9 @@ struct SolverOptions {
   const TriggeringModel* custom_model = nullptr;
   /// Propagation-round bound (0 = unlimited) for RR-set algorithms.
   uint32_t max_hops = 0;
+  /// RR-traversal strategy for RR-set algorithms: geometric skip sampling
+  /// over constant-probability arc runs vs per-arc coins (SamplerMode).
+  SamplerMode sampler_mode = SamplerMode::kAuto;
   /// Sampling worker threads (RR-set algorithms; results stay identical
   /// across thread counts under the SamplingEngine contract).
   unsigned num_threads = 1;

@@ -20,12 +20,27 @@ struct Arc {
   float prob;
 };
 
+/// Minimum average constant-probability run length at which
+/// SamplerMode::kAuto switches a traversal from per-arc coins to geometric
+/// skips: each skip draw costs two log() evaluations, so runs must be long
+/// enough to amortize them against the per-arc coin it replaces.
+inline constexpr double kSkipRunLengthThreshold = 4.0;
+
 /// Immutable weighted directed graph. Construct via GraphBuilder.
 ///
 /// Both adjacency directions are stored because the algorithms in the paper
 /// need both: forward Monte-Carlo simulation of a cascade walks out-arcs,
 /// while randomized reverse BFS (RR-set generation, Definition 2) walks
 /// in-arcs. Arc order within a list follows insertion order of the builder.
+///
+/// Alongside the arcs the builder materializes *probability runs*: each
+/// node's arc list split into maximal stretches of equal probability.
+/// Under the paper's §7.1 settings the in-arc lists are single runs
+/// (weighted cascade: every in-arc of v has p = 1/indeg(v); uniform: one
+/// global p; uniform LT likewise), which lets samplers draw geometric
+/// skips per run instead of one Bernoulli coin per arc (SamplerMode::kSkip)
+/// — exactly, for any graph, since the split never merges unequal
+/// probabilities.
 class Graph {
  public:
   Graph() = default;
@@ -64,10 +79,69 @@ class Graph {
     return s;
   }
 
-  /// Heap bytes held by the adjacency arrays (Figure 12 accounting).
+  /// Ends (exclusive, local to InArcs(v) — i.e. values in (0, InDegree(v)])
+  /// of v's constant-probability in-arc runs, in arc order. Run r spans
+  /// [ends[r-1] (or 0), ends[r]) and its probability is the probability of
+  /// its first arc.
+  std::span<const EdgeIndex> InRunEnds(NodeId v) const {
+    return {in_run_ends_.data() + in_run_offsets_[v],
+            in_run_ends_.data() + in_run_offsets_[v + 1]};
+  }
+
+  /// As InRunEnds, for the out-arc direction.
+  std::span<const EdgeIndex> OutRunEnds(NodeId v) const {
+    return {out_run_ends_.data() + out_run_offsets_[v],
+            out_run_ends_.data() + out_run_offsets_[v + 1]};
+  }
+
+  /// Per-run 1 / ln(1-p), aligned with InRunEnds(v) — the precomputed
+  /// constant geometric skip draws multiply by (Rng::NextSkip), so the
+  /// sampling hot loop pays no log or division per run. Meaningless
+  /// (±0 / ±inf) for runs with p >= 1 or p <= 0, which samplers branch
+  /// around before drawing.
+  std::span<const double> InRunInvLog1mp(NodeId v) const {
+    return {in_run_inv_log1mp_.data() + in_run_offsets_[v],
+            in_run_inv_log1mp_.data() + in_run_offsets_[v + 1]};
+  }
+
+  /// As InRunInvLog1mp, for the out-arc direction.
+  std::span<const double> OutRunInvLog1mp(NodeId v) const {
+    return {out_run_inv_log1mp_.data() + out_run_offsets_[v],
+            out_run_inv_log1mp_.data() + out_run_offsets_[v + 1]};
+  }
+
+  uint64_t num_in_runs() const { return in_run_ends_.size(); }
+  uint64_t num_out_runs() const { return out_run_ends_.size(); }
+
+  /// Mean arcs per in-run (m / #in-runs); 0 on an edgeless graph. 1.0
+  /// means every adjacent in-arc pair differs in probability (skip
+  /// sampling degenerates to per-arc); indeg-sized values mean whole
+  /// lists are single runs (weighted cascade).
+  double AvgInRunLength() const {
+    return in_run_ends_.empty() ? 0.0
+                                : static_cast<double>(in_arcs_.size()) /
+                                      static_cast<double>(in_run_ends_.size());
+  }
+
+  /// Mean arcs per out-run; see AvgInRunLength.
+  double AvgOutRunLength() const {
+    return out_run_ends_.empty()
+               ? 0.0
+               : static_cast<double>(out_arcs_.size()) /
+                     static_cast<double>(out_run_ends_.size());
+  }
+
+  /// Heap bytes held by the adjacency arrays plus the probability-run
+  /// metadata (Figure 12 accounting — the run arrays are real resident
+  /// memory and must be charged).
   size_t MemoryBytes() const {
     return (out_offsets_.size() + in_offsets_.size()) * sizeof(EdgeIndex) +
-           (out_arcs_.size() + in_arcs_.size()) * sizeof(Arc);
+           (out_arcs_.size() + in_arcs_.size()) * sizeof(Arc) +
+           (out_run_offsets_.size() + in_run_offsets_.size() +
+            out_run_ends_.size() + in_run_ends_.size()) *
+               sizeof(EdgeIndex) +
+           (out_run_inv_log1mp_.size() + in_run_inv_log1mp_.size()) *
+               sizeof(double);
   }
 
  private:
@@ -78,6 +152,16 @@ class Graph {
   std::vector<Arc> out_arcs_;           // size m
   std::vector<EdgeIndex> in_offsets_;   // size n+1
   std::vector<Arc> in_arcs_;            // size m
+
+  // Constant-probability run metadata (see class comment). *_run_offsets_
+  // index per-node ranges of *_run_ends_ / *_run_inv_log1mp_, exactly
+  // like the arc CSR.
+  std::vector<EdgeIndex> out_run_offsets_;  // size n+1
+  std::vector<EdgeIndex> out_run_ends_;     // size #out-runs
+  std::vector<double> out_run_inv_log1mp_;  // size #out-runs
+  std::vector<EdgeIndex> in_run_offsets_;   // size n+1
+  std::vector<EdgeIndex> in_run_ends_;      // size #in-runs
+  std::vector<double> in_run_inv_log1mp_;   // size #in-runs
 };
 
 }  // namespace timpp

@@ -1,0 +1,52 @@
+// Geometric skip sampling over a node's constant-probability arc runs —
+// the one traversal primitive shared by reverse RR-set generation
+// (RRSampler::SampleICSkip, over in-arcs) and forward IC simulation
+// (IcSimulator, over out-arcs). Keeping the jump arithmetic in a single
+// place is what makes the two paths provably sample the same per-arc
+// Bernoulli process.
+#ifndef TIMPP_GRAPH_RUN_SAMPLING_H_
+#define TIMPP_GRAPH_RUN_SAMPLING_H_
+
+#include <cmath>
+#include <span>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// Invokes `visit(arc)` for exactly the live arcs of `arcs`, where each
+/// arc is independently live with its own probability, without touching
+/// the blocked ones: within a run of L Bernoulli(p) trials the distance
+/// to the next success is Geometric(p), so Rng::NextSkip jumps straight
+/// to each live arc — O(1 + live) per run, and exactly the same live-arc
+/// distribution as one coin per arc. `run_ends` / `run_invs` are the
+/// node's Graph::{In,Out}RunEnds (ends local to `arcs`) and the aligned
+/// Graph::{In,Out}RunInvLog1mp spans.
+template <typename Visit>
+inline void SampleLiveArcsInRuns(std::span<const Arc> arcs,
+                                 std::span<const EdgeIndex> run_ends,
+                                 std::span<const double> run_invs, Rng& rng,
+                                 Visit&& visit) {
+  EdgeIndex start = 0;
+  for (size_t r = 0; r < run_ends.size(); ++r) {
+    const EdgeIndex end = run_ends[r];
+    const float p = arcs[start].prob;
+    if (p >= 1.0f) {
+      // Forced run: every arc is live, no randomness to draw.
+      for (EdgeIndex i = start; i < end; ++i) visit(arcs[i]);
+    } else if (p > 0.0f) {
+      const double inv_log1mp = run_invs[r];
+      for (EdgeIndex i = start + rng.NextSkip(inv_log1mp, end - start);
+           i < end; i += 1 + rng.NextSkip(inv_log1mp, end - i - 1)) {
+        visit(arcs[i]);
+      }
+    }  // p <= 0: the whole run is blocked, jump over it.
+    start = end;
+  }
+}
+
+}  // namespace timpp
+
+#endif  // TIMPP_GRAPH_RUN_SAMPLING_H_

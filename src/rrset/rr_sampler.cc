@@ -1,5 +1,9 @@
 #include "rrset/rr_sampler.h"
 
+#include <algorithm>
+
+#include "graph/run_sampling.h"
+
 namespace timpp {
 
 RRSampleInfo RRSampler::SampleRandomRoot(Rng& rng, std::vector<NodeId>* out) {
@@ -25,6 +29,7 @@ RRSampleInfo RRSampler::SampleForRoot(NodeId root, Rng& rng,
 
 RRSampleInfo RRSampler::SampleIC(NodeId root, Rng& rng,
                                  std::vector<NodeId>* out) {
+  if (use_skip_) return SampleICSkip(root, rng, out);
   RRSampleInfo info;
   info.root = root;
 
@@ -61,6 +66,47 @@ RRSampleInfo RRSampler::SampleIC(NodeId root, Rng& rng,
   return info;
 }
 
+RRSampleInfo RRSampler::SampleICSkip(NodeId root, Rng& rng,
+                                     std::vector<NodeId>* out) {
+  RRSampleInfo info;
+  info.root = root;
+
+  visited_.NewEpoch();
+  set_.clear();
+  visited_.Visit(root);
+  set_.push_back(root);
+  info.width += graph_.InDegree(root);
+
+  // Same reverse BFS as SampleIC, but per constant-probability run the
+  // indices of the kept arcs are drawn as geometric gaps instead of one
+  // coin per arc: within a run of L Bernoulli(p) trials, the distance to
+  // the next success is Geometric(p), so jumping by NextSkip lands on
+  // exactly the kept arcs with the per-arc distribution. Already-visited
+  // targets are skipped over for free (their coins need never be looked
+  // at — the outcomes are independent and unused).
+  size_t level_end = set_.size();
+  uint32_t hops = 0;
+  for (size_t head = 0; head < set_.size(); ++head) {
+    if (head == level_end) {
+      ++hops;
+      level_end = set_.size();
+    }
+    if (max_hops_ != 0 && hops >= max_hops_) break;
+    NodeId v = set_[head];
+    const auto arcs = graph_.InArcs(v);
+    info.edges_examined += arcs.size();  // decided arcs; see RRSampleInfo
+    SampleLiveArcsInRuns(arcs, graph_.InRunEnds(v), graph_.InRunInvLog1mp(v),
+                         rng, [&](const Arc& a) {
+      if (visited_.VisitIfNew(a.node)) {
+        set_.push_back(a.node);
+        info.width += graph_.InDegree(a.node);
+      }
+    });
+  }
+  *out = set_;
+  return info;
+}
+
 RRSampleInfo RRSampler::SampleLT(NodeId root, Rng& rng,
                                  std::vector<NodeId>* out) {
   RRSampleInfo info;
@@ -76,21 +122,48 @@ RRSampleInfo RRSampler::SampleLT(NodeId root, Rng& rng,
   // uses it to select at most one in-neighbor (weights sum to <= 1). The
   // walk stops when the leftover mass is drawn, when a node has no
   // in-arcs, or when it closes a cycle onto an already-visited node.
+  //
+  // Skip mode resolves the same categorical draw by runs: a run of L arcs
+  // with weight p holds mass L·p, and within a hit run the picked index is
+  // floor(r/p) — O(runs) instead of O(indeg), with an identical outcome
+  // distribution. edges_examined charges only the arcs up to and including
+  // the pick (the linear scan stops there; charging the whole list would
+  // overstate the §7.2 LT cost), or the whole list when the leftover mass
+  // is drawn.
   NodeId v = root;
   uint32_t steps = 0;
   while (max_hops_ == 0 || steps++ < max_hops_) {
     auto arcs = graph_.InArcs(v);
     if (arcs.empty()) break;
-    info.edges_examined += arcs.size();  // the scan cost; one RNG draw only
     double r = rng.NextDouble();
     NodeId picked = kInvalidNode;
-    for (const Arc& a : arcs) {
-      if (r < a.prob) {
-        picked = a.node;
-        break;
+    uint64_t scanned = arcs.size();
+    if (use_skip_) {
+      EdgeIndex start = 0;
+      for (const EdgeIndex end : graph_.InRunEnds(v)) {
+        const double p = arcs[start].prob;
+        const double run_mass = p * static_cast<double>(end - start);
+        if (p > 0.0 && r < run_mass) {
+          const EdgeIndex offset = std::min<EdgeIndex>(
+              end - start - 1, static_cast<EdgeIndex>(r / p));
+          picked = arcs[start + offset].node;
+          scanned = start + offset + 1;
+          break;
+        }
+        r -= run_mass;
+        start = end;
       }
-      r -= a.prob;
+    } else {
+      for (size_t i = 0; i < arcs.size(); ++i) {
+        if (r < arcs[i].prob) {
+          picked = arcs[i].node;
+          scanned = i + 1;
+          break;
+        }
+        r -= arcs[i].prob;
+      }
     }
+    info.edges_examined += scanned;
     if (picked == kInvalidNode) break;       // "no in-neighbor" outcome
     if (!visited_.VisitIfNew(picked)) break;  // cycle closed
     set_.push_back(picked);

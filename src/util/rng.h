@@ -8,6 +8,7 @@
 #ifndef TIMPP_UTIL_RNG_H_
 #define TIMPP_UTIL_RNG_H_
 
+#include <cmath>
 #include <cstdint>
 
 #include "util/types.h"
@@ -80,6 +81,32 @@ class Rng {
 
   /// Uniform NodeId in [0, n).
   NodeId NextNode(NodeId n) { return static_cast<NodeId>(NextBounded(n)); }
+
+  /// Number of failures before the first success of an i.i.d. Bernoulli(p)
+  /// sequence, capped at `limit` (the cap also covers p <= 0, where no
+  /// success ever comes). Exact inversion sampling: with U uniform on
+  /// (0, 1], floor(ln U / ln(1-p)) is geometric — the identity that lets a
+  /// traversal jump straight to its next live arc instead of flipping one
+  /// coin per arc (Walker-style skip sampling; cf. Vose/QuickIM).
+  uint64_t NextGeometric(double p, uint64_t limit) {
+    if (p >= 1.0) return 0;
+    if (p <= 0.0) return limit;
+    return NextSkip(1.0 / std::log1p(-p), limit);
+  }
+
+  /// As NextGeometric, but takes the precomputed 1 / ln(1-p) (strictly
+  /// negative; Graph stores it per run) so the hot loop pays neither the
+  /// log nor the division per draw — only the unavoidable ln(U).
+  uint64_t NextSkip(double inv_log_one_minus_p, uint64_t limit) {
+    // limit 0 can only return 0; skip the draw (run tails hit this often).
+    if (limit == 0) return 0;
+    // 1 - NextDouble() lies in (0, 1]: log(0) and the UB of casting an
+    // out-of-range double are both unreachable, and u == 1 gives skip 0.
+    const double u = 1.0 - NextDouble();
+    const double skip = std::floor(std::log(u) * inv_log_one_minus_p);
+    if (!(skip < static_cast<double>(limit))) return limit;
+    return static_cast<uint64_t>(skip);
+  }
 
   /// Derives an independent child generator; deterministic in (state, call
   /// order). Used to hand each worker thread its own stream.

@@ -17,6 +17,35 @@ using EdgeIndex = uint64_t;
 /// Identifier of one RR set inside an RRCollection.
 using RRSetId = uint32_t;
 
+/// How randomized traversals (RR-set sampling, forward IC simulation)
+/// decide which arcs of a constant-probability run are live.
+enum class SamplerMode {
+  /// Pick per graph: geometric skips when the adjacency's constant-prob
+  /// runs are long enough to amortize the log() per draw, else per-arc.
+  kAuto,
+  /// One Bernoulli coin per examined arc (the classic traversal).
+  kPerArc,
+  /// Geometric-jump traversal: per run of equal-probability arcs, jump
+  /// straight to the next live arc. Exactly the same live-arc
+  /// distribution as kPerArc (a run of L independent Bernoulli(p) trials
+  /// IS a sequence of geometric gaps), but O(1 + successes) work per run
+  /// instead of O(L).
+  kSkip,
+};
+
+/// Human-readable SamplerMode name ("auto" | "perarc" | "skip").
+inline const char* SamplerModeName(SamplerMode mode) {
+  switch (mode) {
+    case SamplerMode::kAuto:
+      return "auto";
+    case SamplerMode::kPerArc:
+      return "perarc";
+    case SamplerMode::kSkip:
+      return "skip";
+  }
+  return "?";
+}
+
 /// Sentinel for "no node".
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 

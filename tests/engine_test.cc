@@ -89,6 +89,50 @@ TEST(SamplingEngineTest, SampleIntoIsThreadCountInvariant) {
   }
 }
 
+TEST(SamplingEngineTest, SkipModeIsThreadCountInvariant) {
+  // The determinism contract is mode-independent: skip-mode traversal
+  // draws a different RNG stream per set, but a set is still a pure
+  // function of (seed, index), so shard merges stay bit-identical across
+  // thread counts. Weighted-cascade graph so skip sampling really
+  // engages (whole-list runs).
+  Graph g = testing::MakeWcPowerLaw(300, 5, 3);
+
+  SamplingConfig config = IcSampling(42, 1);
+  config.sampler_mode = SamplerMode::kSkip;
+  RRCollection reference(g.num_nodes());
+  SamplingEngine sequential(g, config);
+  sequential.SampleInto(&reference, 5000);
+
+  for (unsigned threads : {2u, 8u}) {
+    config.num_threads = threads;
+    RRCollection rr(g.num_nodes());
+    SamplingEngine engine(g, config);
+    engine.SampleInto(&rr, 5000);
+    ExpectSameCollections(reference, rr);
+  }
+}
+
+TEST(SamplingEngineTest, SkipAndPerArcAgreeStatistically) {
+  // Same engine seed, different modes: individual sets differ (different
+  // RNG consumption) but the mean set size — an unbiased estimator of
+  // E[I(v)]·n/… — must agree within MC error.
+  Graph g = testing::MakeWcPowerLaw(300, 5, 3);
+
+  double mean[2] = {0, 0};
+  const SamplerMode modes[2] = {SamplerMode::kPerArc, SamplerMode::kSkip};
+  const uint64_t count = 20000;
+  for (int m = 0; m < 2; ++m) {
+    SamplingConfig config = IcSampling(99, 1);
+    config.sampler_mode = modes[m];
+    RRCollection rr(g.num_nodes());
+    SamplingEngine engine(g, config);
+    engine.SampleInto(&rr, count);
+    mean[m] = static_cast<double>(rr.total_nodes()) /
+              static_cast<double>(rr.num_sets());
+  }
+  testing::ExpectClose(mean[0], mean[1], 0.05);
+}
+
 TEST(SamplingEngineTest, BatchSplitDoesNotChangeTheStream) {
   // Sampling 400 then 600 sets must produce the same collection as one
   // call of 1000: batches are windows onto one global index stream.
@@ -268,6 +312,45 @@ TEST(SolverDeterminismTest, RisInvariantAcrossThreads) {
     EXPECT_EQ(ref_stats.cost_examined, stats.cost_examined);
     EXPECT_DOUBLE_EQ(ref_stats.covered_fraction, stats.covered_fraction);
   }
+}
+
+TEST(SolverDeterminismTest, SkipModeSeedQualityMatchesPerArc) {
+  // Acceptance check for geometric skip sampling: on a weighted-cascade
+  // scale-free graph the covered fraction (the solver's own quality
+  // estimate of its seeds, Corollary 1) must be statistically
+  // indistinguishable between modes, for both TIM+ and IMM. Modes draw
+  // different RNG streams, so seeds may differ — quality must not.
+  Graph g = testing::MakeWcPowerLaw(400, 6, 123);
+  const double n = static_cast<double>(g.num_nodes());
+
+  double tim_spread[2] = {0, 0};
+  double imm_spread[2] = {0, 0};
+  const SamplerMode modes[2] = {SamplerMode::kPerArc, SamplerMode::kSkip};
+  for (int m = 0; m < 2; ++m) {
+    TimOptions tim;
+    tim.k = 10;
+    tim.epsilon = 0.3;
+    tim.seed = 2024;
+    tim.sampler_mode = modes[m];
+    TimResult tim_result;
+    ASSERT_TRUE(TimSolver(g).Run(tim, &tim_result).ok());
+    tim_spread[m] = tim_result.stats.estimated_spread;
+
+    ImmOptions imm;
+    imm.k = 10;
+    imm.epsilon = 0.3;
+    imm.seed = 2024;
+    imm.sampler_mode = modes[m];
+    ImmResult imm_result;
+    ASSERT_TRUE(RunImm(g, imm, &imm_result).ok());
+    imm_spread[m] = imm_result.stats.estimated_spread;
+  }
+  // Both modes find near-equivalent seed sets; 5% of n absorbs the MC
+  // spread-estimation noise at these θ values with margin.
+  EXPECT_NEAR(tim_spread[0], tim_spread[1], 0.05 * n)
+      << "per-arc=" << tim_spread[0] << " skip=" << tim_spread[1];
+  EXPECT_NEAR(imm_spread[0], imm_spread[1], 0.05 * n)
+      << "per-arc=" << imm_spread[0] << " skip=" << imm_spread[1];
 }
 
 // ---------------------------------------------------------- registry ----

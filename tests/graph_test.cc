@@ -104,6 +104,71 @@ TEST(GraphTest, MemoryBytesGrowsWithSize) {
   EXPECT_GT(small.MemoryBytes(), 0u);
 }
 
+TEST(GraphTest, MemoryBytesChargesRunMetadata) {
+  // The Figure 12 memory experiment must see the prob-run arrays: the
+  // accounting must cover at least the raw CSR payload plus one EdgeIndex
+  // per run and per-node run offsets in both directions.
+  Graph g = testing::MakeChain(100, 0.5f);
+  const size_t csr_payload =
+      2 * 101 * sizeof(EdgeIndex) + 2 * g.num_edges() * sizeof(Arc);
+  const size_t run_payload =
+      (2 * 101 + g.num_in_runs() + g.num_out_runs()) * sizeof(EdgeIndex) +
+      (g.num_in_runs() + g.num_out_runs()) * sizeof(double);
+  EXPECT_GE(g.MemoryBytes(), csr_payload + run_payload);
+}
+
+TEST(GraphTest, ConstantProbabilityListsAreSingleRuns) {
+  // Every in-arc of a node shares one probability (the weighted-cascade
+  // shape) -> exactly one run spanning the whole list.
+  Graph g = testing::MakeGraph(
+      4, {{0, 3, 0.25f}, {1, 3, 0.25f}, {2, 3, 0.25f}, {0, 1, 0.5f}});
+  ASSERT_EQ(g.InDegree(3), 3u);
+  const auto runs = g.InRunEnds(3);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], 3u);
+  EXPECT_EQ(g.InRunEnds(1).size(), 1u);
+  EXPECT_EQ(g.InRunEnds(0).size(), 0u);  // no in-arcs, no runs
+}
+
+TEST(GraphTest, MixedProbabilitiesSplitIntoMaximalRuns) {
+  // In-arc list of node 5 in insertion order: probs .1 .1 .3 .3 .3 .2 ->
+  // runs of length 2, 3, 1 (local ends 2, 5, 6).
+  Graph g = testing::MakeGraph(6, {{0, 5, 0.1f},
+                                   {1, 5, 0.1f},
+                                   {2, 5, 0.3f},
+                                   {3, 5, 0.3f},
+                                   {4, 5, 0.3f},
+                                   {0, 5, 0.2f}});
+  const auto runs = g.InRunEnds(5);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], 2u);
+  EXPECT_EQ(runs[1], 5u);
+  EXPECT_EQ(runs[2], 6u);
+  // Run probabilities are read off the first arc of each run.
+  const auto arcs = g.InArcs(5);
+  EXPECT_FLOAT_EQ(arcs[0].prob, 0.1f);
+  EXPECT_FLOAT_EQ(arcs[2].prob, 0.3f);
+  EXPECT_FLOAT_EQ(arcs[5].prob, 0.2f);
+}
+
+TEST(GraphTest, AvgRunLengthReflectsRunStructure) {
+  // Chain with one probability: every non-source node has a single
+  // length-1 in-run -> average length 1. Star into node 0 with equal
+  // probs: node 0 has one run of length n-1.
+  Graph star = [] {
+    std::vector<RawEdge> edges;
+    for (NodeId v = 1; v < 9; ++v) edges.push_back({v, 0, 0.125f});
+    return testing::MakeGraph(9, edges);
+  }();
+  EXPECT_DOUBLE_EQ(star.AvgInRunLength(), 8.0);
+  EXPECT_GE(star.AvgInRunLength(), kSkipRunLengthThreshold);
+  Graph chain = testing::MakeChain(10, 0.5f);
+  EXPECT_DOUBLE_EQ(chain.AvgInRunLength(), 1.0);
+  Graph empty;
+  EXPECT_DOUBLE_EQ(empty.AvgInRunLength(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.AvgOutRunLength(), 0.0);
+}
+
 TEST(GraphBuilderTest, RejectsProbabilityAboveOne) {
   GraphBuilder builder;
   builder.AddEdge(0, 1, 1.5f);

@@ -125,6 +125,40 @@ TEST_P(GreedyCoverPropertyTest, LazyMatchesNaiveExactly) {
   EXPECT_EQ(lazy.marginal_coverage, naive.marginal_coverage);
 }
 
+TEST_P(GreedyCoverPropertyTest, BucketQueueMatchesHeapBitForBit) {
+  // The bucket queue replaced the heap as the default GreedyMaxCover; both
+  // implement argmax-count with min-id tie-break, so every field of
+  // CoverResult must agree exactly on arbitrary collections.
+  const CoverCase& c = GetParam();
+  Rng rng(c.seed ^ 0x5eed);
+  std::vector<std::vector<NodeId>> sets;
+  for (int i = 0; i < c.num_sets; ++i) {
+    std::vector<NodeId> s;
+    const int size = 1 + static_cast<int>(rng.NextBounded(c.max_set_size));
+    for (int j = 0; j < size; ++j) {
+      s.push_back(static_cast<NodeId>(rng.NextBounded(c.num_nodes)));
+    }
+    sets.push_back(s);
+  }
+  RRCollection rr = MakeCollection(c.num_nodes, sets);
+
+  CoverResult bucket = GreedyMaxCover(rr, c.k);
+  CoverResult heap = HeapGreedyMaxCover(rr, c.k);
+  EXPECT_EQ(bucket.seeds, heap.seeds);
+  EXPECT_EQ(bucket.marginal_coverage, heap.marginal_coverage);
+  EXPECT_EQ(bucket.covered_sets, heap.covered_sets);
+  EXPECT_EQ(bucket.covered_fraction, heap.covered_fraction);
+
+  // Force the coarse-bucket path (count-range buckets, which a θ-scale
+  // max_count would trigger in production): results must be cap-invariant.
+  for (uint64_t cap : {1u, 2u, 7u}) {
+    CoverResult coarse = GreedyMaxCoverWithBucketCap(rr, c.k, cap);
+    EXPECT_EQ(coarse.seeds, heap.seeds) << "cap=" << cap;
+    EXPECT_EQ(coarse.marginal_coverage, heap.marginal_coverage)
+        << "cap=" << cap;
+  }
+}
+
 TEST_P(GreedyCoverPropertyTest, GreedyBeatsOneMinusOneOverEOfOptimum) {
   const CoverCase& c = GetParam();
   if (c.num_nodes > 16) GTEST_SKIP() << "brute force too large";

@@ -11,6 +11,8 @@
 #include "diffusion/exact_spread.h"
 #include "diffusion/spread_estimator.h"
 #include "diffusion/triggering.h"
+#include "gen/generators.h"
+#include "graph/weight_models.h"
 #include "rrset/rr_collection.h"
 #include "rrset/rr_sampler.h"
 #include "tests/test_util.h"
@@ -98,6 +100,125 @@ TEST(RRSamplerICTest, MembershipProbabilityMatchesActivationProbability) {
     if (std::find(rr.begin(), rr.end(), 0u) != rr.end()) ++hits;
   }
   ExpectClose(std::pow(p, 3), hits / static_cast<double>(r), 0.03, 0.01);
+}
+
+// ------------------------------------------- skip vs per-arc equivalence --
+
+using testing::MakeWcPowerLaw;
+
+TEST(RRSamplerSkipTest, AutoResolvesPerGraphRunStructure) {
+  Graph wc = MakeWcPowerLaw(500, 6, 11);
+  EXPECT_TRUE(RRSampler(wc, DiffusionModel::kIC).skip_mode())
+      << "weighted cascade has whole-list runs; auto must pick skip";
+  Graph chain = MakeChain(10, 0.5f);
+  EXPECT_FALSE(RRSampler(chain, DiffusionModel::kIC).skip_mode())
+      << "length-1 runs cannot amortize geometric draws";
+  EXPECT_TRUE(RRSampler(chain, DiffusionModel::kIC, nullptr, 0,
+                        SamplerMode::kSkip)
+                  .skip_mode());
+  EXPECT_FALSE(RRSampler(wc, DiffusionModel::kIC, nullptr, 0,
+                         SamplerMode::kPerArc)
+                   .skip_mode());
+}
+
+TEST(RRSamplerSkipTest, ExactEqualityOnUnitProbabilityEdges) {
+  // With p = 1 every arc decision is forced, so skip and per-arc modes
+  // must return the identical set — not just the same distribution.
+  Graph g = MakeTwoCommunities(1.0f);
+  RRSampler per_arc(g, DiffusionModel::kIC, nullptr, 0, SamplerMode::kPerArc);
+  RRSampler skip(g, DiffusionModel::kIC, nullptr, 0, SamplerMode::kSkip);
+  std::vector<NodeId> a, b;
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    Rng rng_a(7), rng_b(7);
+    RRSampleInfo ia = per_arc.SampleForRoot(root, rng_a, &a);
+    RRSampleInfo ib = skip.SampleForRoot(root, rng_b, &b);
+    EXPECT_EQ(a, b) << "root " << root;
+    EXPECT_EQ(ia.width, ib.width);
+    EXPECT_EQ(ia.edges_examined, ib.edges_examined)
+        << "decided-arc accounting must be mode-independent";
+  }
+}
+
+TEST(RRSamplerSkipTest, MembershipProbabilityMatchesPerArcOnChain) {
+  // Lemma 2 holds in skip mode too: P[0 ∈ RR(3)] = p³ on a p-chain, even
+  // though each in-list is a length-1 run (the degenerate worst case).
+  const float p = 0.6f;
+  Graph g = MakeChain(4, p);
+  RRSampler sampler(g, DiffusionModel::kIC, nullptr, 0, SamplerMode::kSkip);
+  Rng rng(4);
+  std::vector<NodeId> rr;
+  const int r = 200000;
+  int hits = 0;
+  for (int i = 0; i < r; ++i) {
+    sampler.SampleForRoot(3, rng, &rr);
+    if (std::find(rr.begin(), rr.end(), 0u) != rr.end()) ++hits;
+  }
+  ExpectClose(std::pow(p, 3), hits / static_cast<double>(r), 0.03, 0.01);
+}
+
+TEST(RRSamplerSkipTest, SizeAndWidthDistributionsMatchPerArcIC) {
+  // Mode equivalence on the real workload: mean RR-set size and mean
+  // width over many samples must agree between modes on a
+  // weighted-cascade scale-free graph (independent streams, so the bands
+  // absorb two-sided MC error).
+  Graph g = MakeWcPowerLaw(400, 5, 13);
+  RRSampler per_arc(g, DiffusionModel::kIC, nullptr, 0, SamplerMode::kPerArc);
+  RRSampler skip(g, DiffusionModel::kIC, nullptr, 0, SamplerMode::kSkip);
+  const int r = 30000;
+  double size_a = 0, size_b = 0, width_a = 0, width_b = 0;
+  std::vector<NodeId> rr;
+  Rng rng_a(17), rng_b(18);
+  for (int i = 0; i < r; ++i) {
+    RRSampleInfo ia = per_arc.SampleRandomRoot(rng_a, &rr);
+    size_a += rr.size();
+    width_a += ia.width;
+    RRSampleInfo ib = skip.SampleRandomRoot(rng_b, &rr);
+    size_b += rr.size();
+    width_b += ib.width;
+  }
+  ExpectClose(size_a / r, size_b / r, 0.05);
+  ExpectClose(width_a / r, width_b / r, 0.05, 0.5);
+}
+
+TEST(RRSamplerSkipTest, LtRunScanMatchesPerArcStatistically) {
+  // LT skip mode resolves the categorical in-neighbor pick by runs; on a
+  // uniform-LT graph (single whole-list runs of weight 1/indeg) the walk
+  // statistics must match the per-arc linear scan.
+  GraphBuilder builder;
+  GenBarabasiAlbert(300, 5, 19, &builder);
+  AssignUniformLT(&builder);
+  Graph g;
+  ASSERT_TRUE(builder.Build(&g).ok());
+  RRSampler per_arc(g, DiffusionModel::kLT, nullptr, 0, SamplerMode::kPerArc);
+  RRSampler skip(g, DiffusionModel::kLT, nullptr, 0, SamplerMode::kSkip);
+  ASSERT_TRUE(skip.skip_mode());
+  const int r = 30000;
+  double size_a = 0, size_b = 0;
+  std::vector<NodeId> rr;
+  Rng rng_a(21), rng_b(22);
+  for (int i = 0; i < r; ++i) {
+    per_arc.SampleRandomRoot(rng_a, &rr);
+    size_a += rr.size();
+    skip.SampleRandomRoot(rng_b, &rr);
+    size_b += rr.size();
+  }
+  ExpectClose(size_a / r, size_b / r, 0.05);
+}
+
+TEST(RRSamplerSkipTest, LtCostCountsOnlyScannedArcs) {
+  // Satellite regression: the LT scan breaks at the picked arc, so
+  // edges_examined must charge the scanned prefix, not the whole list.
+  // Node 2's in-list is (0 -> 2, w=1.0), (1 -> 2, w=0.0): the scan always
+  // picks the first arc, so exactly 1 of 2 arcs is examined per step.
+  Graph g = MakeGraph(3, {{0, 2, 1.0f}, {1, 2, 0.0f}});
+  RRSampler sampler(g, DiffusionModel::kLT, nullptr, 0, SamplerMode::kPerArc);
+  Rng rng(23);
+  std::vector<NodeId> rr;
+  RRSampleInfo info = sampler.SampleForRoot(2, rng, &rr);
+  EXPECT_EQ(info.edges_examined, 1u)
+      << "walk picks arc 0 and stops scanning; arc 1 was never examined";
+  std::set<NodeId> members(rr.begin(), rr.end());
+  EXPECT_EQ(members, (std::set<NodeId>{0, 2}));
 }
 
 // ----------------------------------------------------------- LT sampling --

@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "engine/sampling_engine.h"
+#include "gen/generators.h"
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
+#include "graph/weight_models.h"
 #include "util/types.h"
 
 namespace timpp {
@@ -50,6 +52,19 @@ inline Graph MakeOutStar(NodeId n, float p) {
   std::vector<RawEdge> edges;
   for (NodeId v = 1; v < n; ++v) edges.push_back({0, v, p});
   return MakeGraph(n, edges);
+}
+
+/// Scale-free Barabasi-Albert graph with weighted-cascade probabilities —
+/// the paper's §7.1 IC setting, where every in-arc list is a single
+/// constant-probability run and geometric skip sampling applies exactly.
+inline Graph MakeWcPowerLaw(NodeId n, unsigned attach, uint64_t seed) {
+  GraphBuilder builder;
+  GenBarabasiAlbert(n, attach, seed, &builder);
+  AssignWeightedCascade(&builder);
+  Graph g;
+  Status s = builder.Build(&g);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return g;
 }
 
 /// A 10-node, 15-arc test network with two communities (0-4 dense, 5-9

@@ -101,6 +101,49 @@ TEST(RngTest, NextBoundedZeroReturnsZero) {
   EXPECT_EQ(rng.NextBounded(0), 0u);
 }
 
+TEST(RngTest, NextGeometricMeanMatchesClosedForm) {
+  // Failures before the first Bernoulli(p) success have mean (1-p)/p.
+  Rng rng(23);
+  for (double p : {0.5, 0.1, 0.9}) {
+    const int n = 200000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.NextGeometric(p, 1ULL << 40));
+    }
+    const double expected = (1.0 - p) / p;
+    EXPECT_NEAR(sum / n, expected, 0.05 * std::max(1.0, expected))
+        << "p=" << p;
+  }
+}
+
+TEST(RngTest, NextGeometricEdgeProbabilities) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextGeometric(1.0, 100), 0u) << "p=1 succeeds immediately";
+    EXPECT_EQ(rng.NextGeometric(0.0, 7), 7u) << "p=0 never succeeds";
+  }
+}
+
+TEST(RngTest, NextGeometricHonorsLimit) {
+  // Tiny p makes raw skips astronomically large; the cap must absorb them
+  // without overflow.
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(rng.NextGeometric(1e-12, 50), 50u);
+  }
+}
+
+TEST(RngTest, NextSkipMatchesNextGeometric) {
+  // NextSkip is NextGeometric with 1/ln(1-p) precomputed: identical
+  // streams.
+  Rng a(37), b(37);
+  const double p = 0.25;
+  const double inv_log1mp = 1.0 / std::log1p(-p);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextGeometric(p, 1000), b.NextSkip(inv_log1mp, 1000));
+  }
+}
+
 TEST(RngTest, NextBoundedIsRoughlyUniform) {
   Rng rng(17);
   const uint64_t bound = 10;
