@@ -7,7 +7,13 @@
 // smaller); memory grows with dataset size but NOT monotonically (Epinions
 // < NetHEPT thanks to Epinions' much larger KPT+).
 //
-// Usage: bench_fig12_memory [--eps=0.1] [--seed=1]
+// A budgeted series rides along: the IC run is repeated with
+// memory_budget_bytes set to a fraction (--budget_fraction, default 0.25)
+// of the unbudgeted run's resident DataBytes, demonstrating the §7.2
+// graceful-degradation path — identical seeds, capped resident bytes, and
+// the regeneration passes the cap costs.
+//
+// Usage: bench_fig12_memory [--eps=0.1] [--seed=1] [--budget_fraction=0.25]
 //        [--scale_nethept=0.1] [--scale_epinions=0.05] [--scale_dblp=0.01]
 //        [--scale_livejournal=0.002] [--scale_twitter=0.0003]
 #include <cstdio>
@@ -33,28 +39,32 @@ const Entry kDatasets[] = {
     {Dataset::kTwitter, "Twitter", "scale_twitter", 0.0003},
 };
 
-double MemoryMB(const Graph& graph, int k, double eps, DiffusionModel model,
-                uint64_t seed) {
+constexpr double kMB = 1024.0 * 1024.0;
+
+bool RunTimPlus(const Graph& graph, int k, double eps, DiffusionModel model,
+                uint64_t seed, size_t budget_bytes, TimResult* result) {
   TimOptions options;
   options.k = k;
   options.epsilon = eps;
   options.model = model;
   options.seed = seed;
+  options.memory_budget_bytes = budget_bytes;
   // ℓ = 1 with adjust_ell=true reproduces the paper's ℓ = 1 + log3/log n.
   TimSolver solver(graph);
-  TimResult result;
-  if (!solver.Run(options, &result).ok()) return -1.0;
-  return static_cast<double>(result.stats.rr_memory_bytes) / (1024.0 * 1024.0);
+  return solver.Run(options, result).ok();
 }
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
   const double eps = flags.GetDouble("eps", 0.1);
   const uint64_t seed = flags.GetInt("seed", 1);
+  const double budget_fraction = flags.GetDouble("budget_fraction", 0.25);
 
-  bench::PrintHeader("Figure 12: memory consumption of TIM+ vs k",
-                     "RR-collection heap bytes during node selection; "
-                     "eps=" + std::to_string(eps));
+  bench::PrintHeader(
+      "Figure 12: memory consumption of TIM+ vs k",
+      "RR-collection heap bytes during node selection; eps=" +
+          std::to_string(eps) + "; budgeted IC series caps DataBytes at " +
+          std::to_string(budget_fraction) + "x the unbudgeted run");
 
   for (const Entry& d : kDatasets) {
     const double scale = flags.GetDouble(d.scale_flag, d.default_scale);
@@ -63,11 +73,29 @@ void Run(int argc, char** argv) {
     Graph lt = bench::MustBuildProxy(d.dataset, scale,
                                      WeightScheme::kRandomLT, seed);
     bench::PrintDatasetBanner(d.name, ic, scale);
-    std::printf("%5s %14s %14s   (MB)\n", "k", "TIM+(IC)", "TIM+(LT)");
+    std::printf("%5s %12s %12s %14s %7s %10s   (MB)\n", "k", "TIM+(IC)",
+                "TIM+(LT)", "IC budgeted", "passes", "seeds==");
     for (int k : {1, 10, 20, 30, 40, 50}) {
-      std::printf("%5d %14.2f %14.2f\n", k,
-                  MemoryMB(ic, k, eps, DiffusionModel::kIC, seed),
-                  MemoryMB(lt, k, eps, DiffusionModel::kLT, seed));
+      TimResult ic_run, lt_run, budgeted;
+      const bool ic_ok =
+          RunTimPlus(ic, k, eps, DiffusionModel::kIC, seed, 0, &ic_run);
+      const bool lt_ok =
+          RunTimPlus(lt, k, eps, DiffusionModel::kLT, seed, 0, &lt_run);
+      const size_t budget = ic_ok
+          ? static_cast<size_t>(budget_fraction *
+                                static_cast<double>(ic_run.stats.rr_data_bytes))
+          : 0;
+      const bool b_ok =
+          ic_ok && RunTimPlus(ic, k, eps, DiffusionModel::kIC, seed, budget,
+                              &budgeted);
+      std::printf(
+          "%5d %12.2f %12.2f %14.2f %7llu %10s\n", k,
+          ic_ok ? ic_run.stats.rr_memory_bytes / kMB : -1.0,
+          lt_ok ? lt_run.stats.rr_memory_bytes / kMB : -1.0,
+          b_ok ? budgeted.stats.rr_data_bytes / kMB : -1.0,
+          static_cast<unsigned long long>(
+              b_ok ? budgeted.stats.regeneration_passes : 0),
+          b_ok && budgeted.seeds == ic_run.seeds ? "yes" : "NO");
     }
   }
 }

@@ -9,15 +9,19 @@ CI logs without plotting anything.
 
 Usage:
   compare_bench.py --baseline bench/baselines --current build [--threshold 5]
+  compare_bench.py --baseline bench/baselines --current build --update-baselines
 
 Exit code is always 0 (the report is informational / non-blocking); pass
 --strict to exit 1 when any timing-like metric regresses by more than
---threshold percent.
+--threshold percent. --update-baselines prints the report, then copies the
+current BENCH_*.json files over the baseline directory — run it (and commit
+the result) when a PR intentionally moves a metric.
 """
 
 import argparse
 import json
 import os
+import shutil
 import sys
 
 # Metric-label substrings treated as "higher is better" when classifying a
@@ -53,12 +57,11 @@ def main():
                         help="percent change considered noteworthy")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 on regressions beyond --threshold")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="after reporting, copy the current BENCH_*.json "
+                             "over the baseline directory (commit the result "
+                             "when a metric moved intentionally)")
     args = parser.parse_args()
-
-    if not os.path.isdir(args.baseline):
-        print(f"[compare_bench] no baseline directory {args.baseline!r}; "
-              "nothing to compare (first run?)")
-        return 0
 
     names = sorted(
         f for f in os.listdir(args.current)
@@ -66,6 +69,14 @@ def main():
     if not names:
         print(f"[compare_bench] no BENCH_*.json in {args.current!r}")
         return 0
+
+    if not os.path.isdir(args.baseline):
+        if args.update_baselines:
+            os.makedirs(args.baseline, exist_ok=True)
+        else:
+            print(f"[compare_bench] no baseline directory {args.baseline!r}; "
+                  "nothing to compare (first run?)")
+            return 0
 
     regressions = 0
     for name in names:
@@ -96,6 +107,13 @@ def main():
 
     print(f"\n[compare_bench] {regressions} regression(s) beyond "
           f"{args.threshold:.1f}%")
+
+    if args.update_baselines:
+        for name in names:
+            shutil.copyfile(os.path.join(args.current, name),
+                            os.path.join(args.baseline, name))
+        print(f"[compare_bench] refreshed {len(names)} baseline file(s) in "
+              f"{args.baseline!r}")
     return 1 if args.strict and regressions else 0
 
 

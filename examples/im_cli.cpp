@@ -28,8 +28,15 @@
 //                     geometric skip sampling over constant-probability
 //                     arc runs (fast on wc/uniform graphs) vs one coin
 //                     per arc; auto picks per graph
+//   --memory-budget=0 soft cap (bytes; 0 = unlimited) on resident
+//                     RR-collection bytes. tim/tim+/imm degrade gracefully
+//                     past it (streaming sample-and-discard selection:
+//                     identical seeds, extra sampling passes); ris stops
+//                     sampling early and its seeds are flagged truncated
 //   --ris_tau_scale / --ris_max_sets / --ris_memory_budget
 //                     RIS cost-threshold and out-of-memory knobs
+//                     (--ris_memory_budget overrides --memory-budget for
+//                     ris)
 //   --undirected      treat each input line as an undirected edge
 #include <cstdio>
 #include <string>
@@ -151,6 +158,10 @@ int main(int argc, char** argv) {
   options.ris_max_sets = flags.GetInt("ris_max_sets", 10000000);
   options.ris_memory_budget_bytes =
       static_cast<size_t>(flags.GetInt("ris_memory_budget", 0));
+  // --memory_budget is accepted as a spelling variant.
+  options.memory_budget_bytes = static_cast<size_t>(
+      flags.Has("memory-budget") ? flags.GetInt("memory-budget", 0)
+                                 : flags.GetInt("memory_budget", 0));
 
   timpp::SolverResult result;
   status = solver->Run(options, &result);
@@ -176,6 +187,19 @@ int main(int argc, char** argv) {
       std::printf(" %s=%.6g", name.c_str(), value);
     }
     std::printf("\n");
+  }
+  if (result.Metric("truncated") != 0.0) {
+    std::fprintf(stderr,
+                 "WARNING: the memory budget cut sampling short; the seeds "
+                 "were selected from a truncated RR collection and do NOT "
+                 "carry the algorithm's full approximation guarantee.\n");
+  } else if (result.Metric("hit_memory_budget") != 0.0) {
+    std::printf(
+        "note: memory budget engaged — selection streamed %.6g "
+        "regeneration pass(es) over discarded RR sets (seeds identical to "
+        "an unbudgeted run, retained %.6g of %.6g sets)\n",
+        result.Metric("regeneration_passes"),
+        result.Metric("rr_sets_retained"), result.Metric("theta"));
   }
   if (result.estimated_spread > 0.0) {
     std::printf("solver spread estimate: %.1f\n", result.estimated_spread);

@@ -61,6 +61,10 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
   rr.BuildIndex();
 
   CoverResult cover = GreedyMaxCover(rr, k);
+  // A budget stop means the τ cost target was never reached: the seeds
+  // come from fewer (and correlated) samples than the guarantee assumes.
+  // Flag it so no caller reports them as full-τ-quality silently.
+  local_stats.truncated = batch.hit_memory_budget;
   *seeds = std::move(cover.seeds);
   local_stats.covered_fraction = cover.covered_fraction;
   local_stats.seconds_total = timer.ElapsedSeconds();

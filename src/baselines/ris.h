@@ -55,6 +55,13 @@ struct RisStats {
   uint64_t cost_examined = 0;     // nodes+edges examined while sampling
   bool hit_set_cap = false;       // stopped by max_rr_sets instead of τ
   bool hit_memory_budget = false;  // stopped by memory_budget_bytes
+  /// The memory budget cut sampling short of τ, so the seeds were chosen
+  /// from a truncated collection and carry a weaker guarantee than the
+  /// cost-threshold analysis promises. Unlike TIM/IMM (which degrade to
+  /// streaming selection over the full θ), RIS's θ is implicit in the
+  /// cost threshold, so a budget stop IS a quality truncation — reporting
+  /// layers must warn rather than present full-τ-quality seeds.
+  bool truncated = false;
   double covered_fraction = 0.0;  // F_R(seeds)
   double seconds_total = 0.0;
 };

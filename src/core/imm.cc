@@ -6,6 +6,7 @@
 #include "core/parameters.h"
 #include "core/tim.h"
 #include "coverage/greedy_cover.h"
+#include "coverage/streaming_cover.h"
 #include "engine/sampling_engine.h"
 #include "rrset/rr_collection.h"
 #include "util/alias_table.h"
@@ -16,10 +17,27 @@ namespace timpp {
 
 namespace {
 
-// Grows `rr` with fresh random RR sets until it holds `target` sets.
-void GrowTo(SamplingEngine& engine, uint64_t target, RRCollection* rr) {
-  if (rr->num_sets() < target) {
-    engine.SampleInto(rr, target - rr->num_sets());
+// Grows `rr` with fresh random RR sets until it holds `target` sets or its
+// memory budget stops the growth. On a budget stop the collection is cut
+// back to its largest under-budget prefix (the engine's batch-granular
+// stop overshoots) and `*budget_hit` latches true: the cache freezes as a
+// stream prefix and the remaining sets exist only by index, regenerated on
+// demand.
+void GrowTo(SamplingEngine& engine, uint64_t target, RRCollection* rr,
+            bool* budget_hit) {
+  if (*budget_hit || rr->num_sets() >= target) return;
+  // Appending invalidates any index from the previous iteration's greedy
+  // solve; release it up front so neither the engine's in-flight budget
+  // checks nor the cap test below charge those stale bytes.
+  rr->DropIndex();
+  engine.SampleInto(rr, target - rr->num_sets());
+  // The engine's budget check is batch-granular (and never fires inside a
+  // sub-batch request), so test the cap directly and cut back to the
+  // largest under-budget prefix; the dropped sets remain reachable by
+  // index regeneration.
+  if (rr->memory_budget() != 0 && rr->DataBytes() > rr->memory_budget()) {
+    rr->TruncateTo(MaxPrefixUnderDataBudget(*rr, rr->memory_budget()));
+    *budget_hit = true;
   }
 }
 
@@ -90,16 +108,38 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
   SamplingEngine engine(graph, sampling);
 
   Timer phase_timer;
+  const size_t budget = options.memory_budget_bytes;
   RRCollection sampling_rr(graph.num_nodes());
+  sampling_rr.set_memory_budget(budget);
+  bool sampling_budget_hit = false;
+  uint64_t sampling_target = 0;  // θ_i of the latest iteration
   double lb = 1.0;
   const int max_iterations = std::max(1, static_cast<int>(log2_n) - 1);
   for (int i = 1; i <= max_iterations; ++i) {
     const double x_i = n / std::pow(2.0, i);
     const uint64_t theta_i = static_cast<uint64_t>(
         std::max(1.0, std::ceil(stats.lambda_prime / x_i)));
-    GrowTo(engine, theta_i, &sampling_rr);
-    sampling_rr.BuildIndex();
-    CoverResult cover = GreedyMaxCover(sampling_rr, options.k);
+    GrowTo(engine, theta_i, &sampling_rr, &sampling_budget_hit);
+    // Keep the engine's index stream aligned with a budget-off run: the
+    // sets the cache could not retain still occupy indices
+    // [num_sets, θ_i) and are regenerated from them below.
+    engine.SkipTo(theta_i);
+    sampling_target = theta_i;
+    CoverResult cover;
+    if (!sampling_budget_hit &&
+        (budget == 0 || IndexedDataBytesFitBudget(sampling_rr, budget))) {
+      sampling_rr.BuildIndex();
+      cover = GreedyMaxCover(sampling_rr, options.k);
+    } else {
+      // Budgeted greedy: retained prefix + per-round regeneration. Seeds
+      // and covered_fraction are bit-identical to the indexed path, so LB
+      // — and with it every downstream θ — matches the budget-off run.
+      stats.hit_memory_budget = true;
+      StreamingCoverResult streamed = StreamingGreedyMaxCover(
+          engine, sampling_rr, 0, theta_i, options.k);
+      stats.regeneration_passes += streamed.regeneration_passes;
+      cover = std::move(streamed.cover);
+    }
     stats.sampling_iterations = i;
     if (n * cover.covered_fraction >= (1.0 + eps_prime) * x_i) {
       lb = n * cover.covered_fraction / (1.0 + eps_prime);
@@ -107,7 +147,7 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
     }
   }
   stats.lb = lb;
-  stats.rr_sets_sampling = sampling_rr.num_sets();
+  stats.rr_sets_sampling = sampling_target;
   stats.seconds_sampling = phase_timer.ElapsedSeconds();
 
   // ---- Selection phase: θ = λ* / LB -----------------------------------
@@ -125,20 +165,55 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
 
   phase_timer.Reset();
   RRCollection selection_rr(graph.num_nodes());
+  selection_rr.set_memory_budget(budget);
+  RRCollection* cache = &selection_rr;
+  uint64_t sel_first = 0;
+  uint64_t sel_total = stats.theta;
+  bool sel_budget_hit = false;
   if (options.reuse_samples) {
     // Original IMM: keep the sampling-phase sets and top up. (Subtly
-    // biased — the stopping rule conditions these samples; kept for study.)
-    for (size_t id = 0; id < sampling_rr.num_sets(); ++id) {
-      selection_rr.Add(sampling_rr.Set(static_cast<RRSetId>(id)),
-                       sampling_rr.Width(static_cast<RRSetId>(id)));
-    }
+    // biased — the stopping rule conditions these samples; kept for
+    // study.) The selection collection is then exactly the sample stream
+    // from index 0, so the sampling cache continues as the selection
+    // cache — no copy, and the budgeted prefix carries over.
+    cache = &sampling_rr;
+    sel_total = std::max(stats.theta, sampling_target);
+    sel_budget_hit = sampling_budget_hit;
+  } else {
+    // Actually release the sampling phase's storage (Clear would keep
+    // vector capacities, leaving ~2x the budget resident while
+    // selection_rr grows toward the cap).
+    sampling_rr = RRCollection(graph.num_nodes());
+    sel_first = engine.sets_sampled();
   }
-  sampling_rr.Clear();
-  GrowTo(engine, stats.theta, &selection_rr);
-  selection_rr.BuildIndex();
-  stats.rr_memory_bytes = selection_rr.MemoryBytes();
+  // Grow the cache to hold the whole selection range [sel_first,
+  // sel_first + sel_total) — or as much of its prefix as the budget
+  // allows (GrowTo no-ops once the budget latched, keeping the cache a
+  // contiguous stream prefix).
+  GrowTo(engine, sel_total, cache, &sel_budget_hit);
+  engine.SkipTo(sel_first + sel_total);
+  // The reuse path may carry the sampling phase's index over unchanged;
+  // drop it so the budget-fit check below prices one index, not two.
+  cache->DropIndex();
 
-  CoverResult cover = GreedyMaxCover(selection_rr, options.k);
+  CoverResult cover;
+  // Pre-index capture: the stat compares across budget settings.
+  stats.rr_data_bytes = cache->DataBytes();
+  if (!sel_budget_hit &&
+      (budget == 0 || IndexedDataBytesFitBudget(*cache, budget))) {
+    cache->BuildIndex();
+    stats.rr_memory_bytes = cache->MemoryBytes();
+    cover = GreedyMaxCover(*cache, options.k);
+  } else {
+    stats.hit_memory_budget = true;
+    stats.rr_memory_bytes = cache->MemoryBytes();
+    StreamingCoverResult streamed =
+        StreamingGreedyMaxCover(engine, *cache, sel_first, sel_total,
+                                options.k);
+    stats.regeneration_passes += streamed.regeneration_passes;
+    cover = std::move(streamed.cover);
+  }
+  stats.rr_sets_retained = cache->num_sets();
   stats.estimated_spread = n * cover.covered_fraction;
   stats.seconds_selection = phase_timer.ElapsedSeconds();
   stats.seconds_total = total_timer.ElapsedSeconds();

@@ -67,6 +67,14 @@ struct ImmOptions {
   /// Sampling worker threads for both phases (see the determinism note in
   /// the header comment: results do not depend on this value).
   unsigned num_threads = 1;
+  /// Soft cap (bytes; 0 = unlimited) on resident RR-collection DataBytes
+  /// in BOTH phases (the progressive x_i batches grow toward θ-scale, so
+  /// the sampling phase needs the cap as much as selection). Past the
+  /// cap, greedy rounds run over a retained stream prefix plus exact
+  /// per-index regeneration of the discarded sets (see
+  /// coverage/streaming_cover.h); seeds and LB stay bit-identical to a
+  /// budget-off run.
+  size_t memory_budget_bytes = 0;
   uint64_t seed = 0x1e1eULL;
 };
 
@@ -83,6 +91,20 @@ struct ImmStats {
   double seconds_selection = 0.0;
   double seconds_total = 0.0;
   size_t rr_memory_bytes = 0;
+  /// Filled bytes of the selection collection's raw set storage
+  /// (DataBytes before any index build — what the budget caps, comparable
+  /// across budget settings).
+  size_t rr_data_bytes = 0;
+  /// memory_budget_bytes forced streaming sample-and-discard selection in
+  /// at least one greedy solve (either phase).
+  bool hit_memory_budget = false;
+  /// RR sets resident for the final selection. Budget-off this equals the
+  /// selection collection's size: theta, except under reuse_samples where
+  /// it is max(theta, sampling-phase sets).
+  uint64_t rr_sets_retained = 0;
+  /// Greedy rounds that regenerated discarded RR sets, summed over every
+  /// streaming solve of the run (0 budget-off).
+  uint64_t regeneration_passes = 0;
 };
 
 /// Result of an IMM run.

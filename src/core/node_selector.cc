@@ -1,29 +1,65 @@
 #include "core/node_selector.h"
 
 #include "coverage/greedy_cover.h"
+#include "coverage/streaming_cover.h"
 #include "rrset/rr_collection.h"
 #include "util/timer.h"
 
 namespace timpp {
 
-NodeSelection SelectNodes(SamplingEngine& engine, int k, uint64_t theta) {
+NodeSelection SelectNodes(SamplingEngine& engine, int k, uint64_t theta,
+                          size_t memory_budget_bytes) {
   NodeSelection result;
   result.theta = theta;
 
   Timer timer;
+  const uint64_t first = engine.sets_sampled();
   RRCollection rr(engine.graph().num_nodes());
+  rr.set_memory_budget(memory_budget_bytes);
   const SampleBatch batch = engine.SampleInto(&rr, theta);
   result.edges_examined = batch.edges_examined;
+
+  // Budget enforcement: the engine only checks the budget at its fixed
+  // batch boundaries (and a sub-batch request never trips it at all), so
+  // the collection can overshoot — cut back to the largest under-budget
+  // prefix and advance the engine past the whole request. The dropped
+  // indices are regenerated exactly during selection, and later phases
+  // consume the same index ranges as a budget-off run.
+  if (memory_budget_bytes != 0 && rr.DataBytes() > memory_budget_bytes) {
+    rr.TruncateTo(MaxPrefixUnderDataBudget(rr, memory_budget_bytes));
+  }
+  engine.SkipTo(first + theta);
   result.seconds_sampling = timer.ElapsedSeconds();
 
   timer.Reset();
-  rr.BuildIndex();
-  result.rr_memory_bytes = rr.MemoryBytes();
-  CoverResult cover = GreedyMaxCover(rr, k);
+  // Captured pre-index in both branches so the stat means the same thing
+  // (raw set storage) whether or not an inverted index gets built.
+  result.rr_data_bytes = rr.DataBytes();
+  result.rr_sets_retained = rr.num_sets();
+  if (memory_budget_bytes == 0 ||
+      (rr.num_sets() == theta && IndexedDataBytesFitBudget(rr, memory_budget_bytes))) {
+    // Everything (inverted index included) fits: the classic indexed
+    // greedy. This is the unconditional budget-off path, bit-identical to
+    // the pre-budget code.
+    rr.BuildIndex();
+    result.rr_memory_bytes = rr.MemoryBytes();
+    CoverResult cover = GreedyMaxCover(rr, k);
+    result.seeds = std::move(cover.seeds);
+    result.covered_fraction = cover.covered_fraction;
+  } else {
+    // Degrade, don't die: streaming greedy over the retained prefix plus
+    // per-round regeneration of the dropped suffix. Same seeds (the
+    // streaming rule is bit-identical), resident DataBytes <= budget.
+    result.hit_memory_budget = true;
+    result.rr_memory_bytes = rr.MemoryBytes();
+    StreamingCoverResult streamed =
+        StreamingGreedyMaxCover(engine, rr, first, theta, k);
+    result.edges_examined += streamed.edges_examined;
+    result.regeneration_passes = streamed.regeneration_passes;
+    result.seeds = std::move(streamed.cover.seeds);
+    result.covered_fraction = streamed.cover.covered_fraction;
+  }
   result.seconds_coverage = timer.ElapsedSeconds();
-
-  result.seeds = std::move(cover.seeds);
-  result.covered_fraction = cover.covered_fraction;
   return result;
 }
 

@@ -34,8 +34,19 @@ struct NodeSelection {
   uint64_t theta = 0;
   /// Peak heap bytes of the RR collection (Figure 12's metric).
   size_t rr_memory_bytes = 0;
-  /// Cost accounting.
+  /// Filled bytes of retained raw set storage (RRCollection::DataBytes
+  /// before any index build) — the quantity a memory budget caps, and
+  /// comparable between budgeted and budget-off runs.
+  size_t rr_data_bytes = 0;
+  /// Cost accounting (regeneration passes included).
   uint64_t edges_examined = 0;
+  /// The memory budget forced sample-and-discard selection: only
+  /// `rr_sets_retained` of the θ sets were kept resident and the rest
+  /// were regenerated per greedy round. Seeds are still bit-identical to
+  /// a budget-off run.
+  bool hit_memory_budget = false;
+  uint64_t rr_sets_retained = 0;
+  uint64_t regeneration_passes = 0;
   /// Wall-clock split between the sampling and coverage halves.
   double seconds_sampling = 0.0;
   double seconds_coverage = 0.0;
@@ -43,8 +54,13 @@ struct NodeSelection {
 
 /// Runs Algorithm 1 with the given θ on the engine's thread pool. Output is
 /// deterministic in the engine's (seed, sample position), independent of
-/// engine.num_threads().
-NodeSelection SelectNodes(SamplingEngine& engine, int k, uint64_t theta);
+/// engine.num_threads(). `memory_budget_bytes` (0 = unlimited) caps the RR
+/// collection's resident DataBytes: past it, selection degrades to
+/// streaming sample-and-discard greedy (see coverage/streaming_cover.h)
+/// instead of failing — same seeds, bounded memory, k extra sampling
+/// passes in the worst case.
+NodeSelection SelectNodes(SamplingEngine& engine, int k, uint64_t theta,
+                          size_t memory_budget_bytes = 0);
 
 }  // namespace timpp
 

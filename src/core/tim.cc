@@ -99,12 +99,17 @@ Status TimSolver::Run(const TimOptions& options, TimResult* result) const {
       static_cast<uint64_t>(std::max(1.0, std::ceil(stats.lambda / kpt_bound)));
 
   phase_timer.Reset();
-  NodeSelection selection = SelectNodes(engine, options.k, stats.theta);
+  NodeSelection selection = SelectNodes(engine, options.k, stats.theta,
+                                        options.memory_budget_bytes);
   stats.seconds_node_selection = phase_timer.ElapsedSeconds();
 
   stats.estimated_spread =
       selection.covered_fraction * static_cast<double>(n);
   stats.rr_memory_bytes = selection.rr_memory_bytes;
+  stats.rr_data_bytes = selection.rr_data_bytes;
+  stats.hit_memory_budget = selection.hit_memory_budget;
+  stats.rr_sets_retained = selection.rr_sets_retained;
+  stats.regeneration_passes = selection.regeneration_passes;
   stats.edges_examined += selection.edges_examined;
   stats.seconds_total = total_timer.ElapsedSeconds();
 

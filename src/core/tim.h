@@ -56,6 +56,14 @@ struct TimOptions {
   /// merge contract results are bit-reproducible in `seed` alone —
   /// independent of num_threads. 1 = fully sequential.
   unsigned num_threads = 1;
+  /// Soft cap (bytes; 0 = unlimited) on the node-selection RR collection's
+  /// resident DataBytes — the §7.2 memory knob. Past the cap, Algorithm 1
+  /// degrades to streaming sample-and-discard selection (retained-prefix
+  /// cache plus per-round regeneration; see coverage/streaming_cover.h)
+  /// instead of exhausting memory: seeds stay bit-identical to a
+  /// budget-off run, at up to k extra sampling passes. KPT estimation and
+  /// refinement keep O(small) collections and are not budgeted.
+  size_t memory_budget_bytes = 0;
   /// Master RNG seed; every run with equal options is bit-reproducible.
   uint64_t seed = 0x7145ULL;
 };
@@ -81,8 +89,19 @@ struct TimStats {
   double estimated_spread = 0.0;
   /// Peak RR-collection bytes during node selection (Figure 12).
   size_t rr_memory_bytes = 0;
-  /// Total edges examined across all three phases.
+  /// Filled bytes of retained raw set storage (DataBytes before any index
+  /// build — what a memory budget caps; comparable between budgeted and
+  /// budget-off runs, and the basis of the Figure 12 budgeted series).
+  size_t rr_data_bytes = 0;
+  /// Total edges examined across all three phases (budget-induced
+  /// regeneration included).
   uint64_t edges_examined = 0;
+  /// memory_budget_bytes forced streaming sample-and-discard selection.
+  bool hit_memory_budget = false;
+  /// RR sets kept resident during node selection (== theta budget-off).
+  uint64_t rr_sets_retained = 0;
+  /// Greedy rounds that re-generated discarded RR sets (0 budget-off).
+  uint64_t regeneration_passes = 0;
 };
 
 /// Result of a run.

@@ -1,0 +1,106 @@
+#include "coverage/streaming_cover.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/bit_vector.h"
+#include "util/types.h"
+
+namespace timpp {
+
+size_t MaxPrefixUnderDataBudget(const RRCollection& rr, size_t budget_bytes) {
+  // DataBytes of a p-set prefix (no index): p+1 offsets, p widths, and the
+  // members of the first p sets.
+  size_t nodes = 0;
+  size_t prefix = 0;
+  for (size_t id = 0; id < rr.num_sets(); ++id) {
+    nodes += rr.Set(static_cast<RRSetId>(id)).size();
+    const size_t bytes = (id + 2) * sizeof(EdgeIndex) +
+                         (id + 1) * sizeof(uint64_t) + nodes * sizeof(NodeId);
+    if (bytes > budget_bytes) break;
+    prefix = id + 1;
+  }
+  return prefix;
+}
+
+bool IndexedDataBytesFitBudget(const RRCollection& rr, size_t budget_bytes) {
+  const size_t index_bytes =
+      (static_cast<size_t>(rr.num_graph_nodes()) + 1) * sizeof(EdgeIndex) +
+      rr.total_nodes() * sizeof(RRSetId);
+  return rr.DataBytes() + index_bytes <= budget_bytes;
+}
+
+StreamingCoverResult StreamingGreedyMaxCover(SamplingEngine& engine,
+                                             const RRCollection& cache,
+                                             uint64_t first_index,
+                                             uint64_t total_sets, int k) {
+  const NodeId n = engine.graph().num_nodes();
+  StreamingCoverResult result;
+  if (k <= 0 || n == 0 || total_sets == 0) return result;
+
+  const uint64_t cached = std::min<uint64_t>(cache.num_sets(), total_sets);
+  std::vector<uint64_t> counts(n);
+  // One flag serves both roles: a node is a chosen seed iff it is out of
+  // the running for future picks.
+  std::vector<char> selected(n, 0);
+  // Liveness of each of the θ sets (local index = global - first_index).
+  // A set dies the first time a pass sees it covered by the selected
+  // seeds; dead sets are skipped in the cache and never regenerated again
+  // (seeds only grow, so death is permanent).
+  BitVector dead(total_sets);
+
+  // Counts one live set's members; kills the set instead when a selected
+  // seed already covers it.
+  const auto absorb = [&](uint64_t local, std::span<const NodeId> set) {
+    for (NodeId v : set) {
+      if (selected[v]) {
+        dead.Set(local);
+        return;
+      }
+    }
+    for (NodeId v : set) ++counts[v];
+  };
+
+  for (int round = 0; round < k; ++round) {
+    // Recompute live-coverage counts from scratch: one pass over the
+    // cached prefix, one regeneration pass over the uncached suffix.
+    // Recomputation equals GreedyMaxCover's incremental decrements, so
+    // every round picks the identical node.
+    std::fill(counts.begin(), counts.end(), 0);
+    for (uint64_t i = 0; i < cached; ++i) {
+      if (dead.Get(i)) continue;
+      absorb(i, cache.Set(static_cast<RRSetId>(i)));
+    }
+    if (cached < total_sets) {
+      const SampleBatch pass = engine.VisitSamples(
+          first_index + cached, total_sets - cached,
+          [&](uint64_t index) { return !dead.Get(index - first_index); },
+          [&](uint64_t index, std::span<const NodeId> set) {
+            absorb(index - first_index, set);
+          });
+      if (pass.sets_added > 0) ++result.regeneration_passes;
+      result.sets_regenerated += pass.sets_added;
+      result.edges_examined += pass.edges_examined;
+    }
+
+    // Exact greedy pick: max count, ties to the smaller node id (ascending
+    // scan with a strict comparison).
+    NodeId best = kInvalidNode;
+    for (NodeId v = 0; v < n; ++v) {
+      if (selected[v]) continue;
+      if (best == kInvalidNode || counts[v] > counts[best]) best = v;
+    }
+    if (best == kInvalidNode) break;  // every node selected
+    selected[best] = 1;
+    result.cover.seeds.push_back(best);
+    result.cover.marginal_coverage.push_back(counts[best]);
+    result.cover.covered_sets += counts[best];
+  }
+
+  result.cover.covered_fraction =
+      static_cast<double>(result.cover.covered_sets) /
+      static_cast<double>(total_sets);
+  return result;
+}
+
+}  // namespace timpp

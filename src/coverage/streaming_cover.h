@@ -1,0 +1,68 @@
+// Greedy maximum coverage in O(n) working memory — the §7.2 memory story
+// for the non-RIS algorithms. Where GreedyMaxCover needs every RR set plus
+// an inverted index resident, the streaming variant holds only per-node
+// coverage counts and a per-set liveness bit, and re-derives the counts
+// each greedy round by streaming the sets past them: retained sets are
+// read from a budget-bounded prefix cache, and sets that never fit in
+// memory are regenerated on the fly through SamplingEngine::VisitSamples
+// (exact, by the per-index RNG contract). This is the sample-and-discard
+// trick of Borgs et al.'s RR framework and SKIM-style sketching: trade k
+// extra sampling passes for an O(n + θ/8)-byte footprint.
+//
+// The selection rule — argmax live-coverage count, ties to the smaller
+// node id — is identical to GreedyMaxCover's, and recomputing counts from
+// scratch each round equals decrementing them incrementally, so the
+// returned CoverResult is bit-identical to the indexed path on the same
+// θ sets. Budgeted TIM/IMM therefore return the same seeds as budget-off
+// runs, only slower.
+#ifndef TIMPP_COVERAGE_STREAMING_COVER_H_
+#define TIMPP_COVERAGE_STREAMING_COVER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "coverage/greedy_cover.h"
+#include "engine/sampling_engine.h"
+#include "rrset/rr_collection.h"
+
+namespace timpp {
+
+/// CoverResult plus the cost of obtaining it without retained sets.
+struct StreamingCoverResult {
+  CoverResult cover;
+  /// Greedy rounds that regenerated at least one non-cached set (<= k;
+  /// 0 when the cache held every set).
+  uint64_t regeneration_passes = 0;
+  /// RR sets regenerated across all rounds (a set already known dead is
+  /// skipped, so later rounds regenerate monotonically fewer).
+  uint64_t sets_regenerated = 0;
+  /// Edges re-examined by regeneration (the extra traversal cost the
+  /// budget trades for memory; add to a run's edges_examined accounting).
+  uint64_t edges_examined = 0;
+};
+
+/// Greedy max coverage over the θ = `total_sets` RR sets of global engine
+/// indices [first_index, first_index + total_sets). `cache` must hold the
+/// sets of indices [first_index, first_index + cache.num_sets()) — any
+/// prefix, including none — and needs no inverted index; the remaining
+/// sets are regenerated from `engine` each round. Bit-identical to
+/// GreedyMaxCover(full collection, k).
+StreamingCoverResult StreamingGreedyMaxCover(SamplingEngine& engine,
+                                             const RRCollection& cache,
+                                             uint64_t first_index,
+                                             uint64_t total_sets, int k);
+
+/// Largest prefix length p such that a collection holding only the first
+/// p sets of `rr` has DataBytes() <= budget_bytes (without index). The
+/// budgeted selection truncates to this prefix after the engine's
+/// batch-granular budget stop overshoots.
+size_t MaxPrefixUnderDataBudget(const RRCollection& rr, size_t budget_bytes);
+
+/// Whether `rr` would still be within `budget_bytes` of DataBytes() after
+/// BuildIndex() — if so, budgeted selection can take the fast indexed
+/// GreedyMaxCover path and remain under budget.
+bool IndexedDataBytesFitBudget(const RRCollection& rr, size_t budget_bytes);
+
+}  // namespace timpp
+
+#endif  // TIMPP_COVERAGE_STREAMING_COVER_H_

@@ -40,6 +40,7 @@ class TimInfluenceSolver final : public InfluenceSolver {
     tim.sampler_mode = options.sampler_mode;
     tim.num_threads = options.num_threads;
     tim.seed = options.seed;
+    tim.memory_budget_bytes = options.memory_budget_bytes;
 
     TimSolver solver(graph_);
     TimResult native;
@@ -57,6 +58,12 @@ class TimInfluenceSolver final : public InfluenceSolver {
         {"edges_examined", static_cast<double>(native.stats.edges_examined)},
         {"rr_memory_bytes",
          static_cast<double>(native.stats.rr_memory_bytes)},
+        {"rr_data_bytes", static_cast<double>(native.stats.rr_data_bytes)},
+        {"hit_memory_budget", native.stats.hit_memory_budget ? 1.0 : 0.0},
+        {"rr_sets_retained",
+         static_cast<double>(native.stats.rr_sets_retained)},
+        {"regeneration_passes",
+         static_cast<double>(native.stats.regeneration_passes)},
         {"seconds_node_selection", native.stats.seconds_node_selection},
     };
     return Status::OK();
@@ -86,6 +93,7 @@ class ImmInfluenceSolver final : public InfluenceSolver {
     imm.sampler_mode = options.sampler_mode;
     imm.num_threads = options.num_threads;
     imm.seed = options.seed;
+    imm.memory_budget_bytes = options.memory_budget_bytes;
 
     ImmResult native;
     TIMPP_RETURN_NOT_OK(RunImm(graph_, imm, &native));
@@ -102,6 +110,12 @@ class ImmInfluenceSolver final : public InfluenceSolver {
          static_cast<double>(native.stats.sampling_iterations)},
         {"rr_memory_bytes",
          static_cast<double>(native.stats.rr_memory_bytes)},
+        {"rr_data_bytes", static_cast<double>(native.stats.rr_data_bytes)},
+        {"hit_memory_budget", native.stats.hit_memory_budget ? 1.0 : 0.0},
+        {"rr_sets_retained",
+         static_cast<double>(native.stats.rr_sets_retained)},
+        {"regeneration_passes",
+         static_cast<double>(native.stats.regeneration_passes)},
     };
     return Status::OK();
   }
@@ -127,7 +141,11 @@ class RisInfluenceSolver final : public InfluenceSolver {
     ris.sampler_mode = options.sampler_mode;
     ris.tau_scale = options.ris_tau_scale;
     ris.max_rr_sets = options.ris_max_sets;
-    ris.memory_budget_bytes = options.ris_memory_budget_bytes;
+    // The RIS-specific budget knob wins when set; the generic budget
+    // otherwise applies to RIS too (as its stop switch).
+    ris.memory_budget_bytes = options.ris_memory_budget_bytes != 0
+                                  ? options.ris_memory_budget_bytes
+                                  : options.memory_budget_bytes;
     ris.num_threads = options.num_threads;
     ris.seed = options.seed;
 
@@ -144,6 +162,7 @@ class RisInfluenceSolver final : public InfluenceSolver {
         {"cost_examined", static_cast<double>(stats.cost_examined)},
         {"hit_set_cap", stats.hit_set_cap ? 1.0 : 0.0},
         {"hit_memory_budget", stats.hit_memory_budget ? 1.0 : 0.0},
+        {"truncated", stats.truncated ? 1.0 : 0.0},
     };
     return Status::OK();
   }

@@ -14,6 +14,10 @@ constexpr uint64_t kSetsPerBatch = 8192;
 // Cost-threshold sampling uses small batches so the overshoot past the
 // threshold (sampled but discarded sets) stays negligible.
 constexpr uint64_t kSetsPerCostBatch = 256;
+// Sample-and-discard streaming regenerates in small chunks so the
+// transient shard buffers stay a rounding error next to any realistic
+// memory budget (only one chunk of sets is resident at a time).
+constexpr uint64_t kSetsPerVisitBatch = 1024;
 
 }  // namespace
 
@@ -48,26 +52,33 @@ Rng SamplingEngine::IndexRng(uint64_t index) const {
   return Rng(SplitMix64(state));
 }
 
-void SamplingEngine::SampleRange(unsigned w, uint64_t begin, uint64_t end) {
+void SamplingEngine::SampleRange(unsigned w, uint64_t begin, uint64_t end,
+                                 const SampleFilter* filter) {
   Shard& shard = *shards_[w];
   for (uint64_t i = begin; i < end; ++i) {
+    if (filter != nullptr && !(*filter)(i)) continue;
     Rng rng = IndexRng(i);
     const RRSampleInfo info =
         shard.sampler.SampleRandomRoot(rng, &shard.scratch);
     shard.sets.Add(shard.scratch, info.width);
     shard.edges.push_back(info.edges_examined);
+    // Index recording is only needed when a filter punches holes in the
+    // range; unfiltered consumers reconstruct indices positionally, and
+    // the hot SampleInto/SampleUntilCost paths skip the extra store.
+    if (filter != nullptr) shard.indices.push_back(i);
   }
 }
 
-void SamplingEngine::FillShards(uint64_t count) {
+void SamplingEngine::FillShards(uint64_t base, uint64_t count,
+                                const SampleFilter* filter) {
   for (auto& shard : shards_) {
     shard->sets.Clear();
     shard->edges.clear();
+    shard->indices.clear();
   }
-  const uint64_t base = next_index_;
   const unsigned nw = static_cast<unsigned>(shards_.size());
   if (nw == 1 || count < 2 * nw) {
-    SampleRange(0, base, base + count);
+    SampleRange(0, base, base + count, filter);
     return;
   }
   // Contiguous index split: worker w samples [base + w·q + min(w, r), …),
@@ -77,7 +88,7 @@ void SamplingEngine::FillShards(uint64_t count) {
   pool_->ParallelRun(nw, [&](unsigned w) {
     const uint64_t begin = base + w * q + std::min<uint64_t>(w, r);
     const uint64_t end = begin + q + (w < r ? 1 : 0);
-    SampleRange(w, begin, end);
+    SampleRange(w, begin, end, filter);
   });
 }
 
@@ -92,7 +103,11 @@ SampleBatch SamplingEngine::SampleInto(RRCollection* out, uint64_t count) {
     const uint64_t batch = std::min(remaining, kSetsPerBatch);
     if (shards_.size() == 1) {
       // Sequential fast path: append straight into the output, no shard
-      // copy. Identical output by the per-index seeding argument.
+      // copy. Identical output by the per-index seeding argument. Member
+      // counts are unknown until sampled, so only the per-set arrays are
+      // pre-sized (the parallel path also reserves the node array, from
+      // its shard totals).
+      out->Reserve(batch, 0);
       Shard& shard = *shards_[0];
       for (uint64_t i = next_index_; i < next_index_ + batch; ++i) {
         Rng rng = IndexRng(i);
@@ -103,7 +118,7 @@ SampleBatch SamplingEngine::SampleInto(RRCollection* out, uint64_t count) {
         total.traversal_cost += info.edges_examined + shard.scratch.size();
       }
     } else {
-      FillShards(batch);
+      FillShards(next_index_, batch);
       uint64_t batch_nodes = 0;
       for (const auto& shard : shards_) batch_nodes += shard->sets.total_nodes();
       out->Reserve(batch, batch_nodes);
@@ -142,7 +157,7 @@ SampleBatch SamplingEngine::SampleUntilCost(RRCollection* out,
       }
       batch = std::min(batch, max_sets - total.sets_added);
     }
-    FillShards(batch);
+    FillShards(next_index_, batch);
     // Append in index order while the running cost is below the threshold;
     // the set that crosses it is kept, the rest of the batch is discarded
     // and its indices rewound (a later batch would regenerate them
@@ -172,6 +187,38 @@ SampleBatch SamplingEngine::SampleUntilCost(RRCollection* out,
     next_index_ += kept;
   }
   return total;
+}
+
+SampleBatch SamplingEngine::VisitSamples(uint64_t first, uint64_t count,
+                                         const SampleFilter& filter,
+                                         const SampleVisitor& visit) {
+  SampleBatch total;
+  const SampleFilter* filter_ptr = filter ? &filter : nullptr;
+  for (uint64_t done = 0; done < count;) {
+    const uint64_t chunk = std::min(count - done, kSetsPerVisitBatch);
+    FillShards(first + done, chunk, filter_ptr);
+    // Worker order == index order, so the visitor sees the filtered index
+    // sequence exactly as a sequential loop would produce it. Without a
+    // filter the sequence is contiguous and indices are reconstructed
+    // positionally (shards record them only for filtered fills).
+    uint64_t running = first + done;
+    for (const auto& shard : shards_) {
+      const size_t shard_sets = shard->sets.num_sets();
+      for (size_t j = 0; j < shard_sets; ++j) {
+        const auto set = shard->sets.Set(static_cast<RRSetId>(j));
+        visit(filter_ptr != nullptr ? shard->indices[j] : running++, set);
+        ++total.sets_added;
+        total.edges_examined += shard->edges[j];
+        total.traversal_cost += shard->edges[j] + set.size();
+      }
+    }
+    done += chunk;
+  }
+  return total;
+}
+
+void SamplingEngine::SkipTo(uint64_t index) {
+  next_index_ = std::max(next_index_, index);
 }
 
 }  // namespace timpp

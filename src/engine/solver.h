@@ -47,6 +47,13 @@ struct SolverOptions {
   unsigned num_threads = 1;
   /// Master RNG seed for randomized algorithms.
   uint64_t seed = 0x7145ULL;
+  /// Soft cap (bytes; 0 = unlimited) on resident RR-collection DataBytes
+  /// for RR-set algorithms. TIM/TIM+/IMM degrade gracefully past it
+  /// (streaming sample-and-discard selection: same seeds, bounded memory,
+  /// extra sampling passes — see coverage/streaming_cover.h); RIS stops
+  /// sampling and flags its result truncated. Solvers without RR
+  /// collections ignore it.
+  size_t memory_budget_bytes = 0;
 
   // ---- family-specific knobs ----------------------------------------
   /// Monte-Carlo cascades per spread estimate (greedy/CELF family).

@@ -1,0 +1,124 @@
+// The LT reverse-walk categorical pick: map one uniform draw r ∈ [0, 1)
+// to at most one in-arc, where arc j wins the slice of mass equal to its
+// weight (Σ weights <= 1; the leftover slice means "no in-neighbor").
+//
+// RRSampler::SampleLT resolves this pick in two modes — a per-arc scan and
+// a run-jump (SamplerMode::kSkip) — that are contractually *pick-
+// equivalent*: the same r must select the same arc in both modes, or the
+// modes' RR-set distributions silently diverge at rounding margins (they
+// share one Rng draw per walk step, so any disagreement is a bitwise
+// divergence, not just noise). Floating-point accumulation makes this
+// non-trivial: subtracting L copies of an arc weight one at a time rounds
+// L times, while subtracting the run mass p·L rounds once, and the two
+// residuals differ by enough ulps to flip picks near slice boundaries.
+//
+// Both pickers below therefore use the *same* canonical arithmetic, at
+// different granularities:
+//   - mass leaves r one run at a time: r -= p·L(double) per non-hit run of
+//     L equal-probability arcs (runs are the graph's maximal equal-prob
+//     stretches, so detecting them by float equality matches
+//     Graph::InRunEnds exactly);
+//   - a run is hit iff r < p·L, and within it the winner is the smallest
+//     offset j with r < p·(j+1).
+// The per-arc picker finds j by scanning forward (O(scanned) arcs); the
+// run picker jumps there with a floor division corrected by at most a few
+// ulp steps to the identical comparison (O(runs)). Every comparison and
+// every subtraction is performed on the same values in the same order, so
+// the pickers agree bit-for-bit on any input — the property
+// lt_pick_equivalence tests sweep adversarially.
+#ifndef TIMPP_RRSET_LT_PICK_H_
+#define TIMPP_RRSET_LT_PICK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// Outcome of one LT categorical pick over an in-arc list.
+struct LtPick {
+  /// Index (into the arc list) of the selected arc; kNoArc when the draw
+  /// landed in the leftover mass (the walk stops).
+  EdgeIndex index = kNoArc;
+  /// Arcs whose weight the resolution consumed: the scan prefix up to and
+  /// including the pick, or the whole list when nothing was picked. This
+  /// is the §7.2 LT cost unit (edges_examined) and is mode-independent.
+  uint64_t scanned = 0;
+
+  static constexpr EdgeIndex kNoArc = ~EdgeIndex{0};
+};
+
+/// Smallest offset j ∈ [0, len) with r < p·(j+1), located by floor
+/// division plus an ulp-level correction to exactly that comparison.
+/// Requires p > 0 and r < p·len (the run was hit), which guarantees such a
+/// j exists; p·j is monotone in j, so the corrected j is unique.
+inline EdgeIndex LtRunOffset(double r, double p, EdgeIndex len) {
+  EdgeIndex j = std::min<EdgeIndex>(len - 1, static_cast<EdgeIndex>(r / p));
+  while (j > 0 && r < p * static_cast<double>(j)) --j;
+  while (r >= p * static_cast<double>(j + 1)) ++j;
+  return j;
+}
+
+/// Run-jump resolution (SamplerMode::kSkip): O(runs up to the hit run).
+/// `run_ends` is the node's Graph::InRunEnds span (exclusive ends local to
+/// `arcs`, maximal equal-probability stretches).
+inline LtPick PickLtArcByRuns(std::span<const Arc> arcs,
+                              std::span<const EdgeIndex> run_ends, double r) {
+  LtPick pick;
+  pick.scanned = arcs.size();
+  EdgeIndex start = 0;
+  for (const EdgeIndex end : run_ends) {
+    const double p = arcs[start].prob;
+    const double run_mass = p * static_cast<double>(end - start);
+    if (p > 0.0 && r < run_mass) {
+      const EdgeIndex j = LtRunOffset(r, p, end - start);
+      pick.index = start + j;
+      pick.scanned = start + j + 1;
+      return pick;
+    }
+    if (p > 0.0) r -= run_mass;
+    start = end;
+  }
+  return pick;
+}
+
+/// Per-arc resolution: scans arcs in order, comparing r against the
+/// cumulative mass p·(j+1) inside the current run and subtracting a full
+/// run's mass in one operation at each run boundary — the identical
+/// arithmetic as PickLtArcByRuns, one arc at a time. O(scanned) arcs, no
+/// run metadata needed (boundaries are re-detected by float equality,
+/// which matches the builder's maximal-run split).
+inline LtPick PickLtArcPerArc(std::span<const Arc> arcs, double r) {
+  LtPick pick;
+  pick.scanned = arcs.size();
+  const size_t deg = arcs.size();
+  size_t i = 0;
+  while (i < deg) {
+    const float p = arcs[i].prob;
+    const size_t run_start = i;
+    if (p > 0.0f) {
+      const double pd = p;
+      do {
+        if (r < pd * static_cast<double>(i - run_start + 1)) {
+          pick.index = static_cast<EdgeIndex>(i);
+          pick.scanned = i + 1;
+          return pick;
+        }
+        ++i;
+      } while (i < deg && arcs[i].prob == p);
+      r -= pd * static_cast<double>(i - run_start);
+    } else {
+      do {
+        ++i;
+      } while (i < deg && arcs[i].prob == p);
+    }
+  }
+  return pick;
+}
+
+}  // namespace timpp
+
+#endif  // TIMPP_RRSET_LT_PICK_H_

@@ -82,6 +82,25 @@ size_t RRCollection::DataBytes() const {
          index_sets_.size() * sizeof(RRSetId);
 }
 
+void RRCollection::DropIndex() {
+  index_built_ = false;
+  index_offsets_.clear();
+  index_sets_.clear();
+}
+
+void RRCollection::TruncateTo(size_t num_sets) {
+  if (num_sets >= this->num_sets()) return;
+  for (size_t id = num_sets; id < widths_.size(); ++id) {
+    total_width_ -= widths_[id];
+  }
+  offsets_.resize(num_sets + 1);
+  nodes_.resize(offsets_[num_sets]);
+  widths_.resize(num_sets);
+  index_built_ = false;
+  index_offsets_.clear();
+  index_sets_.clear();
+}
+
 void RRCollection::Clear() {
   offsets_.assign(1, 0);
   nodes_.clear();

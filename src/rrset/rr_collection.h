@@ -64,6 +64,13 @@ class RRCollection {
   void BuildIndex();
   bool index_built() const { return index_built_; }
 
+  /// Releases the inverted index (sets untouched). Budgeted phases that
+  /// alternate indexed greedy solves with further sampling call this
+  /// before any DataBytes-vs-budget comparison: a stale index would
+  /// otherwise be double-charged (once as resident bytes, once as the
+  /// rebuild estimate) and latch the budget spuriously.
+  void DropIndex();
+
   /// Ids of the sets containing node `v`. Requires BuildIndex().
   std::span<const RRSetId> SetsContaining(NodeId v) const {
     return {index_sets_.data() + index_offsets_[v],
@@ -103,6 +110,14 @@ class RRCollection {
   bool OverMemoryBudget() const {
     return memory_budget_ != 0 && DataBytes() > memory_budget_;
   }
+
+  /// Drops every set with id >= `num_sets`, keeping the prefix. Used by
+  /// budgeted selection to fall back to the largest under-budget prefix
+  /// after the sampling engine's batch-granular budget stop overshoots;
+  /// the dropped sets are recoverable exactly via per-index regeneration.
+  /// Invalidates the index. Capacity is not released (DataBytes shrinks,
+  /// MemoryBytes does not).
+  void TruncateTo(size_t num_sets);
 
   /// Releases everything (budget excepted).
   void Clear();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/run_sampling.h"
+#include "rrset/lt_pick.h"
 
 namespace timpp {
 
@@ -123,10 +124,11 @@ RRSampleInfo RRSampler::SampleLT(NodeId root, Rng& rng,
   // walk stops when the leftover mass is drawn, when a node has no
   // in-arcs, or when it closes a cycle onto an already-visited node.
   //
-  // Skip mode resolves the same categorical draw by runs: a run of L arcs
-  // with weight p holds mass L·p, and within a hit run the picked index is
-  // floor(r/p) — O(runs) instead of O(indeg), with an identical outcome
-  // distribution. edges_examined charges only the arcs up to and including
+  // Skip mode resolves the same categorical draw by runs — O(runs)
+  // instead of O(indeg) — and both resolutions share the canonical
+  // run-granular arithmetic of lt_pick.h, so the same draw maps to the
+  // same arc in both modes even at rounding margins (the pick-equivalence
+  // contract). edges_examined charges only the arcs up to and including
   // the pick (the linear scan stops there; charging the whole list would
   // overstate the §7.2 LT cost), or the whole list when the leftover mass
   // is drawn.
@@ -135,35 +137,13 @@ RRSampleInfo RRSampler::SampleLT(NodeId root, Rng& rng,
   while (max_hops_ == 0 || steps++ < max_hops_) {
     auto arcs = graph_.InArcs(v);
     if (arcs.empty()) break;
-    double r = rng.NextDouble();
-    NodeId picked = kInvalidNode;
-    uint64_t scanned = arcs.size();
-    if (use_skip_) {
-      EdgeIndex start = 0;
-      for (const EdgeIndex end : graph_.InRunEnds(v)) {
-        const double p = arcs[start].prob;
-        const double run_mass = p * static_cast<double>(end - start);
-        if (p > 0.0 && r < run_mass) {
-          const EdgeIndex offset = std::min<EdgeIndex>(
-              end - start - 1, static_cast<EdgeIndex>(r / p));
-          picked = arcs[start + offset].node;
-          scanned = start + offset + 1;
-          break;
-        }
-        r -= run_mass;
-        start = end;
-      }
-    } else {
-      for (size_t i = 0; i < arcs.size(); ++i) {
-        if (r < arcs[i].prob) {
-          picked = arcs[i].node;
-          scanned = i + 1;
-          break;
-        }
-        r -= arcs[i].prob;
-      }
-    }
-    info.edges_examined += scanned;
+    const double r = rng.NextDouble();
+    const LtPick pick = use_skip_
+                            ? PickLtArcByRuns(arcs, graph_.InRunEnds(v), r)
+                            : PickLtArcPerArc(arcs, r);
+    const NodeId picked =
+        pick.index == LtPick::kNoArc ? kInvalidNode : arcs[pick.index].node;
+    info.edges_examined += pick.scanned;
     if (picked == kInvalidNode) break;       // "no in-neighbor" outcome
     if (!visited_.VisitIfNew(picked)) break;  // cycle closed
     set_.push_back(picked);

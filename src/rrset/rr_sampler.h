@@ -12,10 +12,12 @@
 // resolves the pick by scanning runs (O(runs)) instead of arcs. A generic
 // path accepts any TriggeringModel (§4.2).
 //
-// Both modes sample the exact RR-set distribution of Definition 1; they
-// consume the RNG stream differently, so individual sets differ bit-wise
-// between modes (except where every decision is forced, e.g. p = 1 arcs)
-// while all statistics agree.
+// Both modes sample the exact RR-set distribution of Definition 1. Under
+// IC they consume the RNG stream differently, so individual sets differ
+// bit-wise between modes (except where every decision is forced, e.g.
+// p = 1 arcs) while all statistics agree. Under LT both modes consume one
+// draw per walk step and resolve it with lt_pick.h's pick-equivalent
+// arithmetic, so LT RR sets are bit-identical across modes.
 #ifndef TIMPP_RRSET_RR_SAMPLER_H_
 #define TIMPP_RRSET_RR_SAMPLER_H_
 

@@ -13,6 +13,7 @@
 #include "diffusion/triggering.h"
 #include "gen/generators.h"
 #include "graph/weight_models.h"
+#include "rrset/lt_pick.h"
 #include "rrset/rr_collection.h"
 #include "rrset/rr_sampler.h"
 #include "tests/test_util.h"
@@ -219,6 +220,114 @@ TEST(RRSamplerSkipTest, LtCostCountsOnlyScannedArcs) {
       << "walk picks arc 0 and stops scanning; arc 1 was never examined";
   std::set<NodeId> members(rr.begin(), rr.end());
   EXPECT_EQ(members, (std::set<NodeId>{0, 2}));
+}
+
+// Builds a single-sink graph whose sink in-arc list carries the given
+// weight layout (one in-arc per weight, arc i from node i), so lt_pick's
+// two resolutions can be driven directly against Graph::InRunEnds.
+Graph MakeSinkWithInWeights(const std::vector<float>& weights) {
+  std::vector<RawEdge> edges;
+  const NodeId sink = static_cast<NodeId>(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    edges.push_back({static_cast<NodeId>(i), sink, weights[i]});
+  }
+  return MakeGraph(sink + 1, edges);
+}
+
+TEST(LtPickEquivalenceTest, AdversarialWeightsAgreeAtRoundingBoundaries) {
+  // The pick-equivalence contract: both resolutions map every draw r to
+  // the same arc. The adversarial part is float weights whose sums drift
+  // (0.1f is not 0.1; nine sequential additions round differently than one
+  // 9·p product), so r values a few ulps around every slice boundary are
+  // exactly where the pre-fix code let the modes diverge.
+  const std::vector<std::vector<float>> layouts = {
+      // One long drifting run: 9 × 0.1f (mass ≈ 0.9000000134).
+      std::vector<float>(9, 0.1f),
+      // Several runs of awkward constants.
+      {0.1f, 0.1f, 0.1f, 0.07f, 0.07f, 0.07f, 0.07f, 0.05f, 0.05f, 0.3f},
+      // Zero-probability runs interleaved (scanned but never picked).
+      {0.0f, 0.0f, 0.2f, 0.2f, 0.0f, 0.1f, 0.1f, 0.1f, 0.0f},
+      // Length-1 runs only (the per-arc degenerate case).
+      {0.11f, 0.13f, 0.17f, 0.19f, 0.23f},
+      // Tiny probabilities: many multiples of p land on shared doubles.
+      std::vector<float>(64, 0.001f),
+  };
+  for (size_t layout = 0; layout < layouts.size(); ++layout) {
+    const std::vector<float>& weights = layouts[layout];
+    Graph g = MakeSinkWithInWeights(weights);
+    const NodeId sink = static_cast<NodeId>(weights.size());
+    const auto arcs = g.InArcs(sink);
+    const auto run_ends = g.InRunEnds(sink);
+
+    // Candidate draws: every cumulative per-arc boundary under both
+    // accumulation orders, bracketed by a few ulps on each side, plus a
+    // uniform sweep.
+    std::vector<double> draws;
+    double seq = 0.0, by_run = 0.0;
+    size_t start = 0;
+    for (const EdgeIndex end : run_ends) {
+      const double p = arcs[start].prob;
+      for (size_t j = start; j < end; ++j) {
+        seq += arcs[j].prob;
+        draws.push_back(seq);
+        draws.push_back(by_run + p * static_cast<double>(j - start + 1));
+      }
+      by_run += p * static_cast<double>(end - start);
+      start = end;
+    }
+    for (int i = 0; i <= 1000; ++i) draws.push_back(i / 1000.0);
+
+    for (double center : draws) {
+      double lo = center, hi = center;
+      for (int ulps = 0; ulps < 3; ++ulps) {
+        lo = std::nextafter(lo, -1.0);
+        hi = std::nextafter(hi, 2.0);
+      }
+      for (double r = lo; r <= hi; r = std::nextafter(r, 2.0)) {
+        if (r < 0.0 || r >= 1.0) continue;
+        const LtPick by_runs = PickLtArcByRuns(arcs, run_ends, r);
+        const LtPick per_arc = PickLtArcPerArc(arcs, r);
+        ASSERT_EQ(by_runs.index, per_arc.index)
+            << "layout " << layout << " r=" << std::hexfloat << r;
+        ASSERT_EQ(by_runs.scanned, per_arc.scanned)
+            << "layout " << layout << " r=" << std::hexfloat << r;
+        if (by_runs.index != LtPick::kNoArc) {
+          EXPECT_EQ(by_runs.scanned, by_runs.index + 1);
+        } else {
+          EXPECT_EQ(by_runs.scanned, arcs.size());
+        }
+      }
+    }
+  }
+}
+
+TEST(LtPickEquivalenceTest, SkipWalkBitIdenticalToPerArcOnDriftingRuns) {
+  // End-to-end half of the contract: the LT reverse walk draws one
+  // uniform per step in both modes, so pick equivalence makes whole RR
+  // sets — and the scanned-arc cost — bit-identical across modes. Ring
+  // graph whose in-lists are runs of 0.1f/0.09f (sums ≈ 0.99, so walks go
+  // long and cross many rounding-sensitive picks).
+  const NodeId n = 50;
+  std::vector<RawEdge> edges;
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId d = 1; d <= 10; ++d) {
+      edges.push_back({static_cast<NodeId>((v + d) % n), v,
+                       d <= 9 ? 0.1f : 0.09f});
+    }
+  }
+  Graph g = MakeGraph(n, edges);
+  RRSampler per_arc(g, DiffusionModel::kLT, nullptr, 0, SamplerMode::kPerArc);
+  RRSampler skip(g, DiffusionModel::kLT, nullptr, 0, SamplerMode::kSkip);
+  ASSERT_TRUE(skip.skip_mode());
+  std::vector<NodeId> a, b;
+  for (uint64_t seed = 0; seed < 5000; ++seed) {
+    Rng rng_a(seed), rng_b(seed);
+    const RRSampleInfo ia = per_arc.SampleRandomRoot(rng_a, &a);
+    const RRSampleInfo ib = skip.SampleRandomRoot(rng_b, &b);
+    ASSERT_EQ(a, b) << "seed " << seed;
+    ASSERT_EQ(ia.edges_examined, ib.edges_examined) << "seed " << seed;
+    EXPECT_EQ(ia.width, ib.width);
+  }
 }
 
 // ----------------------------------------------------------- LT sampling --

@@ -1,0 +1,425 @@
+// Tests of the memory-budgeted selection pipeline: the engine's
+// sample-and-discard streaming (VisitSamples/SkipTo), RRCollection
+// truncation, StreamingGreedyMaxCover's bit-equivalence to the indexed
+// greedy, and the end-to-end guarantee that budgeted TIM/IMM return the
+// exact seeds of a budget-off run while keeping resident DataBytes under
+// the cap.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/ris.h"
+#include "core/imm.h"
+#include "core/node_selector.h"
+#include "core/tim.h"
+#include "coverage/greedy_cover.h"
+#include "coverage/streaming_cover.h"
+#include "engine/sampling_engine.h"
+#include "rrset/rr_collection.h"
+#include "tests/test_util.h"
+
+namespace timpp {
+namespace {
+
+using testing::IcSampling;
+using testing::MakeTwoCommunities;
+using testing::MakeWcPowerLaw;
+
+void ExpectSameCollections(const RRCollection& a, const RRCollection& b) {
+  ASSERT_EQ(a.num_sets(), b.num_sets());
+  ASSERT_EQ(a.total_nodes(), b.total_nodes());
+  EXPECT_EQ(a.TotalWidth(), b.TotalWidth());
+  for (size_t id = 0; id < a.num_sets(); ++id) {
+    const auto sa = a.Set(static_cast<RRSetId>(id));
+    const auto sb = b.Set(static_cast<RRSetId>(id));
+    ASSERT_EQ(sa.size(), sb.size()) << "set " << id;
+    for (size_t j = 0; j < sa.size(); ++j) {
+      ASSERT_EQ(sa[j], sb[j]) << "set " << id << " pos " << j;
+    }
+    EXPECT_EQ(a.Width(static_cast<RRSetId>(id)),
+              b.Width(static_cast<RRSetId>(id)));
+  }
+}
+
+void ExpectSameCover(const CoverResult& a, const CoverResult& b) {
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.marginal_coverage, b.marginal_coverage);
+  EXPECT_EQ(a.covered_sets, b.covered_sets);
+  EXPECT_DOUBLE_EQ(a.covered_fraction, b.covered_fraction);
+}
+
+// ----------------------------------------------------- RRCollection bits --
+
+TEST(RRCollectionTruncateTest, TruncateToKeepsThePrefixExactly) {
+  Graph g = MakeTwoCommunities(0.4f);
+  RRCollection full(g.num_nodes()), prefix(g.num_nodes());
+  SamplingEngine engine_a(g, IcSampling(9)), engine_b(g, IcSampling(9));
+  engine_a.SampleInto(&full, 500);
+  engine_b.SampleInto(&prefix, 200);
+
+  RRCollection truncated(g.num_nodes());
+  SamplingEngine engine_c(g, IcSampling(9));
+  engine_c.SampleInto(&truncated, 500);
+  truncated.TruncateTo(200);
+  ExpectSameCollections(prefix, truncated);
+
+  truncated.TruncateTo(9999);  // no-op past the end
+  EXPECT_EQ(truncated.num_sets(), 200u);
+  truncated.TruncateTo(0);
+  EXPECT_EQ(truncated.num_sets(), 0u);
+  EXPECT_EQ(truncated.total_nodes(), 0u);
+  EXPECT_EQ(truncated.TotalWidth(), 0u);
+}
+
+TEST(RRCollectionTruncateTest, DropIndexReleasesOnlyIndexBytes) {
+  Graph g = MakeTwoCommunities(0.4f);
+  RRCollection rr(g.num_nodes());
+  SamplingEngine engine(g, IcSampling(12));
+  engine.SampleInto(&rr, 200);
+  const size_t data_only = rr.DataBytes();
+  rr.BuildIndex();
+  ASSERT_GT(rr.DataBytes(), data_only) << "index must be charged";
+  rr.DropIndex();
+  EXPECT_EQ(rr.DataBytes(), data_only)
+      << "a dropped index must not linger in budget accounting";
+  EXPECT_FALSE(rr.index_built());
+  rr.BuildIndex();  // still rebuildable
+  EXPECT_TRUE(rr.index_built());
+}
+
+TEST(RRCollectionTruncateTest, MaxPrefixUnderDataBudgetIsTight) {
+  Graph g = MakeTwoCommunities(0.4f);
+  RRCollection rr(g.num_nodes());
+  SamplingEngine engine(g, IcSampling(10));
+  engine.SampleInto(&rr, 300);
+
+  // For every prefix the helper reports, actually materializing it must
+  // sit under the budget (an empty collection's 8-byte offset sentinel is
+  // the irreducible floor) while one more set must exceed it.
+  for (size_t budget : {size_t{1}, size_t{100}, size_t{1000}, rr.DataBytes(),
+                        rr.DataBytes() / 2}) {
+    const size_t prefix = MaxPrefixUnderDataBudget(rr, budget);
+    RRCollection check(g.num_nodes());
+    SamplingEngine regen(g, IcSampling(10));
+    regen.SampleInto(&check, 300);
+    check.TruncateTo(prefix);
+    if (prefix > 0) {
+      EXPECT_LE(check.DataBytes(), budget) << "budget " << budget;
+    }
+    if (prefix < rr.num_sets()) {
+      RRCollection over(g.num_nodes());
+      SamplingEngine regen2(g, IcSampling(10));
+      regen2.SampleInto(&over, 300);
+      over.TruncateTo(prefix + 1);
+      EXPECT_GT(over.DataBytes(), budget) << "budget " << budget;
+    }
+  }
+}
+
+// ------------------------------------------- engine streaming primitives --
+
+TEST(SamplingEngineStreamTest, BudgetStopIsThreadCountInvariantMidRequest) {
+  // Satellite regression: the sequential fast path must land the same
+  // collection as the sharded path when a memory budget stops the request
+  // mid-way (both stop at the same fixed batch boundary, and the
+  // sequential path now pre-sizes per-set arrays the same way).
+  Graph g = MakeWcPowerLaw(300, 5, 7);
+
+  RRCollection reference(g.num_nodes());
+  SamplingEngine sequential(g, IcSampling(42, 1));
+  SampleBatch probe = sequential.SampleInto(&reference, 10000);
+  ASSERT_EQ(probe.sets_added, 10000u);
+  // A budget crossed well inside the request: ~ half the full data bytes.
+  const size_t budget = reference.DataBytes() / 2;
+
+  RRCollection seq_rr(g.num_nodes());
+  seq_rr.set_memory_budget(budget);
+  SamplingEngine seq_engine(g, IcSampling(42, 1));
+  const SampleBatch seq_batch = seq_engine.SampleInto(&seq_rr, 30000);
+  EXPECT_TRUE(seq_batch.hit_memory_budget);
+  EXPECT_LT(seq_batch.sets_added, 30000u);
+
+  for (unsigned threads : {2u, 8u}) {
+    RRCollection rr(g.num_nodes());
+    rr.set_memory_budget(budget);
+    SamplingEngine engine(g, IcSampling(42, threads));
+    const SampleBatch batch = engine.SampleInto(&rr, 30000);
+    EXPECT_TRUE(batch.hit_memory_budget) << "threads=" << threads;
+    EXPECT_EQ(batch.sets_added, seq_batch.sets_added)
+        << "budget stop moved with the thread count";
+    EXPECT_EQ(batch.edges_examined, seq_batch.edges_examined);
+    ExpectSameCollections(seq_rr, rr);
+  }
+}
+
+TEST(SamplingEngineStreamTest, SampleUntilCostRewindIsDeterministic) {
+  // The cost-threshold loop samples whole batches but keeps only the
+  // index-ordered prefix up to the stop, rewinding the rest. The stop
+  // point and the kept prefix must be identical across thread counts, and
+  // the rewound indices must regenerate identically in a later request
+  // (batch boundaries never leak into content).
+  Graph g = MakeTwoCommunities(0.35f);
+
+  RRCollection reference(g.num_nodes());
+  SamplingEngine ref_engine(g, IcSampling(11, 1));
+  const SampleBatch ref_batch = ref_engine.SampleUntilCost(&reference, 4000.0);
+  ASSERT_GT(ref_batch.sets_added, 0u);
+
+  for (unsigned threads : {2u, 8u}) {
+    RRCollection rr(g.num_nodes());
+    SamplingEngine engine(g, IcSampling(11, threads));
+    const SampleBatch batch = engine.SampleUntilCost(&rr, 4000.0);
+    EXPECT_EQ(batch.sets_added, ref_batch.sets_added)
+        << "threads=" << threads;
+    EXPECT_EQ(batch.traversal_cost, ref_batch.traversal_cost);
+    EXPECT_EQ(batch.edges_examined, ref_batch.edges_examined);
+    ExpectSameCollections(reference, rr);
+  }
+
+  // Rewind determinism across batch boundaries: stop early (mid-batch),
+  // then top the collection up with SampleInto — the result must equal a
+  // straight SampleInto of the same total, set for set.
+  for (unsigned threads : {1u, 2u, 8u}) {
+    RRCollection straight(g.num_nodes());
+    SamplingEngine engine_a(g, IcSampling(11, threads));
+    engine_a.SampleInto(&straight, ref_batch.sets_added + 777);
+
+    RRCollection resumed(g.num_nodes());
+    SamplingEngine engine_b(g, IcSampling(11, threads));
+    const SampleBatch stop = engine_b.SampleUntilCost(&resumed, 4000.0);
+    EXPECT_EQ(engine_b.sets_sampled(), stop.sets_added)
+        << "rewound indices must not count as consumed";
+    engine_b.SampleInto(&resumed,
+                        ref_batch.sets_added + 777 - stop.sets_added);
+    ExpectSameCollections(straight, resumed);
+  }
+
+  // And with a set cap that lands inside a cost batch.
+  for (unsigned threads : {1u, 8u}) {
+    RRCollection capped(g.num_nodes());
+    SamplingEngine engine(g, IcSampling(11, threads));
+    const SampleBatch batch = engine.SampleUntilCost(&capped, 1e18, 1234);
+    EXPECT_TRUE(batch.hit_set_cap);
+    EXPECT_EQ(batch.sets_added, 1234u);
+    RRCollection straight(g.num_nodes());
+    SamplingEngine engine_c(g, IcSampling(11, threads));
+    engine_c.SampleInto(&straight, 1234);
+    ExpectSameCollections(straight, capped);
+  }
+}
+
+TEST(SamplingEngineStreamTest, VisitSamplesReplaysTheSampleStreamExactly) {
+  Graph g = MakeWcPowerLaw(200, 4, 3);
+  RRCollection retained(g.num_nodes());
+  SamplingEngine engine_a(g, IcSampling(5, 4));
+  engine_a.SampleInto(&retained, 3000);
+
+  for (unsigned threads : {1u, 4u}) {
+    SamplingEngine engine_b(g, IcSampling(5, threads));
+    uint64_t expected_index = 500;
+    uint64_t visited = 0;
+    const SampleBatch batch = engine_b.VisitSamples(
+        500, 2000, nullptr,
+        [&](uint64_t index, std::span<const NodeId> nodes) {
+          ASSERT_EQ(index, expected_index++);
+          const auto want = retained.Set(static_cast<RRSetId>(index));
+          ASSERT_EQ(nodes.size(), want.size()) << "index " << index;
+          for (size_t j = 0; j < nodes.size(); ++j) {
+            ASSERT_EQ(nodes[j], want[j]) << "index " << index;
+          }
+          ++visited;
+        });
+    EXPECT_EQ(visited, 2000u);
+    EXPECT_EQ(batch.sets_added, 2000u);
+    EXPECT_EQ(engine_b.sets_sampled(), 0u)
+        << "VisitSamples must not consume stream position";
+  }
+
+  // Filtered replay visits exactly the accepted indices, in order.
+  SamplingEngine engine_c(g, IcSampling(5, 4));
+  std::vector<uint64_t> seen;
+  engine_c.VisitSamples(
+      0, 1000, [](uint64_t index) { return index % 3 == 0; },
+      [&](uint64_t index, std::span<const NodeId>) { seen.push_back(index); });
+  ASSERT_EQ(seen.size(), 334u);
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], 3 * i);
+
+  // SkipTo fast-forwards the stream: the next SampleInto produces the
+  // same sets a longer straight run would have at those indices.
+  SamplingEngine engine_d(g, IcSampling(5, 2));
+  engine_d.SkipTo(1000);
+  RRCollection tail(g.num_nodes());
+  engine_d.SampleInto(&tail, 500);
+  for (size_t id = 0; id < 500; ++id) {
+    const auto want = retained.Set(static_cast<RRSetId>(1000 + id));
+    const auto got = tail.Set(static_cast<RRSetId>(id));
+    ASSERT_EQ(std::vector<NodeId>(got.begin(), got.end()),
+              std::vector<NodeId>(want.begin(), want.end()));
+  }
+}
+
+// ------------------------------------------------- streaming greedy cover --
+
+TEST(StreamingCoverTest, MatchesIndexedGreedyForAnyCachePrefix) {
+  Graph g = MakeWcPowerLaw(250, 5, 21);
+  const uint64_t theta = 4000;
+  const int k = 8;
+
+  RRCollection full(g.num_nodes());
+  SamplingEngine sampler(g, IcSampling(33, 2));
+  sampler.SampleInto(&full, theta);
+  full.BuildIndex();
+  const CoverResult reference = GreedyMaxCover(full, k);
+
+  for (size_t cached : {theta, theta / 2, uint64_t{1}, uint64_t{0}}) {
+    RRCollection cache(g.num_nodes());
+    SamplingEngine regen(g, IcSampling(33, 2));
+    regen.SampleInto(&cache, cached);
+    SamplingEngine streamer(g, IcSampling(33, 2));
+    const StreamingCoverResult streamed =
+        StreamingGreedyMaxCover(streamer, cache, 0, theta, k);
+    ExpectSameCover(reference, streamed.cover);
+    if (cached < theta) {
+      EXPECT_GE(streamed.regeneration_passes, 1u) << "cached " << cached;
+      EXPECT_LE(streamed.regeneration_passes, static_cast<uint64_t>(k));
+      EXPECT_GT(streamed.sets_regenerated, 0u);
+      EXPECT_GT(streamed.edges_examined, 0u);
+    } else {
+      EXPECT_EQ(streamed.regeneration_passes, 0u);
+      EXPECT_EQ(streamed.sets_regenerated, 0u);
+    }
+  }
+}
+
+TEST(StreamingCoverTest, SelectNodesBudgetedMatchesUnbudgetedBitwise) {
+  Graph g = MakeWcPowerLaw(250, 5, 23);
+  const uint64_t theta = 5000;
+  const int k = 6;
+
+  SamplingEngine plain(g, IcSampling(77, 2));
+  const NodeSelection unbudgeted = SelectNodes(plain, k, theta);
+  EXPECT_FALSE(unbudgeted.hit_memory_budget);
+  EXPECT_EQ(unbudgeted.rr_sets_retained, theta);
+  EXPECT_EQ(unbudgeted.regeneration_passes, 0u);
+  ASSERT_GT(unbudgeted.rr_data_bytes, 0u);
+
+  // Budgets from "index does not fit" down to "almost nothing fits".
+  for (size_t budget :
+       {unbudgeted.rr_data_bytes * 3 / 4, unbudgeted.rr_data_bytes / 4,
+        unbudgeted.rr_data_bytes / 50, size_t{64}}) {
+    SamplingEngine engine(g, IcSampling(77, 2));
+    const NodeSelection budgeted = SelectNodes(engine, k, theta, budget);
+    EXPECT_EQ(budgeted.seeds, unbudgeted.seeds) << "budget " << budget;
+    EXPECT_DOUBLE_EQ(budgeted.covered_fraction, unbudgeted.covered_fraction);
+    EXPECT_TRUE(budgeted.hit_memory_budget);
+    EXPECT_LE(budgeted.rr_data_bytes, budget)
+        << "resident DataBytes must respect the cap";
+    EXPECT_LE(budgeted.rr_sets_retained, theta);
+    EXPECT_EQ(engine.sets_sampled(), plain.sets_sampled())
+        << "budgeted run must consume the same index range";
+  }
+
+  // Generous budget: everything fits, the classic path runs, zero cost.
+  SamplingEngine roomy(g, IcSampling(77, 2));
+  const NodeSelection easy =
+      SelectNodes(roomy, k, theta, unbudgeted.rr_data_bytes * 10);
+  EXPECT_EQ(easy.seeds, unbudgeted.seeds);
+  EXPECT_FALSE(easy.hit_memory_budget);
+  EXPECT_EQ(easy.regeneration_passes, 0u);
+}
+
+// --------------------------------------------------- end-to-end solvers --
+
+TEST(StreamingCoverTest, TimPlusBudgetedMatchesUnbudgeted) {
+  Graph g = MakeWcPowerLaw(200, 5, 31);
+  TimOptions options;
+  options.k = 5;
+  options.epsilon = 0.35;
+  options.num_threads = 2;
+  options.seed = 99;
+
+  TimSolver solver(g);
+  TimResult unbudgeted;
+  ASSERT_TRUE(solver.Run(options, &unbudgeted).ok());
+  EXPECT_FALSE(unbudgeted.stats.hit_memory_budget);
+  ASSERT_GT(unbudgeted.stats.rr_data_bytes, 0u);
+
+  // A budget the full node-selection collection clearly exceeds.
+  options.memory_budget_bytes = unbudgeted.stats.rr_data_bytes / 8;
+  TimResult budgeted;
+  ASSERT_TRUE(solver.Run(options, &budgeted).ok());
+  EXPECT_EQ(budgeted.seeds, unbudgeted.seeds)
+      << "graceful degradation must not change the answer";
+  EXPECT_DOUBLE_EQ(budgeted.stats.estimated_spread,
+                   unbudgeted.stats.estimated_spread);
+  EXPECT_EQ(budgeted.stats.theta, unbudgeted.stats.theta);
+  EXPECT_TRUE(budgeted.stats.hit_memory_budget);
+  EXPECT_GE(budgeted.stats.regeneration_passes, 1u);
+  EXPECT_LE(budgeted.stats.rr_data_bytes, options.memory_budget_bytes);
+  EXPECT_LT(budgeted.stats.rr_sets_retained, budgeted.stats.theta);
+}
+
+TEST(StreamingCoverTest, ImmBudgetedMatchesUnbudgeted) {
+  Graph g = MakeWcPowerLaw(200, 5, 37);
+  ImmOptions options;
+  options.k = 5;
+  options.epsilon = 0.4;
+  options.num_threads = 2;
+  options.seed = 123;
+
+  for (bool reuse : {false, true}) {
+    options.reuse_samples = reuse;
+    options.memory_budget_bytes = 0;
+    ImmResult unbudgeted;
+    ASSERT_TRUE(RunImm(g, options, &unbudgeted).ok());
+    EXPECT_FALSE(unbudgeted.stats.hit_memory_budget);
+    ASSERT_GT(unbudgeted.stats.rr_data_bytes, 0u);
+
+    options.memory_budget_bytes = unbudgeted.stats.rr_data_bytes / 8;
+    ImmResult budgeted;
+    ASSERT_TRUE(RunImm(g, options, &budgeted).ok());
+    EXPECT_EQ(budgeted.seeds, unbudgeted.seeds) << "reuse " << reuse;
+    EXPECT_DOUBLE_EQ(budgeted.stats.lb, unbudgeted.stats.lb)
+        << "streaming greedy must reproduce the sampling-phase LB";
+    EXPECT_EQ(budgeted.stats.theta, unbudgeted.stats.theta);
+    EXPECT_DOUBLE_EQ(budgeted.stats.estimated_spread,
+                     unbudgeted.stats.estimated_spread);
+    EXPECT_TRUE(budgeted.stats.hit_memory_budget);
+    EXPECT_GE(budgeted.stats.regeneration_passes, 1u);
+    EXPECT_LE(budgeted.stats.rr_data_bytes, options.memory_budget_bytes);
+
+    // A budget with ample headroom must never engage (in particular, the
+    // progressive iterations must not double-charge a stale inverted
+    // index and latch the budget spuriously).
+    options.memory_budget_bytes = unbudgeted.stats.rr_data_bytes * 4;
+    ImmResult roomy;
+    ASSERT_TRUE(RunImm(g, options, &roomy).ok());
+    EXPECT_EQ(roomy.seeds, unbudgeted.seeds);
+    EXPECT_FALSE(roomy.stats.hit_memory_budget) << "reuse " << reuse;
+    EXPECT_EQ(roomy.stats.regeneration_passes, 0u);
+  }
+}
+
+TEST(StreamingCoverTest, RisBudgetStopIsFlaggedTruncated) {
+  // τ big enough that sampling spans several engine cost batches, so the
+  // tiny budget is guaranteed to fire at a batch boundary before τ.
+  Graph g = MakeWcPowerLaw(300, 5, 41);
+  RisOptions options;
+  options.epsilon = 0.5;
+  options.tau_scale = 0.5;
+  options.seed = 7;
+
+  std::vector<NodeId> seeds;
+  RisStats stats;
+  ASSERT_TRUE(RunRis(g, options, 3, &seeds, &stats).ok());
+  EXPECT_FALSE(stats.truncated);
+
+  options.memory_budget_bytes = 2048;  // absurdly small: must stop early
+  ASSERT_TRUE(RunRis(g, options, 3, &seeds, &stats).ok());
+  EXPECT_TRUE(stats.hit_memory_budget);
+  EXPECT_TRUE(stats.truncated)
+      << "a budget stop short of tau must be reported as truncation";
+}
+
+}  // namespace
+}  // namespace timpp
