@@ -1,11 +1,14 @@
 #include "baselines/ris.h"
 
 #include <cmath>
+#include <optional>
 #include <string>
 #include <vector>
 
-#include "coverage/greedy_cover.h"
 #include "core/tim.h"
+#include "coverage/greedy_cover.h"
+#include "coverage/streaming_cover.h"
+#include "engine/sample_source.h"
 #include "engine/sampling_engine.h"
 #include "rrset/rr_collection.h"
 #include "util/math.h"
@@ -13,14 +16,38 @@
 
 namespace timpp {
 
+namespace {
+
+// Continuation batch of the budgeted cost loop: mirrors the engine's
+// kSetsPerCostBatch so the transient scratch stays small.
+constexpr uint64_t kBudgetScanBatch = 256;
+
+}  // namespace
+
 Status RunRis(const Graph& graph, const RisOptions& options, int k,
               std::vector<NodeId>* seeds, RisStats* stats) {
+  return RunRis(graph, options, k, SolveContext(), seeds, stats);
+}
+
+Status RunRis(const Graph& graph, const RisOptions& options, int k,
+              const SolveContext& context, std::vector<NodeId>* seeds,
+              RisStats* stats) {
   TIMPP_RETURN_NOT_OK(
       ValidateImParameters(graph, k, options.epsilon, options.ell));
   if (options.model == DiffusionModel::kTriggering &&
       options.custom_model == nullptr) {
     return Status::InvalidArgument(
         "model == kTriggering requires custom_model");
+  }
+  if (context.source != nullptr && &context.source->graph() != &graph) {
+    return Status::InvalidArgument(
+        "SolveContext source is bound to a different graph");
+  }
+  if (context.source != nullptr && options.memory_budget_bytes != 0) {
+    return Status::InvalidArgument(
+        "memory_budget_bytes requires a standalone run (no SolveContext "
+        "source): the budget caps per-request resident bytes, which a "
+        "shared collection does not have");
   }
 
   Timer timer;
@@ -36,14 +63,22 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
   RisStats local_stats;
   local_stats.tau = tau;
 
-  SamplingConfig sampling;
-  sampling.model = options.model;
-  sampling.custom_model = options.custom_model;
-  sampling.sampler_mode = options.sampler_mode;
-  sampling.num_threads = options.num_threads;
-  sampling.seed = options.seed;
-  SamplingEngine engine(graph, sampling);
+  std::optional<SamplingEngine> local_engine;
+  std::optional<EngineSampleSource> local_source;
+  SampleSource* source = context.source;
+  if (source == nullptr) {
+    SamplingConfig sampling;
+    sampling.model = options.model;
+    sampling.custom_model = options.custom_model;
+    sampling.sampler_mode = options.sampler_mode;
+    sampling.num_threads = options.num_threads;
+    sampling.seed = options.seed;
+    local_engine.emplace(graph, sampling);
+    local_source.emplace(*local_engine);
+    source = &*local_source;
+  }
 
+  const uint64_t first = source->position();
   RRCollection rr(graph.num_nodes());
   rr.set_memory_budget(options.memory_budget_bytes);
 
@@ -53,20 +88,63 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
   // mid-set; retaining the completed set only strengthens coverage and
   // keeps the implementation simple).
   const SampleBatch batch =
-      engine.SampleUntilCost(&rr, tau, options.max_rr_sets);
+      source->FetchUntilCost(&rr, tau, options.max_rr_sets);
   local_stats.cost_examined = batch.traversal_cost;
   local_stats.rr_sets_generated = batch.sets_added;
   local_stats.hit_set_cap = batch.hit_set_cap;
-  local_stats.hit_memory_budget = batch.hit_memory_budget;
-  rr.BuildIndex();
 
-  CoverResult cover = GreedyMaxCover(rr, k);
-  // A budget stop means the τ cost target was never reached: the seeds
-  // come from fewer (and correlated) samples than the guarantee assumes.
-  // Flag it so no caller reports them as full-τ-quality silently.
-  local_stats.truncated = batch.hit_memory_budget;
-  *seeds = std::move(cover.seeds);
-  local_stats.covered_fraction = cover.covered_fraction;
+  if (batch.hit_memory_budget) {
+    // Budget fired short of τ. θ is implicit in the cost threshold, so
+    // instead of truncating quality (the pre-PR-4 behaviour) treat the
+    // retained collection as a stream-prefix cache: finish the cost rule
+    // without retaining — the per-index RNG contract makes the discarded
+    // sets regenerable exactly — and run the streaming greedy over the
+    // full θ. Seeds come out bit-identical to an unbudgeted run.
+    local_stats.hit_memory_budget = true;
+    rr.TruncateTo(MaxPrefixUnderDataBudget(rr, options.memory_budget_bytes));
+
+    SamplingEngine& engine = source->engine();
+    RRCollection scratch(graph.num_nodes());
+    std::vector<uint64_t> scratch_edges;
+    // Resume the SAME admission rule the engine's cost loop was running
+    // when the budget interrupted it (shared CostAdmission definition, so
+    // stop points match the unbudgeted run bit-exactly).
+    CostAdmission rule;
+    rule.cost_threshold = tau;
+    rule.max_sets = options.max_rr_sets;
+    rule.traversal_cost = batch.traversal_cost;
+    rule.sets_admitted = batch.sets_added;
+    bool stop = false;
+    while (!stop) {
+      scratch.Clear();
+      scratch_edges.clear();
+      engine.SampleInto(&scratch, kBudgetScanBatch, &scratch_edges);
+      for (size_t j = 0; j < scratch.num_sets(); ++j) {
+        if (!rule.WantsMore()) {
+          stop = true;
+          break;
+        }
+        rule.Admit(scratch_edges[j] +
+                   scratch.Set(static_cast<RRSetId>(j)).size());
+      }
+    }
+    local_stats.hit_set_cap = rule.hit_set_cap;
+    local_stats.cost_examined = rule.traversal_cost;
+    local_stats.rr_sets_generated = rule.sets_admitted;
+    local_stats.rr_sets_retained = rr.num_sets();
+
+    StreamingCoverResult streamed =
+        StreamingGreedyMaxCover(engine, rr, first, rule.sets_admitted, k);
+    local_stats.regeneration_passes = streamed.regeneration_passes;
+    *seeds = std::move(streamed.cover.seeds);
+    local_stats.covered_fraction = streamed.cover.covered_fraction;
+  } else {
+    rr.BuildIndex();
+    local_stats.rr_sets_retained = rr.num_sets();
+    CoverResult cover = GreedyMaxCover(rr, k);
+    *seeds = std::move(cover.seeds);
+    local_stats.covered_fraction = cover.covered_fraction;
+  }
   local_stats.seconds_total = timer.ElapsedSeconds();
   if (stats != nullptr) *stats = local_stats;
   return Status::OK();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "diffusion/triggering.h"
+#include "engine/solve_context.h"
 #include "graph/graph.h"
 #include "util/status.h"
 #include "util/types.h"
@@ -36,10 +37,14 @@ struct RisOptions {
   double tau_scale = 1.0;
   /// Hard cap on generated RR sets (0 = none) as an out-of-memory guard.
   uint64_t max_rr_sets = 0;
-  /// Soft cap on the RR collection's heap bytes (0 = none); forwarded to
-  /// RRCollection::set_memory_budget and checked by the engine at its
-  /// fixed batch boundaries, so the cap can be overshot by up to one
-  /// batch of sets.
+  /// Soft cap (bytes; 0 = none) on the RR collection's resident
+  /// DataBytes. Past it the collection freezes as a stream-prefix cache
+  /// and RIS degrades gracefully, exactly like budgeted TIM/IMM: the cost
+  /// loop keeps consuming (and discarding) the stream until τ so θ stays
+  /// what it would have been, and selection runs the streaming greedy
+  /// (retained prefix + per-round regeneration, see
+  /// coverage/streaming_cover.h). Seeds are bit-identical to an
+  /// unbudgeted run at the price of extra sampling passes.
   size_t memory_budget_bytes = 0;
   /// Sampling worker threads (SamplingEngine). The cost-threshold stopping
   /// rule is evaluated on the deterministic index-ordered sample stream,
@@ -51,17 +56,15 @@ struct RisOptions {
 /// Instrumentation of a RIS run.
 struct RisStats {
   double tau = 0.0;               // the cost threshold used
-  uint64_t rr_sets_generated = 0;
+  uint64_t rr_sets_generated = 0;  // θ: sets the cost rule admitted
   uint64_t cost_examined = 0;     // nodes+edges examined while sampling
   bool hit_set_cap = false;       // stopped by max_rr_sets instead of τ
-  bool hit_memory_budget = false;  // stopped by memory_budget_bytes
-  /// The memory budget cut sampling short of τ, so the seeds were chosen
-  /// from a truncated collection and carry a weaker guarantee than the
-  /// cost-threshold analysis promises. Unlike TIM/IMM (which degrade to
-  /// streaming selection over the full θ), RIS's θ is implicit in the
-  /// cost threshold, so a budget stop IS a quality truncation — reporting
-  /// layers must warn rather than present full-τ-quality seeds.
-  bool truncated = false;
+  /// memory_budget_bytes froze the collection as a stream-prefix cache:
+  /// only `rr_sets_retained` of the θ sets stayed resident and selection
+  /// streamed the rest (seeds bit-identical to an unbudgeted run).
+  bool hit_memory_budget = false;
+  uint64_t rr_sets_retained = 0;   // == rr_sets_generated budget-off
+  uint64_t regeneration_passes = 0;  // streaming greedy rounds (0 off)
   double covered_fraction = 0.0;  // F_R(seeds)
   double seconds_total = 0.0;
 };
@@ -69,6 +72,16 @@ struct RisStats {
 /// Runs RIS: samples until the cost threshold, then greedy max coverage.
 Status RunRis(const Graph& graph, const RisOptions& options, int k,
               std::vector<NodeId>* seeds, RisStats* stats);
+
+/// Context-aware variant: `context.source` (optional) supplies an
+/// externally owned sample stream — the cost loop then consumes (and
+/// reuses) the shared collection's prefix instead of sampling fresh, with
+/// bit-identical seeds. The memory budget requires a standalone run (the
+/// budget contract is per-request resident bytes, meaningless against a
+/// shared collection).
+Status RunRis(const Graph& graph, const RisOptions& options, int k,
+              const SolveContext& context, std::vector<NodeId>* seeds,
+              RisStats* stats);
 
 }  // namespace timpp
 

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/parameters.h"
 #include "core/tim.h"
 #include "coverage/greedy_cover.h"
 #include "coverage/streaming_cover.h"
+#include "engine/phase_cache.h"
+#include "engine/sample_source.h"
 #include "engine/sampling_engine.h"
 #include "rrset/rr_collection.h"
 #include "util/alias_table.h"
@@ -17,20 +20,20 @@ namespace timpp {
 
 namespace {
 
-// Grows `rr` with fresh random RR sets until it holds `target` sets or its
+// Grows `rr` with the next stream sets until it holds `target` sets or its
 // memory budget stops the growth. On a budget stop the collection is cut
 // back to its largest under-budget prefix (the engine's batch-granular
 // stop overshoots) and `*budget_hit` latches true: the cache freezes as a
 // stream prefix and the remaining sets exist only by index, regenerated on
 // demand.
-void GrowTo(SamplingEngine& engine, uint64_t target, RRCollection* rr,
+void GrowTo(SampleSource& source, uint64_t target, RRCollection* rr,
             bool* budget_hit) {
   if (*budget_hit || rr->num_sets() >= target) return;
   // Appending invalidates any index from the previous iteration's greedy
   // solve; release it up front so neither the engine's in-flight budget
   // checks nor the cap test below charge those stale bytes.
   rr->DropIndex();
-  engine.SampleInto(rr, target - rr->num_sets());
+  source.Fetch(rr, target - rr->num_sets());
   // The engine's budget check is batch-granular (and never fires inside a
   // sub-batch request), so test the cap directly and cut back to the
   // largest under-budget prefix; the dropped sets remain reachable by
@@ -45,12 +48,26 @@ void GrowTo(SamplingEngine& engine, uint64_t target, RRCollection* rr,
 
 Status RunImm(const Graph& graph, const ImmOptions& options,
               ImmResult* result) {
+  return RunImm(graph, options, SolveContext(), result);
+}
+
+Status RunImm(const Graph& graph, const ImmOptions& options,
+              const SolveContext& context, ImmResult* result) {
   TIMPP_RETURN_NOT_OK(
       ValidateImParameters(graph, options.k, options.epsilon, options.ell));
   if (options.model == DiffusionModel::kTriggering &&
       options.custom_model == nullptr) {
     return Status::InvalidArgument(
         "model == kTriggering requires options.custom_model");
+  }
+  if (context.source != nullptr && &context.source->graph() != &graph) {
+    return Status::InvalidArgument(
+        "SolveContext source is bound to a different graph");
+  }
+  if (context.source != nullptr && options.node_weights != nullptr) {
+    return Status::InvalidArgument(
+        "node_weights require a standalone run (no SolveContext source): "
+        "the root distribution lives in the private engine");
   }
 
   // Node-weighted runs replace n by W = Σ w(v) everywhere a spread range
@@ -95,55 +112,103 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
                        (log_cnk + ell * ln_n + std::log(log2_n)) * n /
                        (eps_prime * eps_prime);
 
-  SamplingConfig sampling;
-  sampling.model = options.model;
-  sampling.custom_model = options.custom_model;
-  sampling.max_hops = options.max_hops;
-  sampling.sampler_mode = options.sampler_mode;
-  sampling.num_threads = options.num_threads;
-  sampling.seed = options.seed;
-  if (options.node_weights != nullptr) {
-    sampling.root_distribution = &root_dist;
+  std::optional<SamplingEngine> local_engine;
+  std::optional<EngineSampleSource> local_source;
+  SampleSource* source = context.source;
+  if (source == nullptr) {
+    SamplingConfig sampling;
+    sampling.model = options.model;
+    sampling.custom_model = options.custom_model;
+    sampling.max_hops = options.max_hops;
+    sampling.sampler_mode = options.sampler_mode;
+    sampling.num_threads = options.num_threads;
+    sampling.seed = options.seed;
+    if (options.node_weights != nullptr) {
+      sampling.root_distribution = &root_dist;
+    }
+    local_engine.emplace(graph, sampling);
+    local_source.emplace(*local_engine);
+    source = &*local_source;
   }
-  SamplingEngine engine(graph, sampling);
 
   Timer phase_timer;
   const size_t budget = options.memory_budget_bytes;
+  const uint64_t stream_start = source->position();
+
+  // The LB memo only covers the canonical configuration: a stream consumed
+  // from index 0 (how every run starts) and the corrected no-reuse
+  // variant, whose selection phase does not need the sampling-phase sets
+  // back.
+  PhaseCache* memo = (stream_start == 0 && !options.reuse_samples &&
+                      options.node_weights == nullptr)
+                         ? context.phase_cache
+                         : nullptr;
+  LbPhaseKey memo_key;
+  if (memo != nullptr) {
+    memo_key.model = options.model;
+    memo_key.sampler_mode = options.sampler_mode;
+    memo_key.max_hops = options.max_hops;
+    memo_key.seed = options.seed;
+    memo_key.custom_model = options.custom_model;
+    memo_key.k = options.k;
+    memo_key.epsilon_bits = DoubleBits(eps);
+    memo_key.ell_bits = DoubleBits(ell);
+  }
+
   RRCollection sampling_rr(graph.num_nodes());
   sampling_rr.set_memory_budget(budget);
   bool sampling_budget_hit = false;
   uint64_t sampling_target = 0;  // θ_i of the latest iteration
   double lb = 1.0;
-  const int max_iterations = std::max(1, static_cast<int>(log2_n) - 1);
-  for (int i = 1; i <= max_iterations; ++i) {
-    const double x_i = n / std::pow(2.0, i);
-    const uint64_t theta_i = static_cast<uint64_t>(
-        std::max(1.0, std::ceil(stats.lambda_prime / x_i)));
-    GrowTo(engine, theta_i, &sampling_rr, &sampling_budget_hit);
-    // Keep the engine's index stream aligned with a budget-off run: the
-    // sets the cache could not retain still occupy indices
-    // [num_sets, θ_i) and are regenerated from them below.
-    engine.SkipTo(theta_i);
-    sampling_target = theta_i;
-    CoverResult cover;
-    if (!sampling_budget_hit &&
-        (budget == 0 || IndexedDataBytesFitBudget(sampling_rr, budget))) {
-      sampling_rr.BuildIndex();
-      cover = GreedyMaxCover(sampling_rr, options.k);
-    } else {
-      // Budgeted greedy: retained prefix + per-round regeneration. Seeds
-      // and covered_fraction are bit-identical to the indexed path, so LB
-      // — and with it every downstream θ — matches the budget-off run.
-      stats.hit_memory_budget = true;
-      StreamingCoverResult streamed = StreamingGreedyMaxCover(
-          engine, sampling_rr, 0, theta_i, options.k);
-      stats.regeneration_passes += streamed.regeneration_passes;
-      cover = std::move(streamed.cover);
+  const LbPhaseEntry* hit = memo != nullptr ? memo->FindLb(memo_key) : nullptr;
+  if (hit != nullptr) {
+    // The whole binary search is a pure function of the key: restore LB
+    // and jump the stream past the sets it consumed.
+    stats.lb_cache_hit = true;
+    lb = hit->lb;
+    sampling_target = hit->rr_sets_sampling;
+    stats.sampling_iterations = hit->sampling_iterations;
+    source->Seek(hit->end_index);
+  } else {
+    const int max_iterations = std::max(1, static_cast<int>(log2_n) - 1);
+    for (int i = 1; i <= max_iterations; ++i) {
+      const double x_i = n / std::pow(2.0, i);
+      const uint64_t theta_i = static_cast<uint64_t>(
+          std::max(1.0, std::ceil(stats.lambda_prime / x_i)));
+      GrowTo(*source, theta_i, &sampling_rr, &sampling_budget_hit);
+      // Keep the stream aligned with a budget-off run: the sets the cache
+      // could not retain still occupy indices [num_sets, θ_i) and are
+      // regenerated from them below.
+      source->Seek(stream_start + theta_i);
+      sampling_target = theta_i;
+      CoverResult cover;
+      if (!sampling_budget_hit &&
+          (budget == 0 || IndexedDataBytesFitBudget(sampling_rr, budget))) {
+        sampling_rr.BuildIndex();
+        cover = GreedyMaxCover(sampling_rr, options.k);
+      } else {
+        // Budgeted greedy: retained prefix + per-round regeneration. Seeds
+        // and covered_fraction are bit-identical to the indexed path, so LB
+        // — and with it every downstream θ — matches the budget-off run.
+        stats.hit_memory_budget = true;
+        StreamingCoverResult streamed = StreamingGreedyMaxCover(
+            source->engine(), sampling_rr, stream_start, theta_i, options.k);
+        stats.regeneration_passes += streamed.regeneration_passes;
+        cover = std::move(streamed.cover);
+      }
+      stats.sampling_iterations = i;
+      if (n * cover.covered_fraction >= (1.0 + eps_prime) * x_i) {
+        lb = n * cover.covered_fraction / (1.0 + eps_prime);
+        break;
+      }
     }
-    stats.sampling_iterations = i;
-    if (n * cover.covered_fraction >= (1.0 + eps_prime) * x_i) {
-      lb = n * cover.covered_fraction / (1.0 + eps_prime);
-      break;
+    if (memo != nullptr) {
+      LbPhaseEntry entry;
+      entry.lb = lb;
+      entry.sampling_iterations = stats.sampling_iterations;
+      entry.rr_sets_sampling = sampling_target;
+      entry.end_index = source->position();
+      memo->StoreLb(memo_key, entry);
     }
   }
   stats.lb = lb;
@@ -167,15 +232,15 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
   RRCollection selection_rr(graph.num_nodes());
   selection_rr.set_memory_budget(budget);
   RRCollection* cache = &selection_rr;
-  uint64_t sel_first = 0;
+  uint64_t sel_first = stream_start;
   uint64_t sel_total = stats.theta;
   bool sel_budget_hit = false;
   if (options.reuse_samples) {
     // Original IMM: keep the sampling-phase sets and top up. (Subtly
     // biased — the stopping rule conditions these samples; kept for
     // study.) The selection collection is then exactly the sample stream
-    // from index 0, so the sampling cache continues as the selection
-    // cache — no copy, and the budgeted prefix carries over.
+    // from the run's start, so the sampling cache continues as the
+    // selection cache — no copy, and the budgeted prefix carries over.
     cache = &sampling_rr;
     sel_total = std::max(stats.theta, sampling_target);
     sel_budget_hit = sampling_budget_hit;
@@ -184,14 +249,14 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
     // vector capacities, leaving ~2x the budget resident while
     // selection_rr grows toward the cap).
     sampling_rr = RRCollection(graph.num_nodes());
-    sel_first = engine.sets_sampled();
+    sel_first = source->position();
   }
   // Grow the cache to hold the whole selection range [sel_first,
   // sel_first + sel_total) — or as much of its prefix as the budget
   // allows (GrowTo no-ops once the budget latched, keeping the cache a
   // contiguous stream prefix).
-  GrowTo(engine, sel_total, cache, &sel_budget_hit);
-  engine.SkipTo(sel_first + sel_total);
+  GrowTo(*source, sel_total, cache, &sel_budget_hit);
+  source->Seek(sel_first + sel_total);
   // The reuse path may carry the sampling phase's index over unchanged;
   // drop it so the budget-fit check below prices one index, not two.
   cache->DropIndex();
@@ -208,8 +273,8 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
     stats.hit_memory_budget = true;
     stats.rr_memory_bytes = cache->MemoryBytes();
     StreamingCoverResult streamed =
-        StreamingGreedyMaxCover(engine, *cache, sel_first, sel_total,
-                                options.k);
+        StreamingGreedyMaxCover(source->engine(), *cache, sel_first,
+                                sel_total, options.k);
     stats.regeneration_passes += streamed.regeneration_passes;
     cover = std::move(streamed.cover);
   }

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "diffusion/triggering.h"
+#include "engine/solve_context.h"
 #include "graph/graph.h"
 #include "util/status.h"
 #include "util/types.h"
@@ -105,6 +106,10 @@ struct ImmStats {
   /// Greedy rounds that regenerated discarded RR sets, summed over every
   /// streaming solve of the run (0 budget-off).
   uint64_t regeneration_passes = 0;
+  /// The sampling phase (LB binary search) was restored from a
+  /// SolveContext's PhaseCache instead of recomputed (serving layer;
+  /// always false standalone).
+  bool lb_cache_hit = false;
 };
 
 /// Result of an IMM run.
@@ -118,6 +123,16 @@ struct ImmResult {
 /// practice (θ is sized by the martingale bound λ*, not Equation 4's λ).
 Status RunImm(const Graph& graph, const ImmOptions& options,
               ImmResult* result);
+
+/// Context-aware variant: `context.source` (optional) supplies an
+/// externally owned sample stream consumed from its cursor instead of a
+/// private engine, and `context.phase_cache` (optional) memoizes the LB
+/// binary search across requests. Bit-identical results to the standalone
+/// run for matching options. Node-weighted runs (`node_weights`) require a
+/// standalone context (their root distribution lives in the private
+/// engine).
+Status RunImm(const Graph& graph, const ImmOptions& options,
+              const SolveContext& context, ImmResult* result);
 
 }  // namespace timpp
 

@@ -7,8 +7,8 @@
 
 namespace timpp {
 
-KptEstimate EstimateKpt(SamplingEngine& engine, int k, double ell) {
-  const Graph& graph = engine.graph();
+KptEstimate EstimateKpt(SampleSource& source, int k, double ell) {
+  const Graph& graph = source.graph();
   const uint64_t n = graph.num_nodes();
   const double m = static_cast<double>(graph.num_edges());
 
@@ -25,7 +25,7 @@ KptEstimate EstimateKpt(SamplingEngine& engine, int k, double ell) {
     // (Algorithm 3 reuses exactly those sets).
     result.last_iteration_rr->Clear();
     const SampleBatch batch =
-        engine.SampleInto(result.last_iteration_rr.get(), ci);
+        source.Fetch(result.last_iteration_rr.get(), ci);
     result.edges_examined += batch.edges_examined;
     result.rr_sets_generated += batch.sets_added;
 

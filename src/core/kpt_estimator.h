@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "engine/sample_source.h"
 #include "engine/sampling_engine.h"
 #include "rrset/rr_collection.h"
 
@@ -34,9 +35,16 @@ struct KptEstimate {
 };
 
 /// Runs Algorithm 2 with seed-set size `k` and confidence exponent `ell`.
-/// `engine` fixes the graph, diffusion model, randomness and parallelism;
-/// the result is deterministic in (engine seed, engine sample position).
-KptEstimate EstimateKpt(SamplingEngine& engine, int k, double ell);
+/// `source` fixes the graph, diffusion model, randomness and parallelism
+/// (standalone engine or serving-layer shared stream alike); the result is
+/// deterministic in (stream seed, stream position).
+KptEstimate EstimateKpt(SampleSource& source, int k, double ell);
+
+/// Standalone convenience: consume `engine`'s stream directly.
+inline KptEstimate EstimateKpt(SamplingEngine& engine, int k, double ell) {
+  EngineSampleSource source(engine);
+  return EstimateKpt(source, k, ell);
+}
 
 }  // namespace timpp
 

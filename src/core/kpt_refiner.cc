@@ -10,10 +10,10 @@
 
 namespace timpp {
 
-KptRefinement RefineKpt(SamplingEngine& engine, const RRCollection& r_prime,
+KptRefinement RefineKpt(SampleSource& source, const RRCollection& r_prime,
                         int k, double kpt_star, double eps_prime,
                         double ell) {
-  const Graph& graph = engine.graph();
+  const Graph& graph = source.graph();
   const uint64_t n = graph.num_nodes();
 
   KptRefinement result;
@@ -41,7 +41,7 @@ KptRefinement RefineKpt(SamplingEngine& engine, const RRCollection& r_prime,
   for (uint64_t sampled = 0; sampled < result.theta_prime;) {
     const uint64_t want = std::min(kChunkSets, result.theta_prime - sampled);
     chunk.Clear();
-    const SampleBatch batch = engine.SampleInto(&chunk, want);
+    const SampleBatch batch = source.Fetch(&chunk, want);
     result.edges_examined += batch.edges_examined;
     sampled += batch.sets_added;
     for (size_t id = 0; id < chunk.num_sets(); ++id) {

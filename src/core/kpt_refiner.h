@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/sample_source.h"
 #include "engine/sampling_engine.h"
 #include "rrset/rr_collection.h"
 #include "util/types.h"
@@ -38,8 +39,17 @@ struct KptRefinement {
 /// Runs Algorithm 3. `r_prime` is Algorithm 2's last-iteration collection
 /// (index must be built); `kpt_star` its estimate; `eps_prime` the
 /// intermediate accuracy ε′ (see RecommendedEpsPrime).
-KptRefinement RefineKpt(SamplingEngine& engine, const RRCollection& r_prime,
+KptRefinement RefineKpt(SampleSource& source, const RRCollection& r_prime,
                         int k, double kpt_star, double eps_prime, double ell);
+
+/// Standalone convenience: consume `engine`'s stream directly.
+inline KptRefinement RefineKpt(SamplingEngine& engine,
+                               const RRCollection& r_prime, int k,
+                               double kpt_star, double eps_prime,
+                               double ell) {
+  EngineSampleSource source(engine);
+  return RefineKpt(source, r_prime, k, kpt_star, eps_prime, ell);
+}
 
 }  // namespace timpp
 

@@ -7,28 +7,28 @@
 
 namespace timpp {
 
-NodeSelection SelectNodes(SamplingEngine& engine, int k, uint64_t theta,
+NodeSelection SelectNodes(SampleSource& source, int k, uint64_t theta,
                           size_t memory_budget_bytes) {
   NodeSelection result;
   result.theta = theta;
 
   Timer timer;
-  const uint64_t first = engine.sets_sampled();
-  RRCollection rr(engine.graph().num_nodes());
+  const uint64_t first = source.position();
+  RRCollection rr(source.graph().num_nodes());
   rr.set_memory_budget(memory_budget_bytes);
-  const SampleBatch batch = engine.SampleInto(&rr, theta);
+  const SampleBatch batch = source.Fetch(&rr, theta);
   result.edges_examined = batch.edges_examined;
 
   // Budget enforcement: the engine only checks the budget at its fixed
   // batch boundaries (and a sub-batch request never trips it at all), so
   // the collection can overshoot — cut back to the largest under-budget
-  // prefix and advance the engine past the whole request. The dropped
+  // prefix and advance the stream past the whole request. The dropped
   // indices are regenerated exactly during selection, and later phases
   // consume the same index ranges as a budget-off run.
   if (memory_budget_bytes != 0 && rr.DataBytes() > memory_budget_bytes) {
     rr.TruncateTo(MaxPrefixUnderDataBudget(rr, memory_budget_bytes));
   }
-  engine.SkipTo(first + theta);
+  source.Seek(first + theta);
   result.seconds_sampling = timer.ElapsedSeconds();
 
   timer.Reset();
@@ -53,7 +53,7 @@ NodeSelection SelectNodes(SamplingEngine& engine, int k, uint64_t theta,
     result.hit_memory_budget = true;
     result.rr_memory_bytes = rr.MemoryBytes();
     StreamingCoverResult streamed =
-        StreamingGreedyMaxCover(engine, rr, first, theta, k);
+        StreamingGreedyMaxCover(source.engine(), rr, first, theta, k);
     result.edges_examined += streamed.edges_examined;
     result.regeneration_passes = streamed.regeneration_passes;
     result.seeds = std::move(streamed.cover.seeds);

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "engine/sample_source.h"
 #include "engine/sampling_engine.h"
 #include "util/types.h"
 
@@ -52,15 +53,24 @@ struct NodeSelection {
   double seconds_coverage = 0.0;
 };
 
-/// Runs Algorithm 1 with the given θ on the engine's thread pool. Output is
-/// deterministic in the engine's (seed, sample position), independent of
-/// engine.num_threads(). `memory_budget_bytes` (0 = unlimited) caps the RR
-/// collection's resident DataBytes: past it, selection degrades to
-/// streaming sample-and-discard greedy (see coverage/streaming_cover.h)
-/// instead of failing — same seeds, bounded memory, k extra sampling
-/// passes in the worst case.
-NodeSelection SelectNodes(SamplingEngine& engine, int k, uint64_t theta,
+/// Runs Algorithm 1 with the given θ over `source`'s stream (standalone
+/// engine or serving-layer shared collection — reused sets are
+/// byte-identical to fresh ones). Output is deterministic in the stream's
+/// (seed, position), independent of thread count. `memory_budget_bytes`
+/// (0 = unlimited) caps the RR collection's resident DataBytes: past it,
+/// selection degrades to streaming sample-and-discard greedy (see
+/// coverage/streaming_cover.h) instead of failing — same seeds, bounded
+/// memory, k extra sampling passes in the worst case.
+NodeSelection SelectNodes(SampleSource& source, int k, uint64_t theta,
                           size_t memory_budget_bytes = 0);
+
+/// Standalone convenience: consume `engine`'s stream directly.
+inline NodeSelection SelectNodes(SamplingEngine& engine, int k,
+                                 uint64_t theta,
+                                 size_t memory_budget_bytes = 0) {
+  EngineSampleSource source(engine);
+  return SelectNodes(source, k, theta, memory_budget_bytes);
+}
 
 }  // namespace timpp
 

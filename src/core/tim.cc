@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <string>
 
 #include "core/kpt_estimator.h"
 #include "core/kpt_refiner.h"
 #include "core/node_selector.h"
 #include "core/parameters.h"
+#include "engine/phase_cache.h"
+#include "engine/sample_source.h"
 #include "engine/sampling_engine.h"
 #include "util/timer.h"
 
@@ -32,12 +35,22 @@ Status ValidateImParameters(const Graph& graph, int k, double epsilon,
 }
 
 Status TimSolver::Run(const TimOptions& options, TimResult* result) const {
+  return Run(options, SolveContext(), result);
+}
+
+Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
+                      TimResult* result) const {
   TIMPP_RETURN_NOT_OK(
       ValidateImParameters(graph_, options.k, options.epsilon, options.ell));
   if (options.model == DiffusionModel::kTriggering &&
       options.custom_model == nullptr) {
     return Status::InvalidArgument(
         "model == kTriggering requires options.custom_model");
+  }
+  if (context.source != nullptr &&
+      &context.source->graph() != &graph_) {
+    return Status::InvalidArgument(
+        "SolveContext source is bound to a different graph");
   }
 
   const uint64_t n = graph_.num_nodes();
@@ -51,55 +64,114 @@ Status TimSolver::Run(const TimOptions& options, TimResult* result) const {
   stats.ell_used = ell;
   stats.lambda = ComputeLambda(n, options.k, options.epsilon, ell);
 
-  // One engine serves all three phases: the global set-index stream runs
-  // through Algorithms 2, 3 and 1 in order, so the whole run is
-  // deterministic in (seed) and independent of num_threads.
-  SamplingConfig sampling;
-  sampling.model = options.model;
-  sampling.custom_model = options.custom_model;
-  sampling.max_hops = options.max_hops;
-  sampling.sampler_mode = options.sampler_mode;
-  sampling.num_threads = options.num_threads;
-  sampling.seed = options.seed;
-  SamplingEngine engine(graph_, sampling);
+  // One sample stream serves all three phases: the global set-index stream
+  // runs through Algorithms 2, 3 and 1 in order, so the whole run is
+  // deterministic in (seed) and independent of num_threads. A context
+  // supplies the stream (shared across requests); standalone runs build a
+  // private engine.
+  std::optional<SamplingEngine> local_engine;
+  std::optional<EngineSampleSource> local_source;
+  SampleSource* source = context.source;
+  if (source == nullptr) {
+    SamplingConfig sampling;
+    sampling.model = options.model;
+    sampling.custom_model = options.custom_model;
+    sampling.max_hops = options.max_hops;
+    sampling.sampler_mode = options.sampler_mode;
+    sampling.num_threads = options.num_threads;
+    sampling.seed = options.seed;
+    local_engine.emplace(graph_, sampling);
+    local_source.emplace(*local_engine);
+    source = &*local_source;
+  }
   Timer total_timer;
 
-  // Phase 1: parameter estimation (Algorithm 2).
-  Timer phase_timer;
-  KptEstimate kpt = EstimateKpt(engine, options.k, ell);
-  stats.seconds_kpt_estimation = phase_timer.ElapsedSeconds();
-  stats.kpt_star = kpt.kpt_star;
-  stats.rr_sets_kpt = kpt.rr_sets_generated;
-  stats.edges_examined += kpt.edges_examined;
+  const double eps_prime =
+      options.use_refinement
+          ? (options.eps_prime > 0.0
+                 ? options.eps_prime
+                 : RecommendedEpsPrime(options.epsilon, options.k, ell))
+          : 0.0;
+  stats.eps_prime = eps_prime;
 
-  // Intermediate step (Algorithm 3) — TIM+ only.
-  double kpt_bound = kpt.kpt_star;
-  if (options.use_refinement) {
-    const double eps_prime =
-        options.eps_prime > 0.0
-            ? options.eps_prime
-            : RecommendedEpsPrime(options.epsilon, options.k, ell);
-    stats.eps_prime = eps_prime;
+  // PhaseCache entries record positions of a stream consumed from index 0
+  // (how every run starts); only engage the memo in that situation.
+  PhaseCache* memo =
+      source->position() == 0 ? context.phase_cache : nullptr;
+  KptPhaseKey memo_key;
+  if (memo != nullptr) {
+    memo_key.model = options.model;
+    memo_key.sampler_mode = options.sampler_mode;
+    memo_key.max_hops = options.max_hops;
+    memo_key.seed = options.seed;
+    memo_key.custom_model = options.custom_model;
+    memo_key.k = options.k;
+    memo_key.use_refinement = options.use_refinement;
+    memo_key.ell_bits = DoubleBits(ell);
+    memo_key.eps_prime_bits = DoubleBits(eps_prime);
+  }
 
-    phase_timer.Reset();
-    KptRefinement refinement =
-        RefineKpt(engine, *kpt.last_iteration_rr, options.k, kpt.kpt_star,
-                  eps_prime, ell);
-    stats.seconds_kpt_refinement = phase_timer.ElapsedSeconds();
-    stats.kpt_plus = refinement.kpt_plus;
-    stats.theta_prime = refinement.theta_prime;
-    stats.edges_examined += refinement.edges_examined;
-    kpt_bound = refinement.kpt_plus;
+  double kpt_bound = 0.0;
+  const KptPhaseEntry* hit =
+      memo != nullptr ? memo->FindKpt(memo_key) : nullptr;
+  if (hit != nullptr) {
+    // Algorithms 2(+3) are pure functions of the key: restore their
+    // output and jump the stream to where they left it. Phase timings
+    // stay 0 — they reflect work actually done this run.
+    stats.kpt_cache_hit = true;
+    stats.kpt_star = hit->kpt_star;
+    stats.kpt_plus = hit->kpt_plus;
+    stats.theta_prime = hit->theta_prime;
+    stats.rr_sets_kpt = hit->rr_sets_kpt;
+    stats.edges_examined += hit->edges_kpt + hit->edges_refine;
+    source->Seek(hit->end_index);
+    kpt_bound = options.use_refinement ? hit->kpt_plus : hit->kpt_star;
   } else {
-    stats.kpt_plus = kpt.kpt_star;
+    // Phase 1: parameter estimation (Algorithm 2).
+    Timer phase_timer;
+    KptEstimate kpt = EstimateKpt(*source, options.k, ell);
+    stats.seconds_kpt_estimation = phase_timer.ElapsedSeconds();
+    stats.kpt_star = kpt.kpt_star;
+    stats.rr_sets_kpt = kpt.rr_sets_generated;
+    stats.edges_examined += kpt.edges_examined;
+
+    // Intermediate step (Algorithm 3) — TIM+ only.
+    kpt_bound = kpt.kpt_star;
+    uint64_t edges_refine = 0;
+    if (options.use_refinement) {
+      phase_timer.Reset();
+      KptRefinement refinement =
+          RefineKpt(*source, *kpt.last_iteration_rr, options.k, kpt.kpt_star,
+                    eps_prime, ell);
+      stats.seconds_kpt_refinement = phase_timer.ElapsedSeconds();
+      stats.kpt_plus = refinement.kpt_plus;
+      stats.theta_prime = refinement.theta_prime;
+      stats.edges_examined += refinement.edges_examined;
+      edges_refine = refinement.edges_examined;
+      kpt_bound = refinement.kpt_plus;
+    } else {
+      stats.kpt_plus = kpt.kpt_star;
+    }
+
+    if (memo != nullptr) {
+      KptPhaseEntry entry;
+      entry.kpt_star = stats.kpt_star;
+      entry.kpt_plus = stats.kpt_plus;
+      entry.theta_prime = stats.theta_prime;
+      entry.rr_sets_kpt = stats.rr_sets_kpt;
+      entry.edges_kpt = kpt.edges_examined;
+      entry.edges_refine = edges_refine;
+      entry.end_index = source->position();
+      memo->StoreKpt(memo_key, entry);
+    }
   }
 
   // Phase 2: node selection (Algorithm 1) with θ = λ / KPT bound.
   stats.theta =
       static_cast<uint64_t>(std::max(1.0, std::ceil(stats.lambda / kpt_bound)));
 
-  phase_timer.Reset();
-  NodeSelection selection = SelectNodes(engine, options.k, stats.theta,
+  Timer phase_timer;
+  NodeSelection selection = SelectNodes(*source, options.k, stats.theta,
                                         options.memory_budget_bytes);
   stats.seconds_node_selection = phase_timer.ElapsedSeconds();
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "diffusion/triggering.h"
+#include "engine/solve_context.h"
 #include "graph/graph.h"
 #include "util/status.h"
 #include "util/types.h"
@@ -102,6 +103,9 @@ struct TimStats {
   uint64_t rr_sets_retained = 0;
   /// Greedy rounds that re-generated discarded RR sets (0 budget-off).
   uint64_t regeneration_passes = 0;
+  /// Algorithms 2(+3) were restored from a SolveContext's PhaseCache
+  /// instead of recomputed (serving layer; always false standalone).
+  bool kpt_cache_hit = false;
 };
 
 /// Result of a run.
@@ -123,6 +127,18 @@ class TimSolver {
 
   /// Validates `options` and executes TIM or TIM+.
   Status Run(const TimOptions& options, TimResult* result) const;
+
+  /// Context-aware variant: when `context.source` is set, the run consumes
+  /// that externally owned sample stream from its current cursor (position
+  /// 0 in serving use) instead of constructing a private engine, and when
+  /// `context.phase_cache` is set, Algorithms 2–3 are restored from /
+  /// stored into it. Results are bit-identical to the standalone Run for
+  /// matching options — reuse only changes how much fresh sampling the
+  /// run performs. The source's sampling configuration must match the
+  /// options (model, sampler mode, seed, max_hops) and its graph must be
+  /// this solver's graph.
+  Status Run(const TimOptions& options, const SolveContext& context,
+             TimResult* result) const;
 
  private:
   const Graph& graph_;

@@ -28,7 +28,15 @@ class TimInfluenceSolver final : public InfluenceSolver {
 
   std::string name() const override { return use_refinement_ ? "tim+" : "tim"; }
 
+  bool UsesSolveContext() const override { return true; }
+
   Status Run(const SolverOptions& options, SolverResult* result) override {
+    return RunWithContext(options, SolveContext(), result);
+  }
+
+  Status RunWithContext(const SolverOptions& options,
+                        const SolveContext& context,
+                        SolverResult* result) override {
     TimOptions tim;
     tim.k = options.k;
     tim.epsilon = options.epsilon;
@@ -42,9 +50,14 @@ class TimInfluenceSolver final : public InfluenceSolver {
     tim.seed = options.seed;
     tim.memory_budget_bytes = options.memory_budget_bytes;
 
+    // A memory budget caps this request's resident bytes — meaningless
+    // against a shared collection, so budgeted requests run standalone.
+    const SolveContext effective =
+        options.memory_budget_bytes == 0 ? context : SolveContext();
+
     TimSolver solver(graph_);
     TimResult native;
-    TIMPP_RETURN_NOT_OK(solver.Run(tim, &native));
+    TIMPP_RETURN_NOT_OK(solver.Run(tim, effective, &native));
 
     result->seeds = std::move(native.seeds);
     result->seconds_total = native.stats.seconds_total;
@@ -65,6 +78,7 @@ class TimInfluenceSolver final : public InfluenceSolver {
         {"regeneration_passes",
          static_cast<double>(native.stats.regeneration_passes)},
         {"seconds_node_selection", native.stats.seconds_node_selection},
+        {"kpt_cache_hit", native.stats.kpt_cache_hit ? 1.0 : 0.0},
     };
     return Status::OK();
   }
@@ -82,7 +96,15 @@ class ImmInfluenceSolver final : public InfluenceSolver {
 
   std::string name() const override { return "imm"; }
 
+  bool UsesSolveContext() const override { return true; }
+
   Status Run(const SolverOptions& options, SolverResult* result) override {
+    return RunWithContext(options, SolveContext(), result);
+  }
+
+  Status RunWithContext(const SolverOptions& options,
+                        const SolveContext& context,
+                        SolverResult* result) override {
     ImmOptions imm;
     imm.k = options.k;
     imm.epsilon = options.epsilon;
@@ -95,8 +117,12 @@ class ImmInfluenceSolver final : public InfluenceSolver {
     imm.seed = options.seed;
     imm.memory_budget_bytes = options.memory_budget_bytes;
 
+    // Budgeted requests run standalone (see TimInfluenceSolver).
+    const SolveContext effective =
+        options.memory_budget_bytes == 0 ? context : SolveContext();
+
     ImmResult native;
-    TIMPP_RETURN_NOT_OK(RunImm(graph_, imm, &native));
+    TIMPP_RETURN_NOT_OK(RunImm(graph_, imm, effective, &native));
 
     result->seeds = std::move(native.seeds);
     result->seconds_total = native.stats.seconds_total;
@@ -116,6 +142,7 @@ class ImmInfluenceSolver final : public InfluenceSolver {
          static_cast<double>(native.stats.rr_sets_retained)},
         {"regeneration_passes",
          static_cast<double>(native.stats.regeneration_passes)},
+        {"lb_cache_hit", native.stats.lb_cache_hit ? 1.0 : 0.0},
     };
     return Status::OK();
   }
@@ -132,7 +159,15 @@ class RisInfluenceSolver final : public InfluenceSolver {
 
   std::string name() const override { return "ris"; }
 
+  bool UsesSolveContext() const override { return true; }
+
   Status Run(const SolverOptions& options, SolverResult* result) override {
+    return RunWithContext(options, SolveContext(), result);
+  }
+
+  Status RunWithContext(const SolverOptions& options,
+                        const SolveContext& context,
+                        SolverResult* result) override {
     RisOptions ris;
     ris.epsilon = options.epsilon;
     ris.ell = options.ell;
@@ -149,9 +184,17 @@ class RisInfluenceSolver final : public InfluenceSolver {
     ris.num_threads = options.num_threads;
     ris.seed = options.seed;
 
+    // RIS's budget contract is per-request (standalone), and RIS ignores
+    // max_hops — a shared stream keyed with a hop bound would diverge
+    // from the standalone run, so fall back in both cases.
+    const SolveContext effective =
+        (ris.memory_budget_bytes == 0 && options.max_hops == 0)
+            ? context
+            : SolveContext();
+
     RisStats stats;
     TIMPP_RETURN_NOT_OK(
-        RunRis(graph_, ris, options.k, &result->seeds, &stats));
+        RunRis(graph_, ris, options.k, effective, &result->seeds, &stats));
 
     result->seconds_total = stats.seconds_total;
     result->estimated_spread =
@@ -162,7 +205,9 @@ class RisInfluenceSolver final : public InfluenceSolver {
         {"cost_examined", static_cast<double>(stats.cost_examined)},
         {"hit_set_cap", stats.hit_set_cap ? 1.0 : 0.0},
         {"hit_memory_budget", stats.hit_memory_budget ? 1.0 : 0.0},
-        {"truncated", stats.truncated ? 1.0 : 0.0},
+        {"rr_sets_retained", static_cast<double>(stats.rr_sets_retained)},
+        {"regeneration_passes",
+         static_cast<double>(stats.regeneration_passes)},
     };
     return Status::OK();
   }

@@ -1,0 +1,114 @@
+// PhaseCache — memoized estimation-phase results for cross-request reuse.
+//
+// TIM's KPT estimation/refinement (Algorithms 2–3) and IMM's LB binary
+// search are deterministic functions of (graph, sampling stream, a few
+// scalars): rerunning them for a second request with the same key wastes
+// exactly the work they did the first time. A PhaseCache remembers their
+// outputs together with the stream position where they stopped, so a
+// later request restores the numbers, Seeks its SampleSource past the
+// consumed prefix, and proceeds straight to node selection — bit-identical
+// to having rerun the phase, because the phase itself was a pure function
+// of the key.
+//
+// Keys deliberately include every input the phase output depends on —
+// model, sampler mode, seed, hop bound, k, ℓ, ε′ — so a request that
+// changes any of them (most notably sampler mode or diffusion model, which
+// switch to a different RR stream entirely) misses instead of reading a
+// stale entry; "invalidation" is structural, not timed. Entries record
+// positions of a stream consumed from index 0, which is how every solver
+// run starts (standalone engines are fresh; serving cursors start at 0),
+// and callers must only consult the cache in that situation.
+//
+// Not thread-safe; the serving layer serializes access per GraphContext.
+#ifndef TIMPP_ENGINE_PHASE_CACHE_H_
+#define TIMPP_ENGINE_PHASE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "diffusion/triggering.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// Inputs that fully determine TIM/TIM+'s parameter-estimation output
+/// (Algorithm 2, plus Algorithm 3 when use_refinement). Doubles are keyed
+/// by bit pattern: the phase is a function of the exact value.
+struct KptPhaseKey {
+  DiffusionModel model = DiffusionModel::kIC;
+  SamplerMode sampler_mode = SamplerMode::kAuto;
+  uint32_t max_hops = 0;
+  uint64_t seed = 0;
+  const TriggeringModel* custom_model = nullptr;
+  int k = 0;
+  bool use_refinement = false;
+  uint64_t ell_bits = 0;        // ℓ after any adjustment (bit pattern)
+  uint64_t eps_prime_bits = 0;  // resolved ε′ (0.0 bits for plain TIM)
+
+  auto operator<=>(const KptPhaseKey&) const = default;
+};
+
+/// Everything Algorithm 2(+3) produced, plus where it left the stream.
+struct KptPhaseEntry {
+  double kpt_star = 0.0;
+  double kpt_plus = 0.0;       // == kpt_star for plain TIM
+  uint64_t theta_prime = 0;    // Algorithm 3's fresh-sample count (0: TIM)
+  uint64_t rr_sets_kpt = 0;    // Algorithm 2's total RR sets
+  uint64_t edges_kpt = 0;      // edges examined by Algorithm 2
+  uint64_t edges_refine = 0;   // edges examined by Algorithm 3
+  uint64_t end_index = 0;      // stream position after the phase(s)
+};
+
+/// Inputs that fully determine IMM's sampling-phase output (the LB binary
+/// search over progressive θ_i batches).
+struct LbPhaseKey {
+  DiffusionModel model = DiffusionModel::kIC;
+  SamplerMode sampler_mode = SamplerMode::kAuto;
+  uint32_t max_hops = 0;
+  uint64_t seed = 0;
+  const TriggeringModel* custom_model = nullptr;
+  int k = 0;
+  uint64_t epsilon_bits = 0;
+  uint64_t ell_bits = 0;  // ℓ after any adjustment (bit pattern)
+
+  auto operator<=>(const LbPhaseKey&) const = default;
+};
+
+/// IMM's sampling-phase output, plus where it left the stream.
+struct LbPhaseEntry {
+  double lb = 0.0;
+  int sampling_iterations = 0;
+  uint64_t rr_sets_sampling = 0;  // θ of the final iteration
+  uint64_t end_index = 0;         // stream position after the phase
+};
+
+/// Exact-key memo of phase results. Lookups count hits/misses so serving
+/// layers can report per-request cache behaviour.
+class PhaseCache {
+ public:
+  /// Returns the entry for `key`, or nullptr on a miss. The pointer stays
+  /// valid until Clear() (node-based map).
+  const KptPhaseEntry* FindKpt(const KptPhaseKey& key);
+  const LbPhaseEntry* FindLb(const LbPhaseKey& key);
+
+  void StoreKpt(const KptPhaseKey& key, const KptPhaseEntry& entry);
+  void StoreLb(const LbPhaseKey& key, const LbPhaseEntry& entry);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return kpt_.size() + lb_.size(); }
+  void Clear();
+
+ private:
+  std::map<KptPhaseKey, KptPhaseEntry> kpt_;
+  std::map<LbPhaseKey, LbPhaseEntry> lb_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Bit pattern of a double, for exact-value keying.
+uint64_t DoubleBits(double value);
+
+}  // namespace timpp
+
+#endif  // TIMPP_ENGINE_PHASE_CACHE_H_

@@ -1,6 +1,7 @@
 #include "engine/sampling_engine.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace timpp {
 
@@ -18,6 +19,12 @@ constexpr uint64_t kSetsPerCostBatch = 256;
 // transient shard buffers stay a rounding error next to any realistic
 // memory budget (only one chunk of sets is resident at a time).
 constexpr uint64_t kSetsPerVisitBatch = 1024;
+// Work-claim granularity of a parallel fill: workers pull chunks of this
+// many consecutive indices off an atomic counter. Small enough that one
+// giant RR set (heavy-tailed graphs) strands at most 63 neighbours on the
+// same worker, large enough that the claim and per-chunk merge overheads
+// stay invisible next to the traversals.
+constexpr uint64_t kFillChunkSets = 64;
 
 }  // namespace
 
@@ -75,24 +82,51 @@ void SamplingEngine::FillShards(uint64_t base, uint64_t count,
     shard->sets.Clear();
     shard->edges.clear();
     shard->indices.clear();
+    shard->chunks.clear();
   }
+  chunk_refs_.clear();
   const unsigned nw = static_cast<unsigned>(shards_.size());
   if (nw == 1 || count < 2 * nw) {
     SampleRange(0, base, base + count, filter);
+    chunk_refs_.push_back({0, 0, shards_[0]->sets.num_sets()});
     return;
   }
-  // Contiguous index split: worker w samples [base + w·q + min(w, r), …),
-  // so concatenating shards 0..nw-1 reproduces index order exactly.
-  const uint64_t q = count / nw;
-  const uint64_t r = count % nw;
+  // Dynamic split: workers claim fixed-size index chunks off an atomic
+  // counter, so a worker that lands a run of heavy RR sets simply claims
+  // fewer chunks instead of stalling the batch (the old contiguous split
+  // load-imbalanced on heavy-tailed set sizes). Content stays
+  // thread-count invariant because a chunk's sets depend only on its
+  // indices, and the merge below reassembles chunks in index order.
+  const uint64_t num_chunks = (count + kFillChunkSets - 1) / kFillChunkSets;
+  std::atomic<uint64_t> next_chunk{0};
   pool_->ParallelRun(nw, [&](unsigned w) {
-    const uint64_t begin = base + w * q + std::min<uint64_t>(w, r);
-    const uint64_t end = begin + q + (w < r ? 1 : 0);
-    SampleRange(w, begin, end, filter);
+    Shard& shard = *shards_[w];
+    uint64_t c;
+    while ((c = next_chunk.fetch_add(1, std::memory_order_relaxed)) <
+           num_chunks) {
+      const uint64_t begin = base + c * kFillChunkSets;
+      const uint64_t end = std::min(base + count, begin + kFillChunkSets);
+      shard.chunks.emplace_back(c, shard.sets.num_sets());
+      SampleRange(w, begin, end, filter);
+    }
   });
+  // Chunk table: ordered by global chunk id == index order, whoever
+  // produced each chunk.
+  chunk_refs_.resize(num_chunks);
+  for (unsigned w = 0; w < nw; ++w) {
+    const Shard& shard = *shards_[w];
+    for (size_t i = 0; i < shard.chunks.size(); ++i) {
+      const size_t set_end = i + 1 < shard.chunks.size()
+                                 ? shard.chunks[i + 1].second
+                                 : shard.sets.num_sets();
+      chunk_refs_[shard.chunks[i].first] = {w, shard.chunks[i].second,
+                                            set_end};
+    }
+  }
 }
 
-SampleBatch SamplingEngine::SampleInto(RRCollection* out, uint64_t count) {
+SampleBatch SamplingEngine::SampleInto(RRCollection* out, uint64_t count,
+                                       std::vector<uint64_t>* per_set_edges) {
   SampleBatch total;
   uint64_t remaining = count;
   while (remaining > 0) {
@@ -116,6 +150,9 @@ SampleBatch SamplingEngine::SampleInto(RRCollection* out, uint64_t count) {
         out->Add(shard.scratch, info.width);
         total.edges_examined += info.edges_examined;
         total.traversal_cost += info.edges_examined + shard.scratch.size();
+        if (per_set_edges != nullptr) {
+          per_set_edges->push_back(info.edges_examined);
+        }
       }
     } else {
       FillShards(next_index_, batch);
@@ -123,13 +160,19 @@ SampleBatch SamplingEngine::SampleInto(RRCollection* out, uint64_t count) {
       for (const auto& shard : shards_) batch_nodes += shard->sets.total_nodes();
       out->Reserve(batch, batch_nodes);
       uint64_t batch_edges = 0;
-      for (const auto& shard : shards_) {
-        out->AppendShard(shard->sets);
-        for (uint64_t e : shard->edges) batch_edges += e;
-        total.traversal_cost += shard->sets.total_nodes();
+      for (const ChunkRef& ref : chunk_refs_) {
+        const Shard& shard = *shards_[ref.worker];
+        out->AppendRange(shard.sets, ref.set_begin,
+                         ref.set_end - ref.set_begin);
+        for (size_t j = ref.set_begin; j < ref.set_end; ++j) {
+          batch_edges += shard.edges[j];
+          if (per_set_edges != nullptr) {
+            per_set_edges->push_back(shard.edges[j]);
+          }
+        }
       }
       total.edges_examined += batch_edges;
-      total.traversal_cost += batch_edges;
+      total.traversal_cost += batch_edges + batch_nodes;
     }
     total.sets_added += batch;
     next_index_ += batch;
@@ -142,50 +185,44 @@ SampleBatch SamplingEngine::SampleUntilCost(RRCollection* out,
                                             double cost_threshold,
                                             uint64_t max_sets) {
   SampleBatch total;
+  CostAdmission rule;
+  rule.cost_threshold = cost_threshold;
+  rule.max_sets = max_sets;
   bool stop = false;
   while (!stop) {
-    if (static_cast<double>(total.traversal_cost) >= cost_threshold) break;
+    if (!rule.WantsMore()) break;
     if (out->OverMemoryBudget()) {
       total.hit_memory_budget = true;
       break;
     }
     uint64_t batch = kSetsPerCostBatch;
-    if (max_sets != 0) {
-      if (total.sets_added >= max_sets) {
-        total.hit_set_cap = true;
-        break;
-      }
-      batch = std::min(batch, max_sets - total.sets_added);
-    }
+    if (max_sets != 0) batch = std::min(batch, max_sets - rule.sets_admitted);
     FillShards(next_index_, batch);
-    // Append in index order while the running cost is below the threshold;
-    // the set that crosses it is kept, the rest of the batch is discarded
-    // and its indices rewound (a later batch would regenerate them
-    // identically, so the stop point is batch-size independent).
+    // Append in index order while the admission rule allows it; the set
+    // that crosses the threshold is kept, the rest of the batch is
+    // discarded and its indices rewound (a later batch would regenerate
+    // them identically, so the stop point is batch-size independent).
     uint64_t kept = 0;
-    for (const auto& shard : shards_) {
-      const size_t shard_sets = shard->sets.num_sets();
-      for (size_t j = 0; j < shard_sets && !stop; ++j) {
-        if (static_cast<double>(total.traversal_cost) >= cost_threshold) {
+    for (const ChunkRef& ref : chunk_refs_) {
+      const Shard& shard = *shards_[ref.worker];
+      for (size_t j = ref.set_begin; j < ref.set_end && !stop; ++j) {
+        if (!rule.WantsMore()) {
           stop = true;
           break;
         }
-        if (max_sets != 0 && total.sets_added >= max_sets) {
-          total.hit_set_cap = true;
-          stop = true;
-          break;
-        }
-        const auto set = shard->sets.Set(static_cast<RRSetId>(j));
-        out->Add(set, shard->sets.Width(static_cast<RRSetId>(j)));
-        total.edges_examined += shard->edges[j];
-        total.traversal_cost += shard->edges[j] + set.size();
-        ++total.sets_added;
+        const auto set = shard.sets.Set(static_cast<RRSetId>(j));
+        out->Add(set, shard.sets.Width(static_cast<RRSetId>(j)));
+        total.edges_examined += shard.edges[j];
+        rule.Admit(shard.edges[j] + set.size());
         ++kept;
       }
       if (stop) break;
     }
     next_index_ += kept;
   }
+  total.sets_added = rule.sets_admitted;
+  total.traversal_cost = rule.traversal_cost;
+  total.hit_set_cap = rule.hit_set_cap;
   return total;
 }
 
@@ -197,19 +234,20 @@ SampleBatch SamplingEngine::VisitSamples(uint64_t first, uint64_t count,
   for (uint64_t done = 0; done < count;) {
     const uint64_t chunk = std::min(count - done, kSetsPerVisitBatch);
     FillShards(first + done, chunk, filter_ptr);
-    // Worker order == index order, so the visitor sees the filtered index
-    // sequence exactly as a sequential loop would produce it. Without a
-    // filter the sequence is contiguous and indices are reconstructed
-    // positionally (shards record them only for filtered fills).
+    // Chunk-table order == index order, so the visitor sees the filtered
+    // index sequence exactly as a sequential loop would produce it.
+    // Without a filter the sequence is contiguous and indices are
+    // reconstructed positionally (shards record them only for filtered
+    // fills).
     uint64_t running = first + done;
-    for (const auto& shard : shards_) {
-      const size_t shard_sets = shard->sets.num_sets();
-      for (size_t j = 0; j < shard_sets; ++j) {
-        const auto set = shard->sets.Set(static_cast<RRSetId>(j));
-        visit(filter_ptr != nullptr ? shard->indices[j] : running++, set);
+    for (const ChunkRef& ref : chunk_refs_) {
+      const Shard& shard = *shards_[ref.worker];
+      for (size_t j = ref.set_begin; j < ref.set_end; ++j) {
+        const auto set = shard.sets.Set(static_cast<RRSetId>(j));
+        visit(filter_ptr != nullptr ? shard.indices[j] : running++, set);
         ++total.sets_added;
-        total.edges_examined += shard->edges[j];
-        total.traversal_cost += shard->edges[j] + set.size();
+        total.edges_examined += shard.edges[j];
+        total.traversal_cost += shard.edges[j] + set.size();
       }
     }
     done += chunk;

@@ -11,11 +11,14 @@
 // Determinism contract (bit-reproducibility independent of thread count):
 // the engine numbers RR sets with a monotone global index and derives set
 // i's RNG stream from (config.seed, i) alone, so a set's content does not
-// depend on which worker produced it. Workers sample contiguous index
-// ranges into private shard collections, and shards are merged in worker
-// order — which equals index order — via RRCollection::AppendShard. The
-// resulting collection is therefore byte-identical for every value of
-// config.num_threads, including 1, and identical to a sequential run.
+// depend on which worker produced it. Workers dynamically claim fixed-size
+// index chunks off an atomic counter (load balancing for heavy-tailed
+// RR-set sizes), sample them into private shard collections, and the
+// engine merges the chunks back in global chunk order via
+// RRCollection::AppendRange. The resulting collection is therefore
+// byte-identical for every value of config.num_threads, including 1, and
+// identical to a sequential run — whichever worker happened to claim a
+// chunk, its content and its merge position depend only on its indices.
 // Batch boundaries (kSetsPerBatch / kSetsPerCostBatch) are fixed constants
 // so early-stop checks (memory budget, cost threshold) fire at the same
 // set index regardless of parallelism.
@@ -63,6 +66,39 @@ struct SamplingConfig {
   uint64_t seed = 0x7145ULL;
 };
 
+/// Borgs et al.'s cost-threshold admission rule — the ONE definition of
+/// "sample until the cumulative traversal cost reaches τ" shared by every
+/// path that must stop at the same set: the engine's SampleUntilCost, the
+/// serving cache's cost read, and RIS's budget continuation. Sets are
+/// admitted while the running cost is below the threshold (the crossing
+/// set is kept), subject to an optional set cap; keeping the check order
+/// in one place is what keeps those paths bit-identical.
+struct CostAdmission {
+  double cost_threshold = 0.0;
+  uint64_t max_sets = 0;  // 0 = uncapped
+  uint64_t traversal_cost = 0;
+  uint64_t sets_admitted = 0;
+  bool hit_set_cap = false;
+
+  /// Whether the rule admits another set. Latches hit_set_cap when the
+  /// cap (not the threshold) is what stops it.
+  bool WantsMore() {
+    if (static_cast<double>(traversal_cost) >= cost_threshold) return false;
+    if (max_sets != 0 && sets_admitted >= max_sets) {
+      hit_set_cap = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Accounts one admitted set of traversal cost `set_cost` (edges
+  /// examined + nodes appended).
+  void Admit(uint64_t set_cost) {
+    traversal_cost += set_cost;
+    ++sets_admitted;
+  }
+};
+
 /// Accounting for one batch call.
 struct SampleBatch {
   /// RR sets appended to the output collection.
@@ -76,6 +112,9 @@ struct SampleBatch {
   /// Sampling stopped early because the output collection went over its
   /// memory budget (RRCollection::set_memory_budget).
   bool hit_memory_budget = false;
+  /// Of `sets_added`, how many were served from a shared prefix cache
+  /// instead of freshly sampled (serving layer; engine paths leave 0).
+  uint64_t sets_reused = 0;
 };
 
 /// Parallel RR-set generator bound to one graph and one SamplingConfig.
@@ -101,7 +140,12 @@ class SamplingEngine {
   /// Appends `count` fresh random RR sets to `*out`. Stops early only if
   /// `out` goes over its memory budget (checked at fixed batch
   /// boundaries). Returns accounting for the appended sets.
-  SampleBatch SampleInto(RRCollection* out, uint64_t count);
+  /// `per_set_edges` (optional) receives each appended set's
+  /// edges_examined in set order — consumers that replay subranges later
+  /// (the serving layer's shared prefix cache) need the per-set split the
+  /// aggregate SampleBatch cannot give back.
+  SampleBatch SampleInto(RRCollection* out, uint64_t count,
+                         std::vector<uint64_t>* per_set_edges = nullptr);
 
   /// Appends fresh random RR sets to `*out` until their cumulative
   /// traversal cost (edges examined + nodes appended, Borgs et al.'s unit)
@@ -159,7 +203,20 @@ class SamplingEngine {
     std::vector<uint64_t> indices;  // per-set global index; filtered fills
                                     // only (contiguous fills reconstruct
                                     // indices positionally)
+    // Chunks this worker claimed during the current fill, in claim order:
+    // (global chunk id, first set the chunk produced into this shard).
+    std::vector<std::pair<uint64_t, size_t>> chunks;
     std::vector<NodeId> scratch;
+  };
+
+  /// One fill chunk's location after the fact: which worker produced it
+  /// and which of that worker's shard sets belong to it. chunk_refs_ is
+  /// ordered by global chunk id, so walking it walks the batch in global
+  /// index order regardless of which worker claimed which chunk.
+  struct ChunkRef {
+    unsigned worker = 0;
+    size_t set_begin = 0;
+    size_t set_end = 0;
   };
 
   /// Samples global indices [begin, end) into shard `w`'s buffers,
@@ -167,8 +224,12 @@ class SamplingEngine {
   void SampleRange(unsigned w, uint64_t begin, uint64_t end,
                    const SampleFilter* filter);
   /// Runs one parallel batch of `count` sets starting at global index
-  /// `base`, filling the shards (cleared first). Does not advance
-  /// next_index_.
+  /// `base`, filling the shards (cleared first) and rebuilding
+  /// chunk_refs_. Workers claim fixed-size index chunks off an atomic
+  /// counter (dynamic splitting: heavy-tailed RR-set sizes no longer
+  /// leave early-finishing workers idle the way a fixed contiguous split
+  /// did), and the chunk table restores global index order for the merge.
+  /// Does not advance next_index_.
   void FillShards(uint64_t base, uint64_t count,
                   const SampleFilter* filter = nullptr);
   /// RNG stream of global set index `i`: depends on (config_.seed, i) only.
@@ -177,6 +238,7 @@ class SamplingEngine {
   const Graph& graph_;
   SamplingConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<ChunkRef> chunk_refs_;  // rebuilt by every FillShards
   std::unique_ptr<ThreadPool> pool_;  // nullptr when num_threads <= 1
   uint64_t next_index_ = 0;
 };

@@ -1,0 +1,35 @@
+// SolveContext — externally owned state a solver run may consume instead
+// of building its own.
+//
+// A context-free run (both members null, the default) is the classic
+// standalone execution: the solver constructs a private SamplingEngine
+// and recomputes every estimation phase. A serving layer populates the
+// context with a shared SampleSource (a cursor over a cross-request RR
+// collection, see serving/graph_context.h) and a PhaseCache, and the
+// solver then consumes the shared stream from index 0 and skips phases
+// the cache already holds — returning bit-identical results to the
+// standalone run, with less sampling.
+//
+// The source's sampling configuration (model, sampler mode, seed, hop
+// bound, root distribution) must match what the solver would have
+// configured standalone; the serving layer derives both from the same
+// request, and solvers reject a context whose graph differs from theirs.
+#ifndef TIMPP_ENGINE_SOLVE_CONTEXT_H_
+#define TIMPP_ENGINE_SOLVE_CONTEXT_H_
+
+namespace timpp {
+
+class SampleSource;
+class PhaseCache;
+
+/// Borrowed pointers; both optional and both must outlive the run.
+struct SolveContext {
+  /// Shared sample stream to consume (nullptr → private engine).
+  SampleSource* source = nullptr;
+  /// Memoized estimation-phase results (nullptr → compute fresh).
+  PhaseCache* phase_cache = nullptr;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_ENGINE_SOLVE_CONTEXT_H_

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "diffusion/triggering.h"
+#include "engine/solve_context.h"
 #include "graph/graph.h"
 #include "util/status.h"
 #include "util/types.h"
@@ -48,11 +49,11 @@ struct SolverOptions {
   /// Master RNG seed for randomized algorithms.
   uint64_t seed = 0x7145ULL;
   /// Soft cap (bytes; 0 = unlimited) on resident RR-collection DataBytes
-  /// for RR-set algorithms. TIM/TIM+/IMM degrade gracefully past it
-  /// (streaming sample-and-discard selection: same seeds, bounded memory,
-  /// extra sampling passes — see coverage/streaming_cover.h); RIS stops
-  /// sampling and flags its result truncated. Solvers without RR
-  /// collections ignore it.
+  /// for RR-set algorithms. TIM/TIM+/IMM/RIS all degrade gracefully past
+  /// it (streaming sample-and-discard selection over a retained stream
+  /// prefix: same seeds, bounded memory, extra sampling passes — see
+  /// coverage/streaming_cover.h). Solvers without RR collections ignore
+  /// it.
   size_t memory_budget_bytes = 0;
 
   // ---- family-specific knobs ----------------------------------------
@@ -108,6 +109,24 @@ class InfluenceSolver {
   /// Validates `options` and runs the algorithm. `*result` is only
   /// meaningful when the returned status is OK.
   virtual Status Run(const SolverOptions& options, SolverResult* result) = 0;
+
+  /// Context-aware entry point for serving layers: `context` may carry an
+  /// externally owned sample stream and memoized phase results (see
+  /// engine/solve_context.h), which RR-set solvers consume for
+  /// cross-request reuse with bit-identical output. The default
+  /// implementation ignores the context — algorithms without RR-set
+  /// phases behave identically either way.
+  virtual Status RunWithContext(const SolverOptions& options,
+                                const SolveContext& context,
+                                SolverResult* result) {
+    (void)context;
+    return Run(options, result);
+  }
+
+  /// Whether RunWithContext actually exploits a SolveContext (the RR-set
+  /// family). Serving layers use this to skip building shared stream
+  /// state for solvers that would ignore it.
+  virtual bool UsesSolveContext() const { return false; }
 };
 
 }  // namespace timpp

@@ -25,6 +25,27 @@ void RRCollection::AppendShard(const RRCollection& shard) {
   index_built_ = false;
 }
 
+void RRCollection::AppendRange(const RRCollection& src, size_t first,
+                               size_t count) {
+  first = std::min(first, src.num_sets());
+  count = std::min(count, src.num_sets() - first);
+  if (count == 0) return;
+  const size_t base = nodes_.size();
+  const EdgeIndex src_base = src.offsets_[first];
+  nodes_.insert(nodes_.end(), src.nodes_.begin() + src.offsets_[first],
+                src.nodes_.begin() + src.offsets_[first + count]);
+  offsets_.reserve(offsets_.size() + count);
+  for (size_t i = first + 1; i <= first + count; ++i) {
+    offsets_.push_back(base + (src.offsets_[i] - src_base));
+  }
+  widths_.insert(widths_.end(), src.widths_.begin() + first,
+                 src.widths_.begin() + first + count);
+  for (size_t i = first; i < first + count; ++i) {
+    total_width_ += src.widths_[i];
+  }
+  index_built_ = false;
+}
+
 void RRCollection::Reserve(size_t sets, size_t nodes) {
   offsets_.reserve(offsets_.size() + sets);
   widths_.reserve(widths_.size() + sets);

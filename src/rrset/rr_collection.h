@@ -36,6 +36,13 @@ class RRCollection {
   /// instead of per-set Add calls. Invalidates the index.
   void AppendShard(const RRCollection& shard);
 
+  /// Bulk-appends sets [first, first + count) of `src` in order — the
+  /// range-copy primitive behind the engine's chunk-ordered shard merge
+  /// and the serving layer's shared-prefix reuse (a request's slice of a
+  /// shared collection is byte-identical to sampling it fresh). Ranges
+  /// past src.num_sets() are clamped. Invalidates the index.
+  void AppendRange(const RRCollection& src, size_t first, size_t count);
+
   /// Pre-sizes the backing arrays (offsets/widths for `sets` more sets,
   /// nodes for `nodes` more members).
   void Reserve(size_t sets, size_t nodes);
@@ -56,6 +63,11 @@ class RRCollection {
 
   /// Width w(R) of set `id`.
   uint64_t Width(RRSetId id) const { return widths_[id]; }
+
+  /// Start offset of set `id` into the flat node array; `id` may equal
+  /// num_sets() (the end offset), so a range's node count is
+  /// Offset(b) - Offset(a).
+  EdgeIndex Offset(size_t id) const { return offsets_[id]; }
 
   /// Sum of widths over all sets.
   uint64_t TotalWidth() const { return total_width_; }

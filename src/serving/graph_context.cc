@@ -1,0 +1,63 @@
+#include "serving/graph_context.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace timpp {
+
+GraphContext::GraphContext(Graph graph, unsigned num_threads)
+    : graph_(std::move(graph)), num_threads_(std::max(1u, num_threads)) {}
+
+SharedRRCache& GraphContext::CacheFor(const StreamKey& key) {
+  auto it = caches_.find(key);
+  if (it == caches_.end()) {
+    SamplingConfig config;
+    config.model = key.model;
+    config.custom_model = key.custom_model;
+    config.max_hops = key.max_hops;
+    config.sampler_mode = key.sampler_mode;
+    config.num_threads = num_threads_;
+    config.seed = key.seed;
+    it = caches_
+             .emplace(key, std::make_unique<SharedRRCache>(graph_, config))
+             .first;
+  }
+  return *it->second;
+}
+
+size_t GraphContext::SharedMemoryBytes() const {
+  size_t total = 0;
+  for (const auto& [key, cache] : caches_) total += cache->MemoryBytes();
+  return total;
+}
+
+uint64_t GraphContext::TotalSetsSampled() const {
+  uint64_t total = 0;
+  for (const auto& [key, cache] : caches_) {
+    total += cache->total_sets_sampled();
+  }
+  return total;
+}
+
+uint64_t GraphContext::TotalSetsServed() const {
+  uint64_t total = 0;
+  for (const auto& [key, cache] : caches_) {
+    total += cache->total_sets_served();
+  }
+  return total;
+}
+
+uint64_t GraphContext::TotalSetsReused() const {
+  uint64_t total = 0;
+  for (const auto& [key, cache] : caches_) {
+    total += cache->total_sets_reused();
+  }
+  return total;
+}
+
+void GraphContext::ReleaseCaches() {
+  caches_.clear();
+  phase_cache_.Clear();
+}
+
+}  // namespace timpp

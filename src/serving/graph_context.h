@@ -1,0 +1,99 @@
+// GraphContext — everything a serving layer keeps alive per graph so that
+// requests against it amortize each other's work.
+//
+// A context owns the Graph, one SharedRRCache per sampling configuration
+// ever requested (model × sampler mode × seed × hop bound: different
+// configurations are different RR streams and share nothing), and a
+// PhaseCache memoizing TIM's KPT estimation and IMM's LB search. Per the
+// engine's per-index RNG contract, a request that needs the stream prefix
+// [0, θ′) consumes exactly the bytes it would have generated standalone —
+// so batch results are bit-identical to standalone runs while the
+// sampling cost of a prefix is paid once per context, not once per
+// request.
+//
+// Contexts serialize requests through their mutex (the ServingEngine does
+// the locking); parallelism comes from the sampling engine's worker pool
+// inside each request, which keeps results independent of both the thread
+// count and the request arrival order — the cache is a monotone stream
+// prefix, so any request order materializes the same bytes.
+#ifndef TIMPP_SERVING_GRAPH_CONTEXT_H_
+#define TIMPP_SERVING_GRAPH_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "diffusion/triggering.h"
+#include "engine/phase_cache.h"
+#include "graph/graph.h"
+#include "serving/rr_cache.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// The sampling configuration facets that select a distinct RR stream.
+/// num_threads is deliberately absent: content is thread-count invariant,
+/// so one cache serves any parallelism setting.
+struct StreamKey {
+  DiffusionModel model = DiffusionModel::kIC;
+  SamplerMode sampler_mode = SamplerMode::kAuto;
+  uint32_t max_hops = 0;
+  uint64_t seed = 0;
+  /// Borrowed AND retained: a cache created under this key holds the
+  /// pointer for the context's lifetime, so it must outlive the context.
+  /// The ServingEngine never populates it (triggering requests run
+  /// standalone); only native callers building their own contexts may,
+  /// and they own the lifetime.
+  const TriggeringModel* custom_model = nullptr;
+
+  auto operator<=>(const StreamKey&) const = default;
+};
+
+/// Per-graph serving state. Not copyable; owned by a ServingEngine (or a
+/// test) and used by one request at a time under mu().
+class GraphContext {
+ public:
+  /// Takes ownership of `graph`. `num_threads` is the sampling
+  /// parallelism every cache engine of this context is built with.
+  explicit GraphContext(Graph graph, unsigned num_threads = 1);
+
+  GraphContext(const GraphContext&) = delete;
+  GraphContext& operator=(const GraphContext&) = delete;
+
+  const Graph& graph() const { return graph_; }
+  unsigned num_threads() const { return num_threads_; }
+
+  /// The shared stream cache for `key`, created on first use.
+  SharedRRCache& CacheFor(const StreamKey& key);
+
+  PhaseCache& phase_cache() { return phase_cache_; }
+  const PhaseCache& phase_cache() const { return phase_cache_; }
+
+  /// Serializes requests against this context.
+  std::mutex& mu() { return mu_; }
+
+  /// Accounting across every cache of the context (the README's "memory
+  /// accounting of shared collections").
+  size_t SharedMemoryBytes() const;
+  uint64_t TotalSetsSampled() const;
+  uint64_t TotalSetsServed() const;
+  uint64_t TotalSetsReused() const;
+  size_t NumStreams() const { return caches_.size(); }
+
+  /// Releases every shared collection and memoized phase (the graph
+  /// stays). The next request pays full standalone cost again — the
+  /// memory-pressure escape hatch.
+  void ReleaseCaches();
+
+ private:
+  Graph graph_;
+  unsigned num_threads_;
+  std::map<StreamKey, std::unique_ptr<SharedRRCache>> caches_;
+  PhaseCache phase_cache_;
+  std::mutex mu_;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_SERVING_GRAPH_CONTEXT_H_

@@ -1,0 +1,99 @@
+#include "serving/rr_cache.h"
+
+#include <algorithm>
+
+namespace timpp {
+
+namespace {
+
+// Growth granularity of the cost-threshold read: mirrors the engine's
+// kSetsPerCostBatch so the overshoot past the threshold (cached but not
+// yet served sets) matches what a standalone SampleUntilCost would have
+// sampled and rewound — overshoot here is not waste, the sets stay cached
+// for the next request.
+constexpr uint64_t kCostGrowBatch = 256;
+
+}  // namespace
+
+SharedRRCache::SharedRRCache(const Graph& graph, const SamplingConfig& config)
+    : engine_(graph, config), sets_(graph.num_nodes()) {}
+
+void SharedRRCache::EnsurePrefix(uint64_t count) {
+  if (count <= cached_sets()) return;
+  const uint64_t grow = count - cached_sets();
+  engine_.SampleInto(&sets_, grow, &edges_);
+  total_sets_sampled_ += grow;
+}
+
+SampleBatch SharedRRCache::Read(uint64_t first, uint64_t count,
+                                RRCollection* out) {
+  SampleBatch batch;
+  const uint64_t cached_before = cached_sets();
+  EnsurePrefix(first + count);
+  out->AppendRange(sets_, first, count);
+  for (uint64_t i = first; i < first + count; ++i) {
+    batch.edges_examined += edges_[i];
+  }
+  batch.sets_added = count;
+  batch.traversal_cost =
+      batch.edges_examined +
+      (sets_.Offset(first + count) - sets_.Offset(first));
+  batch.sets_reused =
+      first >= cached_before
+          ? 0
+          : std::min<uint64_t>(count, cached_before - first);
+  total_sets_served_ += batch.sets_added;
+  total_sets_reused_ += batch.sets_reused;
+  return batch;
+}
+
+SampleBatch SharedRRCache::ReadUntilCost(uint64_t first, double cost_threshold,
+                                         uint64_t max_sets,
+                                         RRCollection* out) {
+  SampleBatch batch;
+  CostAdmission rule;
+  rule.cost_threshold = cost_threshold;
+  rule.max_sets = max_sets;
+  const uint64_t cached_before = cached_sets();
+  uint64_t i = first;
+  while (rule.WantsMore()) {
+    if (i >= cached_sets()) EnsurePrefix(cached_sets() + kCostGrowBatch);
+    const auto set = sets_.Set(static_cast<RRSetId>(i));
+    out->Add(set, sets_.Width(static_cast<RRSetId>(i)));
+    batch.edges_examined += edges_[i];
+    rule.Admit(edges_[i] + set.size());
+    if (i < cached_before) ++batch.sets_reused;
+    ++i;
+  }
+  batch.sets_added = rule.sets_admitted;
+  batch.traversal_cost = rule.traversal_cost;
+  batch.hit_set_cap = rule.hit_set_cap;
+  total_sets_served_ += batch.sets_added;
+  total_sets_reused_ += batch.sets_reused;
+  return batch;
+}
+
+size_t SharedRRCache::MemoryBytes() const {
+  return sets_.MemoryBytes() + edges_.capacity() * sizeof(uint64_t);
+}
+
+SampleBatch CachedSampleSource::Fetch(RRCollection* out, uint64_t count) {
+  SampleBatch batch = cache_->Read(cursor_, count, out);
+  cursor_ += batch.sets_added;
+  sets_reused_ += batch.sets_reused;
+  sets_sampled_ += batch.sets_added - batch.sets_reused;
+  return batch;
+}
+
+SampleBatch CachedSampleSource::FetchUntilCost(RRCollection* out,
+                                               double cost_threshold,
+                                               uint64_t max_sets) {
+  SampleBatch batch =
+      cache_->ReadUntilCost(cursor_, cost_threshold, max_sets, out);
+  cursor_ += batch.sets_added;
+  sets_reused_ += batch.sets_reused;
+  sets_sampled_ += batch.sets_added - batch.sets_reused;
+  return batch;
+}
+
+}  // namespace timpp

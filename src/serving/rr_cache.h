@@ -1,0 +1,118 @@
+// SharedRRCache — one sampling stream's RR sets, cached across requests.
+//
+// The engine's determinism contract makes RR set i a pure function of
+// (seed, i): whichever request first needs index i materializes the same
+// bytes any other request would have. So a graph's serving context keeps
+// ONE collection per sampling configuration, grown monotonically to the
+// largest stream prefix any request has needed (this is the RR-sketch
+// observation of Borgs et al. — a single sample pool serves any k — plus
+// the QuickIM-style amortization across requests), and every request reads
+// its ranges out of it: a request needing θ′ ≤ θ consumes exactly the
+// prefix [0, θ′) it would have generated standalone.
+//
+// Per-set edge counts are stored alongside the sets so replayed ranges
+// report the same accounting (edges_examined, traversal_cost) as sampling
+// them fresh — request stats stay bit-comparable to standalone runs.
+//
+// Not thread-safe: the owning GraphContext serializes requests (sampling
+// parallelism lives inside the engine).
+#ifndef TIMPP_SERVING_RR_CACHE_H_
+#define TIMPP_SERVING_RR_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/sample_source.h"
+#include "engine/sampling_engine.h"
+#include "graph/graph.h"
+#include "rrset/rr_collection.h"
+
+namespace timpp {
+
+/// Monotone prefix cache of one engine's global index stream.
+class SharedRRCache {
+ public:
+  /// `graph` is borrowed and must outlive the cache. `config` fixes the
+  /// stream (model, sampler mode, seed, hop bound) and the sampling
+  /// parallelism; content is thread-count invariant per the engine
+  /// contract.
+  SharedRRCache(const Graph& graph, const SamplingConfig& config);
+
+  SharedRRCache(const SharedRRCache&) = delete;
+  SharedRRCache& operator=(const SharedRRCache&) = delete;
+
+  const Graph& graph() const { return engine_.graph(); }
+  SamplingEngine& engine() { return engine_; }
+
+  /// Sets currently cached (== the engine's stream position).
+  uint64_t cached_sets() const { return sets_.num_sets(); }
+
+  /// Grows the cache so indices [0, count) are resident. No-op when
+  /// already there.
+  void EnsurePrefix(uint64_t count);
+
+  /// Appends the stream's sets [first, first + count) to `*out`,
+  /// byte-identical to sampling them fresh, growing the cache as needed.
+  /// The returned accounting matches a fresh sample of the range;
+  /// sets_reused counts how many were already cached when the call began.
+  SampleBatch Read(uint64_t first, uint64_t count, RRCollection* out);
+
+  /// Cost-threshold read (Borgs et al.'s stopping rule, bit-equal to
+  /// SamplingEngine::SampleUntilCost run from stream position `first`):
+  /// appends sets from index `first` while the running traversal cost is
+  /// below `cost_threshold` (the crossing set is kept), capped at
+  /// `max_sets` appended sets (0 = none), growing the cache as it goes.
+  SampleBatch ReadUntilCost(uint64_t first, double cost_threshold,
+                            uint64_t max_sets, RRCollection* out);
+
+  /// Lifetime counters across every request served from this cache.
+  uint64_t total_sets_sampled() const { return total_sets_sampled_; }
+  uint64_t total_sets_served() const { return total_sets_served_; }
+  uint64_t total_sets_reused() const { return total_sets_reused_; }
+
+  /// Heap bytes of the shared collection plus the per-set edge counts
+  /// (allocator capacities included) — what a context reports as the
+  /// price of reuse.
+  size_t MemoryBytes() const;
+
+ private:
+  SamplingEngine engine_;
+  RRCollection sets_;                // stream prefix [0, cached_sets())
+  std::vector<uint64_t> edges_;      // per-set edges_examined
+  uint64_t total_sets_sampled_ = 0;  // engine work done on behalf of all
+  uint64_t total_sets_served_ = 0;   // sets handed to requests
+  uint64_t total_sets_reused_ = 0;   // of those, already cached
+};
+
+/// A request's cursor over a SharedRRCache: the SampleSource the serving
+/// layer hands to solvers. Starts at stream index 0 — exactly where a
+/// standalone run's private engine starts — and tracks per-request reuse.
+class CachedSampleSource final : public SampleSource {
+ public:
+  explicit CachedSampleSource(SharedRRCache* cache) : cache_(cache) {}
+
+  SamplingEngine& engine() override { return cache_->engine(); }
+  const Graph& graph() const override { return cache_->graph(); }
+  uint64_t position() const override { return cursor_; }
+  void Seek(uint64_t index) override {
+    cursor_ = std::max(cursor_, index);
+  }
+
+  SampleBatch Fetch(RRCollection* out, uint64_t count) override;
+  SampleBatch FetchUntilCost(RRCollection* out, double cost_threshold,
+                             uint64_t max_sets) override;
+
+  /// Reuse accounting for this request alone.
+  uint64_t sets_reused() const { return sets_reused_; }
+  uint64_t sets_sampled() const { return sets_sampled_; }
+
+ private:
+  SharedRRCache* cache_;
+  uint64_t cursor_ = 0;
+  uint64_t sets_reused_ = 0;
+  uint64_t sets_sampled_ = 0;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_SERVING_RR_CACHE_H_

@@ -1,0 +1,151 @@
+#include "serving/serving_engine.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "engine/solve_context.h"
+#include "engine/solver_registry.h"
+#include "util/thread_pool.h"
+
+namespace timpp {
+
+namespace {
+
+SolverOptions ToSolverOptions(const ImRequest& request,
+                              unsigned num_threads) {
+  SolverOptions options;
+  options.k = request.k;
+  options.epsilon = request.epsilon;
+  options.ell = request.ell;
+  options.model = request.model;
+  options.custom_model = request.custom_model;
+  options.sampler_mode = request.sampler_mode;
+  options.max_hops = request.max_hops;
+  options.seed = request.seed;
+  options.memory_budget_bytes = request.memory_budget_bytes;
+  options.mc_samples = request.mc_samples;
+  options.ris_tau_scale = request.ris_tau_scale;
+  options.ris_max_sets = request.ris_max_sets;
+  options.num_threads = num_threads;
+  return options;
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(const ServingOptions& options)
+    : options_(options) {
+  options_.num_threads = std::max(1u, options_.num_threads);
+}
+
+Status ServingEngine::RegisterGraph(const std::string& name, Graph graph) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (contexts_.count(name) != 0) {
+    return Status::InvalidArgument("graph already registered: " + name);
+  }
+  contexts_.emplace(name, std::make_unique<GraphContext>(
+                              std::move(graph), options_.num_threads));
+  return Status::OK();
+}
+
+GraphContext* ServingEngine::Context(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = contexts_.find(name);
+  return it == contexts_.end() ? nullptr : it->second.get();
+}
+
+ImResponse ServingEngine::Solve(const ImRequest& request) {
+  GraphContext* context = Context(request.graph);
+  if (context == nullptr) {
+    ImResponse response;
+    response.status =
+        Status::NotFound("no graph registered as '" + request.graph + "'");
+    return response;
+  }
+  std::lock_guard<std::mutex> lock(context->mu());
+  return SolveOnContext(*context, request);
+}
+
+ImResponse ServingEngine::SolveOnContext(GraphContext& context,
+                                         const ImRequest& request) {
+  ImResponse response;
+  std::unique_ptr<InfluenceSolver> solver;
+  response.status = SolverRegistry::Global().Create(request.algo,
+                                                    context.graph(), &solver);
+  if (!response.status.ok()) return response;
+
+  const SolverOptions options =
+      ToSolverOptions(request, options_.num_threads);
+
+  // The shared stream only helps RR-set solvers; a per-request memory
+  // budget contradicts a shared collection; and a caller-owned triggering
+  // model must not be retained past the request (the caches would keep
+  // its pointer alive context-lifetime — see ImRequest::custom_model).
+  // All three cases run the plain standalone path (still under the
+  // context lock so accounting stays coherent).
+  if (!solver->UsesSolveContext() || request.memory_budget_bytes != 0 ||
+      request.custom_model != nullptr) {
+    response.status = solver->Run(options, &response.result);
+    return response;
+  }
+
+  StreamKey key;
+  key.model = request.model;
+  key.sampler_mode = request.sampler_mode;
+  key.max_hops = request.max_hops;
+  key.seed = request.seed;
+  key.custom_model = request.custom_model;
+  SharedRRCache& cache = context.CacheFor(key);
+  CachedSampleSource source(&cache);
+  SolveContext solve_context;
+  solve_context.source = &source;
+  solve_context.phase_cache = &context.phase_cache();
+
+  const uint64_t hits_before = context.phase_cache().hits();
+  response.status =
+      solver->RunWithContext(options, solve_context, &response.result);
+  response.rr_sets_reused = source.sets_reused();
+  response.rr_sets_sampled = source.sets_sampled();
+  response.phase_cache_hit = context.phase_cache().hits() > hits_before;
+  return response;
+}
+
+std::vector<ImResponse> ServingEngine::SolveBatch(
+    std::span<const ImRequest> requests) {
+  std::vector<ImResponse> responses(requests.size());
+
+  // Group request indices by graph: groups are independent (disjoint
+  // contexts) and run concurrently; within a group the input order is
+  // kept, so reuse accounting and results are deterministic.
+  std::map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    groups[requests[i].graph].push_back(i);
+  }
+  std::vector<const std::vector<size_t>*> group_list;
+  group_list.reserve(groups.size());
+  for (const auto& [name, indices] : groups) group_list.push_back(&indices);
+
+  const auto solve_group = [&](const std::vector<size_t>& indices) {
+    for (size_t i : indices) responses[i] = Solve(requests[i]);
+  };
+  if (group_list.size() <= 1) {
+    for (const auto* indices : group_list) solve_group(*indices);
+  } else {
+    // Cap concurrent groups so groups × per-request sampling workers stays
+    // near the hardware, not groups × workers past it (a 50-graph batch at
+    // 8 sampling threads must not spawn ~400 active threads). ParallelRun
+    // queues the surplus groups; results are order-independent anyway.
+    const unsigned hardware =
+        std::max(1u, std::thread::hardware_concurrency());
+    const unsigned concurrent_groups = static_cast<unsigned>(std::min(
+        group_list.size(),
+        static_cast<size_t>(
+            std::max(1u, hardware / options_.num_threads))));
+    ThreadPool pool(concurrent_groups - 1);
+    pool.ParallelRun(static_cast<unsigned>(group_list.size()),
+                     [&](unsigned g) { solve_group(*group_list[g]); });
+  }
+  return responses;
+}
+
+}  // namespace timpp

@@ -1,0 +1,123 @@
+// ServingEngine — the request-serving layer on top of SolverRegistry.
+//
+// Register graphs once; submit (graph, algo, k, ε, …) requests — singly or
+// in batches — and get back the exact result a standalone solver run with
+// the same options would have produced, with the sampling and estimation
+// work shared across requests through each graph's GraphContext
+// (cross-request RR-sketch prefix reuse + KPT/LB memoization; see
+// serving/graph_context.h). Every response reports its reuse accounting,
+// so callers can see — and tests can assert — that a batch of N requests
+// sampled fewer RR sets than N standalone runs.
+//
+// Concurrency model: Solve is thread-safe; requests against the same
+// graph serialize on the context mutex (their parallelism comes from the
+// sampling engine's worker pool), while a SolveBatch spanning several
+// graphs runs the per-graph groups concurrently. Responses are
+// deterministic in the request options alone — independent of thread
+// count, batch grouping, and arrival order, because the shared caches are
+// monotone stream prefixes whose content depends only on indices.
+#ifndef TIMPP_SERVING_SERVING_ENGINE_H_
+#define TIMPP_SERVING_SERVING_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/solver.h"
+#include "graph/graph.h"
+#include "serving/graph_context.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace timpp {
+
+/// Engine-wide settings.
+struct ServingOptions {
+  /// Sampling worker threads inside each request (results are invariant
+  /// to this value; it is pure throughput).
+  unsigned num_threads = 1;
+};
+
+/// One influence-maximization request. Field semantics match
+/// SolverOptions; defaults are the library defaults.
+struct ImRequest {
+  /// Registered graph name.
+  std::string graph;
+  /// Registry solver name ("tim+", "imm", "ris", "celf", ...).
+  std::string algo = "tim+";
+  int k = 50;
+  double epsilon = 0.1;
+  double ell = 1.0;
+  DiffusionModel model = DiffusionModel::kIC;
+  /// Borrowed; must outlive the request (API users only — the CLI batch
+  /// format cannot express it). Triggering-model requests always run the
+  /// standalone path: the shared caches would otherwise retain this
+  /// pointer for the context's lifetime, dangling once the caller frees
+  /// the model.
+  const TriggeringModel* custom_model = nullptr;
+  SamplerMode sampler_mode = SamplerMode::kAuto;
+  uint32_t max_hops = 0;
+  uint64_t seed = 0x7145ULL;
+  /// Per-request resident-memory cap. A budgeted request runs standalone
+  /// (no shared-collection reuse): the budget contract is about THIS
+  /// request's resident bytes, which a shared collection would make
+  /// meaningless. Seeds still match the equivalent standalone run.
+  size_t memory_budget_bytes = 0;
+  /// Family-specific knobs (ignored by solvers outside the family).
+  uint64_t mc_samples = 10000;
+  double ris_tau_scale = 1.0;
+  uint64_t ris_max_sets = 0;
+};
+
+/// One request's outcome. `result` is meaningful only when status is OK.
+struct ImResponse {
+  Status status;
+  SolverResult result;
+  /// RR sets this request consumed that were already in the shared
+  /// collection (zero work), vs freshly sampled on its behalf (work paid
+  /// once, reusable by later requests). Standalone-path requests
+  /// (budgeted, or non-RR algorithms) report 0/0.
+  uint64_t rr_sets_reused = 0;
+  uint64_t rr_sets_sampled = 0;
+  /// An estimation phase (TIM's KPT, IMM's LB) was served from the
+  /// context's PhaseCache.
+  bool phase_cache_hit = false;
+};
+
+/// Thread-safe multi-graph request server.
+class ServingEngine {
+ public:
+  explicit ServingEngine(const ServingOptions& options = {});
+
+  /// Takes ownership of `graph` under `name`. InvalidArgument on
+  /// duplicate names.
+  Status RegisterGraph(const std::string& name, Graph graph);
+
+  /// The context registered under `name` (nullptr if unknown). Owned by
+  /// the engine; useful for accounting and cache management.
+  GraphContext* Context(const std::string& name);
+
+  /// Solves one request (blocking). Never throws; failures come back in
+  /// ImResponse::status.
+  ImResponse Solve(const ImRequest& request);
+
+  /// Solves a batch, returning responses in request order. Requests are
+  /// grouped by graph; groups run concurrently, requests within a group
+  /// sequentially (reuse makes later requests in a group cheaper).
+  std::vector<ImResponse> SolveBatch(std::span<const ImRequest> requests);
+
+ private:
+  ImResponse SolveOnContext(GraphContext& context, const ImRequest& request);
+
+  ServingOptions options_;
+  std::mutex mu_;  // guards contexts_ (map shape; contexts self-lock)
+  std::map<std::string, std::unique_ptr<GraphContext>> contexts_;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_SERVING_SERVING_ENGINE_H_

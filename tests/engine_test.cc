@@ -217,6 +217,70 @@ TEST(SamplingEngineTest, MemoryBudgetStopIsThreadCountInvariant) {
   }
 }
 
+TEST(SamplingEngineTest, PerSetEdgesMatchAggregateAcrossThreads) {
+  // The per-set edge counts (consumed by the serving layer's shared cache
+  // for replay-exact accounting) must sum to the aggregate and be
+  // identical however many workers chunked the fill.
+  Graph g = MakeTwoCommunities(0.35f);
+  std::vector<uint64_t> reference_edges;
+  RRCollection reference(g.num_nodes());
+  SamplingEngine sequential(g, IcSampling(42, 1));
+  const SampleBatch ref_batch =
+      sequential.SampleInto(&reference, 5000, &reference_edges);
+  ASSERT_EQ(reference_edges.size(), 5000u);
+  uint64_t sum = 0;
+  for (uint64_t e : reference_edges) sum += e;
+  EXPECT_EQ(sum, ref_batch.edges_examined);
+
+  for (unsigned threads : {2u, 8u}) {
+    std::vector<uint64_t> edges;
+    RRCollection rr(g.num_nodes());
+    SamplingEngine engine(g, IcSampling(42, threads));
+    engine.SampleInto(&rr, 5000, &edges);
+    EXPECT_EQ(reference_edges, edges) << "threads=" << threads;
+  }
+}
+
+TEST(SamplingEngineTest, ChunkedFillHandlesAwkwardCounts) {
+  // Counts around the chunk-claim granularity (1, chunk-1, chunk,
+  // chunk+1, several chunks + remainder) must all merge back in index
+  // order. Guards the dynamic work-splitting bookkeeping.
+  Graph g = MakeTwoCommunities(0.35f);
+  for (uint64_t count : {1u, 63u, 64u, 65u, 1000u}) {
+    RRCollection reference(g.num_nodes());
+    SamplingEngine sequential(g, IcSampling(17, 1));
+    sequential.SampleInto(&reference, count);
+
+    RRCollection rr(g.num_nodes());
+    SamplingEngine engine(g, IcSampling(17, 8));
+    engine.SampleInto(&rr, count);
+    ExpectSameCollections(reference, rr);
+  }
+}
+
+TEST(RRCollectionTest, AppendRangeMatchesPerSetAdd) {
+  Graph g = MakeTwoCommunities(0.35f);
+  RRCollection source(g.num_nodes());
+  SamplingEngine engine(g, IcSampling(23, 1));
+  engine.SampleInto(&source, 100);
+
+  RRCollection ranged(g.num_nodes());
+  ranged.AppendRange(source, 10, 40);
+  RRCollection manual(g.num_nodes());
+  for (size_t id = 10; id < 50; ++id) {
+    manual.Add(source.Set(static_cast<RRSetId>(id)),
+               source.Width(static_cast<RRSetId>(id)));
+  }
+  ExpectSameCollections(manual, ranged);
+
+  // Clamped past the end and empty ranges are no-ops past the data.
+  RRCollection clamped(g.num_nodes());
+  clamped.AppendRange(source, 95, 100);
+  EXPECT_EQ(clamped.num_sets(), 5u);
+  clamped.AppendRange(source, 500, 10);
+  EXPECT_EQ(clamped.num_sets(), 5u);
+}
+
 TEST(RRCollectionTest, AppendShardMatchesPerSetAdd) {
   Graph g = MakeTwoCommunities(0.35f);
   RRCollection shard(g.num_nodes());

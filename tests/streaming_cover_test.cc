@@ -400,25 +400,44 @@ TEST(StreamingCoverTest, ImmBudgetedMatchesUnbudgeted) {
   }
 }
 
-TEST(StreamingCoverTest, RisBudgetStopIsFlaggedTruncated) {
+TEST(StreamingCoverTest, BudgetedRisMatchesUnbudgetedBitwise) {
   // τ big enough that sampling spans several engine cost batches, so the
-  // tiny budget is guaranteed to fire at a batch boundary before τ.
+  // tiny budget is guaranteed to fire at a batch boundary before τ. The
+  // collection then freezes as a stream-prefix cache and RIS must finish
+  // the cost rule and the greedy over the full θ regardless — same seeds,
+  // same θ, same cost accounting as the unbudgeted run.
   Graph g = MakeWcPowerLaw(300, 5, 41);
   RisOptions options;
   options.epsilon = 0.5;
   options.tau_scale = 0.5;
   options.seed = 7;
 
-  std::vector<NodeId> seeds;
-  RisStats stats;
-  ASSERT_TRUE(RunRis(g, options, 3, &seeds, &stats).ok());
-  EXPECT_FALSE(stats.truncated);
+  std::vector<NodeId> unbudgeted_seeds;
+  RisStats unbudgeted;
+  ASSERT_TRUE(RunRis(g, options, 3, &unbudgeted_seeds, &unbudgeted).ok());
+  EXPECT_FALSE(unbudgeted.hit_memory_budget);
+  EXPECT_EQ(unbudgeted.regeneration_passes, 0u);
 
-  options.memory_budget_bytes = 2048;  // absurdly small: must stop early
-  ASSERT_TRUE(RunRis(g, options, 3, &seeds, &stats).ok());
-  EXPECT_TRUE(stats.hit_memory_budget);
-  EXPECT_TRUE(stats.truncated)
-      << "a budget stop short of tau must be reported as truncation";
+  options.memory_budget_bytes = 2048;  // absurdly small: must fire early
+  std::vector<NodeId> budgeted_seeds;
+  RisStats budgeted;
+  ASSERT_TRUE(RunRis(g, options, 3, &budgeted_seeds, &budgeted).ok());
+  EXPECT_TRUE(budgeted.hit_memory_budget);
+  EXPECT_EQ(budgeted_seeds, unbudgeted_seeds)
+      << "budgeted RIS must degrade to streaming selection, not truncate";
+  EXPECT_EQ(budgeted.rr_sets_generated, unbudgeted.rr_sets_generated);
+  EXPECT_EQ(budgeted.cost_examined, unbudgeted.cost_examined);
+  EXPECT_DOUBLE_EQ(budgeted.covered_fraction, unbudgeted.covered_fraction);
+  EXPECT_LT(budgeted.rr_sets_retained, budgeted.rr_sets_generated);
+  EXPECT_GE(budgeted.regeneration_passes, 1u);
+
+  // Thread-count invariance holds through the budgeted path too.
+  options.num_threads = 8;
+  std::vector<NodeId> parallel_seeds;
+  RisStats parallel;
+  ASSERT_TRUE(RunRis(g, options, 3, &parallel_seeds, &parallel).ok());
+  EXPECT_EQ(parallel_seeds, unbudgeted_seeds);
+  EXPECT_EQ(parallel.rr_sets_generated, unbudgeted.rr_sets_generated);
 }
 
 }  // namespace
