@@ -28,6 +28,18 @@
 //                     geometric skip sampling over constant-probability
 //                     arc runs (fast on wc/uniform graphs) vs one coin
 //                     per arc; auto picks per graph
+//   --backend=local   local | procs:N | procs:N:T — where RR sampling
+//                     runs: in-process threads, or N worker subprocesses
+//                     (T sampling threads each) coordinated over pipes.
+//                     Seeds/θ/LB are bit-identical across backends; the
+//                     workers reload the graph from this command's path +
+//                     weight settings and verify it by content hash
+//   --worker          serve the distributed sampling worker protocol on
+//                     stdin/stdout (what the procs backend spawns; not
+//                     for interactive use)
+//   --cache-budget=0  batch mode: byte cap on the shared RR collections
+//                     (LRU stream eviction; identical results, bounded
+//                     memory)
 //   --memory-budget=0 soft cap (bytes; 0 = unlimited) on resident
 //                     RR-collection bytes. tim/tim+/imm/ris all degrade
 //                     gracefully past it (streaming sample-and-discard
@@ -47,6 +59,8 @@
 //                     budget, mc, tau_scale, max_sets}; '#' starts a
 //                     comment. Unset keys inherit the CLI flags. Prints a
 //                     per-request line plus a reuse summary.
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -55,6 +69,8 @@
 #include <vector>
 
 #include "diffusion/spread_estimator.h"
+#include "distributed/graph_spec.h"
+#include "distributed/worker.h"
 #include "engine/solver_registry.h"
 #include "graph/graph_io.h"
 #include "graph/weight_models.h"
@@ -74,6 +90,42 @@ void PrintAlgos() {
     std::printf(" %s", name.c_str());
   }
   std::printf("\n");
+}
+
+/// Parses --backend=local | procs:N | procs:N:T (N worker processes, T
+/// sampling threads each).
+bool ParseBackendSpec(const std::string& name,
+                      timpp::SampleBackendSpec* spec) {
+  if (name == "local") {
+    spec->kind = timpp::SampleBackendKind::kLocalThreads;
+    return true;
+  }
+  if (name.rfind("procs", 0) != 0) return false;
+  spec->kind = timpp::SampleBackendKind::kProcessShards;
+  spec->num_workers = 1;
+  if (name.size() == 5) return true;
+  if (name[5] != ':') return false;
+  // Strict digit parse with a sane cap: stoul would happily wrap
+  // "procs:-1" to 4 billion workers — a fork bomb from a typo.
+  const auto parse_count = [](const std::string& field, unsigned* out) {
+    if (field.empty() || field.size() > 4) return false;
+    unsigned value = 0;
+    for (char c : field) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (value < 1 || value > 256) return false;
+    *out = value;
+    return true;
+  };
+  const std::string rest = name.substr(6);
+  const size_t colon = rest.find(':');
+  if (!parse_count(rest.substr(0, colon), &spec->num_workers)) return false;
+  if (colon != std::string::npos &&
+      !parse_count(rest.substr(colon + 1), &spec->worker_threads)) {
+    return false;
+  }
+  return true;
 }
 
 bool ParseSamplerMode(const std::string& name, timpp::SamplerMode* mode) {
@@ -160,7 +212,9 @@ bool ParseBatchLine(const std::string& line, int line_number,
 /// Batch mode: runs every request in `path` against the loaded graph via
 /// a ServingEngine and reports per-request results plus reuse totals.
 int RunBatch(const std::string& path, timpp::Graph graph,
-             const timpp::ImRequest& defaults, unsigned num_threads) {
+             const timpp::ImRequest& defaults,
+             const timpp::ServingOptions& serving_options) {
+  const unsigned num_threads = serving_options.num_threads;
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "error: cannot read batch file %s\n", path.c_str());
@@ -183,8 +237,6 @@ int RunBatch(const std::string& path, timpp::Graph graph,
     return 2;
   }
 
-  timpp::ServingOptions serving_options;
-  serving_options.num_threads = num_threads;
   timpp::ServingEngine serving(serving_options);
   timpp::Status status = serving.RegisterGraph("g", std::move(graph));
   if (!status.ok()) return Fail(status);
@@ -237,6 +289,12 @@ int RunBatch(const std::string& path, timpp::Graph graph,
 
 int main(int argc, char** argv) {
   timpp::Flags flags(argc, argv);
+  if (flags.GetBool("worker", false)) {
+    // Distributed-sampling worker mode: serve the coordinator protocol on
+    // stdin/stdout (see distributed/worker.h). ProcessShardBackend spawns
+    // either `im_worker` or `im_cli --worker` — same loop.
+    return timpp::RunSampleWorker(STDIN_FILENO, STDOUT_FILENO);
+  }
   if (flags.GetBool("list_algos", false)) {
     PrintAlgos();
     return 0;
@@ -302,6 +360,41 @@ int main(int argc, char** argv) {
   const unsigned num_threads =
       static_cast<unsigned>(flags.GetInt("threads", 1));
 
+  // ---- sample backend -----------------------------------------------
+  timpp::SampleBackendSpec backend_spec;
+  const std::string backend_name = flags.GetString("backend", "local");
+  if (!ParseBackendSpec(backend_name, &backend_spec)) {
+    std::fprintf(stderr,
+                 "unknown --backend=%s (local | procs:N | procs:N:T)\n",
+                 backend_name.c_str());
+    return 2;
+  }
+  if (backend_spec.kind == timpp::SampleBackendKind::kProcessShards) {
+    // Spawn this very binary as the worker (`im_cli --worker`): it is the
+    // one executable guaranteed to exist however the CLI was installed.
+    char self[4096];
+    const ssize_t len = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+    if (len > 0) {
+      self[len] = '\0';
+      backend_spec.worker_binary = self;
+    } else {
+      backend_spec.worker_binary = argv[0];
+    }
+    // Workers reload the graph from disk (path + weight model + seed)
+    // instead of receiving megabytes of serialized arcs through the
+    // pipe; Graph::ContentHash verifies the reload is bit-exact. Paths
+    // the spec grammar cannot express fall back to inline shipping.
+    timpp::GraphSpec graph_spec;
+    graph_spec.path = path;
+    graph_spec.undirected = io_options.undirected;
+    graph_spec.weights = weights;
+    graph_spec.weight_seed = seed;
+    std::string encoded;
+    if (timpp::EncodeGraphSpec(graph_spec, &encoded).ok()) {
+      backend_spec.graph_source = encoded;
+    }
+  }
+
   // ---- batch mode ---------------------------------------------------
   if (flags.Has("batch")) {
     timpp::ImRequest defaults;
@@ -317,8 +410,13 @@ int main(int argc, char** argv) {
     defaults.mc_samples = mc;
     defaults.ris_tau_scale = flags.GetDouble("ris_tau_scale", 0.1);
     defaults.ris_max_sets = flags.GetInt("ris_max_sets", 10000000);
+    timpp::ServingOptions serving_options;
+    serving_options.num_threads = num_threads;
+    serving_options.sample_backend = backend_spec;
+    serving_options.shared_cache_budget_bytes =
+        static_cast<size_t>(flags.GetInt("cache-budget", 0));
     return RunBatch(flags.GetString("batch", ""), std::move(graph), defaults,
-                    num_threads);
+                    serving_options);
   }
 
   // ---- solve --------------------------------------------------------
@@ -333,6 +431,7 @@ int main(int argc, char** argv) {
   timpp::SolverOptions options;
   options.k = static_cast<int>(flags.GetInt("k", 50));
   options.sampler_mode = sampler_mode;
+  options.sample_backend = backend_spec;
   options.epsilon = flags.GetDouble("eps", 0.1);
   options.ell = flags.GetDouble("ell", 1.0);
   options.model = model;

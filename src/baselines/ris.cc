@@ -73,6 +73,7 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
     sampling.sampler_mode = options.sampler_mode;
     sampling.num_threads = options.num_threads;
     sampling.seed = options.seed;
+    sampling.backend = options.sample_backend;
     local_engine.emplace(graph, sampling);
     local_source.emplace(*local_engine);
     source = &*local_source;
@@ -89,6 +90,10 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
   // keeps the implementation simple).
   const SampleBatch batch =
       source->FetchUntilCost(&rr, tau, options.max_rr_sets);
+  // A failed backend (worker process death) stops the cost loop short of
+  // τ with a latched engine error — fail rather than cover a truncated
+  // collection.
+  TIMPP_RETURN_NOT_OK(source->engine().status());
   local_stats.cost_examined = batch.traversal_cost;
   local_stats.rr_sets_generated = batch.sets_added;
   local_stats.hit_set_cap = batch.hit_set_cap;
@@ -119,6 +124,9 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
       scratch.Clear();
       scratch_edges.clear();
       engine.SampleInto(&scratch, kBudgetScanBatch, &scratch_edges);
+      // Without this check an engine stuck on a dead backend would return
+      // empty batches forever while the admission rule still wants more.
+      TIMPP_RETURN_NOT_OK(engine.status());
       for (size_t j = 0; j < scratch.num_sets(); ++j) {
         if (!rule.WantsMore()) {
           stop = true;
@@ -135,6 +143,7 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
 
     StreamingCoverResult streamed =
         StreamingGreedyMaxCover(engine, rr, first, rule.sets_admitted, k);
+    TIMPP_RETURN_NOT_OK(engine.status());
     local_stats.regeneration_passes = streamed.regeneration_passes;
     *seeds = std::move(streamed.cover.seeds);
     local_stats.covered_fraction = streamed.cover.covered_fraction;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "diffusion/triggering.h"
+#include "engine/sample_backend.h"
 #include "engine/solve_context.h"
 #include "graph/graph.h"
 #include "util/status.h"
@@ -51,6 +52,9 @@ struct RisOptions {
   /// so results are identical for any thread count.
   unsigned num_threads = 1;
   uint64_t seed = 0xb0265ULL;
+  /// Where sample production runs (engine/sample_backend.h); results are
+  /// backend-invariant.
+  SampleBackendSpec sample_backend;
 };
 
 /// Instrumentation of a RIS run.

@@ -126,6 +126,7 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
     if (options.node_weights != nullptr) {
       sampling.root_distribution = &root_dist;
     }
+    sampling.backend = options.sample_backend;
     local_engine.emplace(graph, sampling);
     local_source.emplace(*local_engine);
     source = &*local_source;
@@ -176,6 +177,9 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
       const uint64_t theta_i = static_cast<uint64_t>(
           std::max(1.0, std::ceil(stats.lambda_prime / x_i)));
       GrowTo(*source, theta_i, &sampling_rr, &sampling_budget_hit);
+      // A dead sample backend (worker process crash) means the grown
+      // prefix is short, not budget-truncated — fail the run.
+      TIMPP_RETURN_NOT_OK(source->engine().status());
       // Keep the stream aligned with a budget-off run: the sets the cache
       // could not retain still occupy indices [num_sets, θ_i) and are
       // regenerated from them below.
@@ -256,6 +260,7 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
   // allows (GrowTo no-ops once the budget latched, keeping the cache a
   // contiguous stream prefix).
   GrowTo(*source, sel_total, cache, &sel_budget_hit);
+  TIMPP_RETURN_NOT_OK(source->engine().status());
   source->Seek(sel_first + sel_total);
   // The reuse path may carry the sampling phase's index over unchanged;
   // drop it so the budget-fit check below prices one index, not two.
@@ -278,6 +283,9 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
     stats.regeneration_passes += streamed.regeneration_passes;
     cover = std::move(streamed.cover);
   }
+  // The streaming branch regenerates through the engine; a backend that
+  // died there must fail the run, not return partial-coverage seeds.
+  TIMPP_RETURN_NOT_OK(source->engine().status());
   stats.rr_sets_retained = cache->num_sets();
   stats.estimated_spread = n * cover.covered_fraction;
   stats.seconds_selection = phase_timer.ElapsedSeconds();

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "diffusion/triggering.h"
+#include "engine/sample_backend.h"
 #include "engine/solve_context.h"
 #include "graph/graph.h"
 #include "util/status.h"
@@ -77,6 +78,10 @@ struct ImmOptions {
   /// budget-off run.
   size_t memory_budget_bytes = 0;
   uint64_t seed = 0x1e1eULL;
+  /// Where sample production runs (in-process threads vs coordinated
+  /// worker subprocesses, engine/sample_backend.h). Never changes the
+  /// result — only throughput and failure modes.
+  SampleBackendSpec sample_backend;
 };
 
 /// Instrumentation of an IMM run.

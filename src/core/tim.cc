@@ -80,6 +80,7 @@ Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
     sampling.sampler_mode = options.sampler_mode;
     sampling.num_threads = options.num_threads;
     sampling.seed = options.seed;
+    sampling.backend = options.sample_backend;
     local_engine.emplace(graph_, sampling);
     local_source.emplace(*local_engine);
     source = &*local_source;
@@ -130,6 +131,10 @@ Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
     // Phase 1: parameter estimation (Algorithm 2).
     Timer phase_timer;
     KptEstimate kpt = EstimateKpt(*source, options.k, ell);
+    // A failed sample backend (a worker process died mid-shard) leaves the
+    // engine with a latched error and a short batch; surface it instead of
+    // computing on truncated samples. Same check after each phase below.
+    TIMPP_RETURN_NOT_OK(source->engine().status());
     stats.seconds_kpt_estimation = phase_timer.ElapsedSeconds();
     stats.kpt_star = kpt.kpt_star;
     stats.rr_sets_kpt = kpt.rr_sets_generated;
@@ -143,6 +148,7 @@ Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
       KptRefinement refinement =
           RefineKpt(*source, *kpt.last_iteration_rr, options.k, kpt.kpt_star,
                     eps_prime, ell);
+      TIMPP_RETURN_NOT_OK(source->engine().status());
       stats.seconds_kpt_refinement = phase_timer.ElapsedSeconds();
       stats.kpt_plus = refinement.kpt_plus;
       stats.theta_prime = refinement.theta_prime;
@@ -173,6 +179,7 @@ Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
   Timer phase_timer;
   NodeSelection selection = SelectNodes(*source, options.k, stats.theta,
                                         options.memory_budget_bytes);
+  TIMPP_RETURN_NOT_OK(source->engine().status());
   stats.seconds_node_selection = phase_timer.ElapsedSeconds();
 
   stats.estimated_spread =

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "diffusion/triggering.h"
+#include "engine/sample_backend.h"
 #include "engine/solve_context.h"
 #include "graph/graph.h"
 #include "util/status.h"
@@ -67,6 +68,11 @@ struct TimOptions {
   size_t memory_budget_bytes = 0;
   /// Master RNG seed; every run with equal options is bit-reproducible.
   uint64_t seed = 0x7145ULL;
+  /// Where sample production runs: in-process threads (default) or
+  /// coordinated worker subprocesses (engine/sample_backend.h). Seeds,
+  /// θ and all stats are bit-identical across backends; only throughput
+  /// and failure modes (a worker can die) differ.
+  SampleBackendSpec sample_backend;
 };
 
 /// Everything measured during a run — feeds Figures 4, 5, and 12.

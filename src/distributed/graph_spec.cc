@@ -1,0 +1,121 @@
+#include "distributed/graph_spec.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/weight_models.h"
+
+namespace timpp {
+
+Status EncodeGraphSpec(const GraphSpec& spec, std::string* out) {
+  if (spec.path.find(';') != std::string::npos ||
+      spec.path.find('=') != std::string::npos) {
+    return Status::InvalidArgument(
+        "graph spec paths may not contain ';' or '=': " + spec.path);
+  }
+  *out = "format=" + spec.format + ";path=" + spec.path +
+         ";undirected=" + (spec.undirected ? "1" : "0") +
+         ";weights=" + spec.weights +
+         ";wseed=" + std::to_string(spec.weight_seed) +
+         ";default_prob=" + std::to_string(spec.default_prob);
+  return Status::OK();
+}
+
+Status ParseGraphSpec(const std::string& encoded, GraphSpec* spec) {
+  *spec = GraphSpec();
+  spec->weights = "keep";  // a spec names its weights explicitly or keeps
+  size_t pos = 0;
+  while (pos < encoded.size()) {
+    size_t end = encoded.find(';', pos);
+    if (end == std::string::npos) end = encoded.size();
+    const std::string pair = encoded.substr(pos, end - pos);
+    pos = end + 1;
+    if (pair.empty()) continue;
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("graph spec: expected key=value, got '" +
+                                     pair + "'");
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    try {
+      if (key == "format") {
+        spec->format = value;
+      } else if (key == "path") {
+        spec->path = value;
+      } else if (key == "undirected") {
+        spec->undirected = value == "1";
+      } else if (key == "weights") {
+        spec->weights = value;
+      } else if (key == "wseed") {
+        spec->weight_seed = std::stoull(value);
+      } else if (key == "default_prob") {
+        spec->default_prob = std::stof(value);
+      } else {
+        return Status::InvalidArgument("graph spec: unknown key '" + key +
+                                       "'");
+      }
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("graph spec: bad value in '" + pair +
+                                     "'");
+    }
+  }
+  if (spec->path.empty()) {
+    return Status::InvalidArgument("graph spec: missing path");
+  }
+  return Status::OK();
+}
+
+Status LoadGraphFromSpec(const GraphSpec& spec, Graph* graph) {
+  if (spec.format == "binary") {
+    return ReadBinary(spec.path, graph);
+  }
+  if (spec.format != "edgelist") {
+    return Status::InvalidArgument("graph spec: unknown format '" +
+                                   spec.format + "'");
+  }
+
+  GraphBuilder builder;
+  EdgeListOptions io_options;
+  io_options.undirected = spec.undirected;
+  io_options.default_prob = spec.default_prob;
+  TIMPP_RETURN_NOT_OK(ReadEdgeList(spec.path, io_options, &builder));
+
+  // Mirror of im_cli's weight switch: workers must apply the identical
+  // pass (and seed) the coordinator did, or the handshake hash fails.
+  if (spec.weights == "wc") {
+    AssignWeightedCascade(&builder);
+  } else if (spec.weights == "lt") {
+    AssignRandomLT(&builder, spec.weight_seed);
+  } else if (spec.weights == "uniformlt") {
+    AssignUniformLT(&builder);
+  } else if (spec.weights == "trivalency") {
+    AssignTrivalency(&builder, spec.weight_seed);
+  } else if (spec.weights.rfind("uniform:", 0) == 0) {
+    try {
+      // float(stod(...)), NOT stof: the CLI coordinator parses with stod
+      // and narrows, and double rounding can differ from direct
+      // decimal→float by one ulp — enough to fail the handshake hash for
+      // a perfectly valid probability string.
+      AssignUniform(&builder,
+                    static_cast<float>(std::stod(spec.weights.substr(8))));
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("graph spec: bad uniform probability '" +
+                                     spec.weights + "'");
+    }
+  } else if (spec.weights != "keep") {
+    return Status::InvalidArgument("graph spec: unknown weights '" +
+                                   spec.weights + "'");
+  }
+  return builder.Build(graph);
+}
+
+Status LoadGraphFromSpec(const std::string& encoded, Graph* graph) {
+  GraphSpec spec;
+  TIMPP_RETURN_NOT_OK(ParseGraphSpec(encoded, &spec));
+  return LoadGraphFromSpec(spec, graph);
+}
+
+}  // namespace timpp

@@ -1,0 +1,56 @@
+// Graph-spec strings — how a distributed sampling worker reconstructs the
+// coordinator's graph from local storage instead of receiving it inline.
+//
+// A spec captures everything the CLI does between "read this file" and
+// "Build()": format, undirectedness, the weight-model pass and its seed.
+// Workers that load the same spec against the same file produce a
+// ContentHash-identical Graph; the handshake verifies that, so a stale or
+// divergent file fails loudly instead of corrupting the sample stream.
+//
+// Format: ';'-separated key=value pairs, e.g.
+//   "format=edgelist;path=graph.txt;undirected=1;weights=wc"
+//   "format=binary;path=graph.timg"
+// Keys: format (edgelist|binary), path, undirected (0|1),
+// weights (keep|wc|lt|uniformlt|trivalency|uniform:<p>), wseed (u64,
+// the seed of randomized weight models), default_prob (float).
+// Paths may not contain ';' or '='.
+#ifndef TIMPP_DISTRIBUTED_GRAPH_SPEC_H_
+#define TIMPP_DISTRIBUTED_GRAPH_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace timpp {
+
+/// The reproducible recipe for loading one weighted graph.
+struct GraphSpec {
+  std::string format = "edgelist";  // edgelist | binary
+  std::string path;
+  bool undirected = false;
+  /// keep | wc | lt | uniformlt | trivalency | uniform:<p>
+  std::string weights = "keep";
+  /// Seed of randomized weight models (lt, trivalency).
+  uint64_t weight_seed = 0;
+  /// Probability for edge-list lines without a third column.
+  float default_prob = 1.0f;
+};
+
+/// Renders `spec` as the wire string. InvalidArgument when the path
+/// contains a reserved character.
+Status EncodeGraphSpec(const GraphSpec& spec, std::string* out);
+
+/// Parses a wire string back into a spec.
+Status ParseGraphSpec(const std::string& encoded, GraphSpec* spec);
+
+/// Loads and builds the graph `spec` describes — the worker-side half.
+Status LoadGraphFromSpec(const GraphSpec& spec, Graph* graph);
+
+/// Convenience: parse then load.
+Status LoadGraphFromSpec(const std::string& encoded, Graph* graph);
+
+}  // namespace timpp
+
+#endif  // TIMPP_DISTRIBUTED_GRAPH_SPEC_H_

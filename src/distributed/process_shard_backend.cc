@@ -1,0 +1,309 @@
+#include "distributed/process_shard_backend.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "distributed/worker_protocol.h"
+#include "engine/sampling_engine.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "rrset/rr_serialization.h"
+
+namespace timpp {
+
+namespace {
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+}  // namespace
+
+std::string ProcessShardBackend::ResolveWorkerBinary(
+    const std::string& configured) {
+  if (!configured.empty()) return configured;
+  if (const char* env = std::getenv("TIMPP_WORKER");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (n > 0) {
+    self[n] = '\0';
+    return DirName(self) + "/im_worker";
+  }
+  return "im_worker";  // last resort: PATH lookup
+}
+
+ProcessShardBackend::ProcessShardBackend(const Graph& graph,
+                                         const SamplingConfig& config)
+    : graph_(graph),
+      model_(static_cast<uint8_t>(config.model)),
+      sampler_mode_(static_cast<uint8_t>(config.sampler_mode)),
+      max_hops_(config.max_hops),
+      seed_(config.seed),
+      // Capped defensively: API callers bypass the CLI's parse validation,
+      // and a wrapped negative would otherwise fork-bomb the host.
+      num_workers_(std::min(256u, std::max(1u, config.backend.num_workers))),
+      worker_threads_(std::max(1u, config.backend.worker_threads)),
+      worker_binary_(ResolveWorkerBinary(config.backend.worker_binary)),
+      graph_source_(config.backend.graph_source),
+      unsupported_custom_model_(config.custom_model != nullptr),
+      unsupported_root_distribution_(config.root_distribution != nullptr) {}
+
+ProcessShardBackend::~ProcessShardBackend() {
+  // Graceful teardown: ask every live worker to exit and reap it, so
+  // worker-side sanitizers (LeakSanitizer runs at exit) actually fire —
+  // the Subprocess destructor's SIGKILL fallback would skip them. The
+  // protocol is quiescent here (no outstanding requests outside Fill, and
+  // Fatal() already killed errored workers), so the worker is blocked in
+  // ReadFrame and exits on the shutdown frame or the stdin EOF.
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    Subprocess* process = workers_[w]->process.get();
+    if (process == nullptr) continue;
+    (void)wire::WriteFrame(process->stdin_fd(), wire::kShutdown, {});
+    process->CloseStdin();
+    const int exit_code = process->Wait();
+    if (exit_code != 0) {
+      // No Status can escape a destructor; at least put the evidence in
+      // the log — under sanitizers a leaking worker exits non-zero here.
+      std::fprintf(stderr,
+                   "timpp: sampling worker %zu exited with code %d\n", w,
+                   exit_code);
+    }
+  }
+}
+
+Status ProcessShardBackend::Fatal(Status status) {
+  status_ = std::move(status);
+  // Workers are in an unknown protocol state after any failure; tear them
+  // all down so a retry cannot read a stale frame.
+  workers_.clear();
+  workers_ready_ = false;
+  chunk_views_.clear();
+  return status_;
+}
+
+Status ProcessShardBackend::SpawnWorker(WorkerShard* worker) {
+  // The frame layer caps payloads at 2 GiB; a graph image past that would
+  // be rejected worker-side with a generic "died during handshake". Fail
+  // here with the actual cause and the way out (spec transport reloads
+  // from disk, no size limit).
+  if (graph_source_.empty() && graph_payload_.size() > (uint64_t{1} << 31)) {
+    return Status::InvalidArgument(
+        "graph too large for inline worker handshake (" +
+        std::to_string(graph_payload_.size()) +
+        " bytes serialized); provide SampleBackendSpec::graph_source so "
+        "workers reload it from storage instead");
+  }
+  TIMPP_RETURN_NOT_OK(Subprocess::Start({worker_binary_, "--worker"},
+                                        &worker->process));
+
+  wire::Hello hello;
+  hello.model = model_;
+  hello.sampler_mode = sampler_mode_;
+  hello.max_hops = max_hops_;
+  hello.seed = seed_;
+  hello.worker_threads = worker_threads_;
+  hello.graph_hash = graph_.ContentHash();
+  if (graph_source_.empty()) {
+    hello.graph_transport = wire::GraphTransport::kInline;
+    hello.graph_payload = graph_payload_;
+  } else {
+    hello.graph_transport = wire::GraphTransport::kSpec;
+    hello.graph_payload = graph_source_;
+  }
+  std::string payload;
+  wire::EncodeHello(hello, &payload);
+  return wire::WriteFrame(worker->process->stdin_fd(), wire::kHello, payload);
+}
+
+Status ProcessShardBackend::AwaitHandshake(WorkerShard* worker) {
+  uint32_t type = 0;
+  std::string reply;
+  Status read = wire::ReadFrame(worker->process->stdout_fd(), &type, &reply);
+  if (!read.ok()) {
+    return Status::IOError(
+        "worker '" + worker_binary_ +
+        "' died during handshake (not built, or not a timpp worker?): " +
+        read.message());
+  }
+  if (type == wire::kError) {
+    return Status::InvalidArgument("worker rejected handshake: " + reply);
+  }
+  if (type != wire::kHelloAck) {
+    return Status::Corruption("worker handshake: unexpected frame type " +
+                              std::to_string(type));
+  }
+  return Status::OK();
+}
+
+Status ProcessShardBackend::EnsureWorkers() {
+  TIMPP_RETURN_NOT_OK(status_);
+  if (workers_ready_) return Status::OK();
+  if (unsupported_custom_model_) {
+    return Fatal(Status::Unimplemented(
+        "process-shard backend cannot ship a custom TriggeringModel to "
+        "worker processes; use backend=local for kTriggering runs"));
+  }
+  if (unsupported_root_distribution_) {
+    return Fatal(Status::Unimplemented(
+        "process-shard backend cannot ship a root distribution "
+        "(node-weighted runs); use backend=local"));
+  }
+  if (graph_source_.empty() && graph_payload_.empty()) {
+    SerializeGraph(graph_, &graph_payload_);
+  }
+  workers_.clear();
+  workers_.reserve(num_workers_);
+  // Spawn + hello everyone first, then collect acks: the workers load and
+  // hash their graphs concurrently (spec transport reloads from disk, the
+  // slow part), so first-fill startup pays one graph-load wall-clock, not
+  // num_workers of them. (A hello larger than the pipe buffer could make
+  // the write block until the worker drains it — fine: workers read their
+  // hello immediately, and each write still overlaps every other
+  // worker's load.)
+  for (unsigned w = 0; w < num_workers_; ++w) {
+    workers_.push_back(std::make_unique<WorkerShard>(graph_.num_nodes()));
+    Status spawned = SpawnWorker(workers_.back().get());
+    if (!spawned.ok()) return Fatal(std::move(spawned));
+  }
+  for (unsigned w = 0; w < num_workers_; ++w) {
+    Status handshake = AwaitHandshake(workers_[w].get());
+    if (!handshake.ok()) return Fatal(std::move(handshake));
+  }
+  workers_ready_ = true;
+  return Status::OK();
+}
+
+Status ProcessShardBackend::Fill(uint64_t base, uint64_t count,
+                                 const SampleFilter* filter) {
+  TIMPP_RETURN_NOT_OK(EnsureWorkers());
+  chunk_views_.clear();
+  if (count == 0) return Status::OK();
+
+  // Partition into one contiguous shard per worker (balanced rounding).
+  // Filtered fills evaluate the filter HERE — the coordinator owns the
+  // filter state (e.g. dead-set bits) — and ship each worker its slice of
+  // the accepted indices.
+  std::vector<uint64_t> accepted;
+  if (filter != nullptr) {
+    accepted.reserve(count);
+    for (uint64_t i = base; i < base + count; ++i) {
+      if ((*filter)(i)) accepted.push_back(i);
+    }
+  }
+  const uint64_t total = filter != nullptr
+                             ? static_cast<uint64_t>(accepted.size())
+                             : count;
+
+  struct Assignment {
+    uint64_t begin = 0;  // offset into the range / accepted list
+    uint64_t end = 0;
+  };
+  std::vector<Assignment> shares(num_workers_);
+  for (unsigned w = 0; w < num_workers_; ++w) {
+    shares[w].begin = total * w / num_workers_;
+    shares[w].end = total * (w + 1) / num_workers_;
+  }
+
+  // Dispatch every request before reading any reply: workers overlap.
+  std::string payload;
+  for (unsigned w = 0; w < num_workers_; ++w) {
+    if (shares[w].begin == shares[w].end) continue;
+    payload.clear();
+    WorkerShard& worker = *workers_[w];
+    if (filter == nullptr) {
+      wire::EncodeSampleRange(base + shares[w].begin,
+                              shares[w].end - shares[w].begin, &payload);
+      Status sent = wire::WriteFrame(worker.process->stdin_fd(),
+                                     wire::kSampleRange, payload);
+      if (!sent.ok()) {
+        return Fatal(Status::IOError("worker " + std::to_string(w) +
+                                     " unreachable: " + sent.message()));
+      }
+    } else {
+      const std::vector<uint64_t> slice(accepted.begin() + shares[w].begin,
+                                        accepted.begin() + shares[w].end);
+      wire::EncodeSampleList(slice, &payload);
+      Status sent = wire::WriteFrame(worker.process->stdin_fd(),
+                                     wire::kSampleList, payload);
+      if (!sent.ok()) {
+        return Fatal(Status::IOError("worker " + std::to_string(w) +
+                                     " unreachable: " + sent.message()));
+      }
+    }
+  }
+
+  // Collect replies in worker order == shard order == global index order.
+  std::string reply;
+  for (unsigned w = 0; w < num_workers_; ++w) {
+    if (shares[w].begin == shares[w].end) continue;
+    WorkerShard& worker = *workers_[w];
+    uint32_t type = 0;
+    Status read = wire::ReadFrame(worker.process->stdout_fd(), &type, &reply);
+    if (!read.ok()) {
+      return Fatal(Status::IOError(
+          "worker " + std::to_string(w) +
+          " died mid-shard (no truncated data was merged): " +
+          read.message()));
+    }
+    if (type == wire::kError) {
+      return Fatal(Status::InvalidArgument("worker " + std::to_string(w) +
+                                           " error: " + reply));
+    }
+    if (type != wire::kShard) {
+      return Fatal(Status::Corruption("worker " + std::to_string(w) +
+                                      ": unexpected frame type " +
+                                      std::to_string(type)));
+    }
+
+    worker.sets.Clear();
+    worker.edges.clear();
+    worker.indices.clear();
+    RRShardInfo info;
+    Status decoded = DeserializeRRShard(reply, graph_.num_nodes(),
+                                        &worker.sets, &worker.edges, &info);
+    if (!decoded.ok()) {
+      return Fatal(Status::Corruption("worker " + std::to_string(w) +
+                                      " shard: " + decoded.message()));
+    }
+    const uint64_t expected = shares[w].end - shares[w].begin;
+    if (info.num_sets != expected) {
+      return Fatal(Status::Corruption(
+          "worker " + std::to_string(w) + " returned " +
+          std::to_string(info.num_sets) + " sets for a " +
+          std::to_string(expected) + "-set shard"));
+    }
+    if (filter != nullptr) {
+      worker.indices.assign(accepted.begin() + shares[w].begin,
+                            accepted.begin() + shares[w].end);
+    }
+
+    Chunk chunk;
+    chunk.sets = &worker.sets;
+    chunk.edges = &worker.edges;
+    chunk.indices = filter != nullptr ? &worker.indices : nullptr;
+    chunk.begin = 0;
+    chunk.end = worker.sets.num_sets();
+    chunk_views_.push_back(chunk);
+  }
+  return Status::OK();
+}
+
+Status ProcessShardBackend::KillWorkerForTest(unsigned w) {
+  TIMPP_RETURN_NOT_OK(EnsureWorkers());
+  if (w >= workers_.size()) {
+    return Status::InvalidArgument("no worker " + std::to_string(w));
+  }
+  workers_[w]->process->Kill();
+  workers_[w]->process->Wait();
+  return Status::OK();
+}
+
+}  // namespace timpp

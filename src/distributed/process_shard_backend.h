@@ -1,0 +1,104 @@
+// ProcessShardBackend — RR sampling sharded across worker subprocesses.
+//
+// The coordinator half of the paper's §8 scale-out direction: each engine
+// fill partitions its global index range into contiguous shards, one per
+// worker process, dispatches them over pipes (all requests go out before
+// any reply is read, so workers sample concurrently), and merges the
+// returned serialized shards in shard order. Because every worker derives
+// set content from the same per-index RNG contract (SampleIndexRng over a
+// ContentHash-verified copy of the coordinator's graph), the merged batch
+// is bit-identical to a local fill of the same indices — `--backend=
+// procs:N` returns byte-for-byte the seeds/θ/LB of `--backend=local` at
+// any worker count.
+//
+// Workers are spawned lazily on the first fill and torn down with the
+// backend. Any transport or protocol failure (a worker crashing
+// mid-shard, a rejected handshake) latches a fatal status: subsequent
+// fills fail fast rather than serving a truncated stream.
+#ifndef TIMPP_DISTRIBUTED_PROCESS_SHARD_BACKEND_H_
+#define TIMPP_DISTRIBUTED_PROCESS_SHARD_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/sample_backend.h"
+#include "rrset/rr_collection.h"
+#include "util/status.h"
+#include "util/subprocess.h"
+
+namespace timpp {
+
+class Graph;
+struct SamplingConfig;
+
+class ProcessShardBackend final : public SampleBackend {
+ public:
+  /// `graph` must outlive the backend; `config` (including its
+  /// backend spec) is copied. No processes are spawned until the first
+  /// Fill.
+  ProcessShardBackend(const Graph& graph, const SamplingConfig& config);
+  ~ProcessShardBackend() override;
+
+  Status Fill(uint64_t base, uint64_t count,
+              const SampleFilter* filter) override;
+  std::span<const Chunk> chunks() const override { return chunk_views_; }
+
+  unsigned num_workers() const { return num_workers_; }
+
+  /// Test hook: SIGKILLs worker `w` (spawning first if necessary) so crash
+  /// handling can be exercised deterministically. The next Fill must
+  /// return an error, never truncated data.
+  Status KillWorkerForTest(unsigned w);
+
+  /// Resolution order for the worker executable: the spec's
+  /// worker_binary, else $TIMPP_WORKER, else `im_worker` beside the
+  /// current executable (/proc/self/exe). Exposed for diagnostics.
+  static std::string ResolveWorkerBinary(const std::string& configured);
+
+ private:
+  struct WorkerShard {
+    std::unique_ptr<Subprocess> process;
+    RRCollection sets;
+    std::vector<uint64_t> edges;
+    std::vector<uint64_t> indices;  // filtered fills only
+    explicit WorkerShard(NodeId num_nodes) : sets(num_nodes) {}
+  };
+
+  /// Spawns and handshakes all workers (idempotent). Hellos go out to
+  /// every worker before any ack is read, so graph loads overlap.
+  Status EnsureWorkers();
+  /// Starts the process and sends its hello (does not wait for the ack).
+  Status SpawnWorker(WorkerShard* worker);
+  /// Reads and checks one worker's handshake reply.
+  Status AwaitHandshake(WorkerShard* worker);
+  /// Marks the backend permanently failed and tears the workers down.
+  Status Fatal(Status status);
+
+  const Graph& graph_;
+  // Sampling facets workers need (model, sampler, seed, hops) plus the
+  // backend spec; stored by value so the backend has no lifetime tie to
+  // the engine's config copy beyond the graph itself.
+  uint8_t model_;
+  uint8_t sampler_mode_;
+  uint32_t max_hops_;
+  uint64_t seed_;
+  unsigned num_workers_;
+  unsigned worker_threads_;
+  std::string worker_binary_;
+  std::string graph_source_;
+  bool unsupported_custom_model_ = false;
+  bool unsupported_root_distribution_ = false;
+
+  std::vector<std::unique_ptr<WorkerShard>> workers_;
+  std::vector<Chunk> chunk_views_;
+  std::string graph_payload_;  // serialized once, shipped per handshake
+  Status status_;
+  bool workers_ready_ = false;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_DISTRIBUTED_PROCESS_SHARD_BACKEND_H_

@@ -1,0 +1,161 @@
+#include "distributed/worker.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "distributed/graph_spec.h"
+#include "distributed/worker_protocol.h"
+#include "engine/local_thread_backend.h"
+#include "engine/sampling_engine.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "rrset/rr_collection.h"
+#include "rrset/rr_serialization.h"
+#include "util/status.h"
+
+namespace timpp {
+
+namespace {
+
+/// Best-effort error reply; the coordinator surfaces the message verbatim.
+void SendError(int out_fd, const std::string& message) {
+  (void)wire::WriteFrame(out_fd, wire::kError, message);
+}
+
+/// Merges a finished backend fill into one (collection, edges) pair and
+/// serializes it as a kShard payload. Chunk order is global index order,
+/// so the shard is the requested range exactly.
+void SerializeFill(const LocalThreadBackend& backend, RRCollection* merged,
+                   std::vector<uint64_t>* edges, std::string* payload) {
+  merged->Clear();
+  edges->clear();
+  for (const SampleBackend::Chunk& chunk : backend.chunks()) {
+    merged->AppendRange(*chunk.sets, chunk.begin, chunk.end - chunk.begin);
+    edges->insert(edges->end(), chunk.edges->begin() + chunk.begin,
+                  chunk.edges->begin() + chunk.end);
+  }
+  payload->clear();
+  SerializeRRShard(*merged, *edges, payload);
+}
+
+}  // namespace
+
+int RunSampleWorker(int in_fd, int out_fd) {
+  // ---- handshake ------------------------------------------------------
+  uint32_t type = 0;
+  std::string payload;
+  Status status = wire::ReadFrame(in_fd, &type, &payload);
+  if (!status.ok()) return status.IsNotFound() ? 0 : 1;
+  if (type != wire::kHello) {
+    SendError(out_fd, "protocol error: expected hello frame");
+    return 1;
+  }
+  wire::Hello hello;
+  status = wire::DecodeHello(payload, &hello);
+  if (!status.ok()) {
+    SendError(out_fd, status.ToString());
+    return 1;
+  }
+  if (hello.protocol_version != wire::kProtocolVersion) {
+    SendError(out_fd, "protocol version mismatch: coordinator speaks v" +
+                          std::to_string(hello.protocol_version) +
+                          ", worker speaks v" +
+                          std::to_string(wire::kProtocolVersion));
+    return 0;
+  }
+
+  Graph graph;
+  status = hello.graph_transport == wire::GraphTransport::kInline
+               ? DeserializeGraph(hello.graph_payload, &graph)
+               : LoadGraphFromSpec(hello.graph_payload, &graph);
+  if (!status.ok()) {
+    SendError(out_fd, "worker could not load graph: " + status.ToString());
+    return 0;
+  }
+  const uint64_t local_hash = graph.ContentHash();
+  if (local_hash != hello.graph_hash) {
+    // The single most important check in the protocol: a hash mismatch
+    // means the worker would sample a DIFFERENT graph under the same
+    // (seed, index) contract — bit-divergence the merge could never
+    // detect. Reject loudly.
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer),
+                  "graph identity mismatch: coordinator hash=%016llx, worker "
+                  "hash=%016llx (same file but different weights/order/"
+                  "undirected flag?)",
+                  static_cast<unsigned long long>(hello.graph_hash),
+                  static_cast<unsigned long long>(local_hash));
+    SendError(out_fd, buffer);
+    return 0;
+  }
+
+  SamplingConfig config;
+  config.model = static_cast<DiffusionModel>(hello.model);
+  config.sampler_mode = static_cast<SamplerMode>(hello.sampler_mode);
+  config.max_hops = hello.max_hops;
+  config.seed = hello.seed;
+  config.num_threads = std::max(1u, hello.worker_threads);
+  LocalThreadBackend backend(graph, config);
+
+  {
+    const std::string hash_bytes(reinterpret_cast<const char*>(&local_hash),
+                                 sizeof(local_hash));
+    status = wire::WriteFrame(out_fd, wire::kHelloAck, hash_bytes);
+    if (!status.ok()) return 1;
+  }
+
+  // ---- request loop ---------------------------------------------------
+  RRCollection merged(graph.num_nodes());
+  std::vector<uint64_t> merged_edges;
+  std::vector<uint64_t> indices;
+  std::string reply;
+  for (;;) {
+    status = wire::ReadFrame(in_fd, &type, &payload);
+    if (!status.ok()) return status.IsNotFound() ? 0 : 1;
+    switch (type) {
+      case wire::kSampleRange: {
+        uint64_t first = 0, count = 0;
+        status = wire::DecodeSampleRange(payload, &first, &count);
+        if (!status.ok()) {
+          SendError(out_fd, status.ToString());
+          return 1;
+        }
+        (void)backend.Fill(first, count, nullptr);  // local fills never fail
+        SerializeFill(backend, &merged, &merged_edges, &reply);
+        if (!wire::WriteFrame(out_fd, wire::kShard, reply).ok()) return 1;
+        break;
+      }
+      case wire::kSampleList: {
+        status = wire::DecodeSampleList(payload, &indices);
+        if (!status.ok()) {
+          SendError(out_fd, status.ToString());
+          return 1;
+        }
+        if (indices.empty()) {
+          merged.Clear();
+          merged_edges.clear();
+          reply.clear();
+          SerializeRRShard(merged, merged_edges, &reply);
+        } else {
+          // Sample exactly the listed indices — O(listed), however
+          // sparsely they sit in the global stream (late budgeted-
+          // selection rounds list only the still-live sets).
+          (void)backend.FillList(indices);
+          SerializeFill(backend, &merged, &merged_edges, &reply);
+        }
+        if (!wire::WriteFrame(out_fd, wire::kShard, reply).ok()) return 1;
+        break;
+      }
+      case wire::kShutdown:
+        return 0;
+      default:
+        SendError(out_fd, "protocol error: unexpected frame type " +
+                              std::to_string(type));
+        return 1;
+    }
+  }
+}
+
+}  // namespace timpp

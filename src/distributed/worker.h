@@ -1,0 +1,23 @@
+// The sampling worker — the subprocess half of ProcessShardBackend.
+//
+// `im_worker` (and `im_cli --worker`) call RunSampleWorker over
+// stdin/stdout: one handshake establishing the graph and the sampling
+// configuration, then an arbitrary number of shard requests, each answered
+// with a serialized RR shard whose content is bit-identical to what the
+// coordinator's own LocalThreadBackend would have produced for the same
+// indices — the worker literally runs one, seeded by the same per-index
+// RNG contract.
+#ifndef TIMPP_DISTRIBUTED_WORKER_H_
+#define TIMPP_DISTRIBUTED_WORKER_H_
+
+namespace timpp {
+
+/// Serves the worker protocol over (in_fd, out_fd) until kShutdown or
+/// EOF. Returns a process exit code: 0 on a clean session (including a
+/// rejected handshake — the rejection was delivered as a kError frame),
+/// non-zero when the transport itself broke.
+int RunSampleWorker(int in_fd, int out_fd);
+
+}  // namespace timpp
+
+#endif  // TIMPP_DISTRIBUTED_WORKER_H_

@@ -1,0 +1,12 @@
+// im_worker — the standalone sampling-worker binary. Spawned by
+// ProcessShardBackend with the worker protocol on stdin/stdout (stderr is
+// inherited for diagnostics). `im_cli --worker` enters the same loop, so
+// either binary can serve as the worker executable.
+//
+// Not meant to be run by hand: with a terminal on stdin it just waits for
+// a handshake frame that never comes.
+#include <unistd.h>
+
+#include "distributed/worker.h"
+
+int main() { return timpp::RunSampleWorker(STDIN_FILENO, STDOUT_FILENO); }

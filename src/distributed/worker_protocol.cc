@@ -1,0 +1,161 @@
+#include "distributed/worker_protocol.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/subprocess.h"
+
+namespace timpp {
+namespace wire {
+
+namespace {
+
+// Refuse to allocate for absurd payload lengths (a corrupt or
+// adversarially garbled stream); the largest legitimate payload is one
+// serialized shard of a few thousand RR sets.
+constexpr uint64_t kMaxPayload = uint64_t{1} << 31;
+
+struct FrameHeader {
+  uint32_t type = 0;
+  uint32_t reserved = 0;
+  uint64_t payload_size = 0;
+};
+static_assert(sizeof(FrameHeader) == 16);
+
+template <typename T>
+void AppendRaw(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool TakeRaw(std::string_view* in, T* value) {
+  if (in->size() < sizeof(T)) return false;
+  std::memcpy(value, in->data(), sizeof(T));
+  in->remove_prefix(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+void EncodeHello(const Hello& hello, std::string* out) {
+  AppendRaw(out, hello.protocol_version);
+  AppendRaw(out, hello.model);
+  AppendRaw(out, hello.sampler_mode);
+  AppendRaw(out, static_cast<uint8_t>(hello.graph_transport));
+  AppendRaw(out, uint8_t{0});  // pad
+  AppendRaw(out, hello.max_hops);
+  AppendRaw(out, hello.seed);
+  AppendRaw(out, hello.worker_threads);
+  AppendRaw(out, uint32_t{0});  // pad
+  AppendRaw(out, hello.graph_hash);
+  AppendRaw(out, static_cast<uint64_t>(hello.graph_payload.size()));
+  out->append(hello.graph_payload);
+}
+
+Status DecodeHello(std::string_view payload, Hello* hello) {
+  uint8_t transport = 0;
+  uint8_t pad8 = 0;
+  uint32_t pad32 = 0;
+  uint64_t graph_size = 0;
+  if (!TakeRaw(&payload, &hello->protocol_version) ||
+      !TakeRaw(&payload, &hello->model) ||
+      !TakeRaw(&payload, &hello->sampler_mode) ||
+      !TakeRaw(&payload, &transport) || !TakeRaw(&payload, &pad8) ||
+      !TakeRaw(&payload, &hello->max_hops) ||
+      !TakeRaw(&payload, &hello->seed) ||
+      !TakeRaw(&payload, &hello->worker_threads) ||
+      !TakeRaw(&payload, &pad32) || !TakeRaw(&payload, &hello->graph_hash) ||
+      !TakeRaw(&payload, &graph_size)) {
+    return Status::Corruption("hello: truncated");
+  }
+  if (transport > static_cast<uint8_t>(GraphTransport::kSpec)) {
+    return Status::Corruption("hello: unknown graph transport");
+  }
+  hello->graph_transport = static_cast<GraphTransport>(transport);
+  if (payload.size() != graph_size) {
+    return Status::Corruption("hello: graph payload size mismatch");
+  }
+  hello->graph_payload.assign(payload.data(), payload.size());
+  return Status::OK();
+}
+
+void EncodeSampleRange(uint64_t first, uint64_t count, std::string* out) {
+  AppendRaw(out, first);
+  AppendRaw(out, count);
+}
+
+Status DecodeSampleRange(std::string_view payload, uint64_t* first,
+                         uint64_t* count) {
+  if (!TakeRaw(&payload, first) || !TakeRaw(&payload, count) ||
+      !payload.empty()) {
+    return Status::Corruption("sample-range: malformed payload");
+  }
+  return Status::OK();
+}
+
+void EncodeSampleList(const std::vector<uint64_t>& indices, std::string* out) {
+  AppendRaw(out, static_cast<uint64_t>(indices.size()));
+  out->append(reinterpret_cast<const char*>(indices.data()),
+              indices.size() * sizeof(uint64_t));
+}
+
+Status DecodeSampleList(std::string_view payload,
+                        std::vector<uint64_t>* indices) {
+  uint64_t n = 0;
+  // Divide, don't multiply: n * sizeof(uint64_t) could wrap for a corrupt
+  // count and slip a bogus size past the check.
+  if (!TakeRaw(&payload, &n) || n != payload.size() / sizeof(uint64_t) ||
+      payload.size() % sizeof(uint64_t) != 0) {
+    return Status::Corruption("sample-list: malformed payload");
+  }
+  indices->resize(n);
+  std::memcpy(indices->data(), payload.data(), payload.size());
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+  FrameHeader header;
+  header.type = type;
+  header.payload_size = payload.size();
+  TIMPP_RETURN_NOT_OK(WriteAllFd(fd, &header, sizeof(header)));
+  if (!payload.empty()) {
+    TIMPP_RETURN_NOT_OK(WriteAllFd(fd, payload.data(), payload.size()));
+  }
+  return Status::OK();
+}
+
+Status ReadFrame(int fd, uint32_t* type, std::string* payload) {
+  FrameHeader header;
+  // Distinguish clean EOF (no header byte at all) from a truncated frame:
+  // peek the first byte by reading the header manually.
+  char* p = reinterpret_cast<char*>(&header);
+  size_t got = 0;
+  while (got < sizeof(header)) {
+    const ssize_t n = ::read(fd, p + got, sizeof(header) - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("read from pipe: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return Status::NotFound("end of stream");
+      return Status::IOError("pipe closed mid-frame (peer exited?)");
+    }
+    got += static_cast<size_t>(n);
+  }
+  if (header.payload_size > kMaxPayload) {
+    return Status::Corruption("frame payload implausibly large");
+  }
+  *type = header.type;
+  payload->resize(header.payload_size);
+  if (header.payload_size > 0) {
+    TIMPP_RETURN_NOT_OK(
+        ReadAllFd(fd, payload->data(), header.payload_size));
+  }
+  return Status::OK();
+}
+
+}  // namespace wire
+}  // namespace timpp

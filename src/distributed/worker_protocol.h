@@ -1,0 +1,101 @@
+// The coordinator ⇄ worker wire protocol of process-sharded RR sampling.
+//
+// Transport: length-prefixed frames over the worker's stdin/stdout pipes.
+// Every frame is a fixed 16-byte header (type, reserved, payload size)
+// followed by the payload. Integers are native-endian — workers run on the
+// same host as their coordinator (process sharding, not yet cross-machine;
+// the versioned header leaves room to add an endianness tag when sockets
+// replace pipes).
+//
+// Session shape:
+//   coordinator → kHello        (config + graph identity/transport)
+//   worker      → kHelloAck     (its Graph::ContentHash)   | kError
+//   repeat:
+//     coordinator → kSampleRange | kSampleList
+//     worker      → kShard      (rrset/rr_serialization)   | kError
+//   coordinator → kShutdown (or just closes stdin; EOF means the same)
+//
+// The handshake carries the coordinator's Graph::ContentHash; a worker
+// whose reconstructed graph hashes differently replies kError and exits —
+// mismatched graphs would otherwise produce silently diverging RR streams,
+// the one failure mode a determinism-contract system must never have.
+#ifndef TIMPP_DISTRIBUTED_WORKER_PROTOCOL_H_
+#define TIMPP_DISTRIBUTED_WORKER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace timpp {
+namespace wire {
+
+/// Bump on any incompatible change to frames or payload layouts.
+constexpr uint32_t kProtocolVersion = 1;
+
+enum FrameType : uint32_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kSampleRange = 3,
+  kSampleList = 4,
+  kShard = 5,
+  kError = 6,
+  kShutdown = 7,
+};
+
+/// How the Hello payload tells the worker to obtain the graph.
+enum class GraphTransport : uint8_t {
+  /// Payload bytes are the serialized graph itself (graph_io
+  /// SerializeGraph) — always correct, used for programmatic graphs.
+  kInline = 0,
+  /// Payload is a graph-spec string (distributed/graph_spec.h) the worker
+  /// loads from local storage — used by the CLI to avoid shipping large
+  /// edge lists through the pipe.
+  kSpec = 1,
+};
+
+/// Decoded kHello payload: everything a worker needs to reproduce the
+/// coordinator's sample stream bit-exactly.
+struct Hello {
+  uint32_t protocol_version = kProtocolVersion;
+  uint8_t model = 0;         // DiffusionModel (kTriggering never ships)
+  uint8_t sampler_mode = 0;  // SamplerMode
+  uint32_t max_hops = 0;
+  uint64_t seed = 0;
+  uint32_t worker_threads = 1;
+  /// Coordinator's Graph::ContentHash — the identity the worker verifies.
+  uint64_t graph_hash = 0;
+  GraphTransport graph_transport = GraphTransport::kInline;
+  std::string graph_payload;
+};
+
+void EncodeHello(const Hello& hello, std::string* out);
+Status DecodeHello(std::string_view payload, Hello* hello);
+
+/// kSampleRange payload: the contiguous shard [first, first + count).
+void EncodeSampleRange(uint64_t first, uint64_t count, std::string* out);
+Status DecodeSampleRange(std::string_view payload, uint64_t* first,
+                         uint64_t* count);
+
+/// kSampleList payload: explicit ascending global indices (a filtered
+/// fill's accepted indices — the coordinator evaluates the filter, the
+/// worker traverses only the listed sets).
+void EncodeSampleList(const std::vector<uint64_t>& indices, std::string* out);
+Status DecodeSampleList(std::string_view payload,
+                        std::vector<uint64_t>* indices);
+
+/// Writes one frame to `fd`.
+Status WriteFrame(int fd, FrameType type, std::string_view payload);
+
+/// Reads one frame from `fd` into (*type, *payload). EOF before a header
+/// byte is reported as NotFound (clean end-of-stream — how a worker
+/// detects coordinator shutdown); EOF mid-frame is IOError.
+Status ReadFrame(int fd, uint32_t* type, std::string* payload);
+
+}  // namespace wire
+}  // namespace timpp
+
+#endif  // TIMPP_DISTRIBUTED_WORKER_PROTOCOL_H_

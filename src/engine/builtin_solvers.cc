@@ -49,6 +49,7 @@ class TimInfluenceSolver final : public InfluenceSolver {
     tim.num_threads = options.num_threads;
     tim.seed = options.seed;
     tim.memory_budget_bytes = options.memory_budget_bytes;
+    tim.sample_backend = options.sample_backend;
 
     // A memory budget caps this request's resident bytes — meaningless
     // against a shared collection, so budgeted requests run standalone.
@@ -116,6 +117,7 @@ class ImmInfluenceSolver final : public InfluenceSolver {
     imm.num_threads = options.num_threads;
     imm.seed = options.seed;
     imm.memory_budget_bytes = options.memory_budget_bytes;
+    imm.sample_backend = options.sample_backend;
 
     // Budgeted requests run standalone (see TimInfluenceSolver).
     const SolveContext effective =
@@ -183,6 +185,7 @@ class RisInfluenceSolver final : public InfluenceSolver {
                                   : options.memory_budget_bytes;
     ris.num_threads = options.num_threads;
     ris.seed = options.seed;
+    ris.sample_backend = options.sample_backend;
 
     // RIS's budget contract is per-request (standalone), and RIS ignores
     // max_hops — a shared stream keyed with a hop bound would diverge

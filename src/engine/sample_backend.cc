@@ -1,0 +1,20 @@
+#include "engine/sample_backend.h"
+
+#include "distributed/process_shard_backend.h"
+#include "engine/local_thread_backend.h"
+#include "engine/sampling_engine.h"
+
+namespace timpp {
+
+std::unique_ptr<SampleBackend> CreateSampleBackend(
+    const Graph& graph, const SamplingConfig& config) {
+  switch (config.backend.kind) {
+    case SampleBackendKind::kProcessShards:
+      return std::make_unique<ProcessShardBackend>(graph, config);
+    case SampleBackendKind::kLocalThreads:
+      break;
+  }
+  return std::make_unique<LocalThreadBackend>(graph, config);
+}
+
+}  // namespace timpp

@@ -1,7 +1,6 @@
 #include "engine/sampling_engine.h"
 
 #include <algorithm>
-#include <atomic>
 
 namespace timpp {
 
@@ -9,8 +8,8 @@ namespace {
 
 // Fixed batch granularities. These are part of the determinism contract:
 // early-stop checks (memory budget, cost threshold, set cap) run at batch
-// boundaries, and keeping the boundaries independent of num_threads keeps
-// the stop points independent of it too.
+// boundaries, and keeping the boundaries independent of num_threads (and
+// of the backend) keeps the stop points independent of them too.
 constexpr uint64_t kSetsPerBatch = 8192;
 // Cost-threshold sampling uses small batches so the overshoot past the
 // threshold (sampled but discarded sets) stays negligible.
@@ -19,155 +18,56 @@ constexpr uint64_t kSetsPerCostBatch = 256;
 // transient shard buffers stay a rounding error next to any realistic
 // memory budget (only one chunk of sets is resident at a time).
 constexpr uint64_t kSetsPerVisitBatch = 1024;
-// Work-claim granularity of a parallel fill: workers pull chunks of this
-// many consecutive indices off an atomic counter. Small enough that one
-// giant RR set (heavy-tailed graphs) strands at most 63 neighbours on the
-// same worker, large enough that the claim and per-chunk merge overheads
-// stay invisible next to the traversals.
-constexpr uint64_t kFillChunkSets = 64;
 
 }  // namespace
-
-SamplingEngine::Shard::Shard(const Graph& graph, const SamplingConfig& config)
-    : sampler(graph, config.model, config.custom_model, config.max_hops,
-              config.sampler_mode),
-      sets(graph.num_nodes()) {
-  sampler.SetRootDistribution(config.root_distribution);
-  scratch.reserve(256);
-}
 
 SamplingEngine::SamplingEngine(const Graph& graph,
                                const SamplingConfig& config)
     : graph_(graph), config_(config) {
   config_.num_threads = std::max(1u, config_.num_threads);
-  shards_.reserve(config_.num_threads);
-  for (unsigned w = 0; w < config_.num_threads; ++w) {
-    shards_.push_back(std::make_unique<Shard>(graph_, config_));
-  }
-  if (config_.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(config_.num_threads - 1);
-  }
+  backend_ = CreateSampleBackend(graph_, config_);
 }
 
 SamplingEngine::~SamplingEngine() = default;
 
-Rng SamplingEngine::IndexRng(uint64_t index) const {
-  // Set i's whole traversal draws from an xoshiro stream seeded by a
-  // splitmix64 hash of (seed, i): content is a pure function of the global
-  // index, never of the worker that ran it.
-  uint64_t state = config_.seed + (index + 1) * 0x9e3779b97f4a7c15ULL;
-  return Rng(SplitMix64(state));
-}
-
-void SamplingEngine::SampleRange(unsigned w, uint64_t begin, uint64_t end,
-                                 const SampleFilter* filter) {
-  Shard& shard = *shards_[w];
-  for (uint64_t i = begin; i < end; ++i) {
-    if (filter != nullptr && !(*filter)(i)) continue;
-    Rng rng = IndexRng(i);
-    const RRSampleInfo info =
-        shard.sampler.SampleRandomRoot(rng, &shard.scratch);
-    shard.sets.Add(shard.scratch, info.width);
-    shard.edges.push_back(info.edges_examined);
-    // Index recording is only needed when a filter punches holes in the
-    // range; unfiltered consumers reconstruct indices positionally, and
-    // the hot SampleInto/SampleUntilCost paths skip the extra store.
-    if (filter != nullptr) shard.indices.push_back(i);
+bool SamplingEngine::FillOk(uint64_t base, uint64_t count,
+                            const SampleFilter* filter) {
+  if (!status_.ok()) return false;
+  Status st = backend_->Fill(base, count, filter);
+  if (!st.ok()) {
+    status_ = std::move(st);
+    return false;
   }
-}
-
-void SamplingEngine::FillShards(uint64_t base, uint64_t count,
-                                const SampleFilter* filter) {
-  for (auto& shard : shards_) {
-    shard->sets.Clear();
-    shard->edges.clear();
-    shard->indices.clear();
-    shard->chunks.clear();
-  }
-  chunk_refs_.clear();
-  const unsigned nw = static_cast<unsigned>(shards_.size());
-  if (nw == 1 || count < 2 * nw) {
-    SampleRange(0, base, base + count, filter);
-    chunk_refs_.push_back({0, 0, shards_[0]->sets.num_sets()});
-    return;
-  }
-  // Dynamic split: workers claim fixed-size index chunks off an atomic
-  // counter, so a worker that lands a run of heavy RR sets simply claims
-  // fewer chunks instead of stalling the batch (the old contiguous split
-  // load-imbalanced on heavy-tailed set sizes). Content stays
-  // thread-count invariant because a chunk's sets depend only on its
-  // indices, and the merge below reassembles chunks in index order.
-  const uint64_t num_chunks = (count + kFillChunkSets - 1) / kFillChunkSets;
-  std::atomic<uint64_t> next_chunk{0};
-  pool_->ParallelRun(nw, [&](unsigned w) {
-    Shard& shard = *shards_[w];
-    uint64_t c;
-    while ((c = next_chunk.fetch_add(1, std::memory_order_relaxed)) <
-           num_chunks) {
-      const uint64_t begin = base + c * kFillChunkSets;
-      const uint64_t end = std::min(base + count, begin + kFillChunkSets);
-      shard.chunks.emplace_back(c, shard.sets.num_sets());
-      SampleRange(w, begin, end, filter);
-    }
-  });
-  // Chunk table: ordered by global chunk id == index order, whoever
-  // produced each chunk.
-  chunk_refs_.resize(num_chunks);
-  for (unsigned w = 0; w < nw; ++w) {
-    const Shard& shard = *shards_[w];
-    for (size_t i = 0; i < shard.chunks.size(); ++i) {
-      const size_t set_end = i + 1 < shard.chunks.size()
-                                 ? shard.chunks[i + 1].second
-                                 : shard.sets.num_sets();
-      chunk_refs_[shard.chunks[i].first] = {w, shard.chunks[i].second,
-                                            set_end};
-    }
-  }
+  return true;
 }
 
 SampleBatch SamplingEngine::SampleInto(RRCollection* out, uint64_t count,
                                        std::vector<uint64_t>* per_set_edges) {
   SampleBatch total;
   uint64_t remaining = count;
-  while (remaining > 0) {
+  while (remaining > 0 && status_.ok()) {
     if (out->OverMemoryBudget()) {
       total.hit_memory_budget = true;
       break;
     }
     const uint64_t batch = std::min(remaining, kSetsPerBatch);
-    if (shards_.size() == 1) {
-      // Sequential fast path: append straight into the output, no shard
-      // copy. Identical output by the per-index seeding argument. Member
-      // counts are unknown until sampled, so only the per-set arrays are
-      // pre-sized (the parallel path also reserves the node array, from
-      // its shard totals).
-      out->Reserve(batch, 0);
-      Shard& shard = *shards_[0];
-      for (uint64_t i = next_index_; i < next_index_ + batch; ++i) {
-        Rng rng = IndexRng(i);
-        const RRSampleInfo info =
-            shard.sampler.SampleRandomRoot(rng, &shard.scratch);
-        out->Add(shard.scratch, info.width);
-        total.edges_examined += info.edges_examined;
-        total.traversal_cost += info.edges_examined + shard.scratch.size();
-        if (per_set_edges != nullptr) {
-          per_set_edges->push_back(info.edges_examined);
-        }
-      }
-    } else {
-      FillShards(next_index_, batch);
+    if (!backend_->AppendDirect(next_index_, batch, out,
+                                &total.edges_examined, &total.traversal_cost,
+                                per_set_edges)) {
+      if (!FillOk(next_index_, batch, nullptr)) break;
       uint64_t batch_nodes = 0;
-      for (const auto& shard : shards_) batch_nodes += shard->sets.total_nodes();
+      for (const SampleBackend::Chunk& chunk : backend_->chunks()) {
+        batch_nodes +=
+            chunk.sets->Offset(chunk.end) - chunk.sets->Offset(chunk.begin);
+      }
       out->Reserve(batch, batch_nodes);
       uint64_t batch_edges = 0;
-      for (const ChunkRef& ref : chunk_refs_) {
-        const Shard& shard = *shards_[ref.worker];
-        out->AppendRange(shard.sets, ref.set_begin,
-                         ref.set_end - ref.set_begin);
-        for (size_t j = ref.set_begin; j < ref.set_end; ++j) {
-          batch_edges += shard.edges[j];
+      for (const SampleBackend::Chunk& chunk : backend_->chunks()) {
+        out->AppendRange(*chunk.sets, chunk.begin, chunk.end - chunk.begin);
+        for (size_t j = chunk.begin; j < chunk.end; ++j) {
+          batch_edges += (*chunk.edges)[j];
           if (per_set_edges != nullptr) {
-            per_set_edges->push_back(shard.edges[j]);
+            per_set_edges->push_back((*chunk.edges)[j]);
           }
         }
       }
@@ -197,23 +97,22 @@ SampleBatch SamplingEngine::SampleUntilCost(RRCollection* out,
     }
     uint64_t batch = kSetsPerCostBatch;
     if (max_sets != 0) batch = std::min(batch, max_sets - rule.sets_admitted);
-    FillShards(next_index_, batch);
+    if (!FillOk(next_index_, batch, nullptr)) break;
     // Append in index order while the admission rule allows it; the set
     // that crosses the threshold is kept, the rest of the batch is
     // discarded and its indices rewound (a later batch would regenerate
     // them identically, so the stop point is batch-size independent).
     uint64_t kept = 0;
-    for (const ChunkRef& ref : chunk_refs_) {
-      const Shard& shard = *shards_[ref.worker];
-      for (size_t j = ref.set_begin; j < ref.set_end && !stop; ++j) {
+    for (const SampleBackend::Chunk& chunk : backend_->chunks()) {
+      for (size_t j = chunk.begin; j < chunk.end && !stop; ++j) {
         if (!rule.WantsMore()) {
           stop = true;
           break;
         }
-        const auto set = shard.sets.Set(static_cast<RRSetId>(j));
-        out->Add(set, shard.sets.Width(static_cast<RRSetId>(j)));
-        total.edges_examined += shard.edges[j];
-        rule.Admit(shard.edges[j] + set.size());
+        const auto set = chunk.sets->Set(static_cast<RRSetId>(j));
+        out->Add(set, chunk.sets->Width(static_cast<RRSetId>(j)));
+        total.edges_examined += (*chunk.edges)[j];
+        rule.Admit((*chunk.edges)[j] + set.size());
         ++kept;
       }
       if (stop) break;
@@ -232,25 +131,23 @@ SampleBatch SamplingEngine::VisitSamples(uint64_t first, uint64_t count,
   SampleBatch total;
   const SampleFilter* filter_ptr = filter ? &filter : nullptr;
   for (uint64_t done = 0; done < count;) {
-    const uint64_t chunk = std::min(count - done, kSetsPerVisitBatch);
-    FillShards(first + done, chunk, filter_ptr);
-    // Chunk-table order == index order, so the visitor sees the filtered
-    // index sequence exactly as a sequential loop would produce it.
-    // Without a filter the sequence is contiguous and indices are
-    // reconstructed positionally (shards record them only for filtered
-    // fills).
+    const uint64_t chunk_size = std::min(count - done, kSetsPerVisitBatch);
+    if (!FillOk(first + done, chunk_size, filter_ptr)) break;
+    // Chunk order == index order, so the visitor sees the filtered index
+    // sequence exactly as a sequential loop would produce it. Without a
+    // filter the sequence is contiguous and indices are reconstructed
+    // positionally (backends record them only for filtered fills).
     uint64_t running = first + done;
-    for (const ChunkRef& ref : chunk_refs_) {
-      const Shard& shard = *shards_[ref.worker];
-      for (size_t j = ref.set_begin; j < ref.set_end; ++j) {
-        const auto set = shard.sets.Set(static_cast<RRSetId>(j));
-        visit(filter_ptr != nullptr ? shard.indices[j] : running++, set);
+    for (const SampleBackend::Chunk& chunk : backend_->chunks()) {
+      for (size_t j = chunk.begin; j < chunk.end; ++j) {
+        const auto set = chunk.sets->Set(static_cast<RRSetId>(j));
+        visit(chunk.indices != nullptr ? (*chunk.indices)[j] : running++, set);
         ++total.sets_added;
-        total.edges_examined += shard.edges[j];
-        total.traversal_cost += shard.edges[j] + set.size();
+        total.edges_examined += (*chunk.edges)[j];
+        total.traversal_cost += (*chunk.edges)[j] + set.size();
       }
     }
-    done += chunk;
+    done += chunk_size;
   }
   return total;
 }

@@ -4,24 +4,29 @@
 // doubling loop, Algorithm 3's θ′ batch, Algorithm 1's θ batch, IMM's
 // progressive x_i batches, Borgs et al.'s cost-threshold loop) consumes
 // i.i.d. random RR sets, so they all parallelize the same way. The engine
-// owns a worker pool with one RRSampler per worker and exposes batch
-// primitives that fill an RRCollection; no phase implements its own
-// sampling loop.
+// owns the global index stream and exposes batch primitives that fill an
+// RRCollection; the physical production of each index range is delegated
+// to a pluggable SampleBackend (engine/sample_backend.h): in-process
+// worker threads by default, coordinated worker subprocesses under
+// `--backend=procs:N`. No phase implements its own sampling loop.
 //
-// Determinism contract (bit-reproducibility independent of thread count):
-// the engine numbers RR sets with a monotone global index and derives set
-// i's RNG stream from (config.seed, i) alone, so a set's content does not
-// depend on which worker produced it. Workers dynamically claim fixed-size
-// index chunks off an atomic counter (load balancing for heavy-tailed
-// RR-set sizes), sample them into private shard collections, and the
-// engine merges the chunks back in global chunk order via
-// RRCollection::AppendRange. The resulting collection is therefore
-// byte-identical for every value of config.num_threads, including 1, and
-// identical to a sequential run — whichever worker happened to claim a
-// chunk, its content and its merge position depend only on its indices.
-// Batch boundaries (kSetsPerBatch / kSetsPerCostBatch) are fixed constants
-// so early-stop checks (memory budget, cost threshold) fire at the same
-// set index regardless of parallelism.
+// Determinism contract (bit-reproducibility independent of thread count,
+// worker count, and backend): the engine numbers RR sets with a monotone
+// global index and every backend derives set i's RNG stream from
+// (config.seed, i) alone — SampleIndexRng — so a set's content does not
+// depend on which worker (thread OR process) produced it. Backends return
+// fills as chunks ordered by global index, and the engine merges them in
+// that order via RRCollection::AppendRange. The resulting collection is
+// therefore byte-identical for every value of config.num_threads
+// (including 1), every worker count, and across backends. Batch
+// boundaries (kSetsPerBatch / kSetsPerCostBatch) are fixed constants so
+// early-stop checks (memory budget, cost threshold) fire at the same set
+// index regardless of parallelism.
+//
+// Error model: local fills cannot fail, but a process-shard fill can (a
+// worker dies mid-shard, a handshake is rejected). The engine latches the
+// first backend error in status() and stops producing sets — callers get
+// a short batch plus a non-OK status, never silently truncated results.
 #ifndef TIMPP_ENGINE_SAMPLING_ENGINE_H_
 #define TIMPP_ENGINE_SAMPLING_ENGINE_H_
 
@@ -32,12 +37,13 @@
 #include <vector>
 
 #include "diffusion/triggering.h"
+#include "engine/sample_backend.h"
 #include "graph/graph.h"
 #include "rrset/rr_collection.h"
 #include "rrset/rr_sampler.h"
 #include "util/alias_table.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace timpp {
@@ -60,10 +66,16 @@ struct SamplingConfig {
   /// changes individual sets (not their statistics).
   SamplerMode sampler_mode = SamplerMode::kAuto;
   /// Total sampling parallelism (calling thread included). 1 = sequential.
+  /// Local-thread backends pool this many workers; process-shard backends
+  /// sample in their workers instead (see backend.worker_threads).
   unsigned num_threads = 1;
   /// Master seed. Together with the engine's running set index it fully
   /// determines every sampled set.
   uint64_t seed = 0x7145ULL;
+  /// Where sample production runs (in-process threads vs worker
+  /// subprocesses). Results are bit-identical across backends; only
+  /// throughput and failure modes differ.
+  SampleBackendSpec backend;
 };
 
 /// Borgs et al.'s cost-threshold admission rule — the ONE definition of
@@ -132,6 +144,17 @@ class SamplingEngine {
   const SamplingConfig& config() const { return config_; }
   unsigned num_threads() const { return config_.num_threads; }
 
+  /// The backend producing this engine's samples (diagnostics and test
+  /// fault injection; never needed on the solve paths).
+  SampleBackend& backend() { return *backend_; }
+
+  /// First backend error, if any. Once non-OK, every further batch call
+  /// returns immediately with zero sets; callers that observed a short
+  /// batch must check this before trusting downstream results. Local
+  /// fills never fail; process-shard fills fail on worker crashes,
+  /// handshake rejections (graph hash mismatch), or protocol errors.
+  const Status& status() const { return status_; }
+
   /// Total RR sets generated by this engine so far (== the next global set
   /// index). Successive batch calls consume disjoint index ranges, so a
   /// whole multi-phase run is one deterministic sample stream.
@@ -139,11 +162,11 @@ class SamplingEngine {
 
   /// Appends `count` fresh random RR sets to `*out`. Stops early only if
   /// `out` goes over its memory budget (checked at fixed batch
-  /// boundaries). Returns accounting for the appended sets.
-  /// `per_set_edges` (optional) receives each appended set's
-  /// edges_examined in set order — consumers that replay subranges later
-  /// (the serving layer's shared prefix cache) need the per-set split the
-  /// aggregate SampleBatch cannot give back.
+  /// boundaries) or the backend fails (see status()). Returns accounting
+  /// for the appended sets. `per_set_edges` (optional) receives each
+  /// appended set's edges_examined in set order — consumers that replay
+  /// subranges later (the serving layer's shared prefix cache) need the
+  /// per-set split the aggregate SampleBatch cannot give back.
   SampleBatch SampleInto(RRCollection* out, uint64_t count,
                          std::vector<uint64_t>* per_set_edges = nullptr);
 
@@ -159,13 +182,14 @@ class SamplingEngine {
   /// Per-index filter and visitor for VisitSamples. The visitor receives
   /// the global set index and the set's members (the span is only valid
   /// for the duration of the call). The filter runs CONCURRENTLY on the
-  /// worker pool while a chunk fills, so it must be safe to invoke from
-  /// multiple threads and must not read state the visitor mutates except
-  /// between chunks — the visitor itself runs sequentially on the calling
-  /// thread after each chunk's fill completes, which is why a visitor may
-  /// safely update state (e.g. dead-set bits) the next chunk's filter
-  /// reads.
-  using SampleFilter = std::function<bool(uint64_t index)>;
+  /// backend's workers while a chunk fills, so it must be safe to invoke
+  /// from multiple threads and must not read state the visitor mutates
+  /// except between chunks — the visitor itself runs sequentially on the
+  /// calling thread after each chunk's fill completes, which is why a
+  /// visitor may safely update state (e.g. dead-set bits) the next
+  /// chunk's filter reads. (Process-shard backends evaluate the filter on
+  /// the coordinator before dispatch, which satisfies the same contract.)
+  using SampleFilter = ::timpp::SampleFilter;
   using SampleVisitor =
       std::function<void(uint64_t index, std::span<const NodeId> nodes)>;
 
@@ -176,7 +200,7 @@ class SamplingEngine {
   /// exactly and "generates" future ones identically to a later
   /// SampleInto; next_index_ is untouched (pair with SkipTo when the
   /// visited range should count as consumed). Regeneration runs on the
-  /// worker pool in fixed-size chunks; only one chunk of sets is ever
+  /// backend in fixed-size chunks; only one chunk of sets is ever
   /// resident. `filter` (optional) skips the traversal of indices it
   /// rejects entirely — used to avoid regenerating RR sets already known
   /// dead to a coverage pass. Returns accounting for the visited sets.
@@ -192,54 +216,14 @@ class SamplingEngine {
   void SkipTo(uint64_t index);
 
  private:
-  /// Per-worker state: a private sampler plus shard buffers refilled each
-  /// batch. Samplers persist across batches so traversal scratch
-  /// (VisitMarker, BFS queue) is allocated once per run.
-  struct Shard {
-    Shard(const Graph& graph, const SamplingConfig& config);
-    RRSampler sampler;
-    RRCollection sets;
-    std::vector<uint64_t> edges;    // per-set edges_examined
-    std::vector<uint64_t> indices;  // per-set global index; filtered fills
-                                    // only (contiguous fills reconstruct
-                                    // indices positionally)
-    // Chunks this worker claimed during the current fill, in claim order:
-    // (global chunk id, first set the chunk produced into this shard).
-    std::vector<std::pair<uint64_t, size_t>> chunks;
-    std::vector<NodeId> scratch;
-  };
-
-  /// One fill chunk's location after the fact: which worker produced it
-  /// and which of that worker's shard sets belong to it. chunk_refs_ is
-  /// ordered by global chunk id, so walking it walks the batch in global
-  /// index order regardless of which worker claimed which chunk.
-  struct ChunkRef {
-    unsigned worker = 0;
-    size_t set_begin = 0;
-    size_t set_end = 0;
-  };
-
-  /// Samples global indices [begin, end) into shard `w`'s buffers,
-  /// skipping indices rejected by `filter` (may be null).
-  void SampleRange(unsigned w, uint64_t begin, uint64_t end,
-                   const SampleFilter* filter);
-  /// Runs one parallel batch of `count` sets starting at global index
-  /// `base`, filling the shards (cleared first) and rebuilding
-  /// chunk_refs_. Workers claim fixed-size index chunks off an atomic
-  /// counter (dynamic splitting: heavy-tailed RR-set sizes no longer
-  /// leave early-finishing workers idle the way a fixed contiguous split
-  /// did), and the chunk table restores global index order for the merge.
-  /// Does not advance next_index_.
-  void FillShards(uint64_t base, uint64_t count,
-                  const SampleFilter* filter = nullptr);
-  /// RNG stream of global set index `i`: depends on (config_.seed, i) only.
-  Rng IndexRng(uint64_t index) const;
+  /// Fills [base, base + count) through the backend, latching errors into
+  /// status_. Returns false when sampling must stop.
+  bool FillOk(uint64_t base, uint64_t count, const SampleFilter* filter);
 
   const Graph& graph_;
   SamplingConfig config_;
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<ChunkRef> chunk_refs_;  // rebuilt by every FillShards
-  std::unique_ptr<ThreadPool> pool_;  // nullptr when num_threads <= 1
+  std::unique_ptr<SampleBackend> backend_;
+  Status status_;
   uint64_t next_index_ = 0;
 };
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "diffusion/triggering.h"
+#include "engine/sample_backend.h"
 #include "engine/solve_context.h"
 #include "graph/graph.h"
 #include "util/status.h"
@@ -55,6 +56,12 @@ struct SolverOptions {
   /// coverage/streaming_cover.h). Solvers without RR collections ignore
   /// it.
   size_t memory_budget_bytes = 0;
+  /// Where RR-set production runs: in-process threads (default) or
+  /// process shards — worker subprocesses coordinated over pipes
+  /// (engine/sample_backend.h; `im_cli --backend=procs:N`). Seeds, θ, LB
+  /// and all stats are bit-identical across backends for every RR-set
+  /// solver; non-RR solvers ignore it.
+  SampleBackendSpec sample_backend;
 
   // ---- family-specific knobs ----------------------------------------
   /// Monte-Carlo cascades per spread estimate (greedy/CELF family).

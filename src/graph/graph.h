@@ -7,8 +7,11 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "util/status.h"
 #include "util/types.h"
 
 namespace timpp {
@@ -131,6 +134,16 @@ class Graph {
                      static_cast<double>(out_run_ends_.size());
   }
 
+  /// Order-sensitive 64-bit digest of the full graph content: node count,
+  /// both adjacency directions (arc targets AND probability bits), and the
+  /// constant-probability run metadata. Two Graphs hash equal iff a
+  /// sampler walking them makes identical decisions, which is exactly the
+  /// identity the distributed worker handshake must verify — a worker that
+  /// reloaded the "same" edge list under a different weight model, edge
+  /// order, or undirected flag hashes differently and is rejected instead
+  /// of silently diverging from the coordinator's RR streams. O(n + m).
+  uint64_t ContentHash() const;
+
   /// Heap bytes held by the adjacency arrays plus the probability-run
   /// metadata (Figure 12 accounting — the run arrays are real resident
   /// memory and must be charged).
@@ -146,6 +159,8 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  friend void SerializeGraph(const Graph& graph, std::string* out);
+  friend Status DeserializeGraph(std::string_view bytes, Graph* graph);
 
   NodeId num_nodes_ = 0;
   std::vector<EdgeIndex> out_offsets_;  // size n+1
@@ -163,6 +178,16 @@ class Graph {
   std::vector<EdgeIndex> in_run_ends_;      // size #in-runs
   std::vector<double> in_run_inv_log1mp_;   // size #in-runs
 };
+
+/// Splits each node's arc list into maximal equal-probability runs (exact
+/// float comparison) — the metadata geometric skip sampling walks. Shared
+/// by GraphBuilder::Build and graph deserialization so both derive
+/// identical run structure from identical adjacency.
+void ComputeProbabilityRuns(NodeId n, const std::vector<EdgeIndex>& offsets,
+                            const std::vector<Arc>& arcs,
+                            std::vector<EdgeIndex>* run_offsets,
+                            std::vector<EdgeIndex>* run_ends,
+                            std::vector<double>* run_inv_log1mp);
 
 }  // namespace timpp
 

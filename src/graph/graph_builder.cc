@@ -80,36 +80,10 @@ Status GraphBuilder::Build(Graph* out) const {
   // of equal probability (exact float comparison — only byte-identical
   // probabilities may share a geometric-skip stream). O(m), done for both
   // directions so reverse sampling and forward simulation can both skip.
-  const auto compute_runs = [n](const std::vector<EdgeIndex>& offsets,
-                                const std::vector<Arc>& arcs,
-                                std::vector<EdgeIndex>* run_offsets,
-                                std::vector<EdgeIndex>* run_ends,
-                                std::vector<double>* run_inv_log1mp) {
-    run_offsets->assign(n + 1, 0);
-    run_ends->clear();
-    run_inv_log1mp->clear();
-    for (NodeId v = 0; v < n; ++v) {
-      const EdgeIndex begin = offsets[v];
-      const EdgeIndex end = offsets[v + 1];
-      EdgeIndex run_begin = begin;
-      for (EdgeIndex e = begin; e < end; ++e) {
-        if (e + 1 == end || arcs[e + 1].prob != arcs[e].prob) {
-          run_ends->push_back(e + 1 - begin);  // end local to the node
-          // 1/ln(1-p): the constant geometric skip draws multiply by.
-          // ±0/±inf for p >= 1 / p <= 0 — samplers branch around those
-          // runs and never read the value.
-          run_inv_log1mp->push_back(
-              1.0 / std::log1p(-static_cast<double>(arcs[run_begin].prob)));
-          run_begin = e + 1;
-        }
-      }
-      (*run_offsets)[v + 1] = run_ends->size();
-    }
-  };
-  compute_runs(g.out_offsets_, g.out_arcs_, &g.out_run_offsets_,
-               &g.out_run_ends_, &g.out_run_inv_log1mp_);
-  compute_runs(g.in_offsets_, g.in_arcs_, &g.in_run_offsets_,
-               &g.in_run_ends_, &g.in_run_inv_log1mp_);
+  ComputeProbabilityRuns(n, g.out_offsets_, g.out_arcs_, &g.out_run_offsets_,
+                         &g.out_run_ends_, &g.out_run_inv_log1mp_);
+  ComputeProbabilityRuns(n, g.in_offsets_, g.in_arcs_, &g.in_run_offsets_,
+                         &g.in_run_ends_, &g.in_run_inv_log1mp_);
 
   *out = std::move(g);
   return Status::OK();

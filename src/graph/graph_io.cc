@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -69,10 +70,12 @@ Status WriteEdgeList(const Graph& graph, const std::string& path) {
   return Status::OK();
 }
 
-Status WriteBinary(const Graph& graph, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
+namespace {
 
+// Stream cores shared by the file and in-memory forms; `name` labels error
+// messages (a path, or a transport description).
+Status WriteBinaryStream(const Graph& graph, std::ostream& out,
+                         const std::string& name) {
   out.write(kMagic, sizeof(kMagic));
   uint32_t version = kVersion;
   uint64_t n = graph.num_nodes();
@@ -89,27 +92,25 @@ Status WriteBinary(const Graph& graph, const std::string& path) {
       out.write(reinterpret_cast<const char*>(&a.prob), sizeof(a.prob));
     }
   }
-  if (!out) return Status::IOError("write failure on " + path);
+  if (!out) return Status::IOError("write failure on " + name);
   return Status::OK();
 }
 
-Status ReadBinary(const std::string& path, Graph* graph) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open " + path);
-
+Status ReadBinaryStream(std::istream& in, const std::string& name,
+                        Graph* graph) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption(path + ": bad magic");
+    return Status::Corruption(name + ": bad magic");
   }
   uint32_t version = 0;
   uint64_t n = 0, m = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   in.read(reinterpret_cast<char*>(&m), sizeof(m));
-  if (!in) return Status::Corruption(path + ": truncated header");
+  if (!in) return Status::Corruption(name + ": truncated header");
   if (version != kVersion) {
-    return Status::Corruption(path + ": unsupported version " +
+    return Status::Corruption(name + ": unsupported version " +
                               std::to_string(version));
   }
 
@@ -122,10 +123,133 @@ Status ReadBinary(const std::string& path, Graph* graph) {
     in.read(reinterpret_cast<char*>(&from), sizeof(from));
     in.read(reinterpret_cast<char*>(&to), sizeof(to));
     in.read(reinterpret_cast<char*>(&prob), sizeof(prob));
-    if (!in) return Status::Corruption(path + ": truncated edge records");
+    if (!in) return Status::Corruption(name + ": truncated edge records");
     builder.AddEdge(from, to, prob);
   }
   return builder.Build(graph);
+}
+
+}  // namespace
+
+Status WriteBinary(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  return WriteBinaryStream(graph, out, path);
+}
+
+Status ReadBinary(const std::string& path, Graph* graph) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ReadBinaryStream(in, path, graph);
+}
+
+namespace {
+
+// Image format of the in-memory transport. This is NOT the edge-triple
+// container above: the triple walk canonicalizes through GraphBuilder,
+// which preserves each direction's arc multiset but can permute IN-arc
+// order (in-lists follow builder insertion order, and a CSR walk reorders
+// the insertions). Reverse traversals consume in-arc order, so the
+// distributed handshake needs the exact adjacency image — both CSR
+// directions verbatim; run metadata re-derived (a pure function of the
+// arcs, via the shared ComputeProbabilityRuns).
+constexpr char kImageMagic[4] = {'T', 'I', 'M', 'I'};
+constexpr uint32_t kImageVersion = 1;
+
+template <typename T>
+void AppendVector(std::string* out, const std::vector<T>& v) {
+  const uint64_t count = v.size();
+  out->append(reinterpret_cast<const char*>(&count), sizeof(count));
+  out->append(reinterpret_cast<const char*>(v.data()), count * sizeof(T));
+}
+
+template <typename T>
+bool TakeVector(std::string_view* in, uint64_t max_count, std::vector<T>* v) {
+  uint64_t count = 0;
+  if (in->size() < sizeof(count)) return false;
+  std::memcpy(&count, in->data(), sizeof(count));
+  in->remove_prefix(sizeof(count));
+  if (count > max_count || in->size() < count * sizeof(T)) return false;
+  v->resize(count);
+  std::memcpy(v->data(), in->data(), count * sizeof(T));
+  in->remove_prefix(count * sizeof(T));
+  return true;
+}
+
+// CSR sanity: offsets are a monotone [0..m] ramp of size n+1 and every
+// arc endpoint is a valid node.
+bool ValidCsr(NodeId n, uint64_t m, const std::vector<EdgeIndex>& offsets,
+              const std::vector<Arc>& arcs) {
+  if (offsets.size() != static_cast<size_t>(n) + 1) return false;
+  if (arcs.size() != m) return false;
+  if (offsets.front() != 0 || offsets.back() != m) return false;
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) return false;
+  }
+  for (const Arc& a : arcs) {
+    if (a.node >= n) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void SerializeGraph(const Graph& graph, std::string* out) {
+  out->clear();
+  out->append(kImageMagic, sizeof(kImageMagic));
+  const uint32_t version = kImageVersion;
+  const uint64_t n = graph.num_nodes_;
+  out->append(reinterpret_cast<const char*>(&version), sizeof(version));
+  out->append(reinterpret_cast<const char*>(&n), sizeof(n));
+  AppendVector(out, graph.out_offsets_);
+  AppendVector(out, graph.out_arcs_);
+  AppendVector(out, graph.in_offsets_);
+  AppendVector(out, graph.in_arcs_);
+}
+
+Status DeserializeGraph(std::string_view bytes, Graph* graph) {
+  const Status corrupt = Status::Corruption("inline graph: malformed image");
+  if (bytes.size() < sizeof(kImageMagic) + sizeof(uint32_t) +
+                         sizeof(uint64_t) ||
+      std::memcmp(bytes.data(), kImageMagic, sizeof(kImageMagic)) != 0) {
+    return Status::Corruption("inline graph: bad magic");
+  }
+  bytes.remove_prefix(sizeof(kImageMagic));
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data(), sizeof(version));
+  bytes.remove_prefix(sizeof(version));
+  if (version != kImageVersion) {
+    return Status::Corruption("inline graph: unsupported version " +
+                              std::to_string(version));
+  }
+  uint64_t n = 0;
+  std::memcpy(&n, bytes.data(), sizeof(n));
+  bytes.remove_prefix(sizeof(n));
+  if (n > std::numeric_limits<NodeId>::max()) return corrupt;
+
+  Graph g;
+  g.num_nodes_ = static_cast<NodeId>(n);
+  const uint64_t max_entries = bytes.size();  // tighter than any real bound
+  if (!TakeVector(&bytes, max_entries, &g.out_offsets_) ||
+      !TakeVector(&bytes, max_entries, &g.out_arcs_) ||
+      !TakeVector(&bytes, max_entries, &g.in_offsets_) ||
+      !TakeVector(&bytes, max_entries, &g.in_arcs_) ||
+      !bytes.empty()) {
+    return corrupt;
+  }
+  const uint64_t m = g.out_arcs_.size();
+  if (!ValidCsr(g.num_nodes_, m, g.out_offsets_, g.out_arcs_) ||
+      !ValidCsr(g.num_nodes_, m, g.in_offsets_, g.in_arcs_)) {
+    return corrupt;
+  }
+  ComputeProbabilityRuns(g.num_nodes_, g.out_offsets_, g.out_arcs_,
+                         &g.out_run_offsets_, &g.out_run_ends_,
+                         &g.out_run_inv_log1mp_);
+  ComputeProbabilityRuns(g.num_nodes_, g.in_offsets_, g.in_arcs_,
+                         &g.in_run_offsets_, &g.in_run_ends_,
+                         &g.in_run_inv_log1mp_);
+  *graph = std::move(g);
+  return Status::OK();
 }
 
 }  // namespace timpp

@@ -5,8 +5,11 @@
 
 namespace timpp {
 
-GraphContext::GraphContext(Graph graph, unsigned num_threads)
-    : graph_(std::move(graph)), num_threads_(std::max(1u, num_threads)) {}
+GraphContext::GraphContext(Graph graph, unsigned num_threads,
+                           SampleBackendSpec backend)
+    : graph_(std::move(graph)),
+      num_threads_(std::max(1u, num_threads)),
+      backend_(std::move(backend)) {}
 
 SharedRRCache& GraphContext::CacheFor(const StreamKey& key) {
   auto it = caches_.find(key);
@@ -18,44 +21,72 @@ SharedRRCache& GraphContext::CacheFor(const StreamKey& key) {
     config.sampler_mode = key.sampler_mode;
     config.num_threads = num_threads_;
     config.seed = key.seed;
-    it = caches_
-             .emplace(key, std::make_unique<SharedRRCache>(graph_, config))
-             .first;
+    config.backend = backend_;
+    CacheEntry entry;
+    entry.cache = std::make_unique<SharedRRCache>(graph_, config);
+    it = caches_.emplace(key, std::move(entry)).first;
   }
-  return *it->second;
+  it->second.last_used = ++use_tick_;
+  return *it->second.cache;
+}
+
+size_t GraphContext::EnforceCacheBudget() {
+  if (cache_budget_bytes_ == 0) return 0;
+  size_t evicted = 0;
+  while (!caches_.empty() && SharedMemoryBytes() > cache_budget_bytes_) {
+    auto victim = caches_.begin();
+    for (auto it = caches_.begin(); it != caches_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    // Preserve lifetime accounting before the stream goes away; a
+    // re-created stream starts fresh counters, so reuse ratios would
+    // otherwise dip spuriously after every eviction.
+    retired_sets_sampled_ += victim->second.cache->total_sets_sampled();
+    retired_sets_served_ += victim->second.cache->total_sets_served();
+    retired_sets_reused_ += victim->second.cache->total_sets_reused();
+    caches_.erase(victim);
+    ++evicted;
+  }
+  streams_evicted_ += evicted;
+  return evicted;
 }
 
 size_t GraphContext::SharedMemoryBytes() const {
   size_t total = 0;
-  for (const auto& [key, cache] : caches_) total += cache->MemoryBytes();
+  for (const auto& [key, entry] : caches_) total += entry.cache->MemoryBytes();
   return total;
 }
 
 uint64_t GraphContext::TotalSetsSampled() const {
-  uint64_t total = 0;
-  for (const auto& [key, cache] : caches_) {
-    total += cache->total_sets_sampled();
+  uint64_t total = retired_sets_sampled_;
+  for (const auto& [key, entry] : caches_) {
+    total += entry.cache->total_sets_sampled();
   }
   return total;
 }
 
 uint64_t GraphContext::TotalSetsServed() const {
-  uint64_t total = 0;
-  for (const auto& [key, cache] : caches_) {
-    total += cache->total_sets_served();
+  uint64_t total = retired_sets_served_;
+  for (const auto& [key, entry] : caches_) {
+    total += entry.cache->total_sets_served();
   }
   return total;
 }
 
 uint64_t GraphContext::TotalSetsReused() const {
-  uint64_t total = 0;
-  for (const auto& [key, cache] : caches_) {
-    total += cache->total_sets_reused();
+  uint64_t total = retired_sets_reused_;
+  for (const auto& [key, entry] : caches_) {
+    total += entry.cache->total_sets_reused();
   }
   return total;
 }
 
 void GraphContext::ReleaseCaches() {
+  for (const auto& [key, entry] : caches_) {
+    retired_sets_sampled_ += entry.cache->total_sets_sampled();
+    retired_sets_served_ += entry.cache->total_sets_served();
+    retired_sets_reused_ += entry.cache->total_sets_reused();
+  }
   caches_.clear();
   phase_cache_.Clear();
 }

@@ -11,6 +11,13 @@
 // sampling cost of a prefix is paid once per context, not once per
 // request.
 //
+// Memory: the shared collections may be byte-capped (`cache_budget_bytes`).
+// Past the cap, whole stream caches are evicted least-recently-used —
+// re-deriving an evicted stream later costs resampling but never changes
+// results (the stream is a pure function of its key), so a capped context
+// still serves bit-identical responses. ReleaseCaches() remains the
+// drop-everything escape hatch.
+//
 // Contexts serialize requests through their mutex (the ServingEngine does
 // the locking); parallelism comes from the sampling engine's worker pool
 // inside each request, which keeps results independent of both the thread
@@ -26,6 +33,7 @@
 
 #include "diffusion/triggering.h"
 #include "engine/phase_cache.h"
+#include "engine/sample_backend.h"
 #include "graph/graph.h"
 #include "serving/rr_cache.h"
 #include "util/types.h"
@@ -33,8 +41,9 @@
 namespace timpp {
 
 /// The sampling configuration facets that select a distinct RR stream.
-/// num_threads is deliberately absent: content is thread-count invariant,
-/// so one cache serves any parallelism setting.
+/// num_threads and the sample backend are deliberately absent: content is
+/// invariant to both, so one cache serves any parallelism setting and any
+/// backend.
 struct StreamKey {
   DiffusionModel model = DiffusionModel::kIC;
   SamplerMode sampler_mode = SamplerMode::kAuto;
@@ -55,16 +64,21 @@ struct StreamKey {
 class GraphContext {
  public:
   /// Takes ownership of `graph`. `num_threads` is the sampling
-  /// parallelism every cache engine of this context is built with.
-  explicit GraphContext(Graph graph, unsigned num_threads = 1);
+  /// parallelism every cache engine of this context is built with, and
+  /// `backend` is where that sampling runs (local threads or process
+  /// shards — responses are identical either way).
+  explicit GraphContext(Graph graph, unsigned num_threads = 1,
+                        SampleBackendSpec backend = {});
 
   GraphContext(const GraphContext&) = delete;
   GraphContext& operator=(const GraphContext&) = delete;
 
   const Graph& graph() const { return graph_; }
   unsigned num_threads() const { return num_threads_; }
+  const SampleBackendSpec& backend() const { return backend_; }
 
-  /// The shared stream cache for `key`, created on first use.
+  /// The shared stream cache for `key`, created on first use and marked
+  /// most-recently-used.
   SharedRRCache& CacheFor(const StreamKey& key);
 
   PhaseCache& phase_cache() { return phase_cache_; }
@@ -73,13 +87,28 @@ class GraphContext {
   /// Serializes requests against this context.
   std::mutex& mu() { return mu_; }
 
+  /// Byte cap on the shared collections (0 = unlimited). Enforced by
+  /// EnforceCacheBudget — typically by the ServingEngine after each
+  /// request; callers driving a context directly decide when.
+  void set_cache_budget_bytes(size_t bytes) { cache_budget_bytes_ = bytes; }
+  size_t cache_budget_bytes() const { return cache_budget_bytes_; }
+
+  /// Evicts least-recently-used stream caches until SharedMemoryBytes()
+  /// fits the budget (possibly evicting every stream when even one
+  /// exceeds it — re-created on next use, identical by the per-index RNG
+  /// contract). Returns the number of streams evicted. No-op at budget 0.
+  size_t EnforceCacheBudget();
+
   /// Accounting across every cache of the context (the README's "memory
-  /// accounting of shared collections").
+  /// accounting of shared collections"). Totals include evicted streams'
+  /// history, so reuse ratios stay meaningful under a byte cap.
   size_t SharedMemoryBytes() const;
   uint64_t TotalSetsSampled() const;
   uint64_t TotalSetsServed() const;
   uint64_t TotalSetsReused() const;
   size_t NumStreams() const { return caches_.size(); }
+  /// Lifetime count of budget evictions (streams dropped, not bytes).
+  uint64_t StreamsEvicted() const { return streams_evicted_; }
 
   /// Releases every shared collection and memoized phase (the graph
   /// stays). The next request pays full standalone cost again — the
@@ -87,11 +116,24 @@ class GraphContext {
   void ReleaseCaches();
 
  private:
+  struct CacheEntry {
+    std::unique_ptr<SharedRRCache> cache;
+    uint64_t last_used = 0;
+  };
+
   Graph graph_;
   unsigned num_threads_;
-  std::map<StreamKey, std::unique_ptr<SharedRRCache>> caches_;
+  SampleBackendSpec backend_;
+  std::map<StreamKey, CacheEntry> caches_;
   PhaseCache phase_cache_;
   std::mutex mu_;
+  size_t cache_budget_bytes_ = 0;
+  uint64_t use_tick_ = 0;
+  uint64_t streams_evicted_ = 0;
+  // Carried-over totals of evicted caches (accounting survives eviction).
+  uint64_t retired_sets_sampled_ = 0;
+  uint64_t retired_sets_served_ = 0;
+  uint64_t retired_sets_reused_ = 0;
 };
 
 }  // namespace timpp

@@ -21,8 +21,9 @@ SharedRRCache::SharedRRCache(const Graph& graph, const SamplingConfig& config)
 void SharedRRCache::EnsurePrefix(uint64_t count) {
   if (count <= cached_sets()) return;
   const uint64_t grow = count - cached_sets();
-  engine_.SampleInto(&sets_, grow, &edges_);
-  total_sets_sampled_ += grow;
+  const SampleBatch batch = engine_.SampleInto(&sets_, grow, &edges_);
+  // A failed backend delivers fewer; account what actually arrived.
+  total_sets_sampled_ += batch.sets_added;
 }
 
 SampleBatch SharedRRCache::Read(uint64_t first, uint64_t count,
@@ -30,6 +31,12 @@ SampleBatch SharedRRCache::Read(uint64_t first, uint64_t count,
   SampleBatch batch;
   const uint64_t cached_before = cached_sets();
   EnsurePrefix(first + count);
+  // A failed engine (dead sample backend) leaves the prefix short; clamp
+  // the read so accounting stays in bounds — the caller observes the
+  // short batch and the engine's latched status.
+  if (first + count > cached_sets()) {
+    count = cached_sets() > first ? cached_sets() - first : 0;
+  }
   out->AppendRange(sets_, first, count);
   for (uint64_t i = first; i < first + count; ++i) {
     batch.edges_examined += edges_[i];
@@ -57,7 +64,12 @@ SampleBatch SharedRRCache::ReadUntilCost(uint64_t first, double cost_threshold,
   const uint64_t cached_before = cached_sets();
   uint64_t i = first;
   while (rule.WantsMore()) {
-    if (i >= cached_sets()) EnsurePrefix(cached_sets() + kCostGrowBatch);
+    if (i >= cached_sets()) {
+      EnsurePrefix(cached_sets() + kCostGrowBatch);
+      // The engine refused to grow (failed backend): stop instead of
+      // spinning — the caller sees the engine's latched status.
+      if (i >= cached_sets()) break;
+    }
     const auto set = sets_.Set(static_cast<RRSetId>(i));
     out->Add(set, sets_.Width(static_cast<RRSetId>(i)));
     batch.edges_examined += edges_[i];

@@ -13,7 +13,7 @@ namespace timpp {
 namespace {
 
 SolverOptions ToSolverOptions(const ImRequest& request,
-                              unsigned num_threads) {
+                              const ServingOptions& serving) {
   SolverOptions options;
   options.k = request.k;
   options.epsilon = request.epsilon;
@@ -27,7 +27,10 @@ SolverOptions ToSolverOptions(const ImRequest& request,
   options.mc_samples = request.mc_samples;
   options.ris_tau_scale = request.ris_tau_scale;
   options.ris_max_sets = request.ris_max_sets;
-  options.num_threads = num_threads;
+  options.num_threads = serving.num_threads;
+  // Standalone-path requests (budgeted, non-RR, custom-model) still run
+  // their sampling on the engine-wide backend.
+  options.sample_backend = serving.sample_backend;
   return options;
 }
 
@@ -43,8 +46,10 @@ Status ServingEngine::RegisterGraph(const std::string& name, Graph graph) {
   if (contexts_.count(name) != 0) {
     return Status::InvalidArgument("graph already registered: " + name);
   }
-  contexts_.emplace(name, std::make_unique<GraphContext>(
-                              std::move(graph), options_.num_threads));
+  auto context = std::make_unique<GraphContext>(
+      std::move(graph), options_.num_threads, options_.sample_backend);
+  context->set_cache_budget_bytes(options_.shared_cache_budget_bytes);
+  contexts_.emplace(name, std::move(context));
   return Status::OK();
 }
 
@@ -74,8 +79,7 @@ ImResponse ServingEngine::SolveOnContext(GraphContext& context,
                                                     context.graph(), &solver);
   if (!response.status.ok()) return response;
 
-  const SolverOptions options =
-      ToSolverOptions(request, options_.num_threads);
+  const SolverOptions options = ToSolverOptions(request, options_);
 
   // The shared stream only helps RR-set solvers; a per-request memory
   // budget contradicts a shared collection; and a caller-owned triggering
@@ -107,6 +111,9 @@ ImResponse ServingEngine::SolveOnContext(GraphContext& context,
   response.rr_sets_reused = source.sets_reused();
   response.rr_sets_sampled = source.sets_sampled();
   response.phase_cache_hit = context.phase_cache().hits() > hits_before;
+  // Byte-cap enforcement happens between requests (still under the
+  // context lock), so a request never loses the stream it is reading.
+  context.EnforceCacheBudget();
   return response;
 }
 

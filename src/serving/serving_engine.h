@@ -40,6 +40,16 @@ struct ServingOptions {
   /// Sampling worker threads inside each request (results are invariant
   /// to this value; it is pure throughput).
   unsigned num_threads = 1;
+  /// Where each context's sampling runs (local threads or process
+  /// shards; engine/sample_backend.h). Responses are invariant to the
+  /// backend — the shared stream caches are keyed without it.
+  SampleBackendSpec sample_backend;
+  /// Byte cap (0 = unlimited) on each graph context's shared RR
+  /// collections, enforced after every request by LRU eviction of whole
+  /// streams (GraphContext::EnforceCacheBudget). A capped engine returns
+  /// bit-identical responses — evicted streams are re-derived on demand —
+  /// at the price of resampling.
+  size_t shared_cache_budget_bytes = 0;
 };
 
 /// One influence-maximization request. Field semantics match

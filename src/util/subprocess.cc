@@ -1,0 +1,182 @@
+#include "util/subprocess.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace timpp {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+void IgnoreSigpipeOnce() {
+  // A worker dying between our write() and its read() must surface as
+  // EPIPE, not terminate the coordinator. Done once, process-wide — but
+  // only when the application left SIGPIPE at its default (terminate):
+  // an embedder's own handler or explicit ignore is respected, never
+  // clobbered.
+  static const bool done = [] {
+    struct sigaction current;
+    if (::sigaction(SIGPIPE, nullptr, &current) == 0 &&
+        current.sa_handler == SIG_DFL &&
+        (current.sa_flags & SA_SIGINFO) == 0) {
+      ::signal(SIGPIPE, SIG_IGN);
+    }
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+Status Subprocess::Start(const std::vector<std::string>& argv,
+                         std::unique_ptr<Subprocess>* out) {
+  if (argv.empty()) return Status::InvalidArgument("empty argv");
+  IgnoreSigpipeOnce();
+
+  // O_CLOEXEC keeps later-forked siblings from inheriting every earlier
+  // worker's pipe ends (fd bloat, and an inherited write end would defeat
+  // EOF-based shutdown); the child's dup2 below clears the flag on the
+  // two fds the child actually needs.
+  int to_child[2];   // parent writes -> child stdin
+  int from_child[2]; // child stdout -> parent reads
+  if (::pipe2(to_child, O_CLOEXEC) != 0) return Errno("pipe");
+  if (::pipe2(from_child, O_CLOEXEC) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return Errno("pipe");
+  }
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    return Errno("fork");
+  }
+  if (pid == 0) {
+    // Child: wire the pipes to stdin/stdout, drop the parent ends, exec.
+    // dup2(fd, fd) is a no-op that would leave O_CLOEXEC set — possible
+    // when the parent started with stdio closed and pipe2 handed out
+    // fd 0/1 — so that case clears the flag in place instead.
+    const auto install = [](int fd, int target) {
+      if (fd == target) {
+        ::fcntl(fd, F_SETFD, 0);  // clear FD_CLOEXEC
+      } else {
+        ::dup2(fd, target);
+      }
+    };
+    install(to_child[0], STDIN_FILENO);
+    install(from_child[1], STDOUT_FILENO);
+    for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+      if (fd != STDIN_FILENO && fd != STDOUT_FILENO) ::close(fd);
+    }
+    ::execvp(cargv[0], cargv.data());
+    // exec failed; 127 is the shell's "command not found" convention.
+    ::_exit(127);
+  }
+
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  auto process = std::unique_ptr<Subprocess>(new Subprocess());
+  process->pid_ = pid;
+  process->stdin_fd_ = to_child[1];
+  process->stdout_fd_ = from_child[0];
+  *out = std::move(process);
+  return Status::OK();
+}
+
+Subprocess::~Subprocess() {
+  if (!reaped_) {
+    Kill();
+    Wait();
+  }
+  CloseStdin();
+  if (stdout_fd_ >= 0) {
+    ::close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+}
+
+void Subprocess::CloseStdin() {
+  if (stdin_fd_ >= 0) {
+    ::close(stdin_fd_);
+    stdin_fd_ = -1;
+  }
+}
+
+void Subprocess::Kill() {
+  if (!reaped_ && pid_ > 0) ::kill(pid_, SIGKILL);
+}
+
+int Subprocess::Wait() {
+  if (reaped_) return exit_code_;
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  reaped_ = true;
+  if (r < 0) {
+    exit_code_ = -1;
+  } else if (WIFEXITED(status)) {
+    exit_code_ = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    exit_code_ = -WTERMSIG(status);
+  } else {
+    exit_code_ = -1;
+  }
+  return exit_code_;
+}
+
+Status WriteAllFd(int fd, const void* data, size_t size) {
+  if (fd < 0) return Status::IOError("write on closed fd");
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write to pipe");
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadAllFd(int fd, void* data, size_t size) {
+  if (fd < 0) return Status::IOError("read on closed fd");
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::read(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read from pipe");
+    }
+    if (n == 0) {
+      return Status::IOError("pipe closed mid-message (peer exited?)");
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace timpp

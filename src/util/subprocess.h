@@ -1,0 +1,76 @@
+// Subprocess — spawn a child process with piped stdin/stdout, POSIX only.
+//
+// The distributed sampling coordinator uses this to run worker processes
+// and exchange length-prefixed frames with them. Failure surfaces as
+// Status (a dead child turns writes into EPIPE and reads into EOF), never
+// as a signal: the first Start() call ignores SIGPIPE process-wide so a
+// crashed worker produces an error return instead of killing the
+// coordinator.
+#ifndef TIMPP_UTIL_SUBPROCESS_H_
+#define TIMPP_UTIL_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace timpp {
+
+/// A running child process plus the two pipe ends the parent holds.
+/// Non-copyable and non-movable (fds and pid are identity); hold by
+/// unique_ptr. The destructor kills and reaps a still-running child.
+class Subprocess {
+ public:
+  /// Spawns `argv` (argv[0] = executable path, resolved via PATH when it
+  /// contains no '/') with stdin and stdout connected to pipes; stderr is
+  /// inherited so worker diagnostics reach the operator. An executable
+  /// that cannot be exec'd is reported by the child exiting 127 — the
+  /// parent sees it as EOF on first read.
+  static Status Start(const std::vector<std::string>& argv,
+                      std::unique_ptr<Subprocess>* out);
+
+  ~Subprocess();
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// Pipe fd the child reads as its stdin (-1 after CloseStdin).
+  int stdin_fd() const { return stdin_fd_; }
+  /// Pipe fd carrying the child's stdout.
+  int stdout_fd() const { return stdout_fd_; }
+  pid_t pid() const { return pid_; }
+
+  /// Closes the child's stdin pipe — the worker loop's EOF shutdown
+  /// signal.
+  void CloseStdin();
+
+  /// SIGKILLs the child (no-op when already reaped).
+  void Kill();
+
+  /// Reaps the child (blocking). Returns the exit code, or -signal when
+  /// it was killed by one; repeated calls return the first result.
+  int Wait();
+
+ private:
+  Subprocess() = default;
+
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  bool reaped_ = false;
+  int exit_code_ = 0;
+};
+
+/// Writes all `size` bytes to `fd`, retrying short writes and EINTR.
+/// EPIPE (reader gone) and other errors come back as IOError.
+Status WriteAllFd(int fd, const void* data, size_t size);
+
+/// Reads exactly `size` bytes from `fd`. Premature EOF is an IOError —
+/// for a worker pipe that means the process died mid-message.
+Status ReadAllFd(int fd, void* data, size_t size);
+
+}  // namespace timpp
+
+#endif  // TIMPP_UTIL_SUBPROCESS_H_

@@ -394,6 +394,94 @@ TEST(SharedRRCacheTest, ReadsAreByteIdenticalToAFreshEngine) {
   }
 }
 
+// ------------------------------------------- cache eviction -------------
+
+TEST(ServingEngineTest, ByteCappedContextReturnsBitIdenticalResults) {
+  Graph g = MakeWcPowerLaw(250, 4, 77);
+  Graph g2 = MakeWcPowerLaw(250, 4, 77);
+
+  // Uncapped reference run.
+  ServingEngine reference(ServingOptions{.num_threads = 2});
+  ASSERT_TRUE(reference.RegisterGraph("g", std::move(g)).ok());
+  // A batch whose requests use two different seeds = two streams, so LRU
+  // eviction across streams has something to choose between.
+  std::vector<ImRequest> requests = MixedBatch("g");
+  for (size_t i = 0; i + 1 < requests.size(); i += 2) {
+    requests[i].seed = 4242;
+  }
+  const std::vector<ImResponse> uncapped = reference.SolveBatch(requests);
+
+  // Capped engine: a budget small enough that whole streams must be
+  // evicted between requests.
+  ServingOptions capped_options;
+  capped_options.num_threads = 2;
+  capped_options.shared_cache_budget_bytes = 256 * 1024;
+  ServingEngine capped(capped_options);
+  ASSERT_TRUE(capped.RegisterGraph("g", std::move(g2)).ok());
+  const std::vector<ImResponse> capped_responses = capped.SolveBatch(requests);
+
+  ASSERT_EQ(uncapped.size(), capped_responses.size());
+  for (size_t i = 0; i < uncapped.size(); ++i) {
+    ASSERT_TRUE(capped_responses[i].status.ok())
+        << capped_responses[i].status.ToString();
+    EXPECT_EQ(uncapped[i].result.seeds, capped_responses[i].result.seeds)
+        << i;
+    EXPECT_DOUBLE_EQ(uncapped[i].result.Metric("theta"),
+                     capped_responses[i].result.Metric("theta"))
+        << i;
+  }
+
+  GraphContext* context = capped.Context("g");
+  ASSERT_NE(context, nullptr);
+  EXPECT_LE(context->SharedMemoryBytes(), capped_options.shared_cache_budget_bytes);
+  EXPECT_GT(context->StreamsEvicted(), 0u)
+      << "budget was too large to exercise eviction";
+  // Lifetime accounting survives evictions.
+  GraphContext* uncapped_context = reference.Context("g");
+  EXPECT_EQ(context->TotalSetsServed(), uncapped_context->TotalSetsServed());
+}
+
+TEST(GraphContextTest, LruEvictsTheStaleStreamFirst) {
+  GraphContext context(MakeTwoCommunities(0.35f), 1);
+
+  StreamKey old_key;
+  old_key.seed = 1;
+  StreamKey hot_key;
+  hot_key.seed = 2;
+  SharedRRCache& old_cache = context.CacheFor(old_key);
+  RRCollection sink(context.graph().num_nodes());
+  old_cache.Read(0, 400, &sink);
+  SharedRRCache& hot_cache = context.CacheFor(hot_key);
+  RRCollection sink2(context.graph().num_nodes());
+  hot_cache.Read(0, 400, &sink2);
+  ASSERT_EQ(context.NumStreams(), 2u);
+
+  // Budget forces exactly one stream out: the least-recently-used (seed
+  // 1; seed 2 was touched later).
+  context.set_cache_budget_bytes(context.SharedMemoryBytes() -
+                                 old_cache.MemoryBytes());
+  EXPECT_EQ(context.EnforceCacheBudget(), 1u);
+  EXPECT_EQ(context.NumStreams(), 1u);
+  EXPECT_EQ(context.StreamsEvicted(), 1u);
+  // Reads of the survivor still work; the evicted stream re-derives
+  // from scratch with identical bytes on next use.
+  RRCollection before(context.graph().num_nodes());
+  context.CacheFor(hot_key);  // still resident: no resampling
+  EXPECT_EQ(context.NumStreams(), 1u);
+  SharedRRCache& revived = context.CacheFor(old_key);
+  RRCollection after(context.graph().num_nodes());
+  revived.Read(0, 400, &after);
+  ASSERT_EQ(after.num_sets(), 400u);
+  for (size_t id = 0; id < sink.num_sets(); ++id) {
+    const auto a = sink.Set(static_cast<RRSetId>(id));
+    const auto b = after.Set(static_cast<RRSetId>(id));
+    ASSERT_EQ(a.size(), b.size()) << id;
+    for (size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+  // Accounting kept the evicted stream's history.
+  EXPECT_EQ(context.TotalSetsServed(), 1200u);
+}
+
 TEST(SharedRRCacheTest, CostReadMatchesEngineStopPoint) {
   Graph g = MakeTwoCommunities(0.35f);
 
