@@ -16,6 +16,7 @@
 
 #include <errno.h>  // program_invocation_short_name (glibc)
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <string>
@@ -130,6 +131,41 @@ inline void RecordMetric(const std::string& label, double value) {
 
 /// Default k sweep used across the paper's figures (k from 1 to 50).
 inline std::vector<int> DefaultKSweep() { return {1, 10, 20, 30, 40, 50}; }
+
+/// Linear-interpolated percentile of `values` (p in [0, 100]); takes the
+/// sample vector by value and sorts the copy. Empty input yields 0.
+inline double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank =
+      (std::min(std::max(p, 0.0), 100.0) / 100.0) *
+      static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+/// The latency summary every serving bench reports: P50/P90/P99 of
+/// `latencies_ms`, recorded as <prefix>.p50_ms/.p90_ms/.p99_ms in the
+/// JSON mirror and returned as {p50, p90, p99}.
+struct LatencySummary {
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+inline LatencySummary RecordLatencyPercentiles(
+    const std::string& prefix, const std::vector<double>& latencies_ms) {
+  LatencySummary summary;
+  summary.p50_ms = Percentile(latencies_ms, 50.0);
+  summary.p90_ms = Percentile(latencies_ms, 90.0);
+  summary.p99_ms = Percentile(latencies_ms, 99.0);
+  RecordMetric(prefix + ".p50_ms", summary.p50_ms);
+  RecordMetric(prefix + ".p90_ms", summary.p90_ms);
+  RecordMetric(prefix + ".p99_ms", summary.p99_ms);
+  return summary;
+}
 
 /// Builds the proxy for `dataset`, exiting the process on failure.
 inline Graph MustBuildProxy(Dataset dataset, double scale,

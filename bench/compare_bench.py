@@ -26,10 +26,15 @@ import sys
 
 # Metric-label substrings treated as "higher is better" when classifying a
 # delta as improvement vs regression; everything else (seconds, bytes,
-# edges, theta, ...) is "lower is better". Labels with no perf meaning
-# (sizes of inputs like ".n" / ".m") are reported but never classified.
+# edges, theta, ...) is "lower is better". Latency-style labels are listed
+# explicitly and take precedence — a label like "serial.p99_ms" must stay
+# lower-is-better even if a higher-is-better substring ever creeps into
+# its prefix. Labels with no perf meaning (sizes of inputs like ".n" /
+# ".m", machine descriptors) are reported but never classified.
+LOWER_IS_BETTER = ("p50", "p90", "p99", "latency", "_ms")
 HIGHER_IS_BETTER = ("per_sec", "speedup", "spread", "coverage", "fraction")
-NEUTRAL = (".n", ".m", "num_sets", "total_nodes", "avg_in_run_len")
+NEUTRAL = (".n", ".m", "num_sets", "total_nodes", "avg_in_run_len",
+           "hardware_concurrency", "pin_threads")
 
 
 def load_metrics(path):
@@ -43,7 +48,10 @@ def classify(label, old, new):
         return "·"
     if old == new:
         return "="
-    better = new > old if any(s in label for s in HIGHER_IS_BETTER) else new < old
+    if any(s in label for s in LOWER_IS_BETTER):
+        better = new < old
+    else:
+        better = new > old if any(s in label for s in HIGHER_IS_BETTER) else new < old
     return "+" if better else "-"
 
 

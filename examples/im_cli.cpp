@@ -40,6 +40,17 @@
 //   --cache-budget=0  batch mode: byte cap on the shared RR collections
 //                     (LRU stream eviction; identical results, bounded
 //                     memory)
+//   --concurrency=1   batch mode: >1 serves the batch through the async
+//                     Submit path with that many concurrent request
+//                     workers (results identical to --concurrency=1;
+//                     per-request reuse attribution may shift between
+//                     overlapping requests)
+//   --max-pending=0   batch mode with --concurrency: admission-queue
+//                     bound; requests past it are rejected with
+//                     Unavailable (0 = unbounded, the CLI default — a
+//                     batch file is finite)
+//   --pin-threads     pin sampling/request workers to CPUs (placement
+//                     only; results are invariant to it)
 //   --memory-budget=0 soft cap (bytes; 0 = unlimited) on resident
 //                     RR-collection bytes. tim/tim+/imm/ris all degrade
 //                     gracefully past it (streaming sample-and-discard
@@ -61,6 +72,7 @@
 //                     per-request line plus a reuse summary.
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -213,7 +225,8 @@ bool ParseBatchLine(const std::string& line, int line_number,
 /// a ServingEngine and reports per-request results plus reuse totals.
 int RunBatch(const std::string& path, timpp::Graph graph,
              const timpp::ImRequest& defaults,
-             const timpp::ServingOptions& serving_options) {
+             const timpp::ServingOptions& serving_options,
+             unsigned concurrency) {
   const unsigned num_threads = serving_options.num_threads;
   std::ifstream in(path);
   if (!in) {
@@ -241,10 +254,26 @@ int RunBatch(const std::string& path, timpp::Graph graph,
   timpp::Status status = serving.RegisterGraph("g", std::move(graph));
   if (!status.ok()) return Fail(status);
 
-  std::printf("serving %zu request(s) with %u thread(s)\n\n",
-              requests.size(), num_threads);
-  const std::vector<timpp::ImResponse> responses =
-      serving.SolveBatch(requests);
+  std::vector<timpp::ImResponse> responses;
+  if (concurrency > 1) {
+    // Async path: every request enters the admission queue up front and a
+    // crew of `concurrency` workers drains it; results come back in
+    // request order through the futures regardless of completion order.
+    std::printf(
+        "serving %zu request(s) with %u thread(s), concurrency %u\n\n",
+        requests.size(), num_threads, concurrency);
+    std::vector<std::future<timpp::ImResponse>> futures;
+    futures.reserve(requests.size());
+    for (const timpp::ImRequest& request : requests) {
+      futures.push_back(serving.Submit(request));
+    }
+    responses.reserve(futures.size());
+    for (auto& future : futures) responses.push_back(future.get());
+  } else {
+    std::printf("serving %zu request(s) with %u thread(s)\n\n",
+                requests.size(), num_threads);
+    responses = serving.SolveBatch(requests);
+  }
 
   int failures = 0;
   for (size_t i = 0; i < responses.size(); ++i) {
@@ -415,8 +444,17 @@ int main(int argc, char** argv) {
     serving_options.sample_backend = backend_spec;
     serving_options.shared_cache_budget_bytes =
         static_cast<size_t>(flags.GetInt("cache-budget", 0));
+    const unsigned concurrency = static_cast<unsigned>(
+        std::max<int64_t>(1, flags.GetInt("concurrency", 1)));
+    serving_options.submit_workers = concurrency;
+    // A batch file is a finite, known workload: default to unbounded
+    // admission so --concurrency never sheds requests unless the user
+    // asks for a bound.
+    serving_options.max_pending_requests =
+        static_cast<size_t>(flags.GetInt("max-pending", 0));
+    serving_options.pin_threads = flags.GetBool("pin-threads", false);
     return RunBatch(flags.GetString("batch", ""), std::move(graph), defaults,
-                    serving_options);
+                    serving_options, concurrency);
   }
 
   // ---- solve --------------------------------------------------------
@@ -437,6 +475,7 @@ int main(int argc, char** argv) {
   options.model = model;
   options.max_hops = static_cast<uint32_t>(flags.GetInt("max_hops", 0));
   options.num_threads = num_threads;
+  options.pin_threads = flags.GetBool("pin-threads", false);
   options.seed = seed;
   options.mc_samples = mc;
   options.ris_tau_scale = flags.GetDouble("ris_tau_scale", 0.1);

@@ -72,6 +72,7 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
     sampling.custom_model = options.custom_model;
     sampling.sampler_mode = options.sampler_mode;
     sampling.num_threads = options.num_threads;
+    sampling.pin_threads = options.pin_threads;
     sampling.seed = options.seed;
     sampling.backend = options.sample_backend;
     local_engine.emplace(graph, sampling);

@@ -51,6 +51,9 @@ struct RisOptions {
   /// rule is evaluated on the deterministic index-ordered sample stream,
   /// so results are identical for any thread count.
   unsigned num_threads = 1;
+  /// Pin sampling worker threads to CPUs (placement only; results are
+  /// invariant to it).
+  bool pin_threads = false;
   uint64_t seed = 0xb0265ULL;
   /// Where sample production runs (engine/sample_backend.h); results are
   /// backend-invariant.

@@ -122,6 +122,7 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
     sampling.max_hops = options.max_hops;
     sampling.sampler_mode = options.sampler_mode;
     sampling.num_threads = options.num_threads;
+    sampling.pin_threads = options.pin_threads;
     sampling.seed = options.seed;
     if (options.node_weights != nullptr) {
       sampling.root_distribution = &root_dist;
@@ -161,7 +162,12 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
   bool sampling_budget_hit = false;
   uint64_t sampling_target = 0;  // θ_i of the latest iteration
   double lb = 1.0;
-  const LbPhaseEntry* hit = memo != nullptr ? memo->FindLb(memo_key) : nullptr;
+  // Hit or compute obligation; same-key concurrent requests wait inside
+  // AcquireLb and wake as hits once this one publishes. An error return
+  // destroys the unpublished lease, waking them to recompute instead.
+  PhaseCache::LbLease lease;
+  if (memo != nullptr) lease = memo->AcquireLb(memo_key);
+  const LbPhaseEntry* hit = lease.entry();
   if (hit != nullptr) {
     // The whole binary search is a pure function of the key: restore LB
     // and jump the stream past the sets it consumed.
@@ -212,7 +218,7 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
       entry.sampling_iterations = stats.sampling_iterations;
       entry.rr_sets_sampling = sampling_target;
       entry.end_index = source->position();
-      memo->StoreLb(memo_key, entry);
+      lease.Publish(entry);
     }
   }
   stats.lb = lb;

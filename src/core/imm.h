@@ -69,6 +69,9 @@ struct ImmOptions {
   /// Sampling worker threads for both phases (see the determinism note in
   /// the header comment: results do not depend on this value).
   unsigned num_threads = 1;
+  /// Pin sampling worker threads to CPUs (placement only; results are
+  /// invariant to it).
+  bool pin_threads = false;
   /// Soft cap (bytes; 0 = unlimited) on resident RR-collection DataBytes
   /// in BOTH phases (the progressive x_i batches grow toward θ-scale, so
   /// the sampling phase needs the cap as much as selection). Past the

@@ -79,6 +79,7 @@ Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
     sampling.max_hops = options.max_hops;
     sampling.sampler_mode = options.sampler_mode;
     sampling.num_threads = options.num_threads;
+    sampling.pin_threads = options.pin_threads;
     sampling.seed = options.seed;
     sampling.backend = options.sample_backend;
     local_engine.emplace(graph_, sampling);
@@ -113,8 +114,13 @@ Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
   }
 
   double kpt_bound = 0.0;
-  const KptPhaseEntry* hit =
-      memo != nullptr ? memo->FindKpt(memo_key) : nullptr;
+  // Acquire either a ready entry or the obligation to compute it; a
+  // concurrent request for the same key blocks inside AcquireKpt until
+  // this one publishes (once-computation). An error return below destroys
+  // the unpublished lease, which wakes the waiters to recompute.
+  PhaseCache::KptLease lease;
+  if (memo != nullptr) lease = memo->AcquireKpt(memo_key);
+  const KptPhaseEntry* hit = lease.entry();
   if (hit != nullptr) {
     // Algorithms 2(+3) are pure functions of the key: restore their
     // output and jump the stream to where they left it. Phase timings
@@ -168,7 +174,7 @@ Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
       entry.edges_kpt = kpt.edges_examined;
       entry.edges_refine = edges_refine;
       entry.end_index = source->position();
-      memo->StoreKpt(memo_key, entry);
+      lease.Publish(entry);
     }
   }
 

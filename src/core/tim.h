@@ -58,6 +58,9 @@ struct TimOptions {
   /// merge contract results are bit-reproducible in `seed` alone —
   /// independent of num_threads. 1 = fully sequential.
   unsigned num_threads = 1;
+  /// Pin sampling worker threads to CPUs (placement only; results are
+  /// invariant to it).
+  bool pin_threads = false;
   /// Soft cap (bytes; 0 = unlimited) on the node-selection RR collection's
   /// resident DataBytes — the §7.2 memory knob. Past the cap, Algorithm 1
   /// degrades to streaming sample-and-discard selection (retained-prefix

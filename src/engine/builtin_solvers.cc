@@ -47,6 +47,7 @@ class TimInfluenceSolver final : public InfluenceSolver {
     tim.max_hops = options.max_hops;
     tim.sampler_mode = options.sampler_mode;
     tim.num_threads = options.num_threads;
+    tim.pin_threads = options.pin_threads;
     tim.seed = options.seed;
     tim.memory_budget_bytes = options.memory_budget_bytes;
     tim.sample_backend = options.sample_backend;
@@ -115,6 +116,7 @@ class ImmInfluenceSolver final : public InfluenceSolver {
     imm.max_hops = options.max_hops;
     imm.sampler_mode = options.sampler_mode;
     imm.num_threads = options.num_threads;
+    imm.pin_threads = options.pin_threads;
     imm.seed = options.seed;
     imm.memory_budget_bytes = options.memory_budget_bytes;
     imm.sample_backend = options.sample_backend;
@@ -184,6 +186,7 @@ class RisInfluenceSolver final : public InfluenceSolver {
                                   ? options.ris_memory_budget_bytes
                                   : options.memory_budget_bytes;
     ris.num_threads = options.num_threads;
+    ris.pin_threads = options.pin_threads;
     ris.seed = options.seed;
     ris.sample_backend = options.sample_backend;
 

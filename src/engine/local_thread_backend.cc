@@ -48,7 +48,7 @@ LocalThreadBackend::LocalThreadBackend(const Graph& graph,
     shards_.push_back(std::make_unique<Shard>(graph_, config));
   }
   if (num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(num_threads - 1);
+    pool_ = std::make_unique<ThreadPool>(num_threads - 1, config.pin_threads);
   }
 }
 

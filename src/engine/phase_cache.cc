@@ -11,39 +11,11 @@ uint64_t DoubleBits(double value) {
   return bits;
 }
 
-const KptPhaseEntry* PhaseCache::FindKpt(const KptPhaseKey& key) {
-  auto it = kpt_.find(key);
-  if (it == kpt_.end()) {
-    ++misses_;
-    return nullptr;
-  }
-  ++hits_;
-  return &it->second;
-}
-
-const LbPhaseEntry* PhaseCache::FindLb(const LbPhaseKey& key) {
-  auto it = lb_.find(key);
-  if (it == lb_.end()) {
-    ++misses_;
-    return nullptr;
-  }
-  ++hits_;
-  return &it->second;
-}
-
-void PhaseCache::StoreKpt(const KptPhaseKey& key, const KptPhaseEntry& entry) {
-  kpt_[key] = entry;
-}
-
-void PhaseCache::StoreLb(const LbPhaseKey& key, const LbPhaseEntry& entry) {
-  lb_[key] = entry;
-}
-
 void PhaseCache::Clear() {
-  kpt_.clear();
-  lb_.clear();
-  hits_ = 0;
-  misses_ = 0;
+  kpt_.Clear();
+  lb_.Clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace timpp

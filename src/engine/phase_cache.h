@@ -19,12 +19,26 @@
 // run starts (standalone engines are fresh; serving cursors start at 0),
 // and callers must only consult the cache in that situation.
 //
-// Not thread-safe; the serving layer serializes access per GraphContext.
+// Concurrency: the cache is a sharded map (key-hashed shards, each with
+// its own mutex) with PER-KEY ONCE-COMPUTATION. Acquire(key) returns a
+// lease that is either a HIT (the entry is ready — restore and go) or a
+// COMPUTE OBLIGATION: the caller runs the phase and Publishes the entry,
+// while any concurrent request for the same key blocks on the shard's
+// condition variable and wakes as a hit. Unrelated keys proceed in
+// parallel (different slots, usually different shards). A lease destroyed
+// without publishing (the phase failed) wakes the waiters, which retry
+// from scratch — an error never poisons the key.
 #ifndef TIMPP_ENGINE_PHASE_CACHE_H_
 #define TIMPP_ENGINE_PHASE_CACHE_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
 
 #include "diffusion/triggering.h"
 #include "util/types.h"
@@ -82,32 +96,213 @@ struct LbPhaseEntry {
   uint64_t end_index = 0;         // stream position after the phase
 };
 
-/// Exact-key memo of phase results. Lookups count hits/misses so serving
-/// layers can report per-request cache behaviour.
+/// Bit pattern of a double, for exact-value keying.
+uint64_t DoubleBits(double value);
+
+/// splitmix64-style mix step for shard selection.
+inline uint64_t PhaseHashMix(uint64_t h, uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL + h;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return v ^ (v >> 31);
+}
+
+inline uint64_t PhaseKeyHash(const KptPhaseKey& key) {
+  uint64_t h = PhaseHashMix(0, static_cast<uint64_t>(key.model));
+  h = PhaseHashMix(h, static_cast<uint64_t>(key.sampler_mode));
+  h = PhaseHashMix(h, key.max_hops);
+  h = PhaseHashMix(h, key.seed);
+  h = PhaseHashMix(h, reinterpret_cast<uintptr_t>(key.custom_model));
+  h = PhaseHashMix(h, static_cast<uint64_t>(key.k));
+  h = PhaseHashMix(h, key.use_refinement ? 1 : 0);
+  h = PhaseHashMix(h, key.ell_bits);
+  return PhaseHashMix(h, key.eps_prime_bits);
+}
+
+inline uint64_t PhaseKeyHash(const LbPhaseKey& key) {
+  uint64_t h = PhaseHashMix(1, static_cast<uint64_t>(key.model));
+  h = PhaseHashMix(h, static_cast<uint64_t>(key.sampler_mode));
+  h = PhaseHashMix(h, key.max_hops);
+  h = PhaseHashMix(h, key.seed);
+  h = PhaseHashMix(h, reinterpret_cast<uintptr_t>(key.custom_model));
+  h = PhaseHashMix(h, static_cast<uint64_t>(key.k));
+  h = PhaseHashMix(h, key.epsilon_bits);
+  return PhaseHashMix(h, key.ell_bits);
+}
+
+/// Sharded once-map: each key is computed by exactly one caller while
+/// concurrent callers for the same key wait, and callers for other keys
+/// proceed in parallel. All state lives behind per-shard mutexes; entry
+/// pointers handed out stay valid for the lifetime of the lease that
+/// returned them (the lease shares ownership of the slot).
+template <typename Key, typename Entry>
+class PhaseOnceMap {
+  enum class SlotState { kComputing, kReady, kAbandoned };
+
+  struct Slot {
+    SlotState state = SlotState::kComputing;
+    Entry entry;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::map<Key, std::shared_ptr<Slot>> map;
+  };
+
+  static constexpr size_t kNumShards = 8;
+
+ public:
+  /// The outcome of an Acquire: either a hit (entry() non-null) or a
+  /// compute obligation (the caller must Publish or let the lease die,
+  /// which abandons the slot and wakes the waiters to retry).
+  class Lease {
+   public:
+    Lease() = default;
+    ~Lease() { Abandon(); }
+
+    Lease(Lease&& other) noexcept { *this = std::move(other); }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Abandon();
+        shard_ = other.shard_;
+        slot_ = std::move(other.slot_);
+        key_ = other.key_;
+        hit_ = other.hit_;
+        other.shard_ = nullptr;
+        other.slot_.reset();
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    /// The ready entry on a hit, nullptr when this lease carries the
+    /// compute obligation (or is empty). Valid while the lease lives.
+    const Entry* entry() const { return hit_ ? &slot_->entry : nullptr; }
+
+    /// Whether this lease carries the obligation to compute + Publish.
+    bool must_compute() const { return slot_ != nullptr && !hit_; }
+
+    /// Fulfills the compute obligation: stores the entry, marks the slot
+    /// ready, and wakes every waiter. The lease becomes a hit.
+    void Publish(const Entry& entry) {
+      if (!must_compute()) return;
+      std::lock_guard<std::mutex> lock(shard_->mu);
+      slot_->entry = entry;
+      slot_->state = SlotState::kReady;
+      hit_ = true;
+      shard_->cv.notify_all();
+    }
+
+   private:
+    friend class PhaseOnceMap;
+    Lease(Shard* shard, std::shared_ptr<Slot> slot, const Key& key, bool hit)
+        : shard_(shard), slot_(std::move(slot)), key_(key), hit_(hit) {}
+
+    /// Compute obligation dropped without a result (the phase errored
+    /// out): detach the slot so the key can be recomputed, and wake the
+    /// waiters so they retry instead of sleeping forever.
+    void Abandon() {
+      if (!must_compute()) return;
+      std::lock_guard<std::mutex> lock(shard_->mu);
+      slot_->state = SlotState::kAbandoned;
+      auto it = shard_->map.find(key_);
+      // Identity check: Clear() may have dropped this slot already and a
+      // newer computation may occupy the key — never erase that one.
+      if (it != shard_->map.end() && it->second == slot_) {
+        shard_->map.erase(it);
+      }
+      shard_->cv.notify_all();
+    }
+
+    Shard* shard_ = nullptr;
+    std::shared_ptr<Slot> slot_;
+    Key key_{};
+    bool hit_ = false;
+  };
+
+  /// Hit, or the obligation to compute `key`. Blocks while another caller
+  /// is computing the same key. `hits`/`misses` are bumped by outcome
+  /// (a woken waiter counts as a hit — it was served without computing).
+  Lease Acquire(const Key& key, std::atomic<uint64_t>* hits,
+                std::atomic<uint64_t>* misses) {
+    Shard& shard = shards_[PhaseKeyHash(key) % kNumShards];
+    std::unique_lock<std::mutex> lock(shard.mu);
+    for (;;) {
+      auto it = shard.map.find(key);
+      if (it == shard.map.end()) {
+        auto slot = std::make_shared<Slot>();
+        shard.map.emplace(key, slot);
+        misses->fetch_add(1, std::memory_order_relaxed);
+        return Lease(&shard, std::move(slot), key, /*hit=*/false);
+      }
+      std::shared_ptr<Slot> slot = it->second;
+      if (slot->state == SlotState::kReady) {
+        hits->fetch_add(1, std::memory_order_relaxed);
+        return Lease(&shard, std::move(slot), key, /*hit=*/true);
+      }
+      shard.cv.wait(lock, [&] { return slot->state != SlotState::kComputing; });
+      if (slot->state == SlotState::kReady) {
+        hits->fetch_add(1, std::memory_order_relaxed);
+        return Lease(&shard, std::move(slot), key, /*hit=*/true);
+      }
+      // Abandoned: the computing request failed and detached the slot —
+      // loop and race to become the new computer.
+    }
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+  /// Drops every mapping. In-flight computations keep their (now
+  /// detached) slots alive through their leases and still resolve their
+  /// waiters; they just no longer populate the map.
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.clear();
+    }
+  }
+
+ private:
+  std::array<Shard, kNumShards> shards_;
+};
+
+/// Exact-key memo of phase results with per-key once-computation.
+/// Thread-safe; lookups count hits/misses so serving layers can report
+/// per-request cache behaviour.
 class PhaseCache {
  public:
-  /// Returns the entry for `key`, or nullptr on a miss. The pointer stays
-  /// valid until Clear() (node-based map).
-  const KptPhaseEntry* FindKpt(const KptPhaseKey& key);
-  const LbPhaseEntry* FindLb(const LbPhaseKey& key);
+  using KptLease = PhaseOnceMap<KptPhaseKey, KptPhaseEntry>::Lease;
+  using LbLease = PhaseOnceMap<LbPhaseKey, LbPhaseEntry>::Lease;
 
-  void StoreKpt(const KptPhaseKey& key, const KptPhaseEntry& entry);
-  void StoreLb(const LbPhaseKey& key, const LbPhaseEntry& entry);
+  /// A hit lease (entry() ready) or the obligation to compute the phase
+  /// and Publish. Blocks while another request computes the same key.
+  KptLease AcquireKpt(const KptPhaseKey& key) {
+    return kpt_.Acquire(key, &hits_, &misses_);
+  }
+  LbLease AcquireLb(const LbPhaseKey& key) {
+    return lb_.Acquire(key, &hits_, &misses_);
+  }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   size_t size() const { return kpt_.size() + lb_.size(); }
   void Clear();
 
  private:
-  std::map<KptPhaseKey, KptPhaseEntry> kpt_;
-  std::map<LbPhaseKey, LbPhaseEntry> lb_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  PhaseOnceMap<KptPhaseKey, KptPhaseEntry> kpt_;
+  PhaseOnceMap<LbPhaseKey, LbPhaseEntry> lb_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
-
-/// Bit pattern of a double, for exact-value keying.
-uint64_t DoubleBits(double value);
 
 }  // namespace timpp
 

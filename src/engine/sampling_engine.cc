@@ -30,12 +30,25 @@ SamplingEngine::SamplingEngine(const Graph& graph,
 
 SamplingEngine::~SamplingEngine() = default;
 
+Status SamplingEngine::status() const {
+  if (!failed_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return first_error_;
+}
+
+void SamplingEngine::LatchError(Status st) {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  if (failed_.load(std::memory_order_relaxed)) return;  // first error wins
+  first_error_ = std::move(st);
+  failed_.store(true, std::memory_order_release);
+}
+
 bool SamplingEngine::FillOk(uint64_t base, uint64_t count,
                             const SampleFilter* filter) {
-  if (!status_.ok()) return false;
+  if (failed_.load(std::memory_order_acquire)) return false;
   Status st = backend_->Fill(base, count, filter);
   if (!st.ok()) {
-    status_ = std::move(st);
+    LatchError(std::move(st));
     return false;
   }
   return true;
@@ -45,7 +58,7 @@ SampleBatch SamplingEngine::SampleInto(RRCollection* out, uint64_t count,
                                        std::vector<uint64_t>* per_set_edges) {
   SampleBatch total;
   uint64_t remaining = count;
-  while (remaining > 0 && status_.ok()) {
+  while (remaining > 0 && !failed_.load(std::memory_order_acquire)) {
     if (out->OverMemoryBudget()) {
       total.hit_memory_budget = true;
       break;

@@ -30,9 +30,11 @@
 #ifndef TIMPP_ENGINE_SAMPLING_ENGINE_H_
 #define TIMPP_ENGINE_SAMPLING_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -69,6 +71,9 @@ struct SamplingConfig {
   /// Local-thread backends pool this many workers; process-shard backends
   /// sample in their workers instead (see backend.worker_threads).
   unsigned num_threads = 1;
+  /// Pin sampling worker threads to CPUs (util/ThreadPool affinity). Pure
+  /// placement — results are invariant to it, like num_threads.
+  bool pin_threads = false;
   /// Master seed. Together with the engine's running set index it fully
   /// determines every sampled set.
   uint64_t seed = 0x7145ULL;
@@ -153,7 +158,11 @@ class SamplingEngine {
   /// batch must check this before trusting downstream results. Local
   /// fills never fail; process-shard fills fail on worker crashes,
   /// handshake rejections (graph hash mismatch), or protocol errors.
-  const Status& status() const { return status_; }
+  /// The first error wins and is latched atomically, so concurrent
+  /// readers (serving requests sharing a cache engine) observe either OK
+  /// or that first error — never a torn write. Returns by value for the
+  /// same reason.
+  Status status() const;
 
   /// Total RR sets generated by this engine so far (== the next global set
   /// index). Successive batch calls consume disjoint index ranges, so a
@@ -220,10 +229,19 @@ class SamplingEngine {
   /// status_. Returns false when sampling must stop.
   bool FillOk(uint64_t base, uint64_t count, const SampleFilter* filter);
 
+  /// Latches `st` as the engine error if none is set yet (first wins).
+  void LatchError(Status st);
+
   const Graph& graph_;
   SamplingConfig config_;
   std::unique_ptr<SampleBackend> backend_;
-  Status status_;
+  // Error latch: `failed_` is the lock-free fast path (release-stored
+  // after the Status is in place, acquire-loaded by readers), the Status
+  // itself lives behind `status_mu_` so concurrent status() calls never
+  // race a writer mid-assignment.
+  std::atomic<bool> failed_{false};
+  mutable std::mutex status_mu_;
+  Status first_error_;  // guarded by status_mu_
   uint64_t next_index_ = 0;
 };
 

@@ -47,6 +47,9 @@ struct SolverOptions {
   /// Sampling worker threads (RR-set algorithms; results stay identical
   /// across thread counts under the SamplingEngine contract).
   unsigned num_threads = 1;
+  /// Pin sampling worker threads to CPUs (util/ThreadPool affinity).
+  /// Placement only — results are invariant to it.
+  bool pin_threads = false;
   /// Master RNG seed for randomized algorithms.
   uint64_t seed = 0x7145ULL;
   /// Soft cap (bytes; 0 = unlimited) on resident RR-collection DataBytes

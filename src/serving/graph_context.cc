@@ -6,12 +6,15 @@
 namespace timpp {
 
 GraphContext::GraphContext(Graph graph, unsigned num_threads,
-                           SampleBackendSpec backend)
+                           SampleBackendSpec backend, bool pin_threads)
     : graph_(std::move(graph)),
       num_threads_(std::max(1u, num_threads)),
-      backend_(std::move(backend)) {}
+      backend_(std::move(backend)),
+      pin_threads_(pin_threads) {}
 
-SharedRRCache& GraphContext::CacheFor(const StreamKey& key) {
+std::shared_ptr<SharedRRCache> GraphContext::AcquireStream(
+    const StreamKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = caches_.find(key);
   if (it == caches_.end()) {
     SamplingConfig config;
@@ -20,30 +23,58 @@ SharedRRCache& GraphContext::CacheFor(const StreamKey& key) {
     config.max_hops = key.max_hops;
     config.sampler_mode = key.sampler_mode;
     config.num_threads = num_threads_;
+    config.pin_threads = pin_threads_;
     config.seed = key.seed;
     config.backend = backend_;
     CacheEntry entry;
-    entry.cache = std::make_unique<SharedRRCache>(graph_, config);
+    entry.cache = std::make_shared<SharedRRCache>(graph_, config);
     it = caches_.emplace(key, std::move(entry)).first;
   }
   it->second.last_used = ++use_tick_;
-  return *it->second.cache;
+  return it->second.cache;
+}
+
+void GraphContext::set_cache_budget_bytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_budget_bytes_ = bytes;
+}
+
+size_t GraphContext::cache_budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_budget_bytes_;
+}
+
+void GraphContext::RetireLocked(const CacheEntry& entry) {
+  // Preserve lifetime accounting before the stream leaves the map; a
+  // re-created stream starts fresh counters, so reuse ratios would
+  // otherwise dip spuriously after every eviction. (An in-flight reader
+  // may still advance the detached cache's counters; those last few are
+  // the price of not blocking eviction on live readers.)
+  retired_sets_sampled_ += entry.cache->total_sets_sampled();
+  retired_sets_served_ += entry.cache->total_sets_served();
+  retired_sets_reused_ += entry.cache->total_sets_reused();
 }
 
 size_t GraphContext::EnforceCacheBudget() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (cache_budget_bytes_ == 0) return 0;
   size_t evicted = 0;
-  while (!caches_.empty() && SharedMemoryBytes() > cache_budget_bytes_) {
+  auto resident_bytes = [this] {
+    size_t total = 0;
+    for (const auto& [key, entry] : caches_) {
+      total += entry.cache->MemoryBytes();
+    }
+    return total;
+  };
+  while (!caches_.empty() && resident_bytes() > cache_budget_bytes_) {
     auto victim = caches_.begin();
     for (auto it = caches_.begin(); it != caches_.end(); ++it) {
       if (it->second.last_used < victim->second.last_used) victim = it;
     }
-    // Preserve lifetime accounting before the stream goes away; a
-    // re-created stream starts fresh counters, so reuse ratios would
-    // otherwise dip spuriously after every eviction.
-    retired_sets_sampled_ += victim->second.cache->total_sets_sampled();
-    retired_sets_served_ += victim->second.cache->total_sets_served();
-    retired_sets_reused_ += victim->second.cache->total_sets_reused();
+    RetireLocked(victim->second);
+    // Dropping the map's shared_ptr is the whole eviction: a live reader
+    // holding an AcquireStream handle keeps the chunks alive; otherwise
+    // they free here.
     caches_.erase(victim);
     ++evicted;
   }
@@ -52,12 +83,14 @@ size_t GraphContext::EnforceCacheBudget() {
 }
 
 size_t GraphContext::SharedMemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
   for (const auto& [key, entry] : caches_) total += entry.cache->MemoryBytes();
   return total;
 }
 
 uint64_t GraphContext::TotalSetsSampled() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = retired_sets_sampled_;
   for (const auto& [key, entry] : caches_) {
     total += entry.cache->total_sets_sampled();
@@ -66,6 +99,7 @@ uint64_t GraphContext::TotalSetsSampled() const {
 }
 
 uint64_t GraphContext::TotalSetsServed() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = retired_sets_served_;
   for (const auto& [key, entry] : caches_) {
     total += entry.cache->total_sets_served();
@@ -74,6 +108,7 @@ uint64_t GraphContext::TotalSetsServed() const {
 }
 
 uint64_t GraphContext::TotalSetsReused() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = retired_sets_reused_;
   for (const auto& [key, entry] : caches_) {
     total += entry.cache->total_sets_reused();
@@ -81,13 +116,22 @@ uint64_t GraphContext::TotalSetsReused() const {
   return total;
 }
 
+size_t GraphContext::NumStreams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return caches_.size();
+}
+
+uint64_t GraphContext::StreamsEvicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return streams_evicted_;
+}
+
 void GraphContext::ReleaseCaches() {
-  for (const auto& [key, entry] : caches_) {
-    retired_sets_sampled_ += entry.cache->total_sets_sampled();
-    retired_sets_served_ += entry.cache->total_sets_served();
-    retired_sets_reused_ += entry.cache->total_sets_reused();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, entry] : caches_) RetireLocked(entry);
+    caches_.clear();
   }
-  caches_.clear();
   phase_cache_.Clear();
 }
 

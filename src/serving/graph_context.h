@@ -18,11 +18,17 @@
 // still serves bit-identical responses. ReleaseCaches() remains the
 // drop-everything escape hatch.
 //
-// Contexts serialize requests through their mutex (the ServingEngine does
-// the locking); parallelism comes from the sampling engine's worker pool
-// inside each request, which keeps results independent of both the thread
-// count and the request arrival order — the cache is a monotone stream
-// prefix, so any request order materializes the same bytes.
+// Concurrency: requests run truly concurrently against one context. The
+// stream map hands out shared_ptr references (AcquireStream), so LRU
+// eviction retires a stream by dropping the map's reference — the chunks
+// stay alive until the last in-flight reader releases its handle
+// (refcount retirement; eviction never frees memory a live reader can
+// reach). The caches themselves are single-writer/multi-reader
+// (serving/rr_cache.h), the PhaseCache is a sharded once-map, and the
+// context's own bookkeeping (map shape, LRU ticks, retired counters) sits
+// behind an internal mutex. Results stay independent of thread count and
+// arrival order — the cache is a monotone stream prefix, so any request
+// order materializes the same bytes.
 #ifndef TIMPP_SERVING_GRAPH_CONTEXT_H_
 #define TIMPP_SERVING_GRAPH_CONTEXT_H_
 
@@ -60,15 +66,18 @@ struct StreamKey {
 };
 
 /// Per-graph serving state. Not copyable; owned by a ServingEngine (or a
-/// test) and used by one request at a time under mu().
+/// test). Thread-safe: any number of requests may acquire streams, read,
+/// and enforce the budget concurrently.
 class GraphContext {
  public:
   /// Takes ownership of `graph`. `num_threads` is the sampling
-  /// parallelism every cache engine of this context is built with, and
+  /// parallelism every cache engine of this context is built with,
   /// `backend` is where that sampling runs (local threads or process
-  /// shards — responses are identical either way).
+  /// shards — responses are identical either way), and `pin_threads`
+  /// pins those sampling workers to CPUs.
   explicit GraphContext(Graph graph, unsigned num_threads = 1,
-                        SampleBackendSpec backend = {});
+                        SampleBackendSpec backend = {},
+                        bool pin_threads = false);
 
   GraphContext(const GraphContext&) = delete;
   GraphContext& operator=(const GraphContext&) = delete;
@@ -78,25 +87,32 @@ class GraphContext {
   const SampleBackendSpec& backend() const { return backend_; }
 
   /// The shared stream cache for `key`, created on first use and marked
-  /// most-recently-used.
-  SharedRRCache& CacheFor(const StreamKey& key);
+  /// most-recently-used. The returned handle shares ownership: a stream
+  /// evicted by EnforceCacheBudget while the caller still reads it stays
+  /// fully alive until the handle drops.
+  std::shared_ptr<SharedRRCache> AcquireStream(const StreamKey& key);
+
+  /// AcquireStream for single-threaded callers that want a reference and
+  /// manage eviction themselves (tests, demos). The reference is only
+  /// safe while no concurrent eviction can run.
+  SharedRRCache& CacheFor(const StreamKey& key) { return *AcquireStream(key); }
 
   PhaseCache& phase_cache() { return phase_cache_; }
   const PhaseCache& phase_cache() const { return phase_cache_; }
 
-  /// Serializes requests against this context.
-  std::mutex& mu() { return mu_; }
-
   /// Byte cap on the shared collections (0 = unlimited). Enforced by
   /// EnforceCacheBudget — typically by the ServingEngine after each
   /// request; callers driving a context directly decide when.
-  void set_cache_budget_bytes(size_t bytes) { cache_budget_bytes_ = bytes; }
-  size_t cache_budget_bytes() const { return cache_budget_bytes_; }
+  void set_cache_budget_bytes(size_t bytes);
+  size_t cache_budget_bytes() const;
 
   /// Evicts least-recently-used stream caches until SharedMemoryBytes()
   /// fits the budget (possibly evicting every stream when even one
   /// exceeds it — re-created on next use, identical by the per-index RNG
-  /// contract). Returns the number of streams evicted. No-op at budget 0.
+  /// contract). An evicted stream still referenced by an in-flight
+  /// request survives until that request's handle drops (refcount
+  /// retirement); it just stops being offered to new requests. Returns
+  /// the number of streams evicted. No-op at budget 0.
   size_t EnforceCacheBudget();
 
   /// Accounting across every cache of the context (the README's "memory
@@ -106,27 +122,33 @@ class GraphContext {
   uint64_t TotalSetsSampled() const;
   uint64_t TotalSetsServed() const;
   uint64_t TotalSetsReused() const;
-  size_t NumStreams() const { return caches_.size(); }
+  size_t NumStreams() const;
   /// Lifetime count of budget evictions (streams dropped, not bytes).
-  uint64_t StreamsEvicted() const { return streams_evicted_; }
+  uint64_t StreamsEvicted() const;
 
   /// Releases every shared collection and memoized phase (the graph
   /// stays). The next request pays full standalone cost again — the
-  /// memory-pressure escape hatch.
+  /// memory-pressure escape hatch. In-flight readers keep their streams
+  /// alive through their handles.
   void ReleaseCaches();
 
  private:
   struct CacheEntry {
-    std::unique_ptr<SharedRRCache> cache;
+    std::shared_ptr<SharedRRCache> cache;
     uint64_t last_used = 0;
   };
+
+  /// Folds a dying map entry's lifetime counters into the retired totals.
+  /// Caller holds mu_.
+  void RetireLocked(const CacheEntry& entry);
 
   Graph graph_;
   unsigned num_threads_;
   SampleBackendSpec backend_;
-  std::map<StreamKey, CacheEntry> caches_;
+  bool pin_threads_;
   PhaseCache phase_cache_;
-  std::mutex mu_;
+  mutable std::mutex mu_;  // guards everything below
+  std::map<StreamKey, CacheEntry> caches_;
   size_t cache_budget_bytes_ = 0;
   uint64_t use_tick_ = 0;
   uint64_t streams_evicted_ = 0;

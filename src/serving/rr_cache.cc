@@ -13,44 +13,110 @@ namespace {
 // for the next request.
 constexpr uint64_t kCostGrowBatch = 256;
 
+// First chunk directory capacity; doubled on exhaustion, so a stream of C
+// chunks retires O(log C) directories totalling under 2C pointers.
+constexpr size_t kInitialDirCapacity = 16;
+
 }  // namespace
 
 SharedRRCache::SharedRRCache(const Graph& graph, const SamplingConfig& config)
-    : engine_(graph, config), sets_(graph.num_nodes()) {}
+    : engine_(graph, config) {}
+
+SharedRRCache::~SharedRRCache() = default;
 
 void SharedRRCache::EnsurePrefix(uint64_t count) {
   if (count <= cached_sets()) return;
-  const uint64_t grow = count - cached_sets();
-  const SampleBatch batch = engine_.SampleInto(&sets_, grow, &edges_);
+  std::lock_guard<std::mutex> lock(grow_mu_);
+  // Recheck: another writer may have grown past `count` while this one
+  // waited on the lock. committed_ only advances under grow_mu_, so a
+  // relaxed load is exact here.
+  const uint64_t have = committed_.load(std::memory_order_relaxed);
+  if (count <= have) return;
+
+  auto chunk = std::make_unique<Chunk>(graph().num_nodes());
+  chunk->first = have;
+  const SampleBatch batch =
+      engine_.SampleInto(&chunk->sets, count - have, &chunk->edges);
   // A failed backend delivers fewer; account what actually arrived.
-  total_sets_sampled_ += batch.sets_added;
+  total_sets_sampled_.fetch_add(batch.sets_added, std::memory_order_relaxed);
+  if (batch.sets_added == 0) return;  // nothing to publish
+
+  // Publish: slot write first, then the counters in release order. A
+  // reader that acquires the new committed_ value is guaranteed to see
+  // the directory state these stores are sequenced after.
+  Directory* dir = dir_.load(std::memory_order_relaxed);
+  const size_t nc = num_chunks_.load(std::memory_order_relaxed);
+  if (dir == nullptr || nc == dir->capacity) {
+    auto fresh = std::make_unique<Directory>(
+        dir == nullptr ? kInitialDirCapacity : dir->capacity * 2);
+    for (size_t i = 0; i < nc; ++i) fresh->slots[i] = dir->slots[i];
+    dir = fresh.get();
+    // The outgrown directory is retired, not freed: a reader between its
+    // dir_ load and its slot reads may still be walking it.
+    owned_dirs_.push_back(std::move(fresh));
+    dir_.store(dir, std::memory_order_release);
+  }
+  dir->slots[nc] = chunk.get();
+  owned_chunks_.push_back(std::move(chunk));
+  num_chunks_.store(nc + 1, std::memory_order_release);
+  committed_.store(have + batch.sets_added, std::memory_order_release);
+}
+
+const SharedRRCache::Chunk* SharedRRCache::FindChunk(uint64_t index) const {
+  // Caller already acquire-loaded a committed_ value above `index`; these
+  // loads are sequenced after it, so they see at least the directory
+  // state published with that prefix.
+  const size_t nc = num_chunks_.load(std::memory_order_acquire);
+  const Directory* dir = dir_.load(std::memory_order_acquire);
+  // Largest chunk whose first index is <= index.
+  size_t lo = 0;
+  size_t hi = nc;
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (dir->slots[mid]->first <= index) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return dir->slots[lo];
 }
 
 SampleBatch SharedRRCache::Read(uint64_t first, uint64_t count,
                                 RRCollection* out) {
   SampleBatch batch;
   const uint64_t cached_before = cached_sets();
-  EnsurePrefix(first + count);
+  if (first + count > cached_before) EnsurePrefix(first + count);
   // A failed engine (dead sample backend) leaves the prefix short; clamp
   // the read so accounting stays in bounds — the caller observes the
   // short batch and the engine's latched status.
-  if (first + count > cached_sets()) {
-    count = cached_sets() > first ? cached_sets() - first : 0;
+  const uint64_t avail = cached_sets();
+  if (first + count > avail) {
+    count = avail > first ? avail - first : 0;
   }
-  out->AppendRange(sets_, first, count);
-  for (uint64_t i = first; i < first + count; ++i) {
-    batch.edges_examined += edges_[i];
+  const uint64_t end = first + count;
+  uint64_t nodes_appended = 0;
+  for (uint64_t i = first; i < end;) {
+    const Chunk* chunk = FindChunk(i);
+    const uint64_t local_first = i - chunk->first;
+    const uint64_t local_end =
+        std::min<uint64_t>(chunk->sets.num_sets(), end - chunk->first);
+    out->AppendRange(chunk->sets, local_first, local_end - local_first);
+    for (uint64_t j = local_first; j < local_end; ++j) {
+      batch.edges_examined += chunk->edges[j];
+    }
+    nodes_appended +=
+        chunk->sets.Offset(local_end) - chunk->sets.Offset(local_first);
+    i = chunk->first + local_end;
   }
   batch.sets_added = count;
-  batch.traversal_cost =
-      batch.edges_examined +
-      (sets_.Offset(first + count) - sets_.Offset(first));
+  batch.traversal_cost = batch.edges_examined + nodes_appended;
   batch.sets_reused =
       first >= cached_before
           ? 0
           : std::min<uint64_t>(count, cached_before - first);
-  total_sets_served_ += batch.sets_added;
-  total_sets_reused_ += batch.sets_reused;
+  total_sets_served_.fetch_add(batch.sets_added, std::memory_order_relaxed);
+  total_sets_reused_.fetch_add(batch.sets_reused, std::memory_order_relaxed);
   return batch;
 }
 
@@ -62,31 +128,51 @@ SampleBatch SharedRRCache::ReadUntilCost(uint64_t first, double cost_threshold,
   rule.cost_threshold = cost_threshold;
   rule.max_sets = max_sets;
   const uint64_t cached_before = cached_sets();
+  const Chunk* chunk = nullptr;
   uint64_t i = first;
   while (rule.WantsMore()) {
     if (i >= cached_sets()) {
-      EnsurePrefix(cached_sets() + kCostGrowBatch);
+      EnsurePrefix(i + kCostGrowBatch);
       // The engine refused to grow (failed backend): stop instead of
       // spinning — the caller sees the engine's latched status.
       if (i >= cached_sets()) break;
     }
-    const auto set = sets_.Set(static_cast<RRSetId>(i));
-    out->Add(set, sets_.Width(static_cast<RRSetId>(i)));
-    batch.edges_examined += edges_[i];
-    rule.Admit(edges_[i] + set.size());
+    // Chunks are immutable, so a cached chunk pointer stays valid and its
+    // set count final — advance to the next chunk only when walking off
+    // this one's end.
+    if (chunk == nullptr || i >= chunk->first + chunk->sets.num_sets()) {
+      chunk = FindChunk(i);
+    }
+    const uint64_t j = i - chunk->first;
+    const auto set = chunk->sets.Set(static_cast<RRSetId>(j));
+    out->Add(set, chunk->sets.Width(static_cast<RRSetId>(j)));
+    batch.edges_examined += chunk->edges[j];
+    rule.Admit(chunk->edges[j] + set.size());
     if (i < cached_before) ++batch.sets_reused;
     ++i;
   }
   batch.sets_added = rule.sets_admitted;
   batch.traversal_cost = rule.traversal_cost;
   batch.hit_set_cap = rule.hit_set_cap;
-  total_sets_served_ += batch.sets_added;
-  total_sets_reused_ += batch.sets_reused;
+  total_sets_served_.fetch_add(batch.sets_added, std::memory_order_relaxed);
+  total_sets_reused_.fetch_add(batch.sets_reused, std::memory_order_relaxed);
   return batch;
 }
 
 size_t SharedRRCache::MemoryBytes() const {
-  return sets_.MemoryBytes() + edges_.capacity() * sizeof(uint64_t);
+  // Acquire the published prefix first so the directory walk below is
+  // ordered after a publish we synchronized with.
+  (void)committed_.load(std::memory_order_acquire);
+  const size_t nc = num_chunks_.load(std::memory_order_acquire);
+  const Directory* dir = dir_.load(std::memory_order_acquire);
+  size_t total = 0;
+  for (size_t i = 0; i < nc; ++i) {
+    const Chunk* chunk = dir->slots[i];
+    total += chunk->sets.MemoryBytes() +
+             chunk->edges.capacity() * sizeof(uint64_t);
+  }
+  if (dir != nullptr) total += dir->capacity * sizeof(Chunk*);
+  return total;
 }
 
 SampleBatch CachedSampleSource::Fetch(RRCollection* out, uint64_t count) {

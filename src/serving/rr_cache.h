@@ -1,4 +1,5 @@
-// SharedRRCache — one sampling stream's RR sets, cached across requests.
+// SharedRRCache — one sampling stream's RR sets, cached across requests
+// and readable concurrently.
 //
 // The engine's determinism contract makes RR set i a pure function of
 // (seed, i): whichever request first needs index i materializes the same
@@ -10,16 +11,40 @@
 // its ranges out of it: a request needing θ′ ≤ θ consumes exactly the
 // prefix [0, θ′) it would have generated standalone.
 //
+// Concurrency model — single writer, many wait-free readers:
+//
+//   * Storage grows in immutable chunks. A grow (one per EnsurePrefix
+//     that actually extends the stream) samples its sets into a fresh
+//     chunk under `grow_mu_`, appends the chunk pointer to the chunk
+//     directory, and only then PUBLISHES the new prefix length with a
+//     release store to `committed_`. A chunk is never mutated after
+//     publication, and nothing a reader can reach is ever freed before
+//     the cache itself dies (directory arrays retired on growth are kept
+//     until the destructor).
+//   * Readers acquire-load `committed_`; any index below that value is
+//     backed by a fully written chunk, because the chunk writes
+//     happen-before the release store the reader synchronized with
+//     (num_chunks_ and dir_ are loaded afterwards, each release-stored
+//     earlier by the writer, so write-read coherence makes them at least
+//     as new). Reads of resident prefixes therefore take no lock at all —
+//     concurrent requests replay shared ranges truly in parallel.
+//   * Only a reader that needs indices past the committed prefix takes
+//     the grow lock (becoming the writer for that grow). Content is
+//     position-determined, so WHICH request grows the stream never
+//     affects the bytes — only who pays the sampling cost first.
+//
 // Per-set edge counts are stored alongside the sets so replayed ranges
 // report the same accounting (edges_examined, traversal_cost) as sampling
 // them fresh — request stats stay bit-comparable to standalone runs.
-//
-// Not thread-safe: the owning GraphContext serializes requests (sampling
-// parallelism lives inside the engine).
+// Lifetime counters are atomics; per-request accounting lives in each
+// request's CachedSampleSource.
 #ifndef TIMPP_SERVING_RR_CACHE_H_
 #define TIMPP_SERVING_RR_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "engine/sample_source.h"
@@ -29,7 +54,9 @@
 
 namespace timpp {
 
-/// Monotone prefix cache of one engine's global index stream.
+/// Monotone prefix cache of one engine's global index stream. Internally
+/// synchronized: any number of threads may call Read/ReadUntilCost/
+/// EnsurePrefix concurrently.
 class SharedRRCache {
  public:
   /// `graph` is borrowed and must outlive the cache. `config` fixes the
@@ -37,24 +64,31 @@ class SharedRRCache {
   /// parallelism; content is thread-count invariant per the engine
   /// contract.
   SharedRRCache(const Graph& graph, const SamplingConfig& config);
+  ~SharedRRCache();
 
   SharedRRCache(const SharedRRCache&) = delete;
   SharedRRCache& operator=(const SharedRRCache&) = delete;
 
   const Graph& graph() const { return engine_.graph(); }
+  /// The shared engine. Safe concurrent uses are status() (atomic latch)
+  /// and the config accessors; batch calls go through the cache, which
+  /// serializes them under its grow lock.
   SamplingEngine& engine() { return engine_; }
 
-  /// Sets currently cached (== the engine's stream position).
-  uint64_t cached_sets() const { return sets_.num_sets(); }
+  /// Sets currently published (readable without touching the grow lock).
+  uint64_t cached_sets() const {
+    return committed_.load(std::memory_order_acquire);
+  }
 
-  /// Grows the cache so indices [0, count) are resident. No-op when
-  /// already there.
+  /// Grows the stream so indices [0, count) are resident, publishing the
+  /// new prefix for concurrent readers. No-op when already there.
   void EnsurePrefix(uint64_t count);
 
   /// Appends the stream's sets [first, first + count) to `*out`,
   /// byte-identical to sampling them fresh, growing the cache as needed.
-  /// The returned accounting matches a fresh sample of the range;
-  /// sets_reused counts how many were already cached when the call began.
+  /// Lock-free when the range is already published. The returned
+  /// accounting matches a fresh sample of the range; sets_reused counts
+  /// how many were already published when the call began.
   SampleBatch Read(uint64_t first, uint64_t count, RRCollection* out);
 
   /// Cost-threshold read (Borgs et al.'s stopping rule, bit-equal to
@@ -66,27 +100,68 @@ class SharedRRCache {
                             uint64_t max_sets, RRCollection* out);
 
   /// Lifetime counters across every request served from this cache.
-  uint64_t total_sets_sampled() const { return total_sets_sampled_; }
-  uint64_t total_sets_served() const { return total_sets_served_; }
-  uint64_t total_sets_reused() const { return total_sets_reused_; }
+  uint64_t total_sets_sampled() const {
+    return total_sets_sampled_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_sets_served() const {
+    return total_sets_served_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_sets_reused() const {
+    return total_sets_reused_.load(std::memory_order_relaxed);
+  }
 
-  /// Heap bytes of the shared collection plus the per-set edge counts
-  /// (allocator capacities included) — what a context reports as the
-  /// price of reuse.
+  /// Heap bytes of the published chunks plus the per-set edge counts and
+  /// the chunk directory (allocator capacities included) — what a context
+  /// reports as the price of reuse. Concurrent-safe; a grow racing the
+  /// walk is counted from the next call on.
   size_t MemoryBytes() const;
 
  private:
-  SamplingEngine engine_;
-  RRCollection sets_;                // stream prefix [0, cached_sets())
-  std::vector<uint64_t> edges_;      // per-set edges_examined
-  uint64_t total_sets_sampled_ = 0;  // engine work done on behalf of all
-  uint64_t total_sets_served_ = 0;   // sets handed to requests
-  uint64_t total_sets_reused_ = 0;   // of those, already cached
+  /// One immutable grow: sets [first, first + sets.num_sets()) of the
+  /// stream plus their per-set edge counts. Fully written before its
+  /// directory slot is published; never touched again until destruction.
+  struct Chunk {
+    explicit Chunk(NodeId num_nodes) : sets(num_nodes) {}
+    uint64_t first = 0;
+    RRCollection sets;
+    std::vector<uint64_t> edges;
+  };
+
+  /// Chunk directory: copy-on-grow array of chunk pointers. `slots` is
+  /// plain (not atomic) — slot j is written once by the writer before the
+  /// release store readers synchronize with, and readers only touch
+  /// slots below the published chunk count.
+  struct Directory {
+    explicit Directory(size_t cap) : capacity(cap), slots(new Chunk*[cap]) {}
+    size_t capacity;
+    std::unique_ptr<Chunk*[]> slots;
+  };
+
+  /// The chunk holding stream index `index`, which must be below the
+  /// published prefix observed by the caller.
+  const Chunk* FindChunk(uint64_t index) const;
+
+  SamplingEngine engine_;  // batch calls guarded by grow_mu_
+
+  // --- writer state (guarded by grow_mu_) -------------------------------
+  std::mutex grow_mu_;
+  std::vector<std::unique_ptr<Chunk>> owned_chunks_;     // all ever grown
+  std::vector<std::unique_ptr<Directory>> owned_dirs_;   // incl. current
+  // --- published state (written under grow_mu_, read lock-free) --------
+  std::atomic<Directory*> dir_{nullptr};
+  std::atomic<size_t> num_chunks_{0};
+  std::atomic<uint64_t> committed_{0};  // prefix length; the publish point
+  // --- lifetime accounting ---------------------------------------------
+  std::atomic<uint64_t> total_sets_sampled_{0};
+  std::atomic<uint64_t> total_sets_served_{0};
+  std::atomic<uint64_t> total_sets_reused_{0};
 };
 
 /// A request's cursor over a SharedRRCache: the SampleSource the serving
 /// layer hands to solvers. Starts at stream index 0 — exactly where a
 /// standalone run's private engine starts — and tracks per-request reuse.
+/// One CachedSampleSource belongs to one request thread; the shared cache
+/// behind it is safe for any number of concurrent sources.
 class CachedSampleSource final : public SampleSource {
  public:
   explicit CachedSampleSource(SharedRRCache* cache) : cache_(cache) {}

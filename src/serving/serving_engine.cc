@@ -6,6 +6,7 @@
 
 #include "engine/solve_context.h"
 #include "engine/solver_registry.h"
+#include "serving/request_scheduler.h"
 #include "util/thread_pool.h"
 
 namespace timpp {
@@ -28,10 +29,20 @@ SolverOptions ToSolverOptions(const ImRequest& request,
   options.ris_tau_scale = request.ris_tau_scale;
   options.ris_max_sets = request.ris_max_sets;
   options.num_threads = serving.num_threads;
+  options.pin_threads = serving.pin_threads;
   // Standalone-path requests (budgeted, non-RR, custom-model) still run
   // their sampling on the engine-wide backend.
   options.sample_backend = serving.sample_backend;
   return options;
+}
+
+/// Whether this run restored an estimation phase (TIM's KPT, IMM's LB)
+/// from the PhaseCache — read off the result's own metrics, which a
+/// concurrent request can't perturb (a global hit-counter delta could
+/// attribute another in-flight request's hit to this one).
+bool PhaseHitFromMetrics(const SolverResult& result) {
+  return result.Metric("kpt_cache_hit", 0.0) == 1.0 ||
+         result.Metric("lb_cache_hit", 0.0) == 1.0;
 }
 
 }  // namespace
@@ -41,13 +52,16 @@ ServingEngine::ServingEngine(const ServingOptions& options)
   options_.num_threads = std::max(1u, options_.num_threads);
 }
 
+ServingEngine::~ServingEngine() = default;
+
 Status ServingEngine::RegisterGraph(const std::string& name, Graph graph) {
   std::lock_guard<std::mutex> lock(mu_);
   if (contexts_.count(name) != 0) {
     return Status::InvalidArgument("graph already registered: " + name);
   }
   auto context = std::make_unique<GraphContext>(
-      std::move(graph), options_.num_threads, options_.sample_backend);
+      std::move(graph), options_.num_threads, options_.sample_backend,
+      options_.pin_threads);
   context->set_cache_budget_bytes(options_.shared_cache_budget_bytes);
   contexts_.emplace(name, std::move(context));
   return Status::OK();
@@ -67,9 +81,23 @@ ImResponse ServingEngine::Solve(const ImRequest& request) {
         Status::NotFound("no graph registered as '" + request.graph + "'");
     return response;
   }
-  std::lock_guard<std::mutex> lock(context->mu());
+  // No per-context lock: requests run concurrently, sharing work through
+  // the context's internally synchronized caches.
   return SolveOnContext(*context, request);
 }
+
+std::future<ImResponse> ServingEngine::Submit(const ImRequest& request) {
+  std::call_once(scheduler_once_, [this] {
+    RequestScheduler::Options options;
+    options.num_workers = options_.submit_workers;
+    options.max_pending = options_.max_pending_requests;
+    options.pin_threads = options_.pin_threads;
+    scheduler_ = std::make_unique<RequestScheduler>(this, options);
+  });
+  return scheduler_->Submit(request);
+}
+
+RequestScheduler* ServingEngine::scheduler() { return scheduler_.get(); }
 
 ImResponse ServingEngine::SolveOnContext(GraphContext& context,
                                          const ImRequest& request) {
@@ -85,8 +113,7 @@ ImResponse ServingEngine::SolveOnContext(GraphContext& context,
   // budget contradicts a shared collection; and a caller-owned triggering
   // model must not be retained past the request (the caches would keep
   // its pointer alive context-lifetime — see ImRequest::custom_model).
-  // All three cases run the plain standalone path (still under the
-  // context lock so accounting stays coherent).
+  // All three cases run the plain standalone path.
   if (!solver->UsesSolveContext() || request.memory_budget_bytes != 0 ||
       request.custom_model != nullptr) {
     response.status = solver->Run(options, &response.result);
@@ -99,20 +126,19 @@ ImResponse ServingEngine::SolveOnContext(GraphContext& context,
   key.max_hops = request.max_hops;
   key.seed = request.seed;
   key.custom_model = request.custom_model;
-  SharedRRCache& cache = context.CacheFor(key);
-  CachedSampleSource source(&cache);
+  // The shared handle keeps the stream alive even if a concurrent
+  // request's budget enforcement evicts it mid-read.
+  std::shared_ptr<SharedRRCache> cache = context.AcquireStream(key);
+  CachedSampleSource source(cache.get());
   SolveContext solve_context;
   solve_context.source = &source;
   solve_context.phase_cache = &context.phase_cache();
 
-  const uint64_t hits_before = context.phase_cache().hits();
   response.status =
       solver->RunWithContext(options, solve_context, &response.result);
   response.rr_sets_reused = source.sets_reused();
   response.rr_sets_sampled = source.sets_sampled();
-  response.phase_cache_hit = context.phase_cache().hits() > hits_before;
-  // Byte-cap enforcement happens between requests (still under the
-  // context lock), so a request never loses the stream it is reading.
+  response.phase_cache_hit = PhaseHitFromMetrics(response.result);
   context.EnforceCacheBudget();
   return response;
 }

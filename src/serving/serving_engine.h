@@ -9,17 +9,25 @@
 // so callers can see — and tests can assert — that a batch of N requests
 // sampled fewer RR sets than N standalone runs.
 //
-// Concurrency model: Solve is thread-safe; requests against the same
-// graph serialize on the context mutex (their parallelism comes from the
-// sampling engine's worker pool), while a SolveBatch spanning several
-// graphs runs the per-graph groups concurrently. Responses are
-// deterministic in the request options alone — independent of thread
-// count, batch grouping, and arrival order, because the shared caches are
-// monotone stream prefixes whose content depends only on indices.
+// Concurrency model: Solve is thread-safe AND concurrent — requests
+// against the same graph run in parallel, sharing the context's RR-sketch
+// prefix through the lock-free single-writer/multi-reader SharedRRCache
+// and the once-computing PhaseCache (serving/rr_cache.h,
+// engine/phase_cache.h). Submit() adds an async path: a bounded admission
+// queue feeding a worker crew, with overload shed at the door as
+// Status::Unavailable. Responses are deterministic in the request options
+// alone — independent of thread count, batch grouping, concurrency level,
+// and arrival order, because the shared caches are monotone stream
+// prefixes whose content depends only on indices. (The per-response reuse
+// accounting — rr_sets_reused / rr_sets_sampled — reflects actual cache
+// state at read time, so under concurrent execution it may attribute
+// sampling work to a different overlapping request than a serial run
+// would; the solver results themselves never move.)
 #ifndef TIMPP_SERVING_SERVING_ENGINE_H_
 #define TIMPP_SERVING_SERVING_ENGINE_H_
 
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -50,6 +58,16 @@ struct ServingOptions {
   /// bit-identical responses — evicted streams are re-derived on demand —
   /// at the price of resampling.
   size_t shared_cache_budget_bytes = 0;
+  /// Concurrent request workers behind Submit() (0 = hardware
+  /// concurrency). Created lazily on the first Submit; the synchronous
+  /// Solve/SolveBatch paths never start them.
+  unsigned submit_workers = 0;
+  /// Admission bound for Submit(): queued-but-unstarted requests past
+  /// this are rejected with Status::Unavailable (0 = unbounded).
+  size_t max_pending_requests = 1024;
+  /// Pin worker threads (request workers and each request's sampling
+  /// workers) to CPUs. Placement only — results are invariant to it.
+  bool pin_threads = false;
 };
 
 /// One influence-maximization request. Field semantics match
@@ -98,10 +116,15 @@ struct ImResponse {
   bool phase_cache_hit = false;
 };
 
+class RequestScheduler;
+
 /// Thread-safe multi-graph request server.
 class ServingEngine {
  public:
   explicit ServingEngine(const ServingOptions& options = {});
+  /// Stops admission, drains every Submit already admitted, joins the
+  /// workers.
+  ~ServingEngine();
 
   /// Takes ownership of `graph` under `name`. InvalidArgument on
   /// duplicate names.
@@ -112,13 +135,27 @@ class ServingEngine {
   GraphContext* Context(const std::string& name);
 
   /// Solves one request (blocking). Never throws; failures come back in
-  /// ImResponse::status.
+  /// ImResponse::status. Safe to call from any number of threads
+  /// concurrently — same-graph requests share work through the context
+  /// caches while they run in parallel.
   ImResponse Solve(const ImRequest& request);
+
+  /// Async path: enqueues the request for the worker crew and returns a
+  /// future. The future resolves with the solved response — or
+  /// immediately with Status::Unavailable when the admission queue is at
+  /// max_pending_requests (overload shedding). Workers start lazily on
+  /// the first Submit.
+  std::future<ImResponse> Submit(const ImRequest& request);
 
   /// Solves a batch, returning responses in request order. Requests are
   /// grouped by graph; groups run concurrently, requests within a group
-  /// sequentially (reuse makes later requests in a group cheaper).
+  /// sequentially (which keeps per-response reuse accounting
+  /// deterministic; use Submit for intra-graph concurrency).
   std::vector<ImResponse> SolveBatch(std::span<const ImRequest> requests);
+
+  /// The scheduler behind Submit (accounting: rejected/completed).
+  /// nullptr until the first Submit.
+  RequestScheduler* scheduler();
 
  private:
   ImResponse SolveOnContext(GraphContext& context, const ImRequest& request);
@@ -126,6 +163,8 @@ class ServingEngine {
   ServingOptions options_;
   std::mutex mu_;  // guards contexts_ (map shape; contexts self-lock)
   std::map<std::string, std::unique_ptr<GraphContext>> contexts_;
+  std::once_flag scheduler_once_;
+  std::unique_ptr<RequestScheduler> scheduler_;
 };
 
 }  // namespace timpp

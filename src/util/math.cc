@@ -4,14 +4,36 @@
 #include <cmath>
 #include <limits>
 
+#if defined(__GLIBC__)
+// Declared by glibc's math.h only under feature-test macros a strict
+// -std= build may not set.
+extern "C" double lgamma_r(double, int*);
+#endif
+
 namespace timpp {
+
+namespace {
+
+/// std::lgamma writes the process-global `signgam` (C99), so concurrent
+/// callers data-race on it even though every argument here is positive;
+/// use the reentrant variant where the libc has one.
+double LGamma(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
 
 double LogBinomial(uint64_t n, uint64_t k) {
   if (k > n) return -std::numeric_limits<double>::infinity();
   if (k == 0 || k == n) return 0.0;
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return LGamma(static_cast<double>(n) + 1.0) -
+         LGamma(static_cast<double>(k) + 1.0) -
+         LGamma(static_cast<double>(n - k) + 1.0);
 }
 
 double SafeLogN(uint64_t n) {

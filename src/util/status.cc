@@ -20,6 +20,8 @@ const char* CodeName(Status::Code code) {
       return "OutOfRange";
     case Status::Code::kUnimplemented:
       return "Unimplemented";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -20,6 +20,7 @@ class Status {
     kCorruption,
     kOutOfRange,
     kUnimplemented,
+    kUnavailable,
   };
 
   /// Default-constructed Status is OK.
@@ -44,6 +45,9 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(Code::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -55,6 +59,7 @@ class Status {
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   /// Human-readable representation, e.g. "InvalidArgument: k must be >= 1".
   std::string ToString() const;

@@ -28,9 +28,18 @@ namespace timpp {
 class ThreadPool {
  public:
   /// Spawns `num_workers` background threads. 0 is valid: ParallelRun then
-  /// executes every task inline on the calling thread.
-  explicit ThreadPool(unsigned num_workers);
+  /// executes every task inline on the calling thread. With `pin_threads`
+  /// each worker is pinned to one CPU (round-robin over the hardware set,
+  /// CPU 1 onward so the calling thread's usual home at CPU 0 stays
+  /// uncontended) — the affinity half of the NUMA roadmap item. Pinning is
+  /// Linux-only and best-effort: a failed or unsupported set-affinity call
+  /// leaves the worker unpinned, never fails construction.
+  explicit ThreadPool(unsigned num_workers, bool pin_threads = false);
   ~ThreadPool();
+
+  /// Pins the calling thread to `cpu` (mod the hardware count). Returns
+  /// false when unsupported on this platform or refused by the kernel.
+  static bool PinCurrentThread(unsigned cpu);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
