@@ -33,7 +33,22 @@
 //                     (T sampling threads each) coordinated over pipes.
 //                     Seeds/θ/LB are bit-identical across backends; the
 //                     workers reload the graph from this command's path +
-//                     weight settings and verify it by content hash
+//                     weight settings and verify it by content hash.
+//                     Append ",fallback=local" to finish a shard
+//                     in-process (still bit-identical) when its retry
+//                     budget runs out instead of failing the run
+//   --shard-timeout-ms=0
+//                     deadline on each worker shard round-trip (0 = none;
+//                     crashes are detected instantly either way — the
+//                     deadline exists to catch hung workers)
+//   --max-shard-retries=2
+//                     shard attempts after the first before giving up
+//                     (respawn + replay, bit-identical by construction;
+//                     0 = fail fast on the first worker failure)
+//   --fault-inject=spec
+//                     deterministic worker fault injection for testing,
+//                     e.g. "kill@100;hang@5000x2:250" (see
+//                     distributed/fault_injection.h for the grammar)
 //   --worker          serve the distributed sampling worker protocol on
 //                     stdin/stdout (what the procs backend spawns; not
 //                     for interactive use)
@@ -81,6 +96,7 @@
 #include <vector>
 
 #include "diffusion/spread_estimator.h"
+#include "distributed/fault_injection.h"
 #include "distributed/graph_spec.h"
 #include "distributed/worker.h"
 #include "engine/solver_registry.h"
@@ -105,36 +121,71 @@ void PrintAlgos() {
 }
 
 /// Parses --backend=local | procs:N | procs:N:T (N worker processes, T
-/// sampling threads each).
+/// sampling threads each), optionally followed by ",fallback=local" or
+/// ",fallback=none". On failure fills `*error` with what was wrong.
 bool ParseBackendSpec(const std::string& name,
-                      timpp::SampleBackendSpec* spec) {
-  if (name == "local") {
+                      timpp::SampleBackendSpec* spec, std::string* error) {
+  const size_t comma = name.find(',');
+  const std::string base = name.substr(0, comma);
+  if (base == "local") {
     spec->kind = timpp::SampleBackendKind::kLocalThreads;
-    return true;
-  }
-  if (name.rfind("procs", 0) != 0) return false;
-  spec->kind = timpp::SampleBackendKind::kProcessShards;
-  spec->num_workers = 1;
-  if (name.size() == 5) return true;
-  if (name[5] != ':') return false;
-  // Strict digit parse with a sane cap: stoul would happily wrap
-  // "procs:-1" to 4 billion workers — a fork bomb from a typo.
-  const auto parse_count = [](const std::string& field, unsigned* out) {
-    if (field.empty() || field.size() > 4) return false;
-    unsigned value = 0;
-    for (char c : field) {
-      if (c < '0' || c > '9') return false;
-      value = value * 10 + static_cast<unsigned>(c - '0');
+  } else if (base.rfind("procs", 0) == 0) {
+    spec->kind = timpp::SampleBackendKind::kProcessShards;
+    spec->num_workers = 1;
+    // Strict digit parse with a sane cap: stoul would happily wrap
+    // "procs:-1" to 4 billion workers — a fork bomb from a typo.
+    const auto parse_count = [](const std::string& field, unsigned* out) {
+      if (field.empty() || field.size() > 4) return false;
+      unsigned value = 0;
+      for (char c : field) {
+        if (c < '0' || c > '9') return false;
+        value = value * 10 + static_cast<unsigned>(c - '0');
+      }
+      if (value < 1 || value > 256) return false;
+      *out = value;
+      return true;
+    };
+    if (base.size() > 5) {
+      if (base[5] != ':') {
+        *error = "expected 'procs', 'procs:N' or 'procs:N:T', got '" + base +
+                 "'";
+        return false;
+      }
+      const std::string rest = base.substr(6);
+      const size_t colon = rest.find(':');
+      if (!parse_count(rest.substr(0, colon), &spec->num_workers)) {
+        *error = "bad worker count in '" + base + "' (want 1..256)";
+        return false;
+      }
+      if (colon != std::string::npos &&
+          !parse_count(rest.substr(colon + 1), &spec->worker_threads)) {
+        *error = "bad per-worker thread count in '" + base + "' (want 1..256)";
+        return false;
+      }
     }
-    if (value < 1 || value > 256) return false;
-    *out = value;
-    return true;
-  };
-  const std::string rest = name.substr(6);
-  const size_t colon = rest.find(':');
-  if (!parse_count(rest.substr(0, colon), &spec->num_workers)) return false;
-  if (colon != std::string::npos &&
-      !parse_count(rest.substr(colon + 1), &spec->worker_threads)) {
+  } else {
+    *error = "unknown backend '" + base + "' (local | procs:N | procs:N:T)";
+    return false;
+  }
+  // Trailing ",key=value" options.
+  for (size_t pos = comma; pos != std::string::npos;) {
+    const size_t next = name.find(',', pos + 1);
+    const std::string opt =
+        name.substr(pos + 1, next == std::string::npos ? std::string::npos
+                                                       : next - pos - 1);
+    if (opt == "fallback=local") {
+      spec->fallback = timpp::FallbackPolicy::kLocal;
+    } else if (opt == "fallback=none") {
+      spec->fallback = timpp::FallbackPolicy::kNone;
+    } else {
+      *error = "unknown backend option '" + opt + "' (fallback=local|none)";
+      return false;
+    }
+    pos = next;
+  }
+  if (spec->fallback == timpp::FallbackPolicy::kLocal &&
+      spec->kind != timpp::SampleBackendKind::kProcessShards) {
+    *error = "fallback=local only applies to the procs backend";
     return false;
   }
   return true;
@@ -392,11 +443,35 @@ int main(int argc, char** argv) {
   // ---- sample backend -----------------------------------------------
   timpp::SampleBackendSpec backend_spec;
   const std::string backend_name = flags.GetString("backend", "local");
-  if (!ParseBackendSpec(backend_name, &backend_spec)) {
-    std::fprintf(stderr,
-                 "unknown --backend=%s (local | procs:N | procs:N:T)\n",
-                 backend_name.c_str());
+  std::string backend_error;
+  if (!ParseBackendSpec(backend_name, &backend_spec, &backend_error)) {
+    std::fprintf(stderr, "bad --backend=%s: %s\n", backend_name.c_str(),
+                 backend_error.c_str());
     return 2;
+  }
+  // Fault-tolerance knobs (meaningful for procs; harmless for local).
+  const int64_t shard_timeout = flags.GetInt("shard-timeout-ms", 0);
+  const int64_t shard_retries = flags.GetInt("max-shard-retries", 2);
+  if (shard_timeout < 0 || shard_timeout > 86'400'000 || shard_retries < 0 ||
+      shard_retries > 1'000'000) {
+    std::fprintf(stderr,
+                 "bad --shard-timeout-ms/--max-shard-retries (want "
+                 "0..86400000 ms / 0..1000000 retries)\n");
+    return 2;
+  }
+  backend_spec.shard_timeout_ms = static_cast<uint32_t>(shard_timeout);
+  backend_spec.max_shard_retries = static_cast<uint32_t>(shard_retries);
+  if (flags.Has("fault-inject")) {
+    const std::string fault_spec = flags.GetString("fault-inject", "");
+    timpp::FaultPlan plan;
+    const timpp::Status fault_status =
+        timpp::ParseFaultPlan(fault_spec, &plan);
+    if (!fault_status.ok()) {
+      std::fprintf(stderr, "bad --fault-inject=%s: %s\n", fault_spec.c_str(),
+                   fault_status.ToString().c_str());
+      return 2;
+    }
+    backend_spec.fault_spec = fault_spec;
   }
   if (backend_spec.kind == timpp::SampleBackendKind::kProcessShards) {
     // Spawn this very binary as the worker (`im_cli --worker`): it is the

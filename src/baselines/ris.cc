@@ -79,6 +79,7 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
     local_source.emplace(*local_engine);
     source = &*local_source;
   }
+  const BackendStats backend_before = source->engine().backend_stats();
 
   const uint64_t first = source->position();
   RRCollection rr(graph.num_nodes());
@@ -155,6 +156,7 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
     *seeds = std::move(cover.seeds);
     local_stats.covered_fraction = cover.covered_fraction;
   }
+  local_stats.backend = source->engine().backend_stats() - backend_before;
   local_stats.seconds_total = timer.ElapsedSeconds();
   if (stats != nullptr) *stats = local_stats;
   return Status::OK();

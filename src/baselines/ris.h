@@ -74,6 +74,9 @@ struct RisStats {
   uint64_t regeneration_passes = 0;  // streaming greedy rounds (0 off)
   double covered_fraction = 0.0;  // F_R(seeds)
   double seconds_total = 0.0;
+  /// Backend fault-tolerance activity during this run (see BackendStats;
+  /// zero for local backends and healthy distributed runs).
+  BackendStats backend;
 };
 
 /// Runs RIS: samples until the cost threshold, then greedy max coverage.

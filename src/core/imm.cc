@@ -132,6 +132,7 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
     local_source.emplace(*local_engine);
     source = &*local_source;
   }
+  const BackendStats backend_before = source->engine().backend_stats();
 
   Timer phase_timer;
   const size_t budget = options.memory_budget_bytes;
@@ -295,6 +296,7 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
   stats.rr_sets_retained = cache->num_sets();
   stats.estimated_spread = n * cover.covered_fraction;
   stats.seconds_selection = phase_timer.ElapsedSeconds();
+  stats.backend = source->engine().backend_stats() - backend_before;
   stats.seconds_total = total_timer.ElapsedSeconds();
 
   result->seeds = std::move(cover.seeds);

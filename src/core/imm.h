@@ -118,6 +118,9 @@ struct ImmStats {
   /// SolveContext's PhaseCache instead of recomputed (serving layer;
   /// always false standalone).
   bool lb_cache_hit = false;
+  /// Backend fault-tolerance activity during this run (see BackendStats;
+  /// zero for local backends and healthy distributed runs).
+  BackendStats backend;
 };
 
 /// Result of an IMM run.

@@ -86,6 +86,7 @@ Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
     local_source.emplace(*local_engine);
     source = &*local_source;
   }
+  const BackendStats backend_before = source->engine().backend_stats();
   Timer total_timer;
 
   const double eps_prime =
@@ -196,6 +197,7 @@ Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
   stats.rr_sets_retained = selection.rr_sets_retained;
   stats.regeneration_passes = selection.regeneration_passes;
   stats.edges_examined += selection.edges_examined;
+  stats.backend = source->engine().backend_stats() - backend_before;
   stats.seconds_total = total_timer.ElapsedSeconds();
 
   result->seeds = std::move(selection.seeds);

@@ -115,6 +115,11 @@ struct TimStats {
   /// Algorithms 2(+3) were restored from a SolveContext's PhaseCache
   /// instead of recomputed (serving layer; always false standalone).
   bool kpt_cache_hit = false;
+  /// Backend fault-tolerance activity during this run (retries, respawns,
+  /// fallbacks — see BackendStats). All zero for local backends and
+  /// healthy distributed runs. Under a shared serving stream the delta
+  /// can include recovery work triggered by concurrent requests.
+  BackendStats backend;
 };
 
 /// Result of a run.

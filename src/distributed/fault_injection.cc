@@ -1,0 +1,136 @@
+#include "distributed/fault_injection.h"
+
+#include <charconv>
+
+namespace timpp {
+
+namespace {
+
+Status Malformed(std::string_view rule, const std::string& why) {
+  return Status::InvalidArgument("fault spec rule \"" + std::string(rule) +
+                                 "\": " + why);
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && end == text.data() + text.size();
+}
+
+bool ClassFromName(std::string_view name, FaultClass* out) {
+  if (name == "kill") *out = FaultClass::kKillBeforeReply;
+  else if (name == "hang") *out = FaultClass::kHangInShard;
+  else if (name == "trunc") *out = FaultClass::kTruncatedFrame;
+  else if (name == "corrupt") *out = FaultClass::kCorruptFrame;
+  else if (name == "slowhs") *out = FaultClass::kSlowHandshake;
+  else return false;
+  return true;
+}
+
+Status ParseRule(std::string_view text, FaultRule* rule) {
+  const size_t at = text.find('@');
+  if (at == std::string_view::npos) {
+    return Malformed(text, "missing '@' (grammar: class@key[xN][:ms])");
+  }
+  if (!ClassFromName(text.substr(0, at), &rule->fault)) {
+    return Malformed(text,
+                     "unknown class \"" + std::string(text.substr(0, at)) +
+                         "\" (want kill|hang|trunc|corrupt|slowhs)");
+  }
+  std::string_view rest = text.substr(at + 1);
+
+  // Split off ":<ms>" then "x<times>" from the right so the key may not
+  // contain either delimiter.
+  uint64_t delay = 0;
+  const size_t colon = rest.find(':');
+  if (colon != std::string_view::npos) {
+    if (rule->fault != FaultClass::kHangInShard &&
+        rule->fault != FaultClass::kSlowHandshake) {
+      return Malformed(text, "':<ms>' delay only applies to hang and slowhs");
+    }
+    if (!ParseU64(rest.substr(colon + 1), &delay) || delay > UINT32_MAX) {
+      return Malformed(text, "bad delay milliseconds");
+    }
+    rest = rest.substr(0, colon);
+  }
+  rule->delay_ms = static_cast<uint32_t>(delay);
+
+  const size_t x = rest.find('x');
+  uint64_t times = 1;
+  if (x != std::string_view::npos) {
+    if (!ParseU64(rest.substr(x + 1), &times) || times == 0 ||
+        times > UINT32_MAX) {
+      return Malformed(text, "bad repetition count after 'x' (want >= 1)");
+    }
+    rest = rest.substr(0, x);
+  }
+  rule->times = static_cast<uint32_t>(times);
+
+  if (!ParseU64(rest, &rule->key)) {
+    return Malformed(text, "bad key (want a set index, or a slot for slowhs)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseFaultPlan(std::string_view spec, FaultPlan* plan) {
+  plan->rules.clear();
+  while (!spec.empty()) {
+    const size_t semi = spec.find(';');
+    const std::string_view entry = spec.substr(0, semi);
+    spec = semi == std::string_view::npos ? std::string_view()
+                                          : spec.substr(semi + 1);
+    if (entry.empty()) continue;
+    FaultRule rule;
+    TIMPP_RETURN_NOT_OK(ParseRule(entry, &rule));
+    plan->rules.push_back(rule);
+  }
+  return Status::OK();
+}
+
+FaultInjector FaultInjector::FromSpec(std::string_view spec) {
+  FaultPlan plan;
+  if (!ParseFaultPlan(spec, &plan).ok()) plan.rules.clear();
+  return FaultInjector(std::move(plan));
+}
+
+const FaultRule* FaultInjector::MatchRange(uint64_t first, uint64_t count,
+                                           uint32_t attempt) const {
+  for (const FaultRule& rule : plan_.rules) {
+    if (rule.fault == FaultClass::kSlowHandshake) continue;
+    if (rule.key >= first && rule.key - first < count &&
+        attempt < rule.times) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+const FaultRule* FaultInjector::MatchList(const std::vector<uint64_t>& indices,
+                                          uint32_t attempt) const {
+  for (const FaultRule& rule : plan_.rules) {
+    if (rule.fault == FaultClass::kSlowHandshake) continue;
+    if (attempt >= rule.times) continue;
+    for (const uint64_t index : indices) {
+      if (index == rule.key) return &rule;
+      if (index > rule.key) break;  // ascending
+    }
+  }
+  return nullptr;
+}
+
+const FaultRule* FaultInjector::MatchHandshake(uint32_t slot,
+                                               uint32_t spawn_attempt) const {
+  for (const FaultRule& rule : plan_.rules) {
+    if (rule.fault != FaultClass::kSlowHandshake) continue;
+    if (rule.key == slot && spawn_attempt >= 1 &&
+        spawn_attempt - 1 < rule.times) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace timpp

@@ -1,0 +1,104 @@
+// Deterministic fault injection for the distributed sampling fleet.
+//
+// A fault spec is a ';'-separated list of rules, each
+//
+//     <class>@<key>[x<times>][:<ms>]
+//
+//   class  kill    — worker SIGKILLs itself before replying to the shard
+//          hang    — worker sleeps <ms> (default 1h) before replying
+//          trunc   — worker writes the frame header plus half the payload,
+//                    then exits: the coordinator sees mid-frame EOF
+//          corrupt — worker flips the payload's leading bytes (the shard's
+//                    set count) and keeps serving: the coordinator's shard
+//                    validation rejects the reply deterministically
+//          slowhs  — worker sleeps <ms> (default 30s) before its HelloAck
+//   key    for shard faults: a global RR-set index — the rule fires on any
+//          shard request whose range/list contains it. For slowhs: the
+//          supervisor slot number.
+//   times  fire while attempt < times (default 1): shard faults count the
+//          supervisor's per-shard retry attempt, slowhs counts the slot's
+//          respawns. A rule with the default budget therefore fails the
+//          first dispatch and lets the retry succeed — which is what makes
+//          injected runs both reproducible and recoverable. "x0" never
+//          fires; an absurd budget ("x1000000") models a permanently
+//          broken shard for retry-exhaustion tests.
+//
+// Example: "kill@100;hang@5000x2:250" — kill the worker serving set 100
+// once; delay the shard containing set 5000 by 250 ms on its first two
+// attempts.
+//
+// The spec rides to workers inside the kHello frame (wire::Hello), with
+// the TIMPP_FAULT_INJECT environment variable as a fallback for manually
+// launched workers. Rule matching is pure arithmetic on (key, attempt) —
+// no clocks, no randomness — so a failing combination replays exactly.
+#ifndef TIMPP_DISTRIBUTED_FAULT_INJECTION_H_
+#define TIMPP_DISTRIBUTED_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace timpp {
+
+enum class FaultClass : uint8_t {
+  kKillBeforeReply,
+  kHangInShard,
+  kTruncatedFrame,
+  kCorruptFrame,
+  kSlowHandshake,
+};
+
+struct FaultRule {
+  FaultClass fault = FaultClass::kKillBeforeReply;
+  uint64_t key = 0;       // global set index, or worker slot for slowhs
+  uint32_t times = 1;     // fires while attempt < times
+  uint32_t delay_ms = 0;  // hang/slowhs delay; 0 = class default
+};
+
+/// Default delays when a rule omits ":<ms>". The hang default is long
+/// enough that any sane shard deadline expires first.
+inline constexpr uint32_t kDefaultHangMillis = 3'600'000;
+inline constexpr uint32_t kDefaultSlowHandshakeMillis = 30'000;
+
+struct FaultPlan {
+  std::vector<FaultRule> rules;
+  bool empty() const { return rules.empty(); }
+};
+
+/// Parses the spec grammar above. Malformed input yields InvalidArgument
+/// naming the offending rule — coordinators validate before shipping so a
+/// typo fails the run loudly instead of silently injecting nothing.
+Status ParseFaultPlan(std::string_view spec, FaultPlan* plan);
+
+/// Worker-side rule matcher. Construction from a spec string never fails
+/// hard: the worker trusts the coordinator validated it (an unparsable
+/// spec matches nothing).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+  static FaultInjector FromSpec(std::string_view spec);
+
+  bool empty() const { return plan_.empty(); }
+
+  /// First shard rule covering any index in [first, first + count) that
+  /// still has budget at `attempt`; nullptr when none fires.
+  const FaultRule* MatchRange(uint64_t first, uint64_t count,
+                              uint32_t attempt) const;
+  /// Same for an explicit (ascending) index list.
+  const FaultRule* MatchList(const std::vector<uint64_t>& indices,
+                             uint32_t attempt) const;
+  /// slowhs rule for this slot with budget left at spawn `spawn_attempt`
+  /// (1-based, so attempt n consumes budget n-1).
+  const FaultRule* MatchHandshake(uint32_t slot, uint32_t spawn_attempt) const;
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_DISTRIBUTED_FAULT_INJECTION_H_

@@ -3,12 +3,11 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 #include "distributed/worker_protocol.h"
-#include "engine/sampling_engine.h"
+#include "engine/local_thread_backend.h"
 #include "graph/graph.h"
 #include "graph/graph_io.h"
 #include "rrset/rr_serialization.h"
@@ -43,147 +42,118 @@ std::string ProcessShardBackend::ResolveWorkerBinary(
 ProcessShardBackend::ProcessShardBackend(const Graph& graph,
                                          const SamplingConfig& config)
     : graph_(graph),
-      model_(static_cast<uint8_t>(config.model)),
-      sampler_mode_(static_cast<uint8_t>(config.sampler_mode)),
-      max_hops_(config.max_hops),
-      seed_(config.seed),
+      config_(config),
       // Capped defensively: API callers bypass the CLI's parse validation,
       // and a wrapped negative would otherwise fork-bomb the host.
       num_workers_(std::min(256u, std::max(1u, config.backend.num_workers))),
       worker_threads_(std::max(1u, config.backend.worker_threads)),
-      worker_binary_(ResolveWorkerBinary(config.backend.worker_binary)),
-      graph_source_(config.backend.graph_source),
-      unsupported_custom_model_(config.custom_model != nullptr),
-      unsupported_root_distribution_(config.root_distribution != nullptr) {}
+      worker_binary_(ResolveWorkerBinary(config.backend.worker_binary)) {}
 
-ProcessShardBackend::~ProcessShardBackend() {
-  // Graceful teardown: ask every live worker to exit and reap it, so
-  // worker-side sanitizers (LeakSanitizer runs at exit) actually fire —
-  // the Subprocess destructor's SIGKILL fallback would skip them. The
-  // protocol is quiescent here (no outstanding requests outside Fill, and
-  // Fatal() already killed errored workers), so the worker is blocked in
-  // ReadFrame and exits on the shutdown frame or the stdin EOF.
-  for (size_t w = 0; w < workers_.size(); ++w) {
-    Subprocess* process = workers_[w]->process.get();
-    if (process == nullptr) continue;
-    (void)wire::WriteFrame(process->stdin_fd(), wire::kShutdown, {});
-    process->CloseStdin();
-    const int exit_code = process->Wait();
-    if (exit_code != 0) {
-      // No Status can escape a destructor; at least put the evidence in
-      // the log — under sanitizers a leaking worker exits non-zero here.
-      std::fprintf(stderr,
-                   "timpp: sampling worker %zu exited with code %d\n", w,
-                   exit_code);
-    }
-  }
-}
+ProcessShardBackend::~ProcessShardBackend() = default;
 
 Status ProcessShardBackend::Fatal(Status status) {
   status_ = std::move(status);
-  // Workers are in an unknown protocol state after any failure; tear them
-  // all down so a retry cannot read a stale frame.
-  workers_.clear();
-  workers_ready_ = false;
+  // Failed workers were killed and reaped the moment they failed; healthy
+  // ones idle until the destructor's graceful shutdown. The supervisor
+  // object stays alive — every subsequent Fill fails fast on status_, and
+  // concurrent stats() readers (serving-layer metric snapshots) must not
+  // see it vanish under them.
   chunk_views_.clear();
   return status_;
 }
 
-Status ProcessShardBackend::SpawnWorker(WorkerShard* worker) {
-  // The frame layer caps payloads at 2 GiB; a graph image past that would
-  // be rejected worker-side with a generic "died during handshake". Fail
-  // here with the actual cause and the way out (spec transport reloads
-  // from disk, no size limit).
-  if (graph_source_.empty() && graph_payload_.size() > (uint64_t{1} << 31)) {
-    return Status::InvalidArgument(
-        "graph too large for inline worker handshake (" +
-        std::to_string(graph_payload_.size()) +
-        " bytes serialized); provide SampleBackendSpec::graph_source so "
-        "workers reload it from storage instead");
-  }
-  TIMPP_RETURN_NOT_OK(Subprocess::Start({worker_binary_, "--worker"},
-                                        &worker->process));
-
-  wire::Hello hello;
-  hello.model = model_;
-  hello.sampler_mode = sampler_mode_;
-  hello.max_hops = max_hops_;
-  hello.seed = seed_;
-  hello.worker_threads = worker_threads_;
-  hello.graph_hash = graph_.ContentHash();
-  if (graph_source_.empty()) {
-    hello.graph_transport = wire::GraphTransport::kInline;
-    hello.graph_payload = graph_payload_;
-  } else {
-    hello.graph_transport = wire::GraphTransport::kSpec;
-    hello.graph_payload = graph_source_;
-  }
-  std::string payload;
-  wire::EncodeHello(hello, &payload);
-  return wire::WriteFrame(worker->process->stdin_fd(), wire::kHello, payload);
-}
-
-Status ProcessShardBackend::AwaitHandshake(WorkerShard* worker) {
-  uint32_t type = 0;
-  std::string reply;
-  Status read = wire::ReadFrame(worker->process->stdout_fd(), &type, &reply);
-  if (!read.ok()) {
-    return Status::IOError(
-        "worker '" + worker_binary_ +
-        "' died during handshake (not built, or not a timpp worker?): " +
-        read.message());
-  }
-  if (type == wire::kError) {
-    return Status::InvalidArgument("worker rejected handshake: " + reply);
-  }
-  if (type != wire::kHelloAck) {
-    return Status::Corruption("worker handshake: unexpected frame type " +
-                              std::to_string(type));
-  }
-  return Status::OK();
-}
-
-Status ProcessShardBackend::EnsureWorkers() {
+Status ProcessShardBackend::EnsureSupervisor() {
   TIMPP_RETURN_NOT_OK(status_);
-  if (workers_ready_) return Status::OK();
-  if (unsupported_custom_model_) {
+  if (supervisor_ != nullptr) return Status::OK();
+  if (config_.custom_model != nullptr) {
     return Fatal(Status::Unimplemented(
         "process-shard backend cannot ship a custom TriggeringModel to "
         "worker processes; use backend=local for kTriggering runs"));
   }
-  if (unsupported_root_distribution_) {
+  if (config_.root_distribution != nullptr) {
     return Fatal(Status::Unimplemented(
         "process-shard backend cannot ship a root distribution "
         "(node-weighted runs); use backend=local"));
   }
-  if (graph_source_.empty() && graph_payload_.empty()) {
+  const std::string& graph_source = config_.backend.graph_source;
+  if (graph_source.empty() && graph_payload_.empty()) {
     SerializeGraph(graph_, &graph_payload_);
   }
-  workers_.clear();
-  workers_.reserve(num_workers_);
-  // Spawn + hello everyone first, then collect acks: the workers load and
-  // hash their graphs concurrently (spec transport reloads from disk, the
-  // slow part), so first-fill startup pays one graph-load wall-clock, not
-  // num_workers of them. (A hello larger than the pipe buffer could make
-  // the write block until the worker drains it — fine: workers read their
-  // hello immediately, and each write still overlaps every other
-  // worker's load.)
-  for (unsigned w = 0; w < num_workers_; ++w) {
-    workers_.push_back(std::make_unique<WorkerShard>(graph_.num_nodes()));
-    Status spawned = SpawnWorker(workers_.back().get());
-    if (!spawned.ok()) return Fatal(std::move(spawned));
+  // The frame layer caps payloads at 2 GiB; a graph image past that would
+  // be rejected worker-side with a generic "died during handshake". Fail
+  // here with the actual cause and the way out (spec transport reloads
+  // from disk, no size limit).
+  if (graph_source.empty() && graph_payload_.size() > (uint64_t{1} << 31)) {
+    return Fatal(Status::InvalidArgument(
+        "graph too large for inline worker handshake (" +
+        std::to_string(graph_payload_.size()) +
+        " bytes serialized); provide SampleBackendSpec::graph_source so "
+        "workers reload it from storage instead"));
   }
-  for (unsigned w = 0; w < num_workers_; ++w) {
-    Status handshake = AwaitHandshake(workers_[w].get());
-    if (!handshake.ok()) return Fatal(std::move(handshake));
+
+  wire::Hello hello;
+  hello.model = static_cast<uint8_t>(config_.model);
+  hello.sampler_mode = static_cast<uint8_t>(config_.sampler_mode);
+  hello.max_hops = config_.max_hops;
+  hello.seed = config_.seed;
+  hello.worker_threads = worker_threads_;
+  hello.graph_hash = graph_.ContentHash();
+  hello.fault_spec = config_.backend.fault_spec;
+  if (graph_source.empty()) {
+    hello.graph_transport = wire::GraphTransport::kInline;
+    hello.graph_payload = graph_payload_;
+  } else {
+    hello.graph_transport = wire::GraphTransport::kSpec;
+    hello.graph_payload = graph_source;
   }
-  workers_ready_ = true;
+
+  SupervisorOptions options;
+  options.num_workers = num_workers_;
+  options.worker_binary = worker_binary_;
+  options.shard_timeout_ms = config_.backend.shard_timeout_ms;
+  options.max_shard_retries = config_.backend.max_shard_retries;
+  options.retry_backoff_ms = config_.backend.retry_backoff_ms;
+  options.max_backoff_ms = config_.backend.max_backoff_ms;
+  options.max_worker_failures = config_.backend.max_worker_failures;
+  supervisor_ = std::make_unique<WorkerSupervisor>(std::move(options),
+                                                   std::move(hello));
+  supervisor_view_.store(supervisor_.get(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status ProcessShardBackend::FillShardLocally(
+    const WorkerSupervisor::ShardRequest& request, ShardResult* result) {
+  fallback_shards_.fetch_add(1, std::memory_order_relaxed);
+  fallback_sets_.fetch_add(
+      request.is_list ? request.indices.size() : request.count,
+      std::memory_order_relaxed);
+  if (fallback_ == nullptr) {
+    // The fallback samples with the worker's thread budget — it stands in
+    // for exactly one worker process worth of capacity. Bit-identity is
+    // the per-index RNG contract's job, not the thread count's.
+    SamplingConfig local = config_;
+    local.backend = SampleBackendSpec();
+    local.num_threads = worker_threads_;
+    fallback_ = std::make_unique<LocalThreadBackend>(graph_, local);
+  }
+  TIMPP_RETURN_NOT_OK(request.is_list
+                          ? fallback_->FillList(request.indices)
+                          : fallback_->Fill(request.first, request.count,
+                                            nullptr));
+  result->sets.Clear();
+  result->edges.clear();
+  for (const Chunk& chunk : fallback_->chunks()) {
+    result->sets.AppendRange(*chunk.sets, chunk.begin,
+                             chunk.end - chunk.begin);
+    result->edges.insert(result->edges.end(), chunk.edges->begin() + chunk.begin,
+                         chunk.edges->begin() + chunk.end);
+  }
   return Status::OK();
 }
 
 Status ProcessShardBackend::Fill(uint64_t base, uint64_t count,
                                  const SampleFilter* filter) {
-  TIMPP_RETURN_NOT_OK(EnsureWorkers());
+  TIMPP_RETURN_NOT_OK(EnsureSupervisor());
   chunk_views_.clear();
   if (count == 0) return Status::OK();
 
@@ -202,108 +172,97 @@ Status ProcessShardBackend::Fill(uint64_t base, uint64_t count,
                              ? static_cast<uint64_t>(accepted.size())
                              : count;
 
-  struct Assignment {
-    uint64_t begin = 0;  // offset into the range / accepted list
-    uint64_t end = 0;
-  };
-  std::vector<Assignment> shares(num_workers_);
+  std::vector<WorkerSupervisor::ShardRequest> requests;
+  std::vector<uint64_t> expected_sets;
+  requests.reserve(num_workers_);
   for (unsigned w = 0; w < num_workers_; ++w) {
-    shares[w].begin = total * w / num_workers_;
-    shares[w].end = total * (w + 1) / num_workers_;
-  }
-
-  // Dispatch every request before reading any reply: workers overlap.
-  std::string payload;
-  for (unsigned w = 0; w < num_workers_; ++w) {
-    if (shares[w].begin == shares[w].end) continue;
-    payload.clear();
-    WorkerShard& worker = *workers_[w];
+    const uint64_t begin = total * w / num_workers_;
+    const uint64_t end = total * (w + 1) / num_workers_;
+    if (begin == end) continue;
+    WorkerSupervisor::ShardRequest request;
     if (filter == nullptr) {
-      wire::EncodeSampleRange(base + shares[w].begin,
-                              shares[w].end - shares[w].begin, &payload);
-      Status sent = wire::WriteFrame(worker.process->stdin_fd(),
-                                     wire::kSampleRange, payload);
-      if (!sent.ok()) {
-        return Fatal(Status::IOError("worker " + std::to_string(w) +
-                                     " unreachable: " + sent.message()));
-      }
+      request.first = base + begin;
+      request.count = end - begin;
     } else {
-      const std::vector<uint64_t> slice(accepted.begin() + shares[w].begin,
-                                        accepted.begin() + shares[w].end);
-      wire::EncodeSampleList(slice, &payload);
-      Status sent = wire::WriteFrame(worker.process->stdin_fd(),
-                                     wire::kSampleList, payload);
-      if (!sent.ok()) {
-        return Fatal(Status::IOError("worker " + std::to_string(w) +
-                                     " unreachable: " + sent.message()));
-      }
+      request.is_list = true;
+      request.indices.assign(accepted.begin() + begin, accepted.begin() + end);
     }
+    requests.push_back(std::move(request));
+    expected_sets.push_back(end - begin);
   }
 
-  // Collect replies in worker order == shard order == global index order.
-  std::string reply;
-  for (unsigned w = 0; w < num_workers_; ++w) {
-    if (shares[w].begin == shares[w].end) continue;
-    WorkerShard& worker = *workers_[w];
-    uint32_t type = 0;
-    Status read = wire::ReadFrame(worker.process->stdout_fd(), &type, &reply);
-    if (!read.ok()) {
-      return Fatal(Status::IOError(
-          "worker " + std::to_string(w) +
-          " died mid-shard (no truncated data was merged): " +
-          read.message()));
-    }
-    if (type == wire::kError) {
-      return Fatal(Status::InvalidArgument("worker " + std::to_string(w) +
-                                           " error: " + reply));
-    }
-    if (type != wire::kShard) {
-      return Fatal(Status::Corruption("worker " + std::to_string(w) +
-                                      ": unexpected frame type " +
-                                      std::to_string(type)));
-    }
+  // Per-shard result buffers (reused across fills when counts allow).
+  while (shard_results_.size() < requests.size()) {
+    shard_results_.push_back(
+        std::make_unique<ShardResult>(graph_.num_nodes()));
+  }
 
-    worker.sets.Clear();
-    worker.edges.clear();
-    worker.indices.clear();
+  const WorkerSupervisor::ShardConsumer consume =
+      [&](size_t s, const std::string& payload) -> Status {
+    ShardResult& result = *shard_results_[s];
+    result.sets.Clear();
+    result.edges.clear();
     RRShardInfo info;
-    Status decoded = DeserializeRRShard(reply, graph_.num_nodes(),
-                                        &worker.sets, &worker.edges, &info);
-    if (!decoded.ok()) {
-      return Fatal(Status::Corruption("worker " + std::to_string(w) +
-                                      " shard: " + decoded.message()));
+    TIMPP_RETURN_NOT_OK(DeserializeRRShard(payload, graph_.num_nodes(),
+                                           &result.sets, &result.edges,
+                                           &info));
+    if (info.num_sets != expected_sets[s]) {
+      return Status::Corruption("returned " + std::to_string(info.num_sets) +
+                                " sets for a " +
+                                std::to_string(expected_sets[s]) +
+                                "-set shard");
     }
-    const uint64_t expected = shares[w].end - shares[w].begin;
-    if (info.num_sets != expected) {
-      return Fatal(Status::Corruption(
-          "worker " + std::to_string(w) + " returned " +
-          std::to_string(info.num_sets) + " sets for a " +
-          std::to_string(expected) + "-set shard"));
-    }
-    if (filter != nullptr) {
-      worker.indices.assign(accepted.begin() + shares[w].begin,
-                            accepted.begin() + shares[w].end);
-    }
+    return Status::OK();
+  };
 
+  std::vector<Status> outcomes;
+  const Status fleet = supervisor_->ExecuteShards(requests, consume,
+                                                  &outcomes);
+  if (!fleet.ok()) return Fatal(fleet);
+
+  for (size_t s = 0; s < requests.size(); ++s) {
+    if (outcomes[s].ok()) continue;
+    if (config_.backend.fallback != FallbackPolicy::kLocal) {
+      return Fatal(std::move(outcomes[s]));
+    }
+    // Graceful degradation: regenerate the shard in-process. Identical
+    // bits by the per-index RNG contract; only the CPU placement changes.
+    const Status local = FillShardLocally(requests[s], shard_results_[s].get());
+    if (!local.ok()) return Fatal(local);
+  }
+
+  for (size_t s = 0; s < requests.size(); ++s) {
+    ShardResult& result = *shard_results_[s];
+    if (filter != nullptr) {
+      result.indices = requests[s].indices;
+    } else {
+      result.indices.clear();
+    }
     Chunk chunk;
-    chunk.sets = &worker.sets;
-    chunk.edges = &worker.edges;
-    chunk.indices = filter != nullptr ? &worker.indices : nullptr;
+    chunk.sets = &result.sets;
+    chunk.edges = &result.edges;
+    chunk.indices = filter != nullptr ? &result.indices : nullptr;
     chunk.begin = 0;
-    chunk.end = worker.sets.num_sets();
+    chunk.end = result.sets.num_sets();
     chunk_views_.push_back(chunk);
   }
   return Status::OK();
 }
 
-Status ProcessShardBackend::KillWorkerForTest(unsigned w) {
-  TIMPP_RETURN_NOT_OK(EnsureWorkers());
-  if (w >= workers_.size()) {
-    return Status::InvalidArgument("no worker " + std::to_string(w));
+BackendStats ProcessShardBackend::stats() const {
+  BackendStats out;
+  if (const WorkerSupervisor* supervisor =
+          supervisor_view_.load(std::memory_order_acquire)) {
+    out = supervisor->stats();
   }
-  workers_[w]->process->Kill();
-  workers_[w]->process->Wait();
-  return Status::OK();
+  out.fallback_shards = fallback_shards_.load(std::memory_order_relaxed);
+  out.fallback_sets = fallback_sets_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Status ProcessShardBackend::KillWorkerForTest(unsigned w) {
+  TIMPP_RETURN_NOT_OK(EnsureSupervisor());
+  return supervisor_->KillWorkerForTest(w);
 }
 
 }  // namespace timpp

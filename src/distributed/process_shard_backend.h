@@ -11,28 +11,36 @@
 // procs:N` returns byte-for-byte the seeds/θ/LB of `--backend=local` at
 // any worker count.
 //
-// Workers are spawned lazily on the first fill and torn down with the
-// backend. Any transport or protocol failure (a worker crashing
-// mid-shard, a rejected handshake) latches a fatal status: subsequent
-// fills fail fast rather than serving a truncated stream.
+// Fleet lifecycle and failure recovery live in WorkerSupervisor
+// (distributed/worker_supervisor.h): a worker that crashes, hangs past
+// the shard deadline, or returns a corrupt frame gets its shard retried —
+// on a respawned or different worker, with capped exponential backoff —
+// and the per-index RNG contract makes every retry bit-identical. Only
+// deterministic rejections (graph-hash mismatch, version skew, missing
+// binary) and retry-budget exhaustion latch a fatal status; with
+// FallbackPolicy::kLocal even exhaustion degrades gracefully by
+// regenerating the failed shards in-process. stats() reports what the
+// recovery machinery did.
 #ifndef TIMPP_DISTRIBUTED_PROCESS_SHARD_BACKEND_H_
 #define TIMPP_DISTRIBUTED_PROCESS_SHARD_BACKEND_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "distributed/worker_supervisor.h"
 #include "engine/sample_backend.h"
+#include "engine/sampling_engine.h"
 #include "rrset/rr_collection.h"
 #include "util/status.h"
-#include "util/subprocess.h"
 
 namespace timpp {
 
 class Graph;
-struct SamplingConfig;
+class LocalThreadBackend;
 
 class ProcessShardBackend final : public SampleBackend {
  public:
@@ -45,12 +53,14 @@ class ProcessShardBackend final : public SampleBackend {
   Status Fill(uint64_t base, uint64_t count,
               const SampleFilter* filter) override;
   std::span<const Chunk> chunks() const override { return chunk_views_; }
+  BackendStats stats() const override;
 
   unsigned num_workers() const { return num_workers_; }
 
   /// Test hook: SIGKILLs worker `w` (spawning first if necessary) so crash
-  /// handling can be exercised deterministically. The next Fill must
-  /// return an error, never truncated data.
+  /// handling can be exercised deterministically. With retries enabled
+  /// (the default) the next Fill recovers and reports it in stats(); with
+  /// max_shard_retries = 0 it must return an error, never truncated data.
   Status KillWorkerForTest(unsigned w);
 
   /// Resolution order for the worker executable: the spec's
@@ -59,44 +69,46 @@ class ProcessShardBackend final : public SampleBackend {
   static std::string ResolveWorkerBinary(const std::string& configured);
 
  private:
-  struct WorkerShard {
-    std::unique_ptr<Subprocess> process;
+  /// One shard's merged result, exposed as a Chunk until the next Fill.
+  struct ShardResult {
     RRCollection sets;
     std::vector<uint64_t> edges;
     std::vector<uint64_t> indices;  // filtered fills only
-    explicit WorkerShard(NodeId num_nodes) : sets(num_nodes) {}
+    explicit ShardResult(NodeId num_nodes) : sets(num_nodes) {}
   };
 
-  /// Spawns and handshakes all workers (idempotent). Hellos go out to
-  /// every worker before any ack is read, so graph loads overlap.
-  Status EnsureWorkers();
-  /// Starts the process and sends its hello (does not wait for the ack).
-  Status SpawnWorker(WorkerShard* worker);
-  /// Reads and checks one worker's handshake reply.
-  Status AwaitHandshake(WorkerShard* worker);
-  /// Marks the backend permanently failed and tears the workers down.
+  /// Validates the config, serializes the graph, and constructs the
+  /// supervisor (idempotent; spawns nothing).
+  Status EnsureSupervisor();
+  /// Regenerates one failed shard with an in-process LocalThreadBackend
+  /// (FallbackPolicy::kLocal).
+  Status FillShardLocally(const WorkerSupervisor::ShardRequest& request,
+                          ShardResult* result);
+  /// Marks the backend permanently failed and tears the fleet down.
   Status Fatal(Status status);
 
   const Graph& graph_;
-  // Sampling facets workers need (model, sampler, seed, hops) plus the
-  // backend spec; stored by value so the backend has no lifetime tie to
-  // the engine's config copy beyond the graph itself.
-  uint8_t model_;
-  uint8_t sampler_mode_;
-  uint32_t max_hops_;
-  uint64_t seed_;
+  // The full sampling config, copied: the supervisor's hello prototype
+  // and the local fallback backend both need it, and storing it by value
+  // unties the backend from the engine's copy.
+  SamplingConfig config_;
   unsigned num_workers_;
   unsigned worker_threads_;
   std::string worker_binary_;
-  std::string graph_source_;
-  bool unsupported_custom_model_ = false;
-  bool unsupported_root_distribution_ = false;
 
-  std::vector<std::unique_ptr<WorkerShard>> workers_;
+  std::unique_ptr<WorkerSupervisor> supervisor_;
+  // Release-published copy of supervisor_.get(): Fill runs on one thread,
+  // but stats() is snapshotted concurrently by serving-layer metric
+  // readers, which must never race the lazy construction above.
+  std::atomic<const WorkerSupervisor*> supervisor_view_{nullptr};
+  std::vector<std::unique_ptr<ShardResult>> shard_results_;
   std::vector<Chunk> chunk_views_;
   std::string graph_payload_;  // serialized once, shipped per handshake
   Status status_;
-  bool workers_ready_ = false;
+
+  std::unique_ptr<LocalThreadBackend> fallback_;
+  std::atomic<uint64_t> fallback_shards_{0};
+  std::atomic<uint64_t> fallback_sets_{0};
 };
 
 }  // namespace timpp

@@ -1,10 +1,17 @@
 #include "distributed/worker.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "distributed/fault_injection.h"
 #include "distributed/graph_spec.h"
 #include "distributed/worker_protocol.h"
 #include "engine/local_thread_backend.h"
@@ -38,6 +45,48 @@ void SerializeFill(const LocalThreadBackend& backend, RRCollection* merged,
   }
   payload->clear();
   SerializeRRShard(*merged, *edges, payload);
+}
+
+void SleepMillis(uint32_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Applies a matched shard-fault rule around the serialized reply.
+/// Returns true when the reply was already written (or never will be) and
+/// the caller must not send it again; false when the reply should be sent
+/// normally (hang: the delay already happened).
+bool ExecuteShardFault(const FaultRule& rule, int out_fd,
+                       const std::string& reply) {
+  switch (rule.fault) {
+    case FaultClass::kKillBeforeReply:
+      // A real crash: no reply bytes, SIGKILL exit status for the
+      // supervisor's zombie reap to report.
+      ::raise(SIGKILL);
+      return true;  // unreachable
+    case FaultClass::kHangInShard:
+      SleepMillis(rule.delay_ms != 0 ? rule.delay_ms : kDefaultHangMillis);
+      return false;
+    case FaultClass::kTruncatedFrame:
+      // Header promises the full shard, stream ends halfway through it.
+      (void)wire::WriteFrameTruncated(out_fd, wire::kShard, reply,
+                                      reply.size() / 2);
+      ::_exit(0);
+    case FaultClass::kCorruptFrame: {
+      // Flip the payload's leading bytes — the serialized shard's magic
+      // and set count — so the coordinator's validation rejects the frame
+      // deterministically (never a silent bit-divergence). The worker
+      // keeps serving: its framing stays intact, only this payload lies.
+      std::string corrupted = reply;
+      for (size_t i = 0; i < corrupted.size() && i < 8; ++i) {
+        corrupted[i] = static_cast<char>(corrupted[i] ^ 0xFF);
+      }
+      (void)wire::WriteFrame(out_fd, wire::kShard, corrupted);
+      return true;
+    }
+    case FaultClass::kSlowHandshake:
+      return false;  // not a shard fault
+  }
+  return false;
 }
 
 }  // namespace
@@ -99,6 +148,20 @@ int RunSampleWorker(int in_fd, int out_fd) {
   config.num_threads = std::max(1u, hello.worker_threads);
   LocalThreadBackend backend(graph, config);
 
+  // Fault injection: the handshake spec wins; TIMPP_FAULT_INJECT covers
+  // manually launched workers (and pre-handshake classes in ad-hoc use).
+  FaultInjector faults = FaultInjector::FromSpec(hello.fault_spec);
+  if (faults.empty()) {
+    if (const char* env = std::getenv("TIMPP_FAULT_INJECT")) {
+      faults = FaultInjector::FromSpec(env);
+    }
+  }
+  if (const FaultRule* rule =
+          faults.MatchHandshake(hello.worker_slot, hello.spawn_attempt)) {
+    SleepMillis(rule->delay_ms != 0 ? rule->delay_ms
+                                    : kDefaultSlowHandshakeMillis);
+  }
+
   {
     const std::string hash_bytes(reinterpret_cast<const char*>(&local_hash),
                                  sizeof(local_hash));
@@ -117,18 +180,23 @@ int RunSampleWorker(int in_fd, int out_fd) {
     switch (type) {
       case wire::kSampleRange: {
         uint64_t first = 0, count = 0;
-        status = wire::DecodeSampleRange(payload, &first, &count);
+        uint32_t attempt = 0;
+        status = wire::DecodeSampleRange(payload, &first, &count, &attempt);
         if (!status.ok()) {
           SendError(out_fd, status.ToString());
           return 1;
         }
         (void)backend.Fill(first, count, nullptr);  // local fills never fail
         SerializeFill(backend, &merged, &merged_edges, &reply);
+        if (const FaultRule* rule = faults.MatchRange(first, count, attempt)) {
+          if (ExecuteShardFault(*rule, out_fd, reply)) break;
+        }
         if (!wire::WriteFrame(out_fd, wire::kShard, reply).ok()) return 1;
         break;
       }
       case wire::kSampleList: {
-        status = wire::DecodeSampleList(payload, &indices);
+        uint32_t attempt = 0;
+        status = wire::DecodeSampleList(payload, &indices, &attempt);
         if (!status.ok()) {
           SendError(out_fd, status.ToString());
           return 1;
@@ -144,6 +212,9 @@ int RunSampleWorker(int in_fd, int out_fd) {
           // selection rounds list only the still-live sets).
           (void)backend.FillList(indices);
           SerializeFill(backend, &merged, &merged_edges, &reply);
+        }
+        if (const FaultRule* rule = faults.MatchList(indices, attempt)) {
+          if (ExecuteShardFault(*rule, out_fd, reply)) break;
         }
         if (!wire::WriteFrame(out_fd, wire::kShard, reply).ok()) return 1;
         break;

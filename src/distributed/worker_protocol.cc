@@ -50,6 +50,10 @@ void EncodeHello(const Hello& hello, std::string* out) {
   AppendRaw(out, hello.worker_threads);
   AppendRaw(out, uint32_t{0});  // pad
   AppendRaw(out, hello.graph_hash);
+  AppendRaw(out, hello.worker_slot);
+  AppendRaw(out, hello.spawn_attempt);
+  AppendRaw(out, static_cast<uint64_t>(hello.fault_spec.size()));
+  out->append(hello.fault_spec);
   AppendRaw(out, static_cast<uint64_t>(hello.graph_payload.size()));
   out->append(hello.graph_payload);
 }
@@ -58,6 +62,7 @@ Status DecodeHello(std::string_view payload, Hello* hello) {
   uint8_t transport = 0;
   uint8_t pad8 = 0;
   uint32_t pad32 = 0;
+  uint64_t fault_size = 0;
   uint64_t graph_size = 0;
   if (!TakeRaw(&payload, &hello->protocol_version) ||
       !TakeRaw(&payload, &hello->model) ||
@@ -67,13 +72,23 @@ Status DecodeHello(std::string_view payload, Hello* hello) {
       !TakeRaw(&payload, &hello->seed) ||
       !TakeRaw(&payload, &hello->worker_threads) ||
       !TakeRaw(&payload, &pad32) || !TakeRaw(&payload, &hello->graph_hash) ||
-      !TakeRaw(&payload, &graph_size)) {
+      !TakeRaw(&payload, &hello->worker_slot) ||
+      !TakeRaw(&payload, &hello->spawn_attempt) ||
+      !TakeRaw(&payload, &fault_size)) {
     return Status::Corruption("hello: truncated");
   }
   if (transport > static_cast<uint8_t>(GraphTransport::kSpec)) {
     return Status::Corruption("hello: unknown graph transport");
   }
   hello->graph_transport = static_cast<GraphTransport>(transport);
+  if (payload.size() < fault_size) {
+    return Status::Corruption("hello: fault spec size mismatch");
+  }
+  hello->fault_spec.assign(payload.data(), fault_size);
+  payload.remove_prefix(fault_size);
+  if (!TakeRaw(&payload, &graph_size)) {
+    return Status::Corruption("hello: truncated");
+  }
   if (payload.size() != graph_size) {
     return Status::Corruption("hello: graph payload size mismatch");
   }
@@ -81,32 +96,37 @@ Status DecodeHello(std::string_view payload, Hello* hello) {
   return Status::OK();
 }
 
-void EncodeSampleRange(uint64_t first, uint64_t count, std::string* out) {
+void EncodeSampleRange(uint64_t first, uint64_t count, uint32_t attempt,
+                       std::string* out) {
   AppendRaw(out, first);
   AppendRaw(out, count);
+  AppendRaw(out, attempt);
 }
 
 Status DecodeSampleRange(std::string_view payload, uint64_t* first,
-                         uint64_t* count) {
+                         uint64_t* count, uint32_t* attempt) {
   if (!TakeRaw(&payload, first) || !TakeRaw(&payload, count) ||
-      !payload.empty()) {
+      !TakeRaw(&payload, attempt) || !payload.empty()) {
     return Status::Corruption("sample-range: malformed payload");
   }
   return Status::OK();
 }
 
-void EncodeSampleList(const std::vector<uint64_t>& indices, std::string* out) {
+void EncodeSampleList(const std::vector<uint64_t>& indices, uint32_t attempt,
+                      std::string* out) {
+  AppendRaw(out, attempt);
   AppendRaw(out, static_cast<uint64_t>(indices.size()));
   out->append(reinterpret_cast<const char*>(indices.data()),
               indices.size() * sizeof(uint64_t));
 }
 
 Status DecodeSampleList(std::string_view payload,
-                        std::vector<uint64_t>* indices) {
+                        std::vector<uint64_t>* indices, uint32_t* attempt) {
   uint64_t n = 0;
   // Divide, don't multiply: n * sizeof(uint64_t) could wrap for a corrupt
   // count and slip a bogus size past the check.
-  if (!TakeRaw(&payload, &n) || n != payload.size() / sizeof(uint64_t) ||
+  if (!TakeRaw(&payload, attempt) || !TakeRaw(&payload, &n) ||
+      n != payload.size() / sizeof(uint64_t) ||
       payload.size() % sizeof(uint64_t) != 0) {
     return Status::Corruption("sample-list: malformed payload");
   }
@@ -115,35 +135,49 @@ Status DecodeSampleList(std::string_view payload,
   return Status::OK();
 }
 
-Status WriteFrame(int fd, FrameType type, std::string_view payload) {
+Status WriteFrame(int fd, FrameType type, std::string_view payload,
+                  const Deadline& deadline) {
   FrameHeader header;
   header.type = type;
   header.payload_size = payload.size();
-  TIMPP_RETURN_NOT_OK(WriteAllFd(fd, &header, sizeof(header)));
+  TIMPP_RETURN_NOT_OK(WriteWithDeadline(fd, &header, sizeof(header), deadline));
   if (!payload.empty()) {
-    TIMPP_RETURN_NOT_OK(WriteAllFd(fd, payload.data(), payload.size()));
+    TIMPP_RETURN_NOT_OK(
+        WriteWithDeadline(fd, payload.data(), payload.size(), deadline));
   }
   return Status::OK();
 }
 
-Status ReadFrame(int fd, uint32_t* type, std::string* payload) {
+Status WriteFrameTruncated(int fd, FrameType type, std::string_view payload,
+                           size_t send_bytes) {
   FrameHeader header;
-  // Distinguish clean EOF (no header byte at all) from a truncated frame:
-  // peek the first byte by reading the header manually.
-  char* p = reinterpret_cast<char*>(&header);
-  size_t got = 0;
-  while (got < sizeof(header)) {
-    const ssize_t n = ::read(fd, p + got, sizeof(header) - got);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(std::string("read from pipe: ") +
-                             std::strerror(errno));
+  header.type = type;
+  header.payload_size = payload.size();
+  TIMPP_RETURN_NOT_OK(WriteAllFd(fd, &header, sizeof(header)));
+  const size_t n = send_bytes < payload.size() ? send_bytes : payload.size();
+  if (n > 0) {
+    TIMPP_RETURN_NOT_OK(WriteAllFd(fd, payload.data(), n));
+  }
+  return Status::OK();
+}
+
+Status ReadFrame(int fd, uint32_t* type, std::string* payload,
+                 const Deadline& deadline) {
+  FrameHeader header;
+  {
+    const Status header_status =
+        ReadWithDeadline(fd, &header, sizeof(header), deadline);
+    if (!header_status.ok()) {
+      // EOF before any header byte is a clean end-of-stream: the worker
+      // loop's shutdown signal, and — on the coordinator side — a worker
+      // that exited between frames. ReadWithDeadline reports it as
+      // Unavailable; keep the historical NotFound spelling so callers can
+      // tell "stream ended" from "worker gone mid-frame" (DataLoss).
+      if (header_status.IsUnavailable()) {
+        return Status::NotFound("end of stream");
+      }
+      return header_status;
     }
-    if (n == 0) {
-      if (got == 0) return Status::NotFound("end of stream");
-      return Status::IOError("pipe closed mid-frame (peer exited?)");
-    }
-    got += static_cast<size_t>(n);
   }
   if (header.payload_size > kMaxPayload) {
     return Status::Corruption("frame payload implausibly large");
@@ -151,8 +185,17 @@ Status ReadFrame(int fd, uint32_t* type, std::string* payload) {
   *type = header.type;
   payload->resize(header.payload_size);
   if (header.payload_size > 0) {
-    TIMPP_RETURN_NOT_OK(
-        ReadAllFd(fd, payload->data(), header.payload_size));
+    const Status body_status =
+        ReadWithDeadline(fd, payload->data(), header.payload_size, deadline);
+    if (!body_status.ok()) {
+      // EOF between header and payload is still mid-frame: truncation.
+      if (body_status.IsUnavailable()) {
+        return Status::DataLoss("pipe closed after frame header (payload " +
+                                std::to_string(header.payload_size) +
+                                " bytes missing)");
+      }
+      return body_status;
+    }
   }
   return Status::OK();
 }

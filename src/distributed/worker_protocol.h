@@ -28,13 +28,17 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/subprocess.h"
 #include "util/types.h"
 
 namespace timpp {
 namespace wire {
 
 /// Bump on any incompatible change to frames or payload layouts.
-constexpr uint32_t kProtocolVersion = 1;
+/// v2: Hello carries worker slot/spawn attempt and a fault-injection
+/// spec; sample requests carry the shard's retry attempt (both feed the
+/// deterministic fault-injection harness, distributed/fault_injection.h).
+constexpr uint32_t kProtocolVersion = 2;
 
 enum FrameType : uint32_t {
   kHello = 1,
@@ -68,6 +72,15 @@ struct Hello {
   uint32_t worker_threads = 1;
   /// Coordinator's Graph::ContentHash — the identity the worker verifies.
   uint64_t graph_hash = 0;
+  /// Which supervisor slot this worker fills and how many times the slot
+  /// has spawned (1 = first launch). Fault-injection rules key on these;
+  /// the protocol itself never branches on them.
+  uint32_t worker_slot = 0;
+  uint32_t spawn_attempt = 1;
+  /// Deterministic fault-injection spec (distributed/fault_injection.h
+  /// grammar); empty in production. Shipped in the handshake so tests
+  /// need no environment plumbing across exec.
+  std::string fault_spec;
   GraphTransport graph_transport = GraphTransport::kInline;
   std::string graph_payload;
 };
@@ -76,24 +89,42 @@ void EncodeHello(const Hello& hello, std::string* out);
 Status DecodeHello(std::string_view payload, Hello* hello);
 
 /// kSampleRange payload: the contiguous shard [first, first + count).
-void EncodeSampleRange(uint64_t first, uint64_t count, std::string* out);
+/// `attempt` is 0 for the first dispatch and increments per supervisor
+/// retry — sampling ignores it (shard i is a pure function of (seed, i)),
+/// fault-injection rules consume it so an injected fault stops firing
+/// after its budgeted repetitions.
+void EncodeSampleRange(uint64_t first, uint64_t count, uint32_t attempt,
+                       std::string* out);
 Status DecodeSampleRange(std::string_view payload, uint64_t* first,
-                         uint64_t* count);
+                         uint64_t* count, uint32_t* attempt);
 
 /// kSampleList payload: explicit ascending global indices (a filtered
 /// fill's accepted indices — the coordinator evaluates the filter, the
-/// worker traverses only the listed sets).
-void EncodeSampleList(const std::vector<uint64_t>& indices, std::string* out);
+/// worker traverses only the listed sets). `attempt` as in sample-range.
+void EncodeSampleList(const std::vector<uint64_t>& indices, uint32_t attempt,
+                      std::string* out);
 Status DecodeSampleList(std::string_view payload,
-                        std::vector<uint64_t>* indices);
+                        std::vector<uint64_t>* indices, uint32_t* attempt);
 
-/// Writes one frame to `fd`.
-Status WriteFrame(int fd, FrameType type, std::string_view payload);
+/// Writes one frame to `fd`, honoring `deadline` (DeadlineExceeded when
+/// the peer stops draining the pipe in time).
+Status WriteFrame(int fd, FrameType type, std::string_view payload,
+                  const Deadline& deadline = Deadline::Infinite());
 
 /// Reads one frame from `fd` into (*type, *payload). EOF before a header
 /// byte is reported as NotFound (clean end-of-stream — how a worker
-/// detects coordinator shutdown); EOF mid-frame is IOError.
-Status ReadFrame(int fd, uint32_t* type, std::string* payload);
+/// detects coordinator shutdown, and a supervisor a worker that exited
+/// between frames); EOF mid-frame is DataLoss (truncated stream); a
+/// deadline expiring first is DeadlineExceeded.
+Status ReadFrame(int fd, uint32_t* type, std::string* payload,
+                 const Deadline& deadline = Deadline::Infinite());
+
+/// Fault-injection support only: writes a frame header advertising the
+/// full `payload.size()` but sends just `send_bytes` of the payload — the
+/// reader sees a mid-frame truncation. Lives here so the header layout
+/// stays in one file.
+Status WriteFrameTruncated(int fd, FrameType type, std::string_view payload,
+                           size_t send_bytes);
 
 }  // namespace wire
 }  // namespace timpp

@@ -1,0 +1,456 @@
+#include "distributed/worker_supervisor.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+namespace timpp {
+
+namespace {
+
+void SleepMillis(uint32_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Rebuilds a Status with the same code and a new message (Status has no
+/// mutator; recovery paths annotate causes with slot/exit context).
+Status MakeStatus(Status::Code code, std::string msg) {
+  switch (code) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case Status::Code::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    case Status::Code::kUnimplemented:
+      return Status::Unimplemented(std::move(msg));
+    case Status::Code::kUnavailable:
+      return Status::Unavailable(std::move(msg));
+    case Status::Code::kDataLoss:
+      return Status::DataLoss(std::move(msg));
+    case Status::Code::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(msg));
+    case Status::Code::kIOError:
+      break;
+  }
+  return Status::IOError(std::move(msg));
+}
+
+/// Failures that a retry on a fresh worker can plausibly cure. Everything
+/// else — option validation, worker-reported rejections (hash mismatch,
+/// version skew), unimplemented configs — would fail identically forever.
+bool IsRetryableFailure(const Status& status) {
+  return status.IsUnavailable() || status.IsDeadlineExceeded() ||
+         status.IsDataLoss() || status.IsCorruption() || status.IsIOError() ||
+         status.IsNotFound();
+}
+
+}  // namespace
+
+WorkerSupervisor::WorkerSupervisor(SupervisorOptions options,
+                                   wire::Hello hello)
+    : options_(std::move(options)), hello_(std::move(hello)) {
+  slots_.resize(std::max(1u, options_.num_workers));
+}
+
+WorkerSupervisor::~WorkerSupervisor() {
+  // Graceful teardown: ask every live worker to exit and reap it, so
+  // worker-side sanitizers (LeakSanitizer runs at exit) actually fire —
+  // the Subprocess destructor's SIGKILL fallback would skip them. The
+  // protocol is quiescent here (failed workers were killed and reaped the
+  // moment they failed), so each worker is blocked in ReadFrame and exits
+  // on the shutdown frame or the stdin EOF.
+  for (size_t w = 0; w < slots_.size(); ++w) {
+    Subprocess* process = slots_[w].process.get();
+    if (process == nullptr || process->reaped()) continue;
+    (void)wire::WriteFrame(process->stdin_fd(), wire::kShutdown, {});
+    process->CloseStdin();
+    const int exit_code = process->Wait();
+    if (exit_code != 0) {
+      // No Status can escape a destructor; at least put the evidence in
+      // the log — under sanitizers a leaking worker exits non-zero here.
+      std::fprintf(stderr, "timpp: sampling worker %zu exited with code %d\n",
+                   w, exit_code);
+    }
+  }
+}
+
+Deadline WorkerSupervisor::IoDeadline() const {
+  return options_.shard_timeout_ms == 0
+             ? Deadline::Infinite()
+             : Deadline::AfterMillis(options_.shard_timeout_ms);
+}
+
+Status WorkerSupervisor::Fatal(Status status) {
+  fatal_ = std::move(status);
+  // Workers are in an unknown protocol state; kill and reap everything so
+  // nothing can serve a stale frame (and no zombie outlives the fleet).
+  for (Slot& slot : slots_) {
+    if (slot.process) {
+      slot.process->Kill();
+      slot.process->Wait();
+      slot.process.reset();
+    }
+    slot.ready = false;
+  }
+  return fatal_;
+}
+
+int WorkerSupervisor::PickSlot(unsigned preferred) const {
+  const unsigned n = num_slots();
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned candidate = (preferred + i) % n;
+    if (!slots_[candidate].quarantined) return static_cast<int>(candidate);
+  }
+  return -1;
+}
+
+Status WorkerSupervisor::SpawnSlot(unsigned slot_index) {
+  Slot& slot = slots_[slot_index];
+  if (slot.process != nullptr && slot.ready && !slot.process->reaped()) {
+    return Status::OK();
+  }
+  slot.process.reset();
+  slot.ready = false;
+  slot.spawn_attempts++;
+  if (slot.spawn_attempts > 1) {
+    worker_respawns_.fetch_add(1, std::memory_order_relaxed);
+  }
+  TIMPP_RETURN_NOT_OK(
+      Subprocess::Start({options_.worker_binary, "--worker"}, &slot.process));
+  hello_.worker_slot = slot_index;
+  hello_.spawn_attempt = slot.spawn_attempts;
+  std::string payload;
+  wire::EncodeHello(hello_, &payload);
+  return wire::WriteFrame(slot.process->stdin_fd(), wire::kHello, payload,
+                          IoDeadline());
+}
+
+Status WorkerSupervisor::AwaitHandshake(unsigned slot_index) {
+  Slot& slot = slots_[slot_index];
+  if (slot.ready) return Status::OK();
+  uint32_t type = 0;
+  std::string reply;
+  const Status read =
+      wire::ReadFrame(slot.process->stdout_fd(), &type, &reply, IoDeadline());
+  if (!read.ok()) {
+    if (read.IsNotFound()) {
+      return Status::Unavailable("worker '" + options_.worker_binary +
+                                 "' died during handshake (not built, or not "
+                                 "a timpp worker?)");
+    }
+    return read;
+  }
+  if (type == wire::kError) {
+    return Status::InvalidArgument("worker rejected handshake: " + reply);
+  }
+  if (type != wire::kHelloAck) {
+    return Status::Corruption("worker handshake: unexpected frame type " +
+                              std::to_string(type));
+  }
+  slot.ready = true;
+  return Status::OK();
+}
+
+Status WorkerSupervisor::EnsureSlot(unsigned slot_index) {
+  TIMPP_RETURN_NOT_OK(SpawnSlot(slot_index));
+  return AwaitHandshake(slot_index);
+}
+
+void WorkerSupervisor::FailSlot(unsigned slot_index, Status* cause) {
+  Slot& slot = slots_[slot_index];
+  int exit_code = 0;
+  bool reaped = false;
+  if (slot.process != nullptr) {
+    slot.process->Kill();
+    // Prompt zombie reaping: poll waitpid(WNOHANG). SIGKILL cannot be
+    // caught, so the child exits in at most a scheduling quantum; the
+    // blocking Wait below is a can't-happen backstop.
+    for (int spin = 0; spin < 2000; ++spin) {
+      if ((reaped = slot.process->TryWait(&exit_code))) break;
+      SleepMillis(1);
+    }
+    if (!reaped) {
+      exit_code = slot.process->Wait();
+      reaped = true;
+    }
+    slot.process.reset();
+  }
+  slot.ready = false;
+  slot.consecutive_failures++;
+  if (!slot.quarantined &&
+      slot.consecutive_failures >= std::max(1u, options_.max_worker_failures)) {
+    slot.quarantined = true;
+    quarantined_workers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (cause == nullptr || !reaped) return;
+  if (exit_code == 127) {
+    // The exec itself failed — a missing or unexecutable binary is a
+    // deterministic misconfiguration, not a transient fault; promote so
+    // the caller stops retrying and names the actual problem.
+    *cause = Status::InvalidArgument(
+        "worker '" + options_.worker_binary + "' cannot be executed (" +
+        Subprocess::DescribeExit(exit_code) +
+        "); build im_worker or point SampleBackendSpec::worker_binary / "
+        "$TIMPP_WORKER at it");
+    return;
+  }
+  *cause = MakeStatus(cause->code(),
+                      cause->message() + " [worker slot " +
+                          std::to_string(slot_index) + " " +
+                          Subprocess::DescribeExit(exit_code) + "]");
+}
+
+Status WorkerSupervisor::DispatchShard(unsigned slot_index,
+                                       const ShardRequest& shard,
+                                       uint32_t attempt) {
+  std::string payload;
+  wire::FrameType type;
+  if (shard.is_list) {
+    wire::EncodeSampleList(shard.indices, attempt, &payload);
+    type = wire::kSampleList;
+  } else {
+    wire::EncodeSampleRange(shard.first, shard.count, attempt, &payload);
+    type = wire::kSampleRange;
+  }
+  return wire::WriteFrame(slots_[slot_index].process->stdin_fd(), type,
+                          payload, IoDeadline());
+}
+
+Status WorkerSupervisor::CollectShard(unsigned slot_index, size_t shard_id,
+                                      const ShardConsumer& consume) {
+  uint32_t type = 0;
+  std::string reply;
+  const Status read = wire::ReadFrame(slots_[slot_index].process->stdout_fd(),
+                                      &type, &reply, IoDeadline());
+  if (!read.ok()) {
+    if (read.IsNotFound()) {
+      return Status::Unavailable("worker exited before replying");
+    }
+    return read;  // DeadlineExceeded / DataLoss / Corruption / IOError
+  }
+  if (type == wire::kError) {
+    // Worker-reported errors (malformed request, internal failure) are
+    // deterministic: the same request would earn the same reply.
+    return Status::InvalidArgument("worker error: " + reply);
+  }
+  if (type != wire::kShard) {
+    return Status::Corruption("unexpected frame type " + std::to_string(type));
+  }
+  const Status accepted = consume(shard_id, reply);
+  if (!accepted.ok()) {
+    // A reply that fails validation is indistinguishable from frame
+    // corruption; retry it on a fresh worker.
+    return Status::Corruption("shard rejected: " + accepted.ToString());
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// One shard's progress through supervised execution.
+struct ShardProgress {
+  uint32_t attempts = 0;  // attempts consumed so far
+  bool done = false;
+  Status last_error;
+};
+
+}  // namespace
+
+Status WorkerSupervisor::ExecuteShards(const std::vector<ShardRequest>& shards,
+                                       const ShardConsumer& consume,
+                                       std::vector<Status>* outcomes) {
+  TIMPP_RETURN_NOT_OK(fatal_);
+  outcomes->assign(shards.size(), Status::OK());
+  if (shards.empty()) return Status::OK();
+  const unsigned n = num_slots();
+  std::vector<ShardProgress> progress(shards.size());
+
+  // Tallies one failed attempt into the stats counters.
+  const auto count_failure = [this](const Status& status) {
+    if (status.IsDeadlineExceeded()) {
+      shard_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status.IsDataLoss() || status.IsCorruption()) {
+      corrupt_frames_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      worker_crashes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  // ---- first attempts, batched --------------------------------------
+  // One shard per distinct healthy slot; every request goes out before
+  // any reply is read, so workers sample concurrently. Shards that find
+  // no free slot (more shards than slots, or quarantines) fall through to
+  // the sequential phase below with their attempt budget untouched.
+  std::vector<int> batch_slot(shards.size(), -1);
+  {
+    std::vector<bool> used(n, false);
+    for (size_t s = 0; s < shards.size(); ++s) {
+      const unsigned preferred = static_cast<unsigned>(s) % n;
+      for (unsigned i = 0; i < n; ++i) {
+        const unsigned candidate = (preferred + i) % n;
+        if (!used[candidate] && !slots_[candidate].quarantined) {
+          batch_slot[s] = static_cast<int>(candidate);
+          used[candidate] = true;
+          break;
+        }
+      }
+    }
+  }
+  // Spawn + hello first, acks second: workers load and hash their graphs
+  // concurrently, so fleet bring-up pays one graph-load wall-clock.
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (batch_slot[s] < 0) continue;
+    Status spawned = SpawnSlot(static_cast<unsigned>(batch_slot[s]));
+    if (!spawned.ok()) {
+      FailSlot(static_cast<unsigned>(batch_slot[s]), &spawned);
+      if (!IsRetryableFailure(spawned)) return Fatal(std::move(spawned));
+      count_failure(spawned);
+      progress[s].attempts = 1;
+      progress[s].last_error = std::move(spawned);
+      batch_slot[s] = -1;
+    }
+  }
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (batch_slot[s] < 0) continue;
+    Status shaken = AwaitHandshake(static_cast<unsigned>(batch_slot[s]));
+    if (!shaken.ok()) {
+      FailSlot(static_cast<unsigned>(batch_slot[s]), &shaken);
+      if (!IsRetryableFailure(shaken)) return Fatal(std::move(shaken));
+      count_failure(shaken);
+      progress[s].attempts = 1;
+      progress[s].last_error = std::move(shaken);
+      batch_slot[s] = -1;
+    }
+  }
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (batch_slot[s] < 0) continue;
+    Status sent = DispatchShard(static_cast<unsigned>(batch_slot[s]),
+                                shards[s], /*attempt=*/0);
+    if (!sent.ok()) {
+      FailSlot(static_cast<unsigned>(batch_slot[s]), &sent);
+      if (!IsRetryableFailure(sent)) return Fatal(std::move(sent));
+      count_failure(sent);
+      progress[s].attempts = 1;
+      progress[s].last_error = std::move(sent);
+      batch_slot[s] = -1;
+    }
+  }
+  for (size_t s = 0; s < shards.size(); ++s) {
+    if (batch_slot[s] < 0) continue;
+    const unsigned slot = static_cast<unsigned>(batch_slot[s]);
+    Status collected = CollectShard(slot, s, consume);
+    if (collected.ok()) {
+      slots_[slot].consecutive_failures = 0;
+      progress[s].done = true;
+      continue;
+    }
+    if (!IsRetryableFailure(collected)) return Fatal(std::move(collected));
+    FailSlot(slot, &collected);
+    if (!IsRetryableFailure(collected)) return Fatal(std::move(collected));
+    count_failure(collected);
+    progress[s].attempts = 1;
+    progress[s].last_error = std::move(collected);
+  }
+
+  // ---- retries, sequential with backoff ------------------------------
+  for (size_t s = 0; s < shards.size(); ++s) {
+    ShardProgress& p = progress[s];
+    while (!p.done) {
+      if (p.attempts > options_.max_shard_retries) {
+        (*outcomes)[s] = MakeStatus(
+            p.last_error.code(),
+            "shard " + std::to_string(s) + " (" +
+                (shards[s].is_list
+                     ? std::to_string(shards[s].indices.size()) + " listed sets"
+                     : "sets [" + std::to_string(shards[s].first) + ", " +
+                           std::to_string(shards[s].first + shards[s].count) +
+                           ")") +
+                ") failed after " + std::to_string(p.attempts) +
+                " attempts; last error: " + p.last_error.ToString());
+        break;
+      }
+      if (p.attempts > 0) {
+        shard_retries_.fetch_add(1, std::memory_order_relaxed);
+        const uint64_t shift = p.attempts - 1;
+        uint64_t backoff = shift >= 32
+                               ? options_.max_backoff_ms
+                               : std::min<uint64_t>(
+                                     uint64_t{options_.retry_backoff_ms}
+                                         << shift,
+                                     options_.max_backoff_ms);
+        if (backoff > 0) SleepMillis(static_cast<uint32_t>(backoff));
+      }
+      const int picked = PickSlot(static_cast<unsigned>(s) % n);
+      if (picked < 0) {
+        (*outcomes)[s] = Status::Unavailable(
+            "shard " + std::to_string(s) +
+            ": every worker slot is quarantined after repeated failures; "
+            "last error: " + p.last_error.ToString());
+        break;
+      }
+      const unsigned slot = static_cast<unsigned>(picked);
+      const uint32_t attempt = p.attempts;
+      Status status = EnsureSlot(slot);
+      if (status.ok()) status = DispatchShard(slot, shards[s], attempt);
+      if (status.ok()) status = CollectShard(slot, s, consume);
+      if (status.ok()) {
+        slots_[slot].consecutive_failures = 0;
+        p.done = true;
+        break;
+      }
+      if (!IsRetryableFailure(status)) return Fatal(std::move(status));
+      FailSlot(slot, &status);
+      if (!IsRetryableFailure(status)) return Fatal(std::move(status));
+      count_failure(status);
+      p.attempts++;
+      p.last_error = std::move(status);
+    }
+  }
+  return Status::OK();
+}
+
+BackendStats WorkerSupervisor::stats() const {
+  BackendStats out;
+  out.shard_retries = shard_retries_.load(std::memory_order_relaxed);
+  out.worker_respawns = worker_respawns_.load(std::memory_order_relaxed);
+  out.shard_timeouts = shard_timeouts_.load(std::memory_order_relaxed);
+  out.worker_crashes = worker_crashes_.load(std::memory_order_relaxed);
+  out.corrupt_frames = corrupt_frames_.load(std::memory_order_relaxed);
+  out.quarantined_workers =
+      quarantined_workers_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Status WorkerSupervisor::KillWorkerForTest(unsigned w) {
+  TIMPP_RETURN_NOT_OK(fatal_);
+  if (w >= num_slots()) {
+    return Status::InvalidArgument("no worker slot " + std::to_string(w));
+  }
+  TIMPP_RETURN_NOT_OK(EnsureSlot(w));
+  Slot& slot = slots_[w];
+  slot.process->Kill();
+  // Wait for the death to be observable WITHOUT reaping: the kernel
+  // closes the worker's pipe ends at process exit (before any waitpid),
+  // so poll the reply pipe until it hangs up. Keeping the zombie unreaped
+  // means the next fill discovers the crash through EPIPE/EOF exactly as
+  // it would in production, and FailSlot's reap still reads the true
+  // kill-by-SIGKILL exit status.
+  struct pollfd pfd;
+  pfd.fd = slot.process->stdout_fd();
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  while (::poll(&pfd, 1, /*timeout_ms=*/1000) == 0) {
+  }
+  return Status::OK();
+}
+
+}  // namespace timpp

@@ -1,0 +1,164 @@
+// WorkerSupervisor — fleet lifecycle and failure recovery for the
+// process-shard sampling backend.
+//
+// The supervisor owns the worker subprocesses ("slots"), and turns the
+// coordinator's shard dispatch from fail-fast into supervised execution:
+//
+//   detect    Frame I/O is deadline-bounded (poll-based reads/writes from
+//             util/subprocess). A worker that exits surfaces instantly as
+//             EOF/EPIPE (Unavailable), a truncated stream as DataLoss, a
+//             hang as DeadlineExceeded, a garbled reply as Corruption.
+//   recover   A failed shard attempt is retried — on the same slot
+//             respawned, or on another healthy slot — with capped
+//             exponential backoff, up to a bounded per-shard retry budget.
+//             Retrying is bit-identity-safe by construction: RR set i is a
+//             pure function of (seed, i), so any worker can regenerate any
+//             shard (engine/sample_backend.h).
+//   contain   A failed worker is SIGKILLed and reaped promptly
+//             (waitpid(WNOHANG) polling — no zombies waiting for the
+//             destructor), and its exit status (signal vs code) rides into
+//             the failure message. Slots that keep failing are
+//             quarantined: no further respawns land there.
+//   give up   Deterministic rejections (graph-hash mismatch, protocol
+//             version skew, an unexecutable worker binary, worker-reported
+//             errors) are not retried — they would fail identically
+//             forever — and fail the fleet with the worker's own message.
+//             Transient failures that exhaust the retry budget fail only
+//             their shard, with a Status naming the shard, the attempt
+//             count, and the last cause; the caller decides whether that
+//             is fatal or degrades to local sampling (FallbackPolicy).
+//
+// Everything is observable through BackendStats (atomic counters, safe to
+// snapshot concurrently with a running fill).
+#ifndef TIMPP_DISTRIBUTED_WORKER_SUPERVISOR_H_
+#define TIMPP_DISTRIBUTED_WORKER_SUPERVISOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distributed/worker_protocol.h"
+#include "engine/sample_backend.h"
+#include "util/status.h"
+#include "util/subprocess.h"
+
+namespace timpp {
+
+struct SupervisorOptions {
+  unsigned num_workers = 1;
+  /// Fully resolved worker executable path.
+  std::string worker_binary;
+  /// Per-shard (and per-handshake) frame I/O deadline; 0 = none.
+  uint32_t shard_timeout_ms = 0;
+  /// Retries per shard after its first failed attempt; 0 = fail fast.
+  uint32_t max_shard_retries = 2;
+  /// Exponential backoff: base, doubling per attempt, capped.
+  uint32_t retry_backoff_ms = 25;
+  uint32_t max_backoff_ms = 1000;
+  /// Consecutive failures that quarantine a slot.
+  uint32_t max_worker_failures = 3;
+};
+
+class WorkerSupervisor {
+ public:
+  /// `hello` is the handshake prototype (config facets, graph identity and
+  /// payload, fault spec); the supervisor stamps worker_slot/spawn_attempt
+  /// per launch. No processes start until the first ExecuteShards.
+  WorkerSupervisor(SupervisorOptions options, wire::Hello hello);
+  ~WorkerSupervisor();
+  WorkerSupervisor(const WorkerSupervisor&) = delete;
+  WorkerSupervisor& operator=(const WorkerSupervisor&) = delete;
+
+  /// One shard of a fill.
+  struct ShardRequest {
+    bool is_list = false;
+    uint64_t first = 0;  // range shards: [first, first + count)
+    uint64_t count = 0;
+    std::vector<uint64_t> indices;  // list shards: explicit global indices
+  };
+
+  /// Consumes a worker's kShard reply payload for shard `s`. A non-OK
+  /// return means the payload failed validation — the supervisor treats it
+  /// exactly like frame corruption: the worker is respawned and the shard
+  /// retried.
+  using ShardConsumer =
+      std::function<Status(size_t shard, const std::string& payload)>;
+
+  /// Runs every shard to completion or retry exhaustion. First attempts
+  /// are dispatched in parallel across distinct slots (all requests out
+  /// before any reply is read); retries run sequentially with backoff.
+  ///
+  /// Returns non-OK only for fleet-fatal, deterministic causes — the
+  /// fleet is torn down and subsequent calls fail fast. Otherwise returns
+  /// OK and fills (*outcomes)[s] per shard: OK after `consume` accepted
+  /// it, or the shard's retry-exhaustion error.
+  Status ExecuteShards(const std::vector<ShardRequest>& shards,
+                       const ShardConsumer& consume,
+                       std::vector<Status>* outcomes);
+
+  /// Atomic counter snapshot (fallback counters stay zero here — the
+  /// backend layers those on top).
+  BackendStats stats() const;
+
+  unsigned num_slots() const { return static_cast<unsigned>(slots_.size()); }
+
+  /// True once a deterministic failure latched; `fatal_status()` is it.
+  bool failed() const { return !fatal_.ok(); }
+  const Status& fatal_status() const { return fatal_; }
+
+  /// Test hook: SIGKILLs slot `w`'s worker (spawning the fleet first if
+  /// needed) and reaps it promptly, leaving the dead pipes in place so the
+  /// next fill exercises crash detection + recovery.
+  Status KillWorkerForTest(unsigned w);
+
+ private:
+  struct Slot {
+    std::unique_ptr<Subprocess> process;
+    bool ready = false;          // handshake completed
+    bool quarantined = false;
+    uint32_t spawn_attempts = 0;  // launches into this slot so far
+    uint32_t consecutive_failures = 0;
+  };
+
+  Deadline IoDeadline() const;
+  /// Spawns `slot` (if needed) and writes its hello; does not await the
+  /// ack (callers batch acks so graph loads overlap).
+  Status SpawnSlot(unsigned slot_index);
+  /// Reads and verifies the slot's handshake ack.
+  Status AwaitHandshake(unsigned slot_index);
+  /// Spawn + handshake, sequential (the retry path).
+  Status EnsureSlot(unsigned slot_index);
+  /// Kills (if alive), promptly reaps, and resets the slot's process;
+  /// appends the exit description to `*cause` and bumps the slot's
+  /// failure accounting (quarantining when over budget).
+  void FailSlot(unsigned slot_index, Status* cause);
+  /// Writes the shard request frame for attempt `attempt`.
+  Status DispatchShard(unsigned slot_index, const ShardRequest& shard,
+                       uint32_t attempt);
+  /// Reads the reply and hands it to `consume`.
+  Status CollectShard(unsigned slot_index, size_t shard_id,
+                      const ShardConsumer& consume);
+  /// Deterministic-failure latch: tears the whole fleet down.
+  Status Fatal(Status status);
+  /// Next non-quarantined slot, preferring `preferred`; -1 when none left.
+  int PickSlot(unsigned preferred) const;
+
+  SupervisorOptions options_;
+  wire::Hello hello_;
+  std::vector<Slot> slots_;
+  Status fatal_;
+
+  std::atomic<uint64_t> shard_retries_{0};
+  std::atomic<uint64_t> worker_respawns_{0};
+  std::atomic<uint64_t> shard_timeouts_{0};
+  std::atomic<uint64_t> worker_crashes_{0};
+  std::atomic<uint64_t> corrupt_frames_{0};
+  std::atomic<uint64_t> quarantined_workers_{0};
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_DISTRIBUTED_WORKER_SUPERVISOR_H_

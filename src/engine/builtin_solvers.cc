@@ -19,6 +19,27 @@ namespace timpp {
 
 namespace {
 
+// Appends the run's backend fault-tolerance counters to the metrics list,
+// but only when any fired: healthy runs (every local run, and distributed
+// runs with no recovery activity) keep the exact metric set they had
+// before fault tolerance existed, which is what backend-invariance
+// comparisons (local vs procs, stat for stat) rely on.
+void AppendBackendMetrics(const BackendStats& backend,
+                          std::vector<std::pair<std::string, double>>* out) {
+  if (!backend.any()) return;
+  const auto add = [out](const char* name, uint64_t value) {
+    out->emplace_back(name, static_cast<double>(value));
+  };
+  add("backend_shard_retries", backend.shard_retries);
+  add("backend_worker_respawns", backend.worker_respawns);
+  add("backend_shard_timeouts", backend.shard_timeouts);
+  add("backend_worker_crashes", backend.worker_crashes);
+  add("backend_corrupt_frames", backend.corrupt_frames);
+  add("backend_quarantined_workers", backend.quarantined_workers);
+  add("backend_fallback_shards", backend.fallback_shards);
+  add("backend_fallback_sets", backend.fallback_sets);
+}
+
 // ------------------------------------------------------------- TIM/TIM+ --
 
 class TimInfluenceSolver final : public InfluenceSolver {
@@ -82,6 +103,7 @@ class TimInfluenceSolver final : public InfluenceSolver {
         {"seconds_node_selection", native.stats.seconds_node_selection},
         {"kpt_cache_hit", native.stats.kpt_cache_hit ? 1.0 : 0.0},
     };
+    AppendBackendMetrics(native.stats.backend, &result->metrics);
     return Status::OK();
   }
 
@@ -148,6 +170,7 @@ class ImmInfluenceSolver final : public InfluenceSolver {
          static_cast<double>(native.stats.regeneration_passes)},
         {"lb_cache_hit", native.stats.lb_cache_hit ? 1.0 : 0.0},
     };
+    AppendBackendMetrics(native.stats.backend, &result->metrics);
     return Status::OK();
   }
 
@@ -215,6 +238,7 @@ class RisInfluenceSolver final : public InfluenceSolver {
         {"regeneration_passes",
          static_cast<double>(stats.regeneration_passes)},
     };
+    AppendBackendMetrics(stats.backend, &result->metrics);
     return Status::OK();
   }
 

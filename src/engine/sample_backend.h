@@ -66,10 +66,21 @@ inline const char* SampleBackendKindName(SampleBackendKind kind) {
   return "?";
 }
 
+/// What a process-shard coordinator does when a shard exhausts its retry
+/// budget or the whole fleet becomes unusable.
+enum class FallbackPolicy : uint8_t {
+  /// Fail the fill with the latched shard error (the historical behavior).
+  kNone,
+  /// Degrade gracefully: regenerate the failed shard with an in-process
+  /// LocalThreadBackend. Bit-identity is preserved by construction — RR
+  /// set i is a pure function of (seed, i) regardless of who samples it.
+  kLocal,
+};
+
 /// Backend selection and its process-shard knobs. Rides inside
 /// SamplingConfig / SolverOptions / ServingOptions; `--backend=local` vs
-/// `--backend=procs:N` on the CLI. The choice never changes results —
-/// only where the sampling work runs.
+/// `--backend=procs:N[:T][,fallback=local]` on the CLI. The choice never
+/// changes results — only where the sampling work runs.
 struct SampleBackendSpec {
   SampleBackendKind kind = SampleBackendKind::kLocalThreads;
   /// Process shards: number of worker subprocesses (0 → 1).
@@ -85,6 +96,62 @@ struct SampleBackendSpec {
   /// distributed/graph_spec.h) each worker loads locally, verified
   /// against the coordinator via Graph::ContentHash.
   std::string graph_source;
+
+  // ---- fault tolerance (process shards only) ----------------------------
+  /// Per-shard frame I/O deadline in milliseconds; a worker that does not
+  /// deliver within it is declared hung, killed, and its shard retried.
+  /// 0 disables the deadline (reads block until data or EOF) — crashes
+  /// are still detected instantly via EOF, only true hangs then wait
+  /// forever.
+  uint32_t shard_timeout_ms = 0;
+  /// Retries per shard after its first failed attempt. 0 restores the
+  /// fail-fast latch. Each retry respawns or reassigns the worker with
+  /// capped exponential backoff.
+  uint32_t max_shard_retries = 2;
+  /// Base backoff before a retry; doubles per attempt, capped at
+  /// `max_backoff_ms`.
+  uint32_t retry_backoff_ms = 25;
+  uint32_t max_backoff_ms = 1000;
+  /// Consecutive failures before a worker slot is quarantined (no more
+  /// respawns into it).
+  uint32_t max_worker_failures = 3;
+  /// What to do when retries are exhausted or the fleet is unusable.
+  FallbackPolicy fallback = FallbackPolicy::kNone;
+  /// Deterministic fault-injection spec shipped to workers (tests/bench
+  /// only; see distributed/fault_injection.h for the grammar).
+  std::string fault_spec;
+};
+
+/// Counters a fault-tolerant backend accumulates across fills; snapshot
+/// via SampleBackend::stats(). All zero for healthy runs and for the
+/// local backend. Solvers report per-run deltas through their metrics.
+struct BackendStats {
+  uint64_t shard_retries = 0;       // shard dispatches after a failure
+  uint64_t worker_respawns = 0;     // replacement worker launches
+  uint64_t shard_timeouts = 0;      // deadline-expired shard attempts
+  uint64_t worker_crashes = 0;      // EOF/EPIPE: worker exited uncleanly
+  uint64_t corrupt_frames = 0;      // truncated or validation-rejected
+  uint64_t quarantined_workers = 0; // slots retired after repeat failures
+  uint64_t fallback_shards = 0;     // shards regenerated locally
+  uint64_t fallback_sets = 0;       // RR sets those shards contained
+
+  bool any() const {
+    return shard_retries | worker_respawns | shard_timeouts | worker_crashes |
+           corrupt_frames | quarantined_workers | fallback_shards |
+           fallback_sets;
+  }
+  BackendStats operator-(const BackendStats& other) const {
+    BackendStats d;
+    d.shard_retries = shard_retries - other.shard_retries;
+    d.worker_respawns = worker_respawns - other.worker_respawns;
+    d.shard_timeouts = shard_timeouts - other.shard_timeouts;
+    d.worker_crashes = worker_crashes - other.worker_crashes;
+    d.corrupt_frames = corrupt_frames - other.corrupt_frames;
+    d.quarantined_workers = quarantined_workers - other.quarantined_workers;
+    d.fallback_shards = fallback_shards - other.fallback_shards;
+    d.fallback_sets = fallback_sets - other.fallback_sets;
+    return d;
+  }
 };
 
 /// Producer of RR sets for explicit global-index ranges. Not thread-safe:
@@ -132,6 +199,12 @@ class SampleBackend {
     (void)edges_examined, (void)traversal_cost, (void)per_set_edges;
     return false;
   }
+
+  /// Fault-tolerance counters accumulated so far (all zero for backends
+  /// without failure handling). Safe to call concurrently with a running
+  /// Fill — implementations keep the counters atomic — so serving-layer
+  /// readers can snapshot while the writer samples.
+  virtual BackendStats stats() const { return BackendStats(); }
 };
 
 /// RNG stream of global set index `i`: a splitmix64 hash of (seed, i)

@@ -153,6 +153,12 @@ class SamplingEngine {
   /// fault injection; never needed on the solve paths).
   SampleBackend& backend() { return *backend_; }
 
+  /// Snapshot of the backend's fault-tolerance counters (all zero for the
+  /// local backend and for healthy distributed runs). Safe to call
+  /// concurrently with sampling — solvers take before/after snapshots to
+  /// report per-run deltas.
+  BackendStats backend_stats() const { return backend_->stats(); }
+
   /// First backend error, if any. Once non-OK, every further batch call
   /// returns immediately with zero sets; callers that observed a short
   /// batch must check this before trusting downstream results. Local

@@ -22,6 +22,10 @@ const char* CodeName(Status::Code code) {
       return "Unimplemented";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kDataLoss:
+      return "DataLoss";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -21,6 +21,8 @@ class Status {
     kOutOfRange,
     kUnimplemented,
     kUnavailable,
+    kDataLoss,
+    kDeadlineExceeded,
   };
 
   /// Default-constructed Status is OK.
@@ -48,6 +50,12 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(Code::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -60,6 +68,8 @@ class Status {
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsDataLoss() const { return code_ == Code::kDataLoss; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
 
   /// Human-readable representation, e.g. "InvalidArgument: k must be >= 1".
   std::string ToString() const;

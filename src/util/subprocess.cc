@@ -2,11 +2,13 @@
 
 #include <errno.h>
 #include <fcntl.h>
+#include <poll.h>
 #include <signal.h>
 #include <string.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <climits>
 #include <cstdlib>
 #include <cstring>
 
@@ -16,6 +18,52 @@ namespace {
 
 Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+/// Flips the fd to O_NONBLOCK for the scope of a deadline-bounded
+/// transfer and restores the original flags on exit. Without this a
+/// blocking write() of a payload larger than the pipe buffer would stall
+/// past any deadline when the worker stops draining (pipe(7): a blocking
+/// write of n > PIPE_BUF returns only once all n bytes are written).
+class ScopedNonBlocking {
+ public:
+  explicit ScopedNonBlocking(int fd) : fd_(fd), flags_(::fcntl(fd, F_GETFL)) {
+    if (flags_ >= 0 && (flags_ & O_NONBLOCK) == 0) {
+      restore_ = ::fcntl(fd_, F_SETFL, flags_ | O_NONBLOCK) == 0;
+    }
+  }
+  ~ScopedNonBlocking() {
+    if (restore_) ::fcntl(fd_, F_SETFL, flags_);
+  }
+  ScopedNonBlocking(const ScopedNonBlocking&) = delete;
+  ScopedNonBlocking& operator=(const ScopedNonBlocking&) = delete;
+
+ private:
+  int fd_;
+  int flags_;
+  bool restore_ = false;
+};
+
+/// Waits until `fd` is ready for `events` or the deadline expires.
+Status PollFd(int fd, short events, const Deadline& deadline,
+              const char* what) {
+  while (true) {
+    struct pollfd p;
+    p.fd = fd;
+    p.events = events;
+    p.revents = 0;
+    const int r = ::poll(&p, 1, deadline.remaining_millis());
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno(std::string("poll for ") + what);
+    }
+    if (r == 0) {
+      return Status::DeadlineExceeded(
+          std::string(what) + " on worker pipe timed out");
+    }
+    // Readable, writable, HUP or ERR — let the read/write discover which.
+    return Status::OK();
+  }
 }
 
 void IgnoreSigpipeOnce() {
@@ -37,6 +85,18 @@ void IgnoreSigpipeOnce() {
 }
 
 }  // namespace
+
+int Deadline::remaining_millis() const {
+  if (infinite_) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= when_) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(when_ - now)
+          .count();
+  if (ms > INT_MAX) return INT_MAX;
+  // Round up so a sub-millisecond remainder still polls, not busy-spins.
+  return static_cast<int>(ms) + 1;
+}
 
 Status Subprocess::Start(const std::vector<std::string>& argv,
                          std::unique_ptr<Subprocess>* out) {
@@ -146,13 +206,74 @@ int Subprocess::Wait() {
   return exit_code_;
 }
 
+bool Subprocess::TryWait(int* exit_code) {
+  if (reaped_) {
+    if (exit_code) *exit_code = exit_code_;
+    return true;
+  }
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &status, WNOHANG);
+  } while (r < 0 && errno == EINTR);
+  if (r == 0) return false;  // still running
+  reaped_ = true;
+  if (r < 0) {
+    exit_code_ = -1;
+  } else if (WIFEXITED(status)) {
+    exit_code_ = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    exit_code_ = -WTERMSIG(status);
+  } else {
+    exit_code_ = -1;
+  }
+  if (exit_code) *exit_code = exit_code_;
+  return true;
+}
+
+std::string Subprocess::DescribeExit(int wait_result) {
+  if (wait_result >= 0) {
+    std::string out = "exited with code " + std::to_string(wait_result);
+    if (wait_result == 127) {
+      out += " (exec failed: worker binary missing or not executable)";
+    }
+    return out;
+  }
+  const int sig = -wait_result;
+  std::string out = "killed by signal " + std::to_string(sig);
+  const char* name = ::strsignal(sig);
+  if (name != nullptr) {
+    out += " (";
+    out += name;
+    out += ")";
+  }
+  return out;
+}
+
 Status WriteAllFd(int fd, const void* data, size_t size) {
+  return WriteWithDeadline(fd, data, size, Deadline::Infinite());
+}
+
+Status ReadAllFd(int fd, void* data, size_t size) {
+  return ReadWithDeadline(fd, data, size, Deadline::Infinite());
+}
+
+Status WriteWithDeadline(int fd, const void* data, size_t size,
+                         const Deadline& deadline) {
   if (fd < 0) return Status::IOError("write on closed fd");
+  ScopedNonBlocking nonblocking(fd);
   const char* p = static_cast<const char*>(data);
   while (size > 0) {
     const ssize_t n = ::write(fd, p, size);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        TIMPP_RETURN_NOT_OK(PollFd(fd, POLLOUT, deadline, "write"));
+        continue;
+      }
+      if (errno == EPIPE) {
+        return Status::Unavailable("pipe reader gone (worker exited)");
+      }
       return Errno("write to pipe");
     }
     p += n;
@@ -161,20 +282,34 @@ Status WriteAllFd(int fd, const void* data, size_t size) {
   return Status::OK();
 }
 
-Status ReadAllFd(int fd, void* data, size_t size) {
+Status ReadWithDeadline(int fd, void* data, size_t size,
+                        const Deadline& deadline) {
   if (fd < 0) return Status::IOError("read on closed fd");
+  ScopedNonBlocking nonblocking(fd);
   char* p = static_cast<char*>(data);
-  while (size > 0) {
-    const ssize_t n = ::read(fd, p, size);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        TIMPP_RETURN_NOT_OK(PollFd(fd, POLLIN, deadline, "read"));
+        continue;
+      }
       return Errno("read from pipe");
     }
     if (n == 0) {
-      return Status::IOError("pipe closed mid-message (peer exited?)");
+      // EOF. At a message boundary the peer simply exited (retryable
+      // elsewhere); mid-message the stream was truncated and cannot be
+      // trusted.
+      if (got == 0) {
+        return Status::Unavailable("pipe closed before message (peer exited)");
+      }
+      return Status::DataLoss("pipe closed mid-message after " +
+                              std::to_string(got) + " of " +
+                              std::to_string(size) + " bytes");
     }
-    p += n;
-    size -= static_cast<size_t>(n);
+    got += static_cast<size_t>(n);
   }
   return Status::OK();
 }

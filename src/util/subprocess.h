@@ -11,6 +11,8 @@
 
 #include <sys/types.h>
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -18,6 +20,35 @@
 #include "util/status.h"
 
 namespace timpp {
+
+/// Absolute monotonic-clock deadline for frame I/O against a worker pipe.
+/// Default-constructed (or Infinite()) never expires — a read blocks until
+/// data or EOF, exactly like the plain calls.
+class Deadline {
+ public:
+  Deadline() = default;
+  static Deadline Infinite() { return Deadline(); }
+  /// Expires `ms` milliseconds from now; ms == 0 means "already expired"
+  /// (useful for non-blocking probes), use Infinite() for "never".
+  static Deadline AfterMillis(uint64_t ms) {
+    Deadline d;
+    d.infinite_ = false;
+    d.when_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+  bool expired() const {
+    return !infinite_ && std::chrono::steady_clock::now() >= when_;
+  }
+  /// Milliseconds until expiry, clamped to [0, INT_MAX]; -1 when infinite
+  /// (the poll(2) convention).
+  int remaining_millis() const;
+
+ private:
+  bool infinite_ = true;
+  std::chrono::steady_clock::time_point when_{};
+};
 
 /// A running child process plus the two pipe ends the parent holds.
 /// Non-copyable and non-movable (fds and pid are identity); hold by
@@ -53,6 +84,21 @@ class Subprocess {
   /// it was killed by one; repeated calls return the first result.
   int Wait();
 
+  /// Non-blocking reap attempt (waitpid WNOHANG). Returns true when the
+  /// child has exited (then `*exit_code` follows the Wait() convention:
+  /// exit code, or -signal); false while it is still running. A supervisor
+  /// polls this to reap zombies promptly instead of leaving them for the
+  /// destructor.
+  bool TryWait(int* exit_code);
+
+  /// Already reaped (by Wait or TryWait)?
+  bool reaped() const { return reaped_; }
+
+  /// "exited with code 127" / "killed by signal 9 (SIGKILL)" for a
+  /// Wait()/TryWait() result — failure Status messages carry this so the
+  /// operator sees crash-vs-kill-vs-exec-failure at a glance.
+  static std::string DescribeExit(int wait_result);
+
  private:
   Subprocess() = default;
 
@@ -64,12 +110,24 @@ class Subprocess {
 };
 
 /// Writes all `size` bytes to `fd`, retrying short writes and EINTR.
-/// EPIPE (reader gone) and other errors come back as IOError.
+/// EPIPE (reader gone — the peer exited) comes back as Unavailable so a
+/// supervisor can retry elsewhere; other errors as IOError.
 Status WriteAllFd(int fd, const void* data, size_t size);
 
-/// Reads exactly `size` bytes from `fd`. Premature EOF is an IOError —
-/// for a worker pipe that means the process died mid-message.
+/// Reads exactly `size` bytes from `fd`. EOF before the first byte is
+/// Unavailable (the peer exited between messages — retryable); EOF after a
+/// partial read is DataLoss (mid-frame truncation — the stream cannot be
+/// trusted). Other errors are IOError.
 Status ReadAllFd(int fd, void* data, size_t size);
+
+/// Deadline-bounded variants built on poll(2). A deadline that expires
+/// before the transfer completes returns DeadlineExceeded; EOF/EPIPE keep
+/// the WriteAllFd/ReadAllFd classification above. With an infinite
+/// deadline these behave exactly like the plain calls.
+Status WriteWithDeadline(int fd, const void* data, size_t size,
+                         const Deadline& deadline);
+Status ReadWithDeadline(int fd, void* data, size_t size,
+                        const Deadline& deadline);
 
 }  // namespace timpp
 
