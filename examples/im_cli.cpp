@@ -71,6 +71,22 @@
 //                     gracefully past it (streaming sample-and-discard
 //                     selection over a retained stream prefix: identical
 //                     seeds, extra sampling passes)
+//   --graph-image=g.timppimg
+//                     out-of-core graph storage: if the file exists, mmap
+//                     it read-only instead of parsing the edge list (the
+//                     positional argument becomes optional); otherwise
+//                     build from the edge list, write the image, and run
+//                     from the mapped copy. procs workers reload via the
+//                     image too (format=image spec). ContentHash and every
+//                     RR stream are bit-identical to the resident load
+//   --spill-dir=DIR   out-of-core RR storage: when --memory-budget trips,
+//                     write the non-resident RR ranges to chunk files
+//                     under DIR once and replay them each greedy round
+//                     instead of regenerating (identical seeds,
+//                     regeneration_passes=0 while the store is healthy).
+//                     Batch mode also spills LRU-evicted shared streams
+//                     there and preloads them on re-acquisition
+//   --spill           shorthand for --spill-dir=<system temp>/im_spill
 //   --ris_tau_scale / --ris_max_sets / --ris_memory_budget
 //                     RIS cost-threshold and out-of-memory knobs
 //                     (--ris_memory_budget overrides --memory-budget for
@@ -89,6 +105,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -379,15 +396,20 @@ int main(int argc, char** argv) {
     PrintAlgos();
     return 0;
   }
-  if (flags.positional().empty()) {
+  const std::string image_path = flags.GetString("graph-image", "");
+  const bool image_exists =
+      !image_path.empty() && std::filesystem::exists(image_path);
+  if (flags.positional().empty() && !image_exists) {
     std::fprintf(stderr,
                  "usage: im_cli <edge-list> [--k=50] [--algo=tim+] "
                  "[--model=ic] [--weights=wc] [--threads=N] [--eps=0.1] "
-                 "[--batch=requests.tsv] ... | --list_algos\n");
+                 "[--graph-image=g.timppimg] [--batch=requests.tsv] ... | "
+                 "--list_algos\n");
     return 2;
   }
 
-  const std::string path = flags.positional()[0];
+  const std::string path =
+      flags.positional().empty() ? std::string() : flags.positional()[0];
   const std::string algo = flags.GetString("algo", "tim+");
   const std::string model_name = flags.GetString("model", "ic");
   const uint64_t seed = flags.GetInt("seed", 7);
@@ -404,31 +426,57 @@ int main(int argc, char** argv) {
       "weights", model == timpp::DiffusionModel::kLT ? "lt" : "wc");
 
   // ---- load ---------------------------------------------------------
-  timpp::GraphBuilder builder;
   timpp::EdgeListOptions io_options;
   io_options.undirected = flags.GetBool("undirected", false);
-  timpp::Status status = timpp::ReadEdgeList(path, io_options, &builder);
-  if (!status.ok()) return Fail(status);
-
-  if (weights == "wc") {
-    timpp::AssignWeightedCascade(&builder);
-  } else if (weights == "lt") {
-    timpp::AssignRandomLT(&builder, seed);
-  } else if (weights == "trivalency") {
-    timpp::AssignTrivalency(&builder, seed);
-  } else if (weights.rfind("uniform:", 0) == 0) {
-    timpp::AssignUniform(&builder,
-                         static_cast<float>(std::stod(weights.substr(8))));
-  } else if (weights != "keep") {
-    std::fprintf(stderr, "unknown --weights=%s\n", weights.c_str());
-    return 2;
-  }
-
   timpp::Graph graph;
-  status = builder.Build(&graph);
-  if (!status.ok()) return Fail(status);
-  std::printf("loaded %s: n=%u, m=%llu\n", path.c_str(), graph.num_nodes(),
-              static_cast<unsigned long long>(graph.num_edges()));
+  timpp::Status status;
+  if (image_exists) {
+    // Out-of-core path: map the prebuilt CSR image read-only; the kernel
+    // pages the adjacency in on demand. Weights and direction are baked
+    // into the image; the edge-list flags are not consulted.
+    status = timpp::OpenGraphImage(image_path, &graph);
+    if (!status.ok()) return Fail(status);
+    std::printf("mapped %s: n=%u, m=%llu\n", image_path.c_str(),
+                graph.num_nodes(),
+                static_cast<unsigned long long>(graph.num_edges()));
+  } else {
+    timpp::GraphBuilder builder;
+    status = timpp::ReadEdgeList(path, io_options, &builder);
+    if (!status.ok()) return Fail(status);
+
+    if (weights == "wc") {
+      timpp::AssignWeightedCascade(&builder);
+    } else if (weights == "lt") {
+      timpp::AssignRandomLT(&builder, seed);
+    } else if (weights == "trivalency") {
+      timpp::AssignTrivalency(&builder, seed);
+    } else if (weights.rfind("uniform:", 0) == 0) {
+      timpp::AssignUniform(&builder,
+                           static_cast<float>(std::stod(weights.substr(8))));
+    } else if (weights != "keep") {
+      std::fprintf(stderr, "unknown --weights=%s\n", weights.c_str());
+      return 2;
+    }
+
+    status = builder.Build(&graph);
+    if (!status.ok()) return Fail(status);
+    std::printf("loaded %s: n=%u, m=%llu\n", path.c_str(), graph.num_nodes(),
+                static_cast<unsigned long long>(graph.num_edges()));
+    if (!image_path.empty()) {
+      // Save-and-reload: write the image, then run THIS command from the
+      // mapped copy so the round-trip is exercised (and verified — the
+      // open recomputes the content hash) on the very run that created it.
+      status = timpp::WriteGraphImage(graph, image_path);
+      if (!status.ok()) return Fail(status);
+      timpp::Graph mapped;
+      status = timpp::OpenGraphImage(image_path, &mapped);
+      if (!status.ok()) return Fail(status);
+      graph = std::move(mapped);
+      std::printf("wrote graph image %s (running from the mapped copy)\n",
+                  image_path.c_str());
+    }
+  }
+  const bool from_image = image_exists || !image_path.empty();
 
   const std::string sampler = flags.GetString("sampler", "auto");
   timpp::SamplerMode sampler_mode;
@@ -487,16 +535,30 @@ int main(int argc, char** argv) {
     // Workers reload the graph from disk (path + weight model + seed)
     // instead of receiving megabytes of serialized arcs through the
     // pipe; Graph::ContentHash verifies the reload is bit-exact. Paths
-    // the spec grammar cannot express fall back to inline shipping.
+    // the spec grammar cannot express fall back to inline shipping. With
+    // --graph-image the workers mmap the same image this process runs
+    // from — no per-worker rebuild at all.
     timpp::GraphSpec graph_spec;
-    graph_spec.path = path;
-    graph_spec.undirected = io_options.undirected;
-    graph_spec.weights = weights;
-    graph_spec.weight_seed = seed;
+    if (from_image) {
+      graph_spec.format = "image";
+      graph_spec.path = image_path;
+    } else {
+      graph_spec.path = path;
+      graph_spec.undirected = io_options.undirected;
+      graph_spec.weights = weights;
+      graph_spec.weight_seed = seed;
+    }
     std::string encoded;
     if (timpp::EncodeGraphSpec(graph_spec, &encoded).ok()) {
       backend_spec.graph_source = encoded;
     }
+  }
+
+  // ---- spill tier ---------------------------------------------------
+  std::string spill_dir = flags.GetString("spill-dir", "");
+  if (spill_dir.empty() && flags.GetBool("spill", false)) {
+    spill_dir =
+        (std::filesystem::temp_directory_path() / "im_spill").string();
   }
 
   // ---- batch mode ---------------------------------------------------
@@ -528,6 +590,7 @@ int main(int argc, char** argv) {
     serving_options.max_pending_requests =
         static_cast<size_t>(flags.GetInt("max-pending", 0));
     serving_options.pin_threads = flags.GetBool("pin-threads", false);
+    serving_options.spill_dir = spill_dir;
     return RunBatch(flags.GetString("batch", ""), std::move(graph), defaults,
                     serving_options, concurrency);
   }
@@ -561,6 +624,7 @@ int main(int argc, char** argv) {
   options.memory_budget_bytes = static_cast<size_t>(
       flags.Has("memory-budget") ? flags.GetInt("memory-budget", 0)
                                  : flags.GetInt("memory_budget", 0));
+  options.spill_dir = spill_dir;
 
   timpp::SolverResult result;
   status = solver->Run(options, &result);
@@ -599,6 +663,14 @@ int main(int argc, char** argv) {
         result.Metric("regeneration_passes"),
         result.Metric("rr_sets_retained"),
         result.Metric("theta", result.Metric("rr_sets_generated")));
+    if (result.Metric("rr_sets_spilled") != 0.0) {
+      std::printf(
+          "note: spill tier engaged — %.6g sets spilled (%.6g bytes), "
+          "%.6g set reads replayed from disk instead of regenerated\n",
+          result.Metric("rr_sets_spilled"),
+          result.Metric("spill_bytes_written"),
+          result.Metric("sets_spill_read"));
+    }
   }
   if (result.estimated_spread > 0.0) {
     std::printf("solver spread estimate: %.1f\n", result.estimated_spread);

@@ -11,6 +11,7 @@
 #include "engine/sample_source.h"
 #include "engine/sampling_engine.h"
 #include "rrset/rr_collection.h"
+#include "rrset/rr_spill.h"
 #include "util/math.h"
 #include "util/timer.h"
 
@@ -106,9 +107,28 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
     // retained collection as a stream-prefix cache: finish the cost rule
     // without retaining — the per-index RNG contract makes the discarded
     // sets regenerable exactly — and run the streaming greedy over the
-    // full θ. Seeds come out bit-identical to an unbudgeted run.
+    // full θ. Seeds come out bit-identical to an unbudgeted run. With a
+    // spill store, every set the cache drops goes to disk on the way past
+    // and selection replays it instead of regenerating.
     local_stats.hit_memory_budget = true;
-    rr.TruncateTo(MaxPrefixUnderDataBudget(rr, options.memory_budget_bytes));
+    std::optional<RRSpillStore> spill_store;
+    if (!options.spill_dir.empty()) {
+      RRSpillOptions spill_options;
+      spill_options.dir = options.spill_dir;
+      spill_store.emplace(graph.num_nodes(), spill_options);
+    }
+    RRSpillStore* spill = spill_store ? &*spill_store : nullptr;
+
+    const uint64_t fetched = rr.num_sets();
+    const size_t keep =
+        MaxPrefixUnderDataBudget(rr, options.memory_budget_bytes);
+    if (spill != nullptr && fetched > keep &&
+        spill->SpillRange(rr, {}, keep, fetched - keep, first + keep).ok()) {
+      // FetchUntilCost exposes no per-set edge split, so the suffix spills
+      // with zeroed edge counts — selection only reads members and widths.
+      local_stats.rr_sets_spilled += fetched - keep;
+    }
+    rr.TruncateTo(keep);
 
     SamplingEngine& engine = source->engine();
     RRCollection scratch(graph.num_nodes());
@@ -121,6 +141,8 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
     rule.max_sets = options.max_rr_sets;
     rule.traversal_cost = batch.traversal_cost;
     rule.sets_admitted = batch.sets_added;
+    uint64_t scan_pos = first + fetched;  // global index of the next batch
+    bool spill_ok = spill != nullptr;
     bool stop = false;
     while (!stop) {
       scratch.Clear();
@@ -129,6 +151,20 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
       // Without this check an engine stuck on a dead backend would return
       // empty batches forever while the admission rule still wants more.
       TIMPP_RETURN_NOT_OK(engine.status());
+      if (spill_ok && scratch.num_sets() > 0) {
+        // The whole scan batch goes to disk (overshoot past τ included —
+        // the cover walk simply never visits past θ). A write failure
+        // stops spilling, not the admission scan.
+        if (spill
+                ->SpillRange(scratch, scratch_edges, 0, scratch.num_sets(),
+                             scan_pos)
+                .ok()) {
+          local_stats.rr_sets_spilled += scratch.num_sets();
+        } else {
+          spill_ok = false;
+        }
+      }
+      scan_pos += scratch.num_sets();
       for (size_t j = 0; j < scratch.num_sets(); ++j) {
         if (!rule.WantsMore()) {
           stop = true;
@@ -143,10 +179,14 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
     local_stats.rr_sets_generated = rule.sets_admitted;
     local_stats.rr_sets_retained = rr.num_sets();
 
-    StreamingCoverResult streamed =
-        StreamingGreedyMaxCover(engine, rr, first, rule.sets_admitted, k);
+    StreamingCoverResult streamed = StreamingGreedyMaxCover(
+        engine, rr, first, rule.sets_admitted, k, spill);
     TIMPP_RETURN_NOT_OK(engine.status());
     local_stats.regeneration_passes = streamed.regeneration_passes;
+    local_stats.sets_spill_read = streamed.sets_spill_read;
+    if (spill != nullptr) {
+      local_stats.spill_bytes_written = spill->stats().bytes_written;
+    }
     *seeds = std::move(streamed.cover.seeds);
     local_stats.covered_fraction = streamed.cover.covered_fraction;
   } else {

@@ -9,6 +9,7 @@
 #define TIMPP_BASELINES_RIS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "diffusion/triggering.h"
@@ -47,6 +48,13 @@ struct RisOptions {
   /// coverage/streaming_cover.h). Seeds are bit-identical to an
   /// unbudgeted run at the price of extra sampling passes.
   size_t memory_budget_bytes = 0;
+  /// Parent directory for disk-spilled RR prefixes (empty = no spill).
+  /// Only consulted when the budget trips: the non-resident part of the θ
+  /// sets is written to disk once during the cost loop and replayed each
+  /// greedy round instead of regenerated — same seeds, with
+  /// regeneration_passes == 0 while the store stays healthy. See
+  /// TimOptions::spill_dir.
+  std::string spill_dir;
   /// Sampling worker threads (SamplingEngine). The cost-threshold stopping
   /// rule is evaluated on the deterministic index-ordered sample stream,
   /// so results are identical for any thread count.
@@ -72,6 +80,11 @@ struct RisStats {
   bool hit_memory_budget = false;
   uint64_t rr_sets_retained = 0;   // == rr_sets_generated budget-off
   uint64_t regeneration_passes = 0;  // streaming greedy rounds (0 off)
+  /// Spill-tier activity (zero without a spill_dir): sets written to
+  /// disk, sets replayed from disk, chunk bytes written.
+  uint64_t rr_sets_spilled = 0;
+  uint64_t sets_spill_read = 0;
+  uint64_t spill_bytes_written = 0;
   double covered_fraction = 0.0;  // F_R(seeds)
   double seconds_total = 0.0;
   /// Backend fault-tolerance activity during this run (see BackendStats;

@@ -12,6 +12,7 @@
 #include "engine/sample_source.h"
 #include "engine/sampling_engine.h"
 #include "rrset/rr_collection.h"
+#include "rrset/rr_spill.h"
 #include "util/alias_table.h"
 #include "util/math.h"
 #include "util/timer.h"
@@ -20,27 +21,53 @@ namespace timpp {
 
 namespace {
 
-// Grows `rr` with the next stream sets until it holds `target` sets or its
-// memory budget stops the growth. On a budget stop the collection is cut
-// back to its largest under-budget prefix (the engine's batch-granular
-// stop overshoots) and `*budget_hit` latches true: the cache freezes as a
-// stream prefix and the remaining sets exist only by index, regenerated on
-// demand.
-void GrowTo(SampleSource& source, uint64_t target, RRCollection* rr,
-            bool* budget_hit) {
-  if (*budget_hit || rr->num_sets() >= target) return;
-  // Appending invalidates any index from the previous iteration's greedy
-  // solve; release it up front so neither the engine's in-flight budget
-  // checks nor the cap test below charge those stale bytes.
-  rr->DropIndex();
-  source.Fetch(rr, target - rr->num_sets());
-  // The engine's budget check is batch-granular (and never fires inside a
-  // sub-batch request), so test the cap directly and cut back to the
-  // largest under-budget prefix; the dropped sets remain reachable by
-  // index regeneration.
-  if (rr->memory_budget() != 0 && rr->DataBytes() > rr->memory_budget()) {
-    rr->TruncateTo(MaxPrefixUnderDataBudget(*rr, rr->memory_budget()));
-    *budget_hit = true;
+// Grows `rr` (whose set 0 is stream index `stream_first`) with the next
+// stream sets until it holds `target` sets or its memory budget stops the
+// growth. On a budget stop the collection is cut back to its largest
+// under-budget prefix (the engine's batch-granular stop overshoots) and
+// `*budget_hit` latches true: the cache freezes as a stream prefix and the
+// remaining sets exist only by index — regenerated on demand, unless a
+// spill store is given, in which case the about-to-be-dropped suffix and
+// every later index up to `target` are written to disk exactly once (the
+// suffix here, the never-resident remainder via SpillFillTo) for replay.
+// With a store, `rr_edges` tracks the live collection's per-set edge
+// counts (kept aligned with `rr`) and `*sets_spilled` accumulates.
+void GrowTo(SampleSource& source, uint64_t stream_first, uint64_t target,
+            RRCollection* rr, bool* budget_hit, RRSpillStore* spill,
+            std::vector<uint64_t>* rr_edges, uint64_t* sets_spilled) {
+  if (!*budget_hit && rr->num_sets() < target) {
+    // Appending invalidates any index from the previous iteration's greedy
+    // solve; release it up front so neither the engine's in-flight budget
+    // checks nor the cap test below charge those stale bytes.
+    rr->DropIndex();
+    source.Fetch(rr, target - rr->num_sets(),
+                 spill != nullptr ? rr_edges : nullptr);
+    // The engine's budget check is batch-granular (and never fires inside
+    // a sub-batch request), so test the cap directly and cut back to the
+    // largest under-budget prefix; the dropped sets remain reachable by
+    // index regeneration (or disk replay once spilled).
+    if (rr->memory_budget() != 0 && rr->DataBytes() > rr->memory_budget()) {
+      const size_t keep = MaxPrefixUnderDataBudget(*rr, rr->memory_budget());
+      if (spill != nullptr && rr->num_sets() > keep &&
+          spill
+              ->SpillRange(*rr, *rr_edges, keep, rr->num_sets() - keep,
+                           stream_first + keep)
+              .ok()) {
+        *sets_spilled += rr->num_sets() - keep;
+      }
+      rr->TruncateTo(keep);
+      if (spill != nullptr && rr_edges->size() > keep) rr_edges->resize(keep);
+      *budget_hit = true;
+    }
+  }
+  if (*budget_hit && spill != nullptr) {
+    // The cache is frozen; put the rest of the requested range on disk in
+    // transient batches so greedy rounds replay it instead of traversing
+    // the graph again. (No-op for ranges already spilled by an earlier,
+    // smaller target.)
+    const SpillFillResult fill =
+        SpillFillTo(source, *spill, stream_first + target);
+    *sets_spilled += fill.sets_spilled;
   }
 }
 
@@ -138,6 +165,18 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
   const size_t budget = options.memory_budget_bytes;
   const uint64_t stream_start = source->position();
 
+  // One spill store serves both phases (chunks append in increasing index
+  // order; the gap between the phases' ranges is fine). Only built when a
+  // budget can trip; its chunk directory dies with the run.
+  std::optional<RRSpillStore> spill_store;
+  if (budget != 0 && !options.spill_dir.empty()) {
+    RRSpillOptions spill_options;
+    spill_options.dir = options.spill_dir;
+    spill_store.emplace(graph.num_nodes(), std::move(spill_options));
+  }
+  RRSpillStore* spill = spill_store ? &*spill_store : nullptr;
+  uint64_t sets_spilled = 0;
+
   // The LB memo only covers the canonical configuration: a stream consumed
   // from index 0 (how every run starts) and the corrected no-reuse
   // variant, whose selection phase does not need the sampling-phase sets
@@ -160,6 +199,7 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
 
   RRCollection sampling_rr(graph.num_nodes());
   sampling_rr.set_memory_budget(budget);
+  std::vector<uint64_t> sampling_edges;  // per-set edges, spill path only
   bool sampling_budget_hit = false;
   uint64_t sampling_target = 0;  // θ_i of the latest iteration
   double lb = 1.0;
@@ -183,7 +223,8 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
       const double x_i = n / std::pow(2.0, i);
       const uint64_t theta_i = static_cast<uint64_t>(
           std::max(1.0, std::ceil(stats.lambda_prime / x_i)));
-      GrowTo(*source, theta_i, &sampling_rr, &sampling_budget_hit);
+      GrowTo(*source, stream_start, theta_i, &sampling_rr,
+             &sampling_budget_hit, spill, &sampling_edges, &sets_spilled);
       // A dead sample backend (worker process crash) means the grown
       // prefix is short, not budget-truncated — fail the run.
       TIMPP_RETURN_NOT_OK(source->engine().status());
@@ -202,9 +243,11 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
         // and covered_fraction are bit-identical to the indexed path, so LB
         // — and with it every downstream θ — matches the budget-off run.
         stats.hit_memory_budget = true;
-        StreamingCoverResult streamed = StreamingGreedyMaxCover(
-            source->engine(), sampling_rr, stream_start, theta_i, options.k);
+        StreamingCoverResult streamed =
+            StreamingGreedyMaxCover(source->engine(), sampling_rr,
+                                    stream_start, theta_i, options.k, spill);
         stats.regeneration_passes += streamed.regeneration_passes;
+        stats.sets_spill_read += streamed.sets_spill_read;
         cover = std::move(streamed.cover);
       }
       stats.sampling_iterations = i;
@@ -242,7 +285,9 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
   phase_timer.Reset();
   RRCollection selection_rr(graph.num_nodes());
   selection_rr.set_memory_budget(budget);
+  std::vector<uint64_t> selection_edges;
   RRCollection* cache = &selection_rr;
+  std::vector<uint64_t>* cache_edges = &selection_edges;
   uint64_t sel_first = stream_start;
   uint64_t sel_total = stats.theta;
   bool sel_budget_hit = false;
@@ -253,6 +298,7 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
     // from the run's start, so the sampling cache continues as the
     // selection cache — no copy, and the budgeted prefix carries over.
     cache = &sampling_rr;
+    cache_edges = &sampling_edges;
     sel_total = std::max(stats.theta, sampling_target);
     sel_budget_hit = sampling_budget_hit;
   } else {
@@ -260,13 +306,16 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
     // vector capacities, leaving ~2x the budget resident while
     // selection_rr grows toward the cap).
     sampling_rr = RRCollection(graph.num_nodes());
+    std::vector<uint64_t>().swap(sampling_edges);
     sel_first = source->position();
   }
   // Grow the cache to hold the whole selection range [sel_first,
   // sel_first + sel_total) — or as much of its prefix as the budget
-  // allows (GrowTo no-ops once the budget latched, keeping the cache a
-  // contiguous stream prefix).
-  GrowTo(*source, sel_total, cache, &sel_budget_hit);
+  // allows (the growth freezes once the budget latched, keeping the cache
+  // a contiguous stream prefix; with a spill store the rest of the range
+  // goes to disk).
+  GrowTo(*source, sel_first, sel_total, cache, &sel_budget_hit, spill,
+         cache_edges, &sets_spilled);
   TIMPP_RETURN_NOT_OK(source->engine().status());
   source->Seek(sel_first + sel_total);
   // The reuse path may carry the sampling phase's index over unchanged;
@@ -286,14 +335,19 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
     stats.rr_memory_bytes = cache->MemoryBytes();
     StreamingCoverResult streamed =
         StreamingGreedyMaxCover(source->engine(), *cache, sel_first,
-                                sel_total, options.k);
+                                sel_total, options.k, spill);
     stats.regeneration_passes += streamed.regeneration_passes;
+    stats.sets_spill_read += streamed.sets_spill_read;
     cover = std::move(streamed.cover);
   }
   // The streaming branch regenerates through the engine; a backend that
   // died there must fail the run, not return partial-coverage seeds.
   TIMPP_RETURN_NOT_OK(source->engine().status());
   stats.rr_sets_retained = cache->num_sets();
+  stats.rr_sets_spilled = sets_spilled;
+  if (spill != nullptr) {
+    stats.spill_bytes_written = spill->stats().bytes_written;
+  }
   stats.estimated_spread = n * cover.covered_fraction;
   stats.seconds_selection = phase_timer.ElapsedSeconds();
   stats.backend = source->engine().backend_stats() - backend_before;

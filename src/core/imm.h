@@ -31,6 +31,7 @@
 #define TIMPP_CORE_IMM_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "diffusion/triggering.h"
@@ -80,6 +81,13 @@ struct ImmOptions {
   /// coverage/streaming_cover.h); seeds and LB stay bit-identical to a
   /// budget-off run.
   size_t memory_budget_bytes = 0;
+  /// Parent directory for disk-spilled RR prefixes (empty = no spill).
+  /// Only consulted when the budget trips: non-resident index ranges of
+  /// BOTH phases go to one append-only store (written once, replayed each
+  /// greedy round) instead of being regenerated — identical seeds/LB/θ,
+  /// regeneration_passes == 0 while the store stays healthy. See
+  /// TimOptions::spill_dir.
+  std::string spill_dir;
   uint64_t seed = 0x1e1eULL;
   /// Where sample production runs (in-process threads vs coordinated
   /// worker subprocesses, engine/sample_backend.h). Never changes the
@@ -112,8 +120,15 @@ struct ImmStats {
   /// it is max(theta, sampling-phase sets).
   uint64_t rr_sets_retained = 0;
   /// Greedy rounds that regenerated discarded RR sets, summed over every
-  /// streaming solve of the run (0 budget-off).
+  /// streaming solve of the run (0 budget-off, and 0 under a healthy
+  /// spill store).
   uint64_t regeneration_passes = 0;
+  /// Spill-tier activity (zero without a spill_dir): sets written to
+  /// disk, sets replayed from disk across all greedy rounds, and chunk
+  /// bytes written.
+  uint64_t rr_sets_spilled = 0;
+  uint64_t sets_spill_read = 0;
+  uint64_t spill_bytes_written = 0;
   /// The sampling phase (LB binary search) was restored from a
   /// SolveContext's PhaseCache instead of recomputed (serving layer;
   /// always false standalone).

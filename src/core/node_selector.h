@@ -20,6 +20,7 @@
 
 #include "engine/sample_source.h"
 #include "engine/sampling_engine.h"
+#include "rrset/rr_spill.h"
 #include "util/types.h"
 
 namespace timpp {
@@ -48,6 +49,11 @@ struct NodeSelection {
   bool hit_memory_budget = false;
   uint64_t rr_sets_retained = 0;
   uint64_t regeneration_passes = 0;
+  /// Spill-tier accounting (zero without a store): sets written to disk by
+  /// this selection, and sets replayed from disk during its greedy rounds
+  /// (each replayed set is a regeneration that didn't happen).
+  uint64_t rr_sets_spilled = 0;
+  uint64_t sets_spill_read = 0;
   /// Wall-clock split between the sampling and coverage halves.
   double seconds_sampling = 0.0;
   double seconds_coverage = 0.0;
@@ -60,16 +66,22 @@ struct NodeSelection {
 /// (0 = unlimited) caps the RR collection's resident DataBytes: past it,
 /// selection degrades to streaming sample-and-discard greedy (see
 /// coverage/streaming_cover.h) instead of failing — same seeds, bounded
-/// memory, k extra sampling passes in the worst case.
+/// memory, k extra sampling passes in the worst case. `spill` (optional,
+/// only consulted when the budget trips) turns those passes into disk
+/// replays: the non-resident suffix is written once as shard chunks and
+/// streamed back each round, so a healthy store leaves
+/// regeneration_passes at 0 — still the same seeds.
 NodeSelection SelectNodes(SampleSource& source, int k, uint64_t theta,
-                          size_t memory_budget_bytes = 0);
+                          size_t memory_budget_bytes = 0,
+                          RRSpillStore* spill = nullptr);
 
 /// Standalone convenience: consume `engine`'s stream directly.
 inline NodeSelection SelectNodes(SamplingEngine& engine, int k,
                                  uint64_t theta,
-                                 size_t memory_budget_bytes = 0) {
+                                 size_t memory_budget_bytes = 0,
+                                 RRSpillStore* spill = nullptr) {
   EngineSampleSource source(engine);
-  return SelectNodes(source, k, theta, memory_budget_bytes);
+  return SelectNodes(source, k, theta, memory_budget_bytes, spill);
 }
 
 }  // namespace timpp

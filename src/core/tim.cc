@@ -10,6 +10,7 @@
 #include "core/node_selector.h"
 #include "core/parameters.h"
 #include "engine/phase_cache.h"
+#include "rrset/rr_spill.h"
 #include "engine/sample_source.h"
 #include "engine/sampling_engine.h"
 #include "util/timer.h"
@@ -183,9 +184,19 @@ Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
   stats.theta =
       static_cast<uint64_t>(std::max(1.0, std::ceil(stats.lambda / kpt_bound)));
 
+  // Spill tier: only built when a budget can actually trip. The store's
+  // chunk directory is scratch, deleted with the store when the run ends.
+  std::optional<RRSpillStore> spill;
+  if (options.memory_budget_bytes != 0 && !options.spill_dir.empty()) {
+    RRSpillOptions spill_options;
+    spill_options.dir = options.spill_dir;
+    spill.emplace(graph_.num_nodes(), std::move(spill_options));
+  }
+
   Timer phase_timer;
-  NodeSelection selection = SelectNodes(*source, options.k, stats.theta,
-                                        options.memory_budget_bytes);
+  NodeSelection selection =
+      SelectNodes(*source, options.k, stats.theta,
+                  options.memory_budget_bytes, spill ? &*spill : nullptr);
   TIMPP_RETURN_NOT_OK(source->engine().status());
   stats.seconds_node_selection = phase_timer.ElapsedSeconds();
 
@@ -196,6 +207,9 @@ Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
   stats.hit_memory_budget = selection.hit_memory_budget;
   stats.rr_sets_retained = selection.rr_sets_retained;
   stats.regeneration_passes = selection.regeneration_passes;
+  stats.rr_sets_spilled = selection.rr_sets_spilled;
+  stats.sets_spill_read = selection.sets_spill_read;
+  if (spill) stats.spill_bytes_written = spill->stats().bytes_written;
   stats.edges_examined += selection.edges_examined;
   stats.backend = source->engine().backend_stats() - backend_before;
   stats.seconds_total = total_timer.ElapsedSeconds();

@@ -33,7 +33,8 @@ bool IndexedDataBytesFitBudget(const RRCollection& rr, size_t budget_bytes) {
 StreamingCoverResult StreamingGreedyMaxCover(SamplingEngine& engine,
                                              const RRCollection& cache,
                                              uint64_t first_index,
-                                             uint64_t total_sets, int k) {
+                                             uint64_t total_sets, int k,
+                                             RRSpillStore* spill) {
   const NodeId n = engine.graph().num_nodes();
   StreamingCoverResult result;
   if (k <= 0 || n == 0 || total_sets == 0) return result;
@@ -72,15 +73,35 @@ StreamingCoverResult StreamingGreedyMaxCover(SamplingEngine& engine,
       absorb(i, cache.Set(static_cast<RRSetId>(i)));
     }
     if (cached < total_sets) {
-      const SampleBatch pass = engine.VisitSamples(
-          first_index + cached, total_sets - cached,
-          [&](uint64_t index) { return !dead.Get(index - first_index); },
-          [&](uint64_t index, std::span<const NodeId> set) {
-            absorb(index - first_index, set);
-          });
-      if (pass.sets_added > 0) ++result.regeneration_passes;
-      result.sets_regenerated += pass.sets_added;
-      result.edges_examined += pass.edges_examined;
+      const auto live = [&](uint64_t index) {
+        return !dead.Get(index - first_index);
+      };
+      const auto absorb_at = [&](uint64_t index,
+                                 std::span<const NodeId> set) {
+        absorb(index - first_index, set);
+      };
+      uint64_t pos = first_index + cached;
+      const uint64_t end = first_index + total_sets;
+      // Replay from the spill tier first: byte-identical to regeneration,
+      // but a sequential disk read instead of a graph traversal. Read
+      // errors (and coverage gaps) leave `pos` at the first unreplayed
+      // index for the regeneration fallback below.
+      if (spill != nullptr) {
+        uint64_t stopped = pos;
+        uint64_t visited = 0;
+        (void)spill->VisitRange(pos, end - pos, live, absorb_at, &stopped,
+                                &visited);
+        if (visited > 0) ++result.spill_read_passes;
+        result.sets_spill_read += visited;
+        pos = stopped;
+      }
+      if (pos < end) {
+        const SampleBatch pass =
+            engine.VisitSamples(pos, end - pos, live, absorb_at);
+        if (pass.sets_added > 0) ++result.regeneration_passes;
+        result.sets_regenerated += pass.sets_added;
+        result.edges_examined += pass.edges_examined;
+      }
     }
 
     // Exact greedy pick: max count, ties to the smaller node id (ascending
@@ -100,6 +121,50 @@ StreamingCoverResult StreamingGreedyMaxCover(SamplingEngine& engine,
   result.cover.covered_fraction =
       static_cast<double>(result.cover.covered_sets) /
       static_cast<double>(total_sets);
+  return result;
+}
+
+namespace {
+
+// Fill batch size: matches the engine's per-visit batch, so the transient
+// residency of a fill equals what a regeneration pass would have held.
+constexpr uint64_t kSetsPerFillBatch = 1024;
+
+}  // namespace
+
+SpillFillResult SpillFillTo(SampleSource& source, RRSpillStore& spill,
+                            uint64_t target_index) {
+  SpillFillResult result;
+  const NodeId n = source.graph().num_nodes();
+  // IMM's LB iterations re-fill the same stream with growing targets:
+  // skip the prefix already on disk instead of resampling it.
+  if (source.position() < target_index) {
+    source.Seek(spill.CoveredEnd(source.position(),
+                                 target_index - source.position()));
+  }
+  while (source.position() < target_index) {
+    const uint64_t pos = source.position();
+    const uint64_t want =
+        std::min<uint64_t>(kSetsPerFillBatch, target_index - pos);
+    RRCollection scratch(n);
+    std::vector<uint64_t> scratch_edges;
+    const SampleBatch batch = source.Fetch(&scratch, want, &scratch_edges);
+    result.batch.sets_added += batch.sets_added;
+    result.batch.edges_examined += batch.edges_examined;
+    result.batch.traversal_cost += batch.traversal_cost;
+    if (batch.sets_added == 0) break;  // failed backend; engine latched
+    if (!spill
+             .SpillRange(scratch, scratch_edges, 0, scratch.num_sets(), pos)
+             .ok()) {
+      // Write failure: stop filling; the gap regenerates at cover time.
+      result.spill_ok = false;
+      break;
+    }
+    result.sets_spilled += scratch.num_sets();
+  }
+  // Land later phases on the same stream indices as a budget-off run even
+  // when sampling or spilling stopped short.
+  source.Seek(target_index);
   return result;
 }
 

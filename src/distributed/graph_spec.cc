@@ -72,6 +72,14 @@ Status LoadGraphFromSpec(const GraphSpec& spec, Graph* graph) {
   if (spec.format == "binary") {
     return ReadBinary(spec.path, graph);
   }
+  if (spec.format == "image") {
+    // Serialized CSR image: the worker mmaps it read-only instead of
+    // rebuilding from an edge list. The image preserves both adjacency
+    // directions verbatim (and OpenGraphImage verifies the stored
+    // content hash), so the coordinator's ContentHash handshake accepts
+    // it with no weight-model replay.
+    return OpenGraphImage(spec.path, graph);
+  }
   if (spec.format != "edgelist") {
     return Status::InvalidArgument("graph spec: unknown format '" +
                                    spec.format + "'");

@@ -10,10 +10,13 @@
 // Format: ';'-separated key=value pairs, e.g.
 //   "format=edgelist;path=graph.txt;undirected=1;weights=wc"
 //   "format=binary;path=graph.timg"
-// Keys: format (edgelist|binary), path, undirected (0|1),
+//   "format=image;path=graph.timppimg"
+// Keys: format (edgelist|binary|image), path, undirected (0|1),
 // weights (keep|wc|lt|uniformlt|trivalency|uniform:<p>), wseed (u64,
 // the seed of randomized weight models), default_prob (float).
-// Paths may not contain ';' or '='.
+// Paths may not contain ';' or '='. The image format is a WriteGraphImage
+// CSR file the worker mmaps read-only (weights/undirected are baked into
+// the image and ignored).
 #ifndef TIMPP_DISTRIBUTED_GRAPH_SPEC_H_
 #define TIMPP_DISTRIBUTED_GRAPH_SPEC_H_
 
@@ -27,7 +30,7 @@ namespace timpp {
 
 /// The reproducible recipe for loading one weighted graph.
 struct GraphSpec {
-  std::string format = "edgelist";  // edgelist | binary
+  std::string format = "edgelist";  // edgelist | binary | image
   std::string path;
   bool undirected = false;
   /// keep | wc | lt | uniformlt | trivalency | uniform:<p>

@@ -40,6 +40,24 @@ void AppendBackendMetrics(const BackendStats& backend,
   add("backend_fallback_sets", backend.fallback_sets);
 }
 
+// Spill-tier metrics, same emission contract as the backend counters:
+// only present when the tier actually fired, so no-spill runs keep the
+// exact metric set they had before the out-of-core layer existed.
+void AppendSpillMetrics(uint64_t rr_sets_spilled, uint64_t sets_spill_read,
+                        uint64_t spill_bytes_written,
+                        std::vector<std::pair<std::string, double>>* out) {
+  if (rr_sets_spilled == 0 && sets_spill_read == 0 &&
+      spill_bytes_written == 0) {
+    return;
+  }
+  out->emplace_back("rr_sets_spilled",
+                    static_cast<double>(rr_sets_spilled));
+  out->emplace_back("sets_spill_read",
+                    static_cast<double>(sets_spill_read));
+  out->emplace_back("spill_bytes_written",
+                    static_cast<double>(spill_bytes_written));
+}
+
 // ------------------------------------------------------------- TIM/TIM+ --
 
 class TimInfluenceSolver final : public InfluenceSolver {
@@ -71,6 +89,7 @@ class TimInfluenceSolver final : public InfluenceSolver {
     tim.pin_threads = options.pin_threads;
     tim.seed = options.seed;
     tim.memory_budget_bytes = options.memory_budget_bytes;
+    tim.spill_dir = options.spill_dir;
     tim.sample_backend = options.sample_backend;
 
     // A memory budget caps this request's resident bytes — meaningless
@@ -103,6 +122,9 @@ class TimInfluenceSolver final : public InfluenceSolver {
         {"seconds_node_selection", native.stats.seconds_node_selection},
         {"kpt_cache_hit", native.stats.kpt_cache_hit ? 1.0 : 0.0},
     };
+    AppendSpillMetrics(native.stats.rr_sets_spilled,
+                       native.stats.sets_spill_read,
+                       native.stats.spill_bytes_written, &result->metrics);
     AppendBackendMetrics(native.stats.backend, &result->metrics);
     return Status::OK();
   }
@@ -141,6 +163,7 @@ class ImmInfluenceSolver final : public InfluenceSolver {
     imm.pin_threads = options.pin_threads;
     imm.seed = options.seed;
     imm.memory_budget_bytes = options.memory_budget_bytes;
+    imm.spill_dir = options.spill_dir;
     imm.sample_backend = options.sample_backend;
 
     // Budgeted requests run standalone (see TimInfluenceSolver).
@@ -170,6 +193,9 @@ class ImmInfluenceSolver final : public InfluenceSolver {
          static_cast<double>(native.stats.regeneration_passes)},
         {"lb_cache_hit", native.stats.lb_cache_hit ? 1.0 : 0.0},
     };
+    AppendSpillMetrics(native.stats.rr_sets_spilled,
+                       native.stats.sets_spill_read,
+                       native.stats.spill_bytes_written, &result->metrics);
     AppendBackendMetrics(native.stats.backend, &result->metrics);
     return Status::OK();
   }
@@ -211,6 +237,7 @@ class RisInfluenceSolver final : public InfluenceSolver {
     ris.num_threads = options.num_threads;
     ris.pin_threads = options.pin_threads;
     ris.seed = options.seed;
+    ris.spill_dir = options.spill_dir;
     ris.sample_backend = options.sample_backend;
 
     // RIS's budget contract is per-request (standalone), and RIS ignores
@@ -238,6 +265,8 @@ class RisInfluenceSolver final : public InfluenceSolver {
         {"regeneration_passes",
          static_cast<double>(stats.regeneration_passes)},
     };
+    AppendSpillMetrics(stats.rr_sets_spilled, stats.sets_spill_read,
+                       stats.spill_bytes_written, &result->metrics);
     AppendBackendMetrics(stats.backend, &result->metrics);
     return Status::OK();
   }

@@ -16,6 +16,7 @@
 #define TIMPP_ENGINE_SAMPLE_SOURCE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "engine/sampling_engine.h"
 #include "graph/graph.h"
@@ -54,7 +55,12 @@ class SampleSource {
   /// their accounting (edges_examined, traversal_cost) matches what
   /// sampling them here would have reported. May stop early only for the
   /// same reasons SamplingEngine::SampleInto does (output memory budget).
-  virtual SampleBatch Fetch(RRCollection* out, uint64_t count) = 0;
+  /// `per_set_edges` (optional) receives each delivered set's
+  /// edges-examined count in set order (appended, mirroring the appends to
+  /// `*out`) — the spill tier records them so reloaded shards report the
+  /// accounting a fresh sample of the same indices would.
+  virtual SampleBatch Fetch(RRCollection* out, uint64_t count,
+                            std::vector<uint64_t>* per_set_edges = nullptr) = 0;
 
   /// Cost-threshold variant (Borgs et al.'s stopping rule, see
   /// SamplingEngine::SampleUntilCost): appends sets while the running
@@ -78,8 +84,9 @@ class EngineSampleSource final : public SampleSource {
   uint64_t position() const override { return engine_.sets_sampled(); }
   void Seek(uint64_t index) override { engine_.SkipTo(index); }
 
-  SampleBatch Fetch(RRCollection* out, uint64_t count) override {
-    return engine_.SampleInto(out, count);
+  SampleBatch Fetch(RRCollection* out, uint64_t count,
+                    std::vector<uint64_t>* per_set_edges = nullptr) override {
+    return engine_.SampleInto(out, count, per_set_edges);
   }
 
   SampleBatch FetchUntilCost(RRCollection* out, double cost_threshold,

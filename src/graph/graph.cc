@@ -1,36 +1,8 @@
 #include "graph/graph.h"
 
 #include <bit>
-#include <cmath>
 
 namespace timpp {
-
-void ComputeProbabilityRuns(NodeId n, const std::vector<EdgeIndex>& offsets,
-                            const std::vector<Arc>& arcs,
-                            std::vector<EdgeIndex>* run_offsets,
-                            std::vector<EdgeIndex>* run_ends,
-                            std::vector<double>* run_inv_log1mp) {
-  run_offsets->assign(n + 1, 0);
-  run_ends->clear();
-  run_inv_log1mp->clear();
-  for (NodeId v = 0; v < n; ++v) {
-    const EdgeIndex begin = offsets[v];
-    const EdgeIndex end = offsets[v + 1];
-    EdgeIndex run_begin = begin;
-    for (EdgeIndex e = begin; e < end; ++e) {
-      if (e + 1 == end || arcs[e + 1].prob != arcs[e].prob) {
-        run_ends->push_back(e + 1 - begin);  // end local to the node
-        // 1/ln(1-p): the constant geometric skip draws multiply by.
-        // ±0/±inf for p >= 1 / p <= 0 — samplers branch around those
-        // runs and never read the value.
-        run_inv_log1mp->push_back(
-            1.0 / std::log1p(-static_cast<double>(arcs[run_begin].prob)));
-        run_begin = e + 1;
-      }
-    }
-    (*run_offsets)[v + 1] = run_ends->size();
-  }
-}
 
 namespace {
 
@@ -44,14 +16,14 @@ inline void Mix(uint64_t& h, uint64_t v) {
   h = z ^ (z >> 31);
 }
 
-inline void MixArcs(uint64_t& h, const std::vector<Arc>& arcs) {
+inline void MixArcs(uint64_t& h, std::span<const Arc> arcs) {
   for (const Arc& a : arcs) {
     Mix(h, (static_cast<uint64_t>(a.node) << 32) |
                std::bit_cast<uint32_t>(a.prob));
   }
 }
 
-inline void MixWords(uint64_t& h, const std::vector<EdgeIndex>& words) {
+inline void MixWords(uint64_t& h, std::span<const EdgeIndex> words) {
   for (EdgeIndex w : words) Mix(h, w);
 }
 
@@ -59,19 +31,19 @@ inline void MixWords(uint64_t& h, const std::vector<EdgeIndex>& words) {
 
 uint64_t Graph::ContentHash() const {
   uint64_t h = 0x74696d70705f6721ULL;  // "timpp_g!"
-  Mix(h, num_nodes_);
+  Mix(h, v_.num_nodes);
   Mix(h, num_edges());
   // Both directions: the transpose is derived from the forward arcs, but
   // its arc order (and with it the per-index RNG consumption of every
   // reverse traversal) is part of what must match bit-for-bit.
-  MixWords(h, out_offsets_);
-  MixArcs(h, out_arcs_);
-  MixWords(h, in_offsets_);
-  MixArcs(h, in_arcs_);
+  MixWords(h, v_.out_offsets);
+  MixArcs(h, v_.out_arcs);
+  MixWords(h, v_.in_offsets);
+  MixArcs(h, v_.in_arcs);
   // Run metadata decides how SamplerMode::kAuto resolves and how skip
   // traversals split their geometric draws.
-  MixWords(h, out_run_ends_);
-  MixWords(h, in_run_ends_);
+  MixWords(h, v_.out_run_ends);
+  MixWords(h, v_.in_run_ends);
   return h;
 }
 

@@ -6,22 +6,14 @@
 #define TIMPP_GRAPH_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <string>
-#include <string_view>
-#include <vector>
+#include <utility>
 
-#include "util/status.h"
+#include "graph/graph_storage.h"
 #include "util/types.h"
 
 namespace timpp {
-
-/// One directed arc endpoint as seen from an adjacency list: the other
-/// endpoint plus the propagation probability p(e) of the underlying edge.
-struct Arc {
-  NodeId node;
-  float prob;
-};
 
 /// Minimum average constant-probability run length at which
 /// SamplerMode::kAuto switches a traversal from per-arc coins to geometric
@@ -29,7 +21,11 @@ struct Arc {
 /// enough to amortize them against the per-arc coin it replaces.
 inline constexpr double kSkipRunLengthThreshold = 4.0;
 
-/// Immutable weighted directed graph. Construct via GraphBuilder.
+/// Immutable weighted directed graph. Construct via GraphBuilder (resident
+/// vectors) or graph_io's OpenGraphImage (read-only mmap of a serialized
+/// CSR image); either way the arrays live in a GraphStorage backend and
+/// Graph reads them through a GraphView captured at construction, so the
+/// accessors below compile to the same span arithmetic for every backend.
 ///
 /// Both adjacency directions are stored because the algorithms in the paper
 /// need both: forward Monte-Carlo simulation of a cascade walks out-arcs,
@@ -44,34 +40,42 @@ inline constexpr double kSkipRunLengthThreshold = 4.0;
 /// skips per run instead of one Bernoulli coin per arc (SamplerMode::kSkip)
 /// — exactly, for any graph, since the split never merges unequal
 /// probabilities.
+///
+/// Copies are cheap: they share the immutable storage backend.
 class Graph {
  public:
   Graph() = default;
 
+  /// Adopts a storage backend; the view is captured once here.
+  explicit Graph(std::shared_ptr<const GraphStorage> storage)
+      : storage_(std::move(storage)), v_(storage_->view()) {}
+
   /// Number of nodes n. Nodes are densely numbered [0, n).
-  NodeId num_nodes() const { return num_nodes_; }
+  NodeId num_nodes() const { return v_.num_nodes; }
 
   /// Number of directed edges m.
-  uint64_t num_edges() const { return static_cast<uint64_t>(out_arcs_.size()); }
+  uint64_t num_edges() const {
+    return static_cast<uint64_t>(v_.out_arcs.size());
+  }
 
   /// Out-arcs of `v`: arcs (v -> a.node) with probability a.prob.
   std::span<const Arc> OutArcs(NodeId v) const {
-    return {out_arcs_.data() + out_offsets_[v],
-            out_arcs_.data() + out_offsets_[v + 1]};
+    return {v_.out_arcs.data() + v_.out_offsets[v],
+            v_.out_arcs.data() + v_.out_offsets[v + 1]};
   }
 
   /// In-arcs of `v`: arcs (a.node -> v) with probability a.prob.
   std::span<const Arc> InArcs(NodeId v) const {
-    return {in_arcs_.data() + in_offsets_[v],
-            in_arcs_.data() + in_offsets_[v + 1]};
+    return {v_.in_arcs.data() + v_.in_offsets[v],
+            v_.in_arcs.data() + v_.in_offsets[v + 1]};
   }
 
   uint64_t OutDegree(NodeId v) const {
-    return out_offsets_[v + 1] - out_offsets_[v];
+    return v_.out_offsets[v + 1] - v_.out_offsets[v];
   }
 
   uint64_t InDegree(NodeId v) const {
-    return in_offsets_[v + 1] - in_offsets_[v];
+    return v_.in_offsets[v + 1] - v_.in_offsets[v];
   }
 
   /// Sum of in-arc probabilities of `v`. Under the LT interpretation this is
@@ -87,14 +91,14 @@ class Graph {
   /// [ends[r-1] (or 0), ends[r]) and its probability is the probability of
   /// its first arc.
   std::span<const EdgeIndex> InRunEnds(NodeId v) const {
-    return {in_run_ends_.data() + in_run_offsets_[v],
-            in_run_ends_.data() + in_run_offsets_[v + 1]};
+    return {v_.in_run_ends.data() + v_.in_run_offsets[v],
+            v_.in_run_ends.data() + v_.in_run_offsets[v + 1]};
   }
 
   /// As InRunEnds, for the out-arc direction.
   std::span<const EdgeIndex> OutRunEnds(NodeId v) const {
-    return {out_run_ends_.data() + out_run_offsets_[v],
-            out_run_ends_.data() + out_run_offsets_[v + 1]};
+    return {v_.out_run_ends.data() + v_.out_run_offsets[v],
+            v_.out_run_ends.data() + v_.out_run_offsets[v + 1]};
   }
 
   /// Per-run 1 / ln(1-p), aligned with InRunEnds(v) — the precomputed
@@ -103,35 +107,36 @@ class Graph {
   /// (±0 / ±inf) for runs with p >= 1 or p <= 0, which samplers branch
   /// around before drawing.
   std::span<const double> InRunInvLog1mp(NodeId v) const {
-    return {in_run_inv_log1mp_.data() + in_run_offsets_[v],
-            in_run_inv_log1mp_.data() + in_run_offsets_[v + 1]};
+    return {v_.in_run_inv_log1mp.data() + v_.in_run_offsets[v],
+            v_.in_run_inv_log1mp.data() + v_.in_run_offsets[v + 1]};
   }
 
   /// As InRunInvLog1mp, for the out-arc direction.
   std::span<const double> OutRunInvLog1mp(NodeId v) const {
-    return {out_run_inv_log1mp_.data() + out_run_offsets_[v],
-            out_run_inv_log1mp_.data() + out_run_offsets_[v + 1]};
+    return {v_.out_run_inv_log1mp.data() + v_.out_run_offsets[v],
+            v_.out_run_inv_log1mp.data() + v_.out_run_offsets[v + 1]};
   }
 
-  uint64_t num_in_runs() const { return in_run_ends_.size(); }
-  uint64_t num_out_runs() const { return out_run_ends_.size(); }
+  uint64_t num_in_runs() const { return v_.in_run_ends.size(); }
+  uint64_t num_out_runs() const { return v_.out_run_ends.size(); }
 
   /// Mean arcs per in-run (m / #in-runs); 0 on an edgeless graph. 1.0
   /// means every adjacent in-arc pair differs in probability (skip
   /// sampling degenerates to per-arc); indeg-sized values mean whole
   /// lists are single runs (weighted cascade).
   double AvgInRunLength() const {
-    return in_run_ends_.empty() ? 0.0
-                                : static_cast<double>(in_arcs_.size()) /
-                                      static_cast<double>(in_run_ends_.size());
+    return v_.in_run_ends.empty()
+               ? 0.0
+               : static_cast<double>(v_.in_arcs.size()) /
+                     static_cast<double>(v_.in_run_ends.size());
   }
 
   /// Mean arcs per out-run; see AvgInRunLength.
   double AvgOutRunLength() const {
-    return out_run_ends_.empty()
+    return v_.out_run_ends.empty()
                ? 0.0
-               : static_cast<double>(out_arcs_.size()) /
-                     static_cast<double>(out_run_ends_.size());
+               : static_cast<double>(v_.out_arcs.size()) /
+                     static_cast<double>(v_.out_run_ends.size());
   }
 
   /// Order-sensitive 64-bit digest of the full graph content: node count,
@@ -141,53 +146,34 @@ class Graph {
   /// identity the distributed worker handshake must verify — a worker that
   /// reloaded the "same" edge list under a different weight model, edge
   /// order, or undirected flag hashes differently and is rejected instead
-  /// of silently diverging from the coordinator's RR streams. O(n + m).
+  /// of silently diverging from the coordinator's RR streams. The digest
+  /// is a function of the view alone, so resident and mmap backends of the
+  /// same graph hash identically. O(n + m).
   uint64_t ContentHash() const;
 
-  /// Heap bytes held by the adjacency arrays plus the probability-run
-  /// metadata (Figure 12 accounting — the run arrays are real resident
-  /// memory and must be charged).
+  /// Heap bytes the storage backend holds resident (Figure 12 accounting —
+  /// the run arrays are real resident memory and must be charged). For a
+  /// mapped backend this excludes the mapped adjacency; see MappedBytes.
   size_t MemoryBytes() const {
-    return (out_offsets_.size() + in_offsets_.size()) * sizeof(EdgeIndex) +
-           (out_arcs_.size() + in_arcs_.size()) * sizeof(Arc) +
-           (out_run_offsets_.size() + in_run_offsets_.size() +
-            out_run_ends_.size() + in_run_ends_.size()) *
-               sizeof(EdgeIndex) +
-           (out_run_inv_log1mp_.size() + in_run_inv_log1mp_.size()) *
-               sizeof(double);
+    return storage_ ? storage_->ResidentBytes() : 0;
   }
 
+  /// Bytes served through a read-only file mapping (0 for the resident
+  /// backend).
+  size_t MappedBytes() const { return storage_ ? storage_->MappedBytes() : 0; }
+
+  /// Storage backend name: "resident" or "mmap" ("none" before adoption).
+  const char* storage_kind() const {
+    return storage_ ? storage_->kind() : "none";
+  }
+
+  /// The raw array view (serialization reads the arrays through this).
+  const GraphView& view() const { return v_; }
+
  private:
-  friend class GraphBuilder;
-  friend void SerializeGraph(const Graph& graph, std::string* out);
-  friend Status DeserializeGraph(std::string_view bytes, Graph* graph);
-
-  NodeId num_nodes_ = 0;
-  std::vector<EdgeIndex> out_offsets_;  // size n+1
-  std::vector<Arc> out_arcs_;           // size m
-  std::vector<EdgeIndex> in_offsets_;   // size n+1
-  std::vector<Arc> in_arcs_;            // size m
-
-  // Constant-probability run metadata (see class comment). *_run_offsets_
-  // index per-node ranges of *_run_ends_ / *_run_inv_log1mp_, exactly
-  // like the arc CSR.
-  std::vector<EdgeIndex> out_run_offsets_;  // size n+1
-  std::vector<EdgeIndex> out_run_ends_;     // size #out-runs
-  std::vector<double> out_run_inv_log1mp_;  // size #out-runs
-  std::vector<EdgeIndex> in_run_offsets_;   // size n+1
-  std::vector<EdgeIndex> in_run_ends_;      // size #in-runs
-  std::vector<double> in_run_inv_log1mp_;   // size #in-runs
+  std::shared_ptr<const GraphStorage> storage_;
+  GraphView v_;
 };
-
-/// Splits each node's arc list into maximal equal-probability runs (exact
-/// float comparison) — the metadata geometric skip sampling walks. Shared
-/// by GraphBuilder::Build and graph deserialization so both derive
-/// identical run structure from identical adjacency.
-void ComputeProbabilityRuns(NodeId n, const std::vector<EdgeIndex>& offsets,
-                            const std::vector<Arc>& arcs,
-                            std::vector<EdgeIndex>* run_offsets,
-                            std::vector<EdgeIndex>* run_ends,
-                            std::vector<double>* run_inv_log1mp);
 
 }  // namespace timpp
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <string>
+#include <utility>
 
 namespace timpp {
 
@@ -51,41 +53,38 @@ Status GraphBuilder::Build(Graph* out) const {
   const NodeId n = num_nodes_;
   const size_t m = edges_.size();
 
-  Graph g;
-  g.num_nodes_ = n;
-  g.out_offsets_.assign(n + 1, 0);
-  g.in_offsets_.assign(n + 1, 0);
-  g.out_arcs_.resize(m);
-  g.in_arcs_.resize(m);
+  GraphArrays a;
+  a.num_nodes = n;
+  a.out_offsets.assign(n + 1, 0);
+  a.in_offsets.assign(n + 1, 0);
+  a.out_arcs.resize(m);
+  a.in_arcs.resize(m);
 
   // Counting sort into both CSR directions.
   for (const RawEdge& e : edges_) {
-    ++g.out_offsets_[e.from + 1];
-    ++g.in_offsets_[e.to + 1];
+    ++a.out_offsets[e.from + 1];
+    ++a.in_offsets[e.to + 1];
   }
   for (NodeId v = 0; v < n; ++v) {
-    g.out_offsets_[v + 1] += g.out_offsets_[v];
-    g.in_offsets_[v + 1] += g.in_offsets_[v];
+    a.out_offsets[v + 1] += a.out_offsets[v];
+    a.in_offsets[v + 1] += a.in_offsets[v];
   }
-  std::vector<EdgeIndex> out_fill(g.out_offsets_.begin(),
-                                  g.out_offsets_.end() - 1);
-  std::vector<EdgeIndex> in_fill(g.in_offsets_.begin(),
-                                 g.in_offsets_.end() - 1);
+  std::vector<EdgeIndex> out_fill(a.out_offsets.begin(),
+                                  a.out_offsets.end() - 1);
+  std::vector<EdgeIndex> in_fill(a.in_offsets.begin(),
+                                 a.in_offsets.end() - 1);
   for (const RawEdge& e : edges_) {
-    g.out_arcs_[out_fill[e.from]++] = Arc{e.to, e.prob};
-    g.in_arcs_[in_fill[e.to]++] = Arc{e.from, e.prob};
+    a.out_arcs[out_fill[e.from]++] = Arc{e.to, e.prob};
+    a.in_arcs[in_fill[e.to]++] = Arc{e.from, e.prob};
   }
 
   // Probability runs: split every node's arc list into maximal stretches
   // of equal probability (exact float comparison — only byte-identical
   // probabilities may share a geometric-skip stream). O(m), done for both
   // directions so reverse sampling and forward simulation can both skip.
-  ComputeProbabilityRuns(n, g.out_offsets_, g.out_arcs_, &g.out_run_offsets_,
-                         &g.out_run_ends_, &g.out_run_inv_log1mp_);
-  ComputeProbabilityRuns(n, g.in_offsets_, g.in_arcs_, &g.in_run_offsets_,
-                         &g.in_run_ends_, &g.in_run_inv_log1mp_);
+  a.DeriveRuns();
 
-  *out = std::move(g);
+  *out = Graph(std::make_shared<OwnedGraphStorage>(std::move(a)));
   return Status::OK();
 }
 

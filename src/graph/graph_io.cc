@@ -1,12 +1,20 @@
 #include "graph/graph_io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
+#include <span>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace timpp {
@@ -157,7 +165,7 @@ constexpr char kImageMagic[4] = {'T', 'I', 'M', 'I'};
 constexpr uint32_t kImageVersion = 1;
 
 template <typename T>
-void AppendVector(std::string* out, const std::vector<T>& v) {
+void AppendSpan(std::string* out, std::span<const T> v) {
   const uint64_t count = v.size();
   out->append(reinterpret_cast<const char*>(&count), sizeof(count));
   out->append(reinterpret_cast<const char*>(v.data()), count * sizeof(T));
@@ -178,8 +186,8 @@ bool TakeVector(std::string_view* in, uint64_t max_count, std::vector<T>* v) {
 
 // CSR sanity: offsets are a monotone [0..m] ramp of size n+1 and every
 // arc endpoint is a valid node.
-bool ValidCsr(NodeId n, uint64_t m, const std::vector<EdgeIndex>& offsets,
-              const std::vector<Arc>& arcs) {
+bool ValidCsr(NodeId n, uint64_t m, std::span<const EdgeIndex> offsets,
+              std::span<const Arc> arcs) {
   if (offsets.size() != static_cast<size_t>(n) + 1) return false;
   if (arcs.size() != m) return false;
   if (offsets.front() != 0 || offsets.back() != m) return false;
@@ -195,16 +203,17 @@ bool ValidCsr(NodeId n, uint64_t m, const std::vector<EdgeIndex>& offsets,
 }  // namespace
 
 void SerializeGraph(const Graph& graph, std::string* out) {
+  const GraphView& v = graph.view();
   out->clear();
   out->append(kImageMagic, sizeof(kImageMagic));
   const uint32_t version = kImageVersion;
-  const uint64_t n = graph.num_nodes_;
+  const uint64_t n = v.num_nodes;
   out->append(reinterpret_cast<const char*>(&version), sizeof(version));
   out->append(reinterpret_cast<const char*>(&n), sizeof(n));
-  AppendVector(out, graph.out_offsets_);
-  AppendVector(out, graph.out_arcs_);
-  AppendVector(out, graph.in_offsets_);
-  AppendVector(out, graph.in_arcs_);
+  AppendSpan(out, v.out_offsets);
+  AppendSpan(out, v.out_arcs);
+  AppendSpan(out, v.in_offsets);
+  AppendSpan(out, v.in_arcs);
 }
 
 Status DeserializeGraph(std::string_view bytes, Graph* graph) {
@@ -227,28 +236,278 @@ Status DeserializeGraph(std::string_view bytes, Graph* graph) {
   bytes.remove_prefix(sizeof(n));
   if (n > std::numeric_limits<NodeId>::max()) return corrupt;
 
-  Graph g;
-  g.num_nodes_ = static_cast<NodeId>(n);
+  GraphArrays a;
+  a.num_nodes = static_cast<NodeId>(n);
   const uint64_t max_entries = bytes.size();  // tighter than any real bound
-  if (!TakeVector(&bytes, max_entries, &g.out_offsets_) ||
-      !TakeVector(&bytes, max_entries, &g.out_arcs_) ||
-      !TakeVector(&bytes, max_entries, &g.in_offsets_) ||
-      !TakeVector(&bytes, max_entries, &g.in_arcs_) ||
+  if (!TakeVector(&bytes, max_entries, &a.out_offsets) ||
+      !TakeVector(&bytes, max_entries, &a.out_arcs) ||
+      !TakeVector(&bytes, max_entries, &a.in_offsets) ||
+      !TakeVector(&bytes, max_entries, &a.in_arcs) ||
       !bytes.empty()) {
     return corrupt;
   }
-  const uint64_t m = g.out_arcs_.size();
-  if (!ValidCsr(g.num_nodes_, m, g.out_offsets_, g.out_arcs_) ||
-      !ValidCsr(g.num_nodes_, m, g.in_offsets_, g.in_arcs_)) {
+  const uint64_t m = a.out_arcs.size();
+  if (!ValidCsr(a.num_nodes, m, a.out_offsets, a.out_arcs) ||
+      !ValidCsr(a.num_nodes, m, a.in_offsets, a.in_arcs)) {
     return corrupt;
   }
-  ComputeProbabilityRuns(g.num_nodes_, g.out_offsets_, g.out_arcs_,
-                         &g.out_run_offsets_, &g.out_run_ends_,
-                         &g.out_run_inv_log1mp_);
-  ComputeProbabilityRuns(g.num_nodes_, g.in_offsets_, g.in_arcs_,
-                         &g.in_run_offsets_, &g.in_run_ends_,
-                         &g.in_run_inv_log1mp_);
-  *graph = std::move(g);
+  a.DeriveRuns();
+  *graph = Graph(std::make_shared<OwnedGraphStorage>(std::move(a)));
+  return Status::OK();
+}
+
+// ------------------------------------------------------ on-disk image --
+//
+// File layout (everything little-endian, written and read on the same
+// architecture class):
+//
+//   offset  0: char[8]  "TIMPPIMG"
+//   offset  8: u32      file format version (1)
+//   offset 12: u32      reserved (0)
+//   offset 16: u64      payload size in bytes
+//   offset 24: u64      Graph::ContentHash of the serialized graph
+//   offset 32: payload  — the exact SerializeGraph bytes (TIMI header +
+//                         four [u64 count][data] sections)
+//
+// Every payload element (u64 counts, EdgeIndex offsets, 8-byte Arcs) is 8
+// bytes and the payload starts at offset 32, so each section's data is
+// 8-byte aligned relative to the (page-aligned) mapping base: the arrays
+// can be read in place through reinterpret_cast spans with no copy.
+
+namespace {
+
+constexpr char kFileMagic[8] = {'T', 'I', 'M', 'P', 'P', 'I', 'M', 'G'};
+constexpr uint32_t kFileVersion = 1;
+constexpr size_t kFileHeaderBytes = 32;
+
+struct FileHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t reserved;
+  uint64_t payload_size;
+  uint64_t content_hash;
+};
+static_assert(sizeof(FileHeader) == kFileHeaderBytes);
+
+/// Owns the bytes behind a mapped graph image: either a read-only mmap of
+/// the whole file or (when mmap is unavailable) a heap copy. The adjacency
+/// spans in view() point straight into those bytes; only the derived run
+/// metadata lives in owned vectors. Immutable after construction.
+class MmapGraphImage final : public GraphStorage {
+ public:
+  MmapGraphImage(void* map_addr, size_t map_len,
+                 std::vector<uint64_t> heap_copy, NodeId n,
+                 std::span<const EdgeIndex> out_offsets,
+                 std::span<const Arc> out_arcs,
+                 std::span<const EdgeIndex> in_offsets,
+                 std::span<const Arc> in_arcs)
+      : map_addr_(map_addr),
+        map_len_(map_len),
+        heap_copy_(std::move(heap_copy)) {
+    view_.num_nodes = n;
+    view_.out_offsets = out_offsets;
+    view_.out_arcs = out_arcs;
+    view_.in_offsets = in_offsets;
+    view_.in_arcs = in_arcs;
+    // Run metadata is a pure function of the adjacency (the same shared
+    // derivation every backend uses), materialized on the heap: it is
+    // small (one entry per constant-probability run) and not part of the
+    // serialized payload.
+    ComputeProbabilityRuns(n, out_offsets, out_arcs, &runs_.out_run_offsets,
+                           &runs_.out_run_ends, &runs_.out_run_inv_log1mp);
+    ComputeProbabilityRuns(n, in_offsets, in_arcs, &runs_.in_run_offsets,
+                           &runs_.in_run_ends, &runs_.in_run_inv_log1mp);
+    view_.out_run_offsets = runs_.out_run_offsets;
+    view_.out_run_ends = runs_.out_run_ends;
+    view_.out_run_inv_log1mp = runs_.out_run_inv_log1mp;
+    view_.in_run_offsets = runs_.in_run_offsets;
+    view_.in_run_ends = runs_.in_run_ends;
+    view_.in_run_inv_log1mp = runs_.in_run_inv_log1mp;
+  }
+
+  ~MmapGraphImage() override {
+    if (map_addr_ != nullptr) ::munmap(map_addr_, map_len_);
+  }
+
+  MmapGraphImage(const MmapGraphImage&) = delete;
+  MmapGraphImage& operator=(const MmapGraphImage&) = delete;
+
+  GraphView view() const override { return view_; }
+
+  size_t ResidentBytes() const override {
+    // The heap-copy fallback holds the whole image resident; the mmap path
+    // charges only the derived run metadata (mapped pages are reclaimable
+    // page cache, accounted under MappedBytes).
+    return runs_.HeapBytes() + heap_copy_.size() * sizeof(uint64_t);
+  }
+
+  size_t MappedBytes() const override { return map_len_; }
+
+  const char* kind() const override { return "mmap"; }
+
+ private:
+  void* map_addr_;
+  size_t map_len_;
+  std::vector<uint64_t> heap_copy_;  // 8-aligned fallback buffer
+  GraphArrays runs_;                 // only the run fields are populated
+  GraphView view_;
+};
+
+/// Advances `*p` past a [u64 count][count * T] section, pointing `*out`
+/// at the data in place. Fails (without advancing past `end`) on
+/// truncation or an absurd count.
+template <typename T>
+bool TakeSpan(const char** p, const char* end, uint64_t max_count,
+              std::span<const T>* out) {
+  uint64_t count = 0;
+  if (static_cast<size_t>(end - *p) < sizeof(count)) return false;
+  std::memcpy(&count, *p, sizeof(count));
+  *p += sizeof(count);
+  if (count > max_count ||
+      static_cast<uint64_t>(end - *p) < count * sizeof(T)) {
+    return false;
+  }
+  *out = {reinterpret_cast<const T*>(*p), static_cast<size_t>(count)};
+  *p += count * sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+Status WriteGraphImage(const Graph& graph, const std::string& path) {
+  std::string payload;
+  SerializeGraph(graph, &payload);
+
+  FileHeader header;
+  std::memcpy(header.magic, kFileMagic, sizeof(kFileMagic));
+  header.version = kFileVersion;
+  header.reserved = 0;
+  header.payload_size = payload.size();
+  header.content_hash = graph.ContentHash();
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Status OpenGraphImage(const std::string& path, Graph* graph) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  const size_t file_size = static_cast<size_t>(st.st_size);
+  if (file_size < kFileHeaderBytes) {
+    ::close(fd);
+    return Status::Corruption(path + ": truncated image header");
+  }
+
+  // Map the whole file read-only; fall back to an 8-aligned heap copy when
+  // mmap is unavailable (exotic filesystems). Either way `base` points at
+  // the file header and stays valid for the storage object's lifetime.
+  void* map_addr = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  std::vector<uint64_t> heap_copy;
+  const char* base = nullptr;
+  size_t map_len = 0;
+  if (map_addr != MAP_FAILED) {
+    base = static_cast<const char*>(map_addr);
+    map_len = file_size;
+  } else {
+    map_addr = nullptr;
+    heap_copy.resize((file_size + sizeof(uint64_t) - 1) / sizeof(uint64_t));
+    size_t off = 0;
+    while (off < file_size) {
+      const ssize_t got =
+          ::read(fd, reinterpret_cast<char*>(heap_copy.data()) + off,
+                 file_size - off);
+      if (got <= 0) break;
+      off += static_cast<size_t>(got);
+    }
+    if (off != file_size) {
+      ::close(fd);
+      return Status::IOError("short read on " + path);
+    }
+    base = reinterpret_cast<const char*>(heap_copy.data());
+  }
+  ::close(fd);  // the mapping (or copy) outlives the descriptor
+
+  // Single cleanup path for every validation failure below.
+  const auto fail = [&](Status status) {
+    if (map_addr != nullptr) ::munmap(map_addr, map_len);
+    return status;
+  };
+
+  FileHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (std::memcmp(header.magic, kFileMagic, sizeof(kFileMagic)) != 0) {
+    return fail(Status::Corruption(path + ": bad image magic"));
+  }
+  if (header.version != kFileVersion) {
+    return fail(Status::Corruption(path + ": unsupported image version " +
+                                   std::to_string(header.version)));
+  }
+  if (header.payload_size != file_size - kFileHeaderBytes) {
+    return fail(Status::Corruption(path + ": truncated image payload"));
+  }
+
+  // Parse the payload (the exact SerializeGraph bytes) in place.
+  const char* p = base + kFileHeaderBytes;
+  const char* const end = p + header.payload_size;
+  if (header.payload_size < sizeof(kImageMagic) + sizeof(uint32_t) +
+                                sizeof(uint64_t) ||
+      std::memcmp(p, kImageMagic, sizeof(kImageMagic)) != 0) {
+    return fail(Status::Corruption(path + ": malformed image payload"));
+  }
+  p += sizeof(kImageMagic);
+  uint32_t payload_version = 0;
+  std::memcpy(&payload_version, p, sizeof(payload_version));
+  p += sizeof(payload_version);
+  if (payload_version != kImageVersion) {
+    return fail(Status::Corruption(path + ": unsupported payload version " +
+                                   std::to_string(payload_version)));
+  }
+  uint64_t n = 0;
+  std::memcpy(&n, p, sizeof(n));
+  p += sizeof(n);
+  if (n > std::numeric_limits<NodeId>::max()) {
+    return fail(Status::Corruption(path + ": malformed image payload"));
+  }
+
+  std::span<const EdgeIndex> out_offsets, in_offsets;
+  std::span<const Arc> out_arcs, in_arcs;
+  const uint64_t max_entries = header.payload_size;
+  if (!TakeSpan(&p, end, max_entries, &out_offsets) ||
+      !TakeSpan(&p, end, max_entries, &out_arcs) ||
+      !TakeSpan(&p, end, max_entries, &in_offsets) ||
+      !TakeSpan(&p, end, max_entries, &in_arcs) || p != end) {
+    return fail(Status::Corruption(path + ": malformed image payload"));
+  }
+  const uint64_t m = out_arcs.size();
+  if (!ValidCsr(static_cast<NodeId>(n), m, out_offsets, out_arcs) ||
+      !ValidCsr(static_cast<NodeId>(n), m, in_offsets, in_arcs)) {
+    return fail(Status::Corruption(path + ": invalid CSR in image"));
+  }
+
+  // From here the storage object owns the mapping / heap copy.
+  Graph candidate(std::make_shared<MmapGraphImage>(
+      map_addr, map_len, std::move(heap_copy), static_cast<NodeId>(n),
+      out_offsets, out_arcs, in_offsets, in_arcs));
+
+  // The stored hash covers every byte a sampler reads (targets AND
+  // probability bits, both directions, run structure); recomputing it over
+  // the mapped arrays catches silent payload corruption — e.g. flipped
+  // float bits — that shape validation cannot see.
+  if (candidate.ContentHash() != header.content_hash) {
+    return Status::Corruption(path + ": image content hash mismatch");
+  }
+  *graph = std::move(candidate);
   return Status::OK();
 }
 

@@ -50,6 +50,25 @@ Status ReadBinary(const std::string& path, Graph* graph);
 void SerializeGraph(const Graph& graph, std::string* out);
 Status DeserializeGraph(std::string_view bytes, Graph* graph);
 
+/// On-disk CSR image: a 32-byte file header (magic "TIMPPIMG", format
+/// version, payload size, Graph::ContentHash) followed by the exact
+/// SerializeGraph payload. Every array element in the payload is 8 bytes
+/// and the payload starts at file offset 32, so the arrays are naturally
+/// aligned for mapping the file read-only and pointing a GraphStorage
+/// view straight into the page cache.
+Status WriteGraphImage(const Graph& graph, const std::string& path);
+
+/// Opens a WriteGraphImage file as a Graph backed by a read-only mmap
+/// (MmapGraphImage storage; falls back to a heap copy if mmap is
+/// unavailable). Only the derived run metadata is materialized on the
+/// heap — the adjacency stays in the mapping, and the kernel pages it in
+/// on demand. Validates structure (header, section bounds, CSR shape) and
+/// content (stored ContentHash recomputed over the mapped arrays); on any
+/// failure returns a named Status and leaves `*graph` untouched. The
+/// resulting Graph is ContentHash- and RR-stream-identical to the
+/// resident Graph the image was written from.
+Status OpenGraphImage(const std::string& path, Graph* graph);
+
 }  // namespace timpp
 
 #endif  // TIMPP_GRAPH_GRAPH_IO_H_

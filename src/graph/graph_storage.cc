@@ -1,0 +1,57 @@
+#include "graph/graph_storage.h"
+
+#include <cmath>
+
+namespace timpp {
+
+void ComputeProbabilityRuns(NodeId n, std::span<const EdgeIndex> offsets,
+                            std::span<const Arc> arcs,
+                            std::vector<EdgeIndex>* run_offsets,
+                            std::vector<EdgeIndex>* run_ends,
+                            std::vector<double>* run_inv_log1mp) {
+  run_offsets->assign(n + 1, 0);
+  run_ends->clear();
+  run_inv_log1mp->clear();
+  for (NodeId v = 0; v < n; ++v) {
+    const EdgeIndex begin = offsets[v];
+    const EdgeIndex end = offsets[v + 1];
+    EdgeIndex run_begin = begin;
+    for (EdgeIndex e = begin; e < end; ++e) {
+      if (e + 1 == end || arcs[e + 1].prob != arcs[e].prob) {
+        run_ends->push_back(e + 1 - begin);  // end local to the node
+        // 1/ln(1-p): the constant geometric skip draws multiply by.
+        // ±0/±inf for p >= 1 / p <= 0 — samplers branch around those
+        // runs and never read the value.
+        run_inv_log1mp->push_back(
+            1.0 / std::log1p(-static_cast<double>(arcs[run_begin].prob)));
+        run_begin = e + 1;
+      }
+    }
+    (*run_offsets)[v + 1] = run_ends->size();
+  }
+}
+
+void GraphArrays::DeriveRuns() {
+  ComputeProbabilityRuns(num_nodes, out_offsets, out_arcs, &out_run_offsets,
+                         &out_run_ends, &out_run_inv_log1mp);
+  ComputeProbabilityRuns(num_nodes, in_offsets, in_arcs, &in_run_offsets,
+                         &in_run_ends, &in_run_inv_log1mp);
+}
+
+GraphView GraphArrays::View() const {
+  GraphView v;
+  v.num_nodes = num_nodes;
+  v.out_offsets = out_offsets;
+  v.out_arcs = out_arcs;
+  v.in_offsets = in_offsets;
+  v.in_arcs = in_arcs;
+  v.out_run_offsets = out_run_offsets;
+  v.out_run_ends = out_run_ends;
+  v.out_run_inv_log1mp = out_run_inv_log1mp;
+  v.in_run_offsets = in_run_offsets;
+  v.in_run_ends = in_run_ends;
+  v.in_run_inv_log1mp = in_run_inv_log1mp;
+  return v;
+}
+
+}  // namespace timpp

@@ -1,0 +1,135 @@
+// Pluggable storage backends under Graph.
+//
+// Graph is a reader over eleven immutable arrays (two CSR adjacency
+// directions plus constant-probability run metadata). Where those arrays
+// live is a storage decision, not a graph decision: the classic backend
+// owns them as heap vectors (OwnedGraphStorage, what GraphBuilder
+// produces), while the out-of-core backend memory-maps a serialized CSR
+// image read-only and materializes only the derived run metadata
+// (MmapGraphImage, see graph_io.h). A backend hands Graph one GraphView —
+// a bundle of spans — at construction; every Graph accessor reads through
+// that view, so the hot paths are identical across backends and samplers
+// cannot tell (and must not be able to tell — ContentHash and RR streams
+// are asserted bit-identical) which tier the bytes came from.
+#ifndef TIMPP_GRAPH_GRAPH_STORAGE_H_
+#define TIMPP_GRAPH_GRAPH_STORAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.h"
+
+namespace timpp {
+
+/// One directed arc endpoint as seen from an adjacency list: the other
+/// endpoint plus the propagation probability p(e) of the underlying edge.
+struct Arc {
+  NodeId node;
+  float prob;
+};
+
+/// Read-only spans over every array a Graph needs. The spans point into
+/// storage owned by a GraphStorage backend and stay valid for that
+/// backend's lifetime; Graph copies the view once at construction and
+/// keeps the backend alive through a shared_ptr.
+struct GraphView {
+  NodeId num_nodes = 0;
+  std::span<const EdgeIndex> out_offsets;  // size n+1
+  std::span<const Arc> out_arcs;           // size m
+  std::span<const EdgeIndex> in_offsets;   // size n+1
+  std::span<const Arc> in_arcs;            // size m
+
+  // Constant-probability run metadata (see Graph's class comment).
+  // *_run_offsets index per-node ranges of *_run_ends / *_run_inv_log1mp,
+  // exactly like the arc CSR.
+  std::span<const EdgeIndex> out_run_offsets;  // size n+1
+  std::span<const EdgeIndex> out_run_ends;     // size #out-runs
+  std::span<const double> out_run_inv_log1mp;  // size #out-runs
+  std::span<const EdgeIndex> in_run_offsets;   // size n+1
+  std::span<const EdgeIndex> in_run_ends;      // size #in-runs
+  std::span<const double> in_run_inv_log1mp;   // size #in-runs
+};
+
+/// Where a Graph's arrays live. Implementations are immutable after
+/// construction; view() is called once per Graph construction (not per
+/// access), so backends pay no virtual dispatch on the sampling hot path.
+class GraphStorage {
+ public:
+  virtual ~GraphStorage() = default;
+
+  /// Spans over the backing arrays; valid for this object's lifetime.
+  virtual GraphView view() const = 0;
+
+  /// Heap bytes this backend holds resident (Figure 12 accounting). For a
+  /// mapped backend this counts only the materialized run metadata — the
+  /// mapped adjacency is page-cache memory the kernel can drop.
+  virtual size_t ResidentBytes() const = 0;
+
+  /// Bytes served through a read-only file mapping (0 for owned storage).
+  virtual size_t MappedBytes() const = 0;
+
+  /// Stable short name for stats/logging: "resident" or "mmap".
+  virtual const char* kind() const = 0;
+};
+
+/// The eleven arrays as owned vectors — the build product of GraphBuilder
+/// and graph deserialization, and the payload of OwnedGraphStorage.
+struct GraphArrays {
+  NodeId num_nodes = 0;
+  std::vector<EdgeIndex> out_offsets;
+  std::vector<Arc> out_arcs;
+  std::vector<EdgeIndex> in_offsets;
+  std::vector<Arc> in_arcs;
+  std::vector<EdgeIndex> out_run_offsets;
+  std::vector<EdgeIndex> out_run_ends;
+  std::vector<double> out_run_inv_log1mp;
+  std::vector<EdgeIndex> in_run_offsets;
+  std::vector<EdgeIndex> in_run_ends;
+  std::vector<double> in_run_inv_log1mp;
+
+  /// Computes both directions' run metadata from the adjacency arrays.
+  void DeriveRuns();
+
+  GraphView View() const;
+
+  size_t HeapBytes() const {
+    return (out_offsets.size() + in_offsets.size()) * sizeof(EdgeIndex) +
+           (out_arcs.size() + in_arcs.size()) * sizeof(Arc) +
+           (out_run_offsets.size() + in_run_offsets.size() +
+            out_run_ends.size() + in_run_ends.size()) *
+               sizeof(EdgeIndex) +
+           (out_run_inv_log1mp.size() + in_run_inv_log1mp.size()) *
+               sizeof(double);
+  }
+};
+
+/// The classic backend: every array heap-resident, owned by this object.
+class OwnedGraphStorage final : public GraphStorage {
+ public:
+  explicit OwnedGraphStorage(GraphArrays arrays) : a_(std::move(arrays)) {}
+
+  GraphView view() const override { return a_.View(); }
+  size_t ResidentBytes() const override { return a_.HeapBytes(); }
+  size_t MappedBytes() const override { return 0; }
+  const char* kind() const override { return "resident"; }
+
+ private:
+  GraphArrays a_;
+};
+
+/// Splits each node's arc list into maximal equal-probability runs (exact
+/// float comparison) — the metadata geometric skip sampling walks. Shared
+/// by GraphBuilder::Build, graph deserialization and the mmap image loader
+/// so every backend derives identical run structure from identical
+/// adjacency.
+void ComputeProbabilityRuns(NodeId n, std::span<const EdgeIndex> offsets,
+                            std::span<const Arc> arcs,
+                            std::vector<EdgeIndex>* run_offsets,
+                            std::vector<EdgeIndex>* run_ends,
+                            std::vector<double>* run_inv_log1mp);
+
+}  // namespace timpp
+
+#endif  // TIMPP_GRAPH_GRAPH_STORAGE_H_

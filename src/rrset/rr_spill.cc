@@ -1,0 +1,281 @@
+#include "rrset/rr_spill.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "rrset/rr_serialization.h"
+
+namespace timpp {
+
+namespace {
+
+/// Distinguishes stores within one process; combined with the pid it makes
+/// the chunk subdirectory unique across concurrent runs sharing a parent
+/// spill directory.
+std::atomic<uint64_t> g_store_counter{0};
+
+}  // namespace
+
+RRSpillStore::RRSpillStore(NodeId num_graph_nodes, RRSpillOptions options)
+    : num_graph_nodes_(num_graph_nodes), options_(std::move(options)) {}
+
+RRSpillStore::~RRSpillStore() {
+  // Chunk files are scratch: delete the whole per-store subdirectory.
+  // Errors are swallowed — a leaked temp dir must not fail a solve that
+  // already returned its (correct) seeds.
+  if (!dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+}
+
+Status RRSpillStore::EnsureDirLocked() {
+  if (!dir_.empty()) return Status::OK();
+  if (options_.dir.empty()) {
+    return Status::InvalidArgument("rr spill: no spill directory configured");
+  }
+  const uint64_t id = g_store_counter.fetch_add(1, std::memory_order_relaxed);
+  const std::filesystem::path sub =
+      std::filesystem::path(options_.dir) /
+      ("rrspill-" + std::to_string(::getpid()) + "-" + std::to_string(id));
+  std::error_code ec;
+  std::filesystem::create_directories(sub, ec);
+  if (ec) {
+    return Status::IOError("rr spill: cannot create " + sub.string() + ": " +
+                           ec.message());
+  }
+  dir_ = sub.string();
+  return Status::OK();
+}
+
+Status RRSpillStore::SpillRange(const RRCollection& src,
+                                std::span<const uint64_t> per_set_edges,
+                                size_t local_first, size_t count,
+                                uint64_t global_first) {
+  if (count == 0) return Status::OK();
+  if (local_first + count > src.num_sets()) {
+    return Status::InvalidArgument("rr spill: range past source collection");
+  }
+  if (!per_set_edges.empty() && per_set_edges.size() < local_first + count) {
+    return Status::InvalidArgument(
+        "rr spill: per-set edges shorter than spill range");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!chunks_.empty() &&
+      global_first < chunks_.back().first + chunks_.back().count) {
+    return Status::InvalidArgument(
+        "rr spill: ranges must be appended in increasing index order");
+  }
+  TIMPP_RETURN_NOT_OK(EnsureDirLocked());
+
+  // SerializeRRShard indexes `edges` by absolute local set id; synthesize
+  // zeros when the caller has no per-set split (selection never reads
+  // edge counts back).
+  std::vector<uint64_t> zero_edges;
+  std::span<const uint64_t> edges = per_set_edges;
+  if (edges.empty()) {
+    zero_edges.assign(local_first + count, 0);
+    edges = zero_edges;
+  }
+
+  const uint64_t per_chunk = std::max<uint64_t>(1, options_.sets_per_chunk);
+  std::string buffer;
+  for (size_t done = 0; done < count;) {
+    const size_t chunk_count =
+        static_cast<size_t>(std::min<uint64_t>(per_chunk, count - done));
+    Chunk chunk;
+    chunk.first = global_first + done;
+    chunk.count = chunk_count;
+    chunk.path =
+        (std::filesystem::path(dir_) /
+         ("chunk-" + std::to_string(chunk.first) + "-" +
+          std::to_string(chunk_count) + ".rrsh"))
+            .string();
+
+    buffer.clear();
+    SerializeRRShard(src, edges, local_first + done, chunk_count, &buffer);
+    chunk.bytes = buffer.size();
+
+    std::ofstream out(chunk.path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("rr spill: cannot open " + chunk.path +
+                             " for writing");
+    }
+    out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+    out.flush();
+    if (!out) return Status::IOError("rr spill: write failure on " + chunk.path);
+
+    stats_.chunks_written += 1;
+    stats_.sets_written += chunk_count;
+    stats_.bytes_written += chunk.bytes;
+    chunks_.push_back(std::move(chunk));
+    done += chunk_count;
+  }
+  return Status::OK();
+}
+
+size_t RRSpillStore::FindChunkLocked(uint64_t index) const {
+  // First chunk with end > index, then check it actually starts at/before.
+  size_t lo = 0, hi = chunks_.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (chunks_[mid].first + chunks_[mid].count <= index) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < chunks_.size() && chunks_[lo].first <= index) return lo;
+  return chunks_.size();
+}
+
+bool RRSpillStore::Covers(uint64_t first, uint64_t count) const {
+  return CoveredEnd(first, count) == first + count;
+}
+
+uint64_t RRSpillStore::CoveredEnd(uint64_t first, uint64_t limit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t pos = first;
+  const uint64_t end = first + limit;
+  size_t ci = FindChunkLocked(pos);
+  while (pos < end && ci < chunks_.size() && chunks_[ci].first <= pos) {
+    pos = std::min(end, chunks_[ci].first + chunks_[ci].count);
+    ++ci;
+  }
+  return pos;
+}
+
+uint64_t RRSpillStore::end_index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunks_.empty() ? 0 : chunks_.back().first + chunks_.back().count;
+}
+
+Status RRSpillStore::LoadChunkLocked(size_t chunk_index, const Pinned** out) {
+  for (auto it = pinned_.begin(); it != pinned_.end(); ++it) {
+    if (it->chunk_index == chunk_index) {
+      pinned_.splice(pinned_.begin(), pinned_, it);  // move to MRU
+      stats_.chunk_hits += 1;
+      *out = &pinned_.front();
+      return Status::OK();
+    }
+  }
+
+  const Chunk& chunk = chunks_[chunk_index];
+  std::ifstream in(chunk.path, std::ios::binary);
+  if (!in) return Status::IOError("rr spill: cannot open " + chunk.path);
+  std::string bytes(static_cast<size_t>(chunk.bytes), '\0');
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (static_cast<uint64_t>(in.gcount()) != chunk.bytes) {
+    return Status::IOError("rr spill: short read on " + chunk.path);
+  }
+
+  Pinned loaded{chunk_index, RRCollection(num_graph_nodes_), {}};
+  TIMPP_RETURN_NOT_OK(DeserializeRRShard(bytes, num_graph_nodes_,
+                                         &loaded.sets, &loaded.edges));
+  if (loaded.sets.num_sets() != chunk.count) {
+    return Status::Corruption("rr spill: chunk " + chunk.path +
+                              " holds a different set count than written");
+  }
+  stats_.chunk_loads += 1;
+  pinned_.push_front(std::move(loaded));
+  const size_t cap = std::max<size_t>(1, options_.max_pinned_chunks);
+  while (pinned_.size() > cap) pinned_.pop_back();  // evict LRU
+  *out = &pinned_.front();
+  return Status::OK();
+}
+
+Status RRSpillStore::VisitRange(uint64_t first, uint64_t count,
+                                const Filter& filter, const Visitor& visit,
+                                uint64_t* stopped_at, uint64_t* sets_visited) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t pos = first;
+  const uint64_t end = first + count;
+  uint64_t visited = 0;
+  Status status = Status::OK();
+  while (pos < end) {
+    const size_t ci = FindChunkLocked(pos);
+    if (ci >= chunks_.size() || chunks_[ci].first > pos) break;  // gap
+    const Pinned* pinned = nullptr;
+    status = LoadChunkLocked(ci, &pinned);
+    if (!status.ok()) break;  // caller regenerates from *stopped_at
+    const Chunk& chunk = chunks_[ci];
+    const uint64_t stop = std::min(end, chunk.first + chunk.count);
+    for (uint64_t index = pos; index < stop; ++index) {
+      if (filter && !filter(index)) continue;
+      visit(index,
+            pinned->sets.Set(static_cast<RRSetId>(index - chunk.first)));
+      ++visited;
+    }
+    pos = stop;
+  }
+  stats_.sets_read += visited;
+  *stopped_at = pos;
+  if (sets_visited != nullptr) *sets_visited = visited;
+  return status;
+}
+
+Status RRSpillStore::ReadRange(uint64_t first, uint64_t count,
+                               RRCollection* out,
+                               std::vector<uint64_t>* edges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Validate coverage up front: on any failure nothing is appended.
+  {
+    uint64_t pos = first;
+    const uint64_t end = first + count;
+    size_t ci = FindChunkLocked(pos);
+    while (pos < end && ci < chunks_.size() && chunks_[ci].first <= pos) {
+      pos = std::min(end, chunks_[ci].first + chunks_[ci].count);
+      ++ci;
+    }
+    if (pos != end) {
+      return Status::NotFound("rr spill: range [" + std::to_string(first) +
+                              ", " + std::to_string(first + count) +
+                              ") not fully spilled");
+    }
+  }
+
+  // Stage into locals so a mid-range I/O failure appends nothing.
+  RRCollection staged(num_graph_nodes_);
+  std::vector<uint64_t> staged_edges;
+  uint64_t pos = first;
+  const uint64_t end = first + count;
+  while (pos < end) {
+    const size_t ci = FindChunkLocked(pos);
+    const Pinned* pinned = nullptr;
+    TIMPP_RETURN_NOT_OK(LoadChunkLocked(ci, &pinned));
+    const Chunk& chunk = chunks_[ci];
+    const uint64_t stop = std::min(end, chunk.first + chunk.count);
+    for (uint64_t index = pos; index < stop; ++index) {
+      const size_t local = static_cast<size_t>(index - chunk.first);
+      staged.Add(pinned->sets.Set(static_cast<RRSetId>(local)),
+                 pinned->sets.Width(static_cast<RRSetId>(local)));
+      staged_edges.push_back(pinned->edges[local]);
+    }
+    stats_.sets_read += stop - pos;
+    pos = stop;
+  }
+  out->AppendShard(staged);
+  if (edges != nullptr) {
+    edges->insert(edges->end(), staged_edges.begin(), staged_edges.end());
+  }
+  return Status::OK();
+}
+
+RRSpillStats RRSpillStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string RRSpillStore::directory() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dir_;
+}
+
+}  // namespace timpp

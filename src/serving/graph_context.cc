@@ -26,8 +26,24 @@ std::shared_ptr<SharedRRCache> GraphContext::AcquireStream(
     config.pin_threads = pin_threads_;
     config.seed = key.seed;
     config.backend = backend_;
+    std::shared_ptr<RRSpillStore> spill;
+    if (!spill_dir_.empty()) {
+      // The store persists across cache generations under this key: the
+      // eviction hook filled it, this (re-)creation reads it back.
+      auto store = spill_stores_.find(key);
+      if (store == spill_stores_.end()) {
+        RRSpillOptions spill_options;
+        spill_options.dir = spill_dir_;
+        store = spill_stores_
+                    .emplace(key, std::make_shared<RRSpillStore>(
+                                      graph_.num_nodes(), spill_options))
+                    .first;
+      }
+      spill = store->second;
+    }
     CacheEntry entry;
-    entry.cache = std::make_shared<SharedRRCache>(graph_, config);
+    entry.cache =
+        std::make_shared<SharedRRCache>(graph_, config, std::move(spill));
     it = caches_.emplace(key, std::move(entry)).first;
   }
   it->second.last_used = ++use_tick_;
@@ -44,6 +60,16 @@ size_t GraphContext::cache_budget_bytes() const {
   return cache_budget_bytes_;
 }
 
+void GraphContext::set_spill_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spill_dir_ = std::move(dir);
+}
+
+std::string GraphContext::spill_dir() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spill_dir_;
+}
+
 void GraphContext::RetireLocked(const CacheEntry& entry) {
   // Preserve lifetime accounting before the stream leaves the map; a
   // re-created stream starts fresh counters, so reuse ratios would
@@ -53,6 +79,7 @@ void GraphContext::RetireLocked(const CacheEntry& entry) {
   retired_sets_sampled_ += entry.cache->total_sets_sampled();
   retired_sets_served_ += entry.cache->total_sets_served();
   retired_sets_reused_ += entry.cache->total_sets_reused();
+  retired_sets_spill_loaded_ += entry.cache->total_sets_spill_loaded();
 }
 
 size_t GraphContext::EnforceCacheBudget() {
@@ -71,6 +98,11 @@ size_t GraphContext::EnforceCacheBudget() {
     for (auto it = caches_.begin(); it != caches_.end(); ++it) {
       if (it->second.last_used < victim->second.last_used) victim = it;
     }
+    // Write the victim's published prefix to its spill store first (no-op
+    // without one) so the next acquisition of this key reloads from disk.
+    // Best-effort: a write failure just means a plain eviction — the
+    // successor regenerates, results unchanged.
+    (void)victim->second.cache->SpillCommitted();
     RetireLocked(victim->second);
     // Dropping the map's shared_ptr is the whole eviction: a live reader
     // holding an AcquireStream handle keeps the chunks alive; otherwise
@@ -112,6 +144,15 @@ uint64_t GraphContext::TotalSetsReused() const {
   uint64_t total = retired_sets_reused_;
   for (const auto& [key, entry] : caches_) {
     total += entry.cache->total_sets_reused();
+  }
+  return total;
+}
+
+uint64_t GraphContext::TotalSetsSpillLoaded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = retired_sets_spill_loaded_;
+  for (const auto& [key, entry] : caches_) {
+    total += entry.cache->total_sets_spill_loaded();
   }
   return total;
 }

@@ -51,6 +51,8 @@
 #include "engine/sampling_engine.h"
 #include "graph/graph.h"
 #include "rrset/rr_collection.h"
+#include "rrset/rr_spill.h"
+#include "util/status.h"
 
 namespace timpp {
 
@@ -62,8 +64,13 @@ class SharedRRCache {
   /// `graph` is borrowed and must outlive the cache. `config` fixes the
   /// stream (model, sampler mode, seed, hop bound) and the sampling
   /// parallelism; content is thread-count invariant per the engine
-  /// contract.
-  SharedRRCache(const Graph& graph, const SamplingConfig& config);
+  /// contract. `spill` (optional) is a disk tier keyed by the same stream:
+  /// EnsurePrefix reloads ranges the store covers instead of resampling
+  /// them, and SpillCommitted() writes the published prefix out so an
+  /// evicted cache's successor — constructed with the same store — starts
+  /// from disk rather than regeneration. The store must outlive the cache.
+  SharedRRCache(const Graph& graph, const SamplingConfig& config,
+                std::shared_ptr<RRSpillStore> spill = nullptr);
   ~SharedRRCache();
 
   SharedRRCache(const SharedRRCache&) = delete;
@@ -88,8 +95,11 @@ class SharedRRCache {
   /// byte-identical to sampling them fresh, growing the cache as needed.
   /// Lock-free when the range is already published. The returned
   /// accounting matches a fresh sample of the range; sets_reused counts
-  /// how many were already published when the call began.
-  SampleBatch Read(uint64_t first, uint64_t count, RRCollection* out);
+  /// how many were already published when the call began. `per_set_edges`
+  /// (optional) receives each delivered set's edges-examined count in set
+  /// order, mirroring the appends to `*out`.
+  SampleBatch Read(uint64_t first, uint64_t count, RRCollection* out,
+                   std::vector<uint64_t>* per_set_edges = nullptr);
 
   /// Cost-threshold read (Borgs et al.'s stopping rule, bit-equal to
   /// SamplingEngine::SampleUntilCost run from stream position `first`):
@@ -98,6 +108,13 @@ class SharedRRCache {
   /// `max_sets` appended sets (0 = none), growing the cache as it goes.
   SampleBatch ReadUntilCost(uint64_t first, double cost_threshold,
                             uint64_t max_sets, RRCollection* out);
+
+  /// Writes every published set not yet on disk to the spill store (the
+  /// eviction hook: called by a context before it drops its reference so
+  /// the stream's successor reloads instead of resampling). No-op without
+  /// a store; a failure leaves a shorter spilled prefix — the successor
+  /// regenerates the rest, results unchanged.
+  Status SpillCommitted();
 
   /// Lifetime counters across every request served from this cache.
   uint64_t total_sets_sampled() const {
@@ -108,6 +125,10 @@ class SharedRRCache {
   }
   uint64_t total_sets_reused() const {
     return total_sets_reused_.load(std::memory_order_relaxed);
+  }
+  /// Sets whose bytes came back from the spill store instead of sampling.
+  uint64_t total_sets_spill_loaded() const {
+    return total_sets_spill_loaded_.load(std::memory_order_relaxed);
   }
 
   /// Heap bytes of the published chunks plus the per-set edge counts and
@@ -142,6 +163,7 @@ class SharedRRCache {
   const Chunk* FindChunk(uint64_t index) const;
 
   SamplingEngine engine_;  // batch calls guarded by grow_mu_
+  std::shared_ptr<RRSpillStore> spill_;  // optional disk tier (own mutex)
 
   // --- writer state (guarded by grow_mu_) -------------------------------
   std::mutex grow_mu_;
@@ -155,6 +177,7 @@ class SharedRRCache {
   std::atomic<uint64_t> total_sets_sampled_{0};
   std::atomic<uint64_t> total_sets_served_{0};
   std::atomic<uint64_t> total_sets_reused_{0};
+  std::atomic<uint64_t> total_sets_spill_loaded_{0};
 };
 
 /// A request's cursor over a SharedRRCache: the SampleSource the serving
@@ -173,7 +196,8 @@ class CachedSampleSource final : public SampleSource {
     cursor_ = std::max(cursor_, index);
   }
 
-  SampleBatch Fetch(RRCollection* out, uint64_t count) override;
+  SampleBatch Fetch(RRCollection* out, uint64_t count,
+                    std::vector<uint64_t>* per_set_edges = nullptr) override;
   SampleBatch FetchUntilCost(RRCollection* out, double cost_threshold,
                              uint64_t max_sets) override;
 

@@ -25,6 +25,7 @@ SolverOptions ToSolverOptions(const ImRequest& request,
   options.max_hops = request.max_hops;
   options.seed = request.seed;
   options.memory_budget_bytes = request.memory_budget_bytes;
+  options.spill_dir = serving.spill_dir;
   options.mc_samples = request.mc_samples;
   options.ris_tau_scale = request.ris_tau_scale;
   options.ris_max_sets = request.ris_max_sets;
@@ -63,6 +64,7 @@ Status ServingEngine::RegisterGraph(const std::string& name, Graph graph) {
       std::move(graph), options_.num_threads, options_.sample_backend,
       options_.pin_threads);
   context->set_cache_budget_bytes(options_.shared_cache_budget_bytes);
+  context->set_spill_dir(options_.spill_dir);
   contexts_.emplace(name, std::move(context));
   return Status::OK();
 }

@@ -58,6 +58,14 @@ struct ServingOptions {
   /// bit-identical responses — evicted streams are re-derived on demand —
   /// at the price of resampling.
   size_t shared_cache_budget_bytes = 0;
+  /// Parent directory for the out-of-core spill tier (empty = none).
+  /// Two effects: budget evictions of shared streams write the victim's
+  /// prefix to disk and the re-created stream preloads it instead of
+  /// resampling (GraphContext::set_spill_dir), and budgeted standalone
+  /// requests spill their non-resident RR ranges there instead of
+  /// regenerating per greedy round (SolverOptions::spill_dir). Responses
+  /// stay bit-identical either way.
+  std::string spill_dir;
   /// Concurrent request workers behind Submit() (0 = hardware
   /// concurrency). Created lazily on the first Submit; the synchronous
   /// Solve/SolveBatch paths never start them.
