@@ -198,18 +198,21 @@ inline Graph MustBuildWcPowerLaw(NodeId n, unsigned attach, uint64_t seed) {
 }
 
 /// Monte-Carlo spread of `seeds` (10^4 cascades unless overridden; the
-/// paper's figures use 10^4-10^5).
+/// paper's figures use 10^4-10^5). Routed through VerifySpread so every
+/// bench table shares one spread-measurement contract — IC estimates run
+/// the bitmap64 batched engine (statistically equivalent, ~64× fewer
+/// traversals), LT falls back to scalar inside the estimator.
 inline double MeasureSpread(const Graph& graph,
                             const std::vector<NodeId>& seeds,
                             DiffusionModel model,
                             uint64_t num_samples = 10000,
                             uint64_t seed = 0xbe7c4) {
-  SpreadEstimatorOptions options;
+  VerifySpreadOptions options;
   options.num_samples = num_samples;
   options.model = model;
   options.num_threads = 4;
-  SpreadEstimator estimator(graph, options);
-  return estimator.Estimate(seeds, seed);
+  options.seed = seed;
+  return VerifySpread(graph, seeds, options);
 }
 
 /// Prints the standard bench header naming the figure being reproduced,

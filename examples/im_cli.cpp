@@ -28,6 +28,16 @@
 //                     geometric skip sampling over constant-probability
 //                     arc runs (fast on wc/uniform graphs) vs one coin
 //                     per arc; auto picks per graph
+//   --mc-batch=scalar scalar | bitmap64 | bitmap64:shared — Monte-Carlo
+//                     cascade batching for the greedy/CELF family, IRIE's
+//                     AP estimation and the final spread report: bitmap64
+//                     runs 64 IC cascades per graph traversal (per-vertex
+//                     uint64_t lane bitmaps, OR-propagation; unbiased,
+//                     near-64× traversal amortization); bitmap64:shared
+//                     additionally shares each examined arc's liveness
+//                     draw across lanes (same mean, correlated lanes —
+//                     cheaper per batch, more batches for equal
+//                     variance). LT/triggering estimates stay scalar
 //   --backend=local   local | procs:N | procs:N:T — where RR sampling
 //                     runs: in-process threads, or N worker subprocesses
 //                     (T sampling threads each) coordinated over pipes.
@@ -98,8 +108,8 @@
 //                     request standalone). One request per line:
 //                       algo  k  epsilon  [key=value ...]
 //                     where key ∈ {seed, model, ell, hops, sampler,
-//                     budget, mc, tau_scale, max_sets}; '#' starts a
-//                     comment. Unset keys inherit the CLI flags. Prints a
+//                     budget, mc, mc_batch, tau_scale, max_sets}; '#'
+//                     starts a comment. Unset keys inherit the CLI flags. Prints a
 //                     per-request line plus a reuse summary.
 #include <unistd.h>
 
@@ -208,6 +218,19 @@ bool ParseBackendSpec(const std::string& name,
   return true;
 }
 
+bool ParseMcBatchMode(const std::string& name, timpp::McBatchMode* mode) {
+  if (name == "scalar") {
+    *mode = timpp::McBatchMode::kScalar;
+  } else if (name == "bitmap64") {
+    *mode = timpp::McBatchMode::kBitmap64;
+  } else if (name == "bitmap64:shared") {
+    *mode = timpp::McBatchMode::kBitmap64Shared;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 bool ParseSamplerMode(const std::string& name, timpp::SamplerMode* mode) {
   if (name == "auto") {
     *mode = timpp::SamplerMode::kAuto;
@@ -271,6 +294,14 @@ bool ParseBatchLine(const std::string& line, int line_number,
         request->memory_budget_bytes = std::stoull(value);
       } else if (key == "mc") {
         request->mc_samples = std::stoull(value);
+      } else if (key == "mc_batch") {
+        if (!ParseMcBatchMode(value, &request->mc_batch)) {
+          std::fprintf(stderr,
+                       "batch line %d: unknown mc_batch '%s' "
+                       "(scalar|bitmap64|bitmap64:shared)\n",
+                       line_number, value.c_str());
+          return false;
+        }
       } else if (key == "tau_scale") {
         request->ris_tau_scale = std::stod(value);
       } else if (key == "max_sets") {
@@ -488,6 +519,15 @@ int main(int argc, char** argv) {
   const unsigned num_threads =
       static_cast<unsigned>(flags.GetInt("threads", 1));
 
+  const std::string mc_batch_name = flags.GetString("mc-batch", "scalar");
+  timpp::McBatchMode mc_batch;
+  if (!ParseMcBatchMode(mc_batch_name, &mc_batch)) {
+    std::fprintf(stderr,
+                 "unknown --mc-batch=%s (scalar|bitmap64|bitmap64:shared)\n",
+                 mc_batch_name.c_str());
+    return 2;
+  }
+
   // ---- sample backend -----------------------------------------------
   timpp::SampleBackendSpec backend_spec;
   const std::string backend_name = flags.GetString("backend", "local");
@@ -574,6 +614,7 @@ int main(int argc, char** argv) {
         flags.Has("memory-budget") ? flags.GetInt("memory-budget", 0)
                                    : flags.GetInt("memory_budget", 0));
     defaults.mc_samples = mc;
+    defaults.mc_batch = mc_batch;
     defaults.ris_tau_scale = flags.GetDouble("ris_tau_scale", 0.1);
     defaults.ris_max_sets = flags.GetInt("ris_max_sets", 10000000);
     timpp::ServingOptions serving_options;
@@ -616,6 +657,7 @@ int main(int argc, char** argv) {
   options.pin_threads = flags.GetBool("pin-threads", false);
   options.seed = seed;
   options.mc_samples = mc;
+  options.mc_batch = mc_batch;
   options.ris_tau_scale = flags.GetDouble("ris_tau_scale", 0.1);
   options.ris_max_sets = flags.GetInt("ris_max_sets", 10000000);
   options.ris_memory_budget_bytes =
@@ -637,12 +679,15 @@ int main(int argc, char** argv) {
   est.num_threads = options.num_threads;
   est.max_hops = options.max_hops;
   est.sampler_mode = sampler_mode;
+  est.mc_batch = mc_batch;
   timpp::SpreadEstimator estimator(graph, est);
   const double spread = estimator.Estimate(result.seeds, seed ^ 0xabc);
 
-  std::printf("\nalgorithm=%s model=%s sampler=%s k=%d time=%.3fs\n",
+  std::printf("\nalgorithm=%s model=%s sampler=%s mc_batch=%s k=%d "
+              "time=%.3fs\n",
               solver->name().c_str(), timpp::DiffusionModelName(model),
-              timpp::SamplerModeName(sampler_mode), options.k,
+              timpp::SamplerModeName(sampler_mode),
+              timpp::McBatchModeName(mc_batch), options.k,
               result.seconds_total);
   if (!result.metrics.empty()) {
     std::printf("stats:");

@@ -292,6 +292,7 @@ class CelfInfluenceSolver final : public InfluenceSolver {
     celf.model = options.model;
     celf.custom_model = options.custom_model;
     celf.sampler_mode = options.sampler_mode;
+    celf.mc_batch = options.mc_batch;
     celf.seed = options.seed;
 
     CelfStats stats;
@@ -328,6 +329,7 @@ class IrieInfluenceSolver final : public InfluenceSolver {
     IrieOptions irie;
     irie.alpha = options.irie_alpha;
     irie.sampler_mode = options.sampler_mode;
+    irie.mc_batch = options.mc_batch;
     irie.seed = options.seed;
 
     IrieStats stats;

@@ -27,6 +27,7 @@ SolverOptions ToSolverOptions(const ImRequest& request,
   options.memory_budget_bytes = request.memory_budget_bytes;
   options.spill_dir = serving.spill_dir;
   options.mc_samples = request.mc_samples;
+  options.mc_batch = request.mc_batch;
   options.ris_tau_scale = request.ris_tau_scale;
   options.ris_max_sets = request.ris_max_sets;
   options.num_threads = serving.num_threads;

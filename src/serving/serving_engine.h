@@ -105,6 +105,10 @@ struct ImRequest {
   size_t memory_budget_bytes = 0;
   /// Family-specific knobs (ignored by solvers outside the family).
   uint64_t mc_samples = 10000;
+  /// Cascade batching of MC spread estimates (greedy/CELF family, IRIE;
+  /// batch key "mc_batch"). MC solvers never touch the shared RR
+  /// streams, so this knob does not participate in any cache key.
+  McBatchMode mc_batch = McBatchMode::kScalar;
   double ris_tau_scale = 1.0;
   uint64_t ris_max_sets = 0;
 };
