@@ -40,18 +40,32 @@ void DecomposeProb(float p, uint32_t* m, int* k) {
   *k = 24 - tz - exp;
 }
 
-/// 64 exact Bernoulli(m·2^-k) coins in k raw RNG words: process the
-/// expansion bits b_k..b_1 (LSB of m upward), OR-ing a fresh random word
-/// for a 1-bit and AND-ing for a 0-bit. Induction gives P(lane bit set) =
-/// 0.b1…bk exactly, and lanes stay independent because the combine is
-/// bitwise. For p = 1/2 this is ONE word for 64 coins; weighted-cascade
-/// probabilities (1/indeg) cost k <= ~30 words — still well under one
-/// uniform draw per lane once a handful of lanes are pending.
+/// 64 exact Bernoulli(m·2^-k) coins in at most k raw RNG words: process
+/// the expansion bits b_k..b_1 (LSB of m upward), OR-ing a fresh random
+/// word for a 1-bit and AND-ing for a 0-bit. Induction gives P(lane bit
+/// set) = 0.b1…bk exactly, and lanes stay independent because the combine
+/// is bitwise. For p = 1/2 this is ONE word for 64 coins; small
+/// probabilities (k can exceed 33 for WC 1/indeg on high-in-degree hubs)
+/// stay cheap because an all-zero accumulator short-circuits the AND tail.
 uint64_t DrawBitwiseMask(Rng& rng, uint32_t m, int k) {
   uint64_t acc = 0;
   for (int i = 0; i < k; ++i) {
+    // m < 2^24, so expansion bits past the mantissa are literal zeros
+    // (always AND steps) and must be read as such: indexing them through
+    // the 32-bit shift is UB once i reaches 32, which is reachable — any
+    // p below ~0.002 decomposes with k >= 33.
+    const bool bit = i < 24 && ((m >> i) & 1) != 0;
+    if (acc == 0 && !bit) {
+      // AND step on an all-zero accumulator: the step is a no-op, and if
+      // no 1-bit remains at or above i the result is 0 regardless of the
+      // remaining words. Skipping draws whose values cannot reach the
+      // output keeps the joint distribution exact and caps the cost for
+      // tiny p (a subnormal would otherwise burn ~150 words per arc).
+      if (i >= 24 || (m >> i) == 0) return 0;
+      continue;
+    }
     const uint64_t r = rng.Next();
-    acc = ((m >> i) & 1) != 0 ? (acc | r) : (acc & r);
+    acc = bit ? (acc | r) : (acc & r);
   }
   return acc;
 }

@@ -159,6 +159,21 @@ TEST(BatchedSimulatorTest, SharedDrawMeanIsUnbiased) {
   ExpectClose(exact, BatchedMean(shared, seeds, rng2, 800), 0.05);
 }
 
+TEST(BatchedSimulatorTest, SmallProbabilityExpansionBeyond32Bits) {
+  // p = 0.001f decomposes to m·2^-33 (k = 33 > 32): the dense bitwise
+  // sampler must treat expansion bits past the 24-bit mantissa as literal
+  // zeros instead of shifting a 32-bit value by >= 32 (UB; on x86 the
+  // wrapped shift count turned those AND steps into OR steps, firing
+  // coins at ~1/2 instead of p). A full-lane star keeps all 64 lanes
+  // pending at hop 1, so every spoke takes the bitwise path; the buggy
+  // mask would inflate the mean to ~n/2. E[I({hub})] = 1 + (n-1)p.
+  Graph star = MakeOutStar(600, 0.001f);
+  const std::vector<NodeId> hub = {0};
+  BatchedIcSimulator sim(star, LaneLiveness::kIndependent);
+  Rng rng(0x5ca1e);
+  ExpectClose(1.0 + 599 * 0.001, BatchedMean(sim, hub, rng, 400), 0.05);
+}
+
 TEST(BatchedSimulatorTest, MaxHopsStatisticalEquivalence) {
   // Hop-bounded cascades: batched mean vs the scalar estimator's mean at
   // the same hop budget (no exact oracle supports truncation).
