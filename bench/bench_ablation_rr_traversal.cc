@@ -42,6 +42,7 @@ void Measure(const char* label, const Graph& graph, DiffusionModel model,
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::ConfigureBenchOutput(flags);
   const double scale = flags.GetDouble("scale", 0.1);
   const uint64_t samples = flags.GetInt("samples", 50000);
   const uint64_t seed = flags.GetInt("seed", 1);

@@ -50,6 +50,7 @@ std::vector<ImRequest> BuildRequestMix(uint64_t seed, int repeats) {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::ConfigureBenchOutput(flags);
   const double scale = flags.GetDouble("scale", 1.0);
   const unsigned threads = static_cast<unsigned>(flags.GetInt("threads", 4));
   const uint64_t seed = flags.GetInt("seed", 7);

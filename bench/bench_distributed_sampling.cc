@@ -49,6 +49,7 @@ bool Identical(const RRCollection& a, const std::vector<uint64_t>& ae,
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::ConfigureBenchOutput(flags);
   const double scale = flags.GetDouble("scale", 1.0);
   const uint64_t sets = flags.GetInt("sets", 60000);
   const uint64_t seed = flags.GetInt("seed", 7);

@@ -37,6 +37,7 @@ const Entry kDatasets[] = {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::ConfigureBenchOutput(flags);
   const uint64_t seed = flags.GetInt("seed", 1);
   const double eta = flags.GetDouble("eta", 1e-3);
   const uint64_t step_cap = flags.GetInt("simpath_step_cap", 20000000);

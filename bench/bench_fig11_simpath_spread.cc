@@ -33,6 +33,7 @@ const Entry kDatasets[] = {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::ConfigureBenchOutput(flags);
   const uint64_t seed = flags.GetInt("seed", 1);
   const uint64_t mc = flags.GetInt("mc", 10000);
   const double eta = flags.GetDouble("eta", 1e-3);

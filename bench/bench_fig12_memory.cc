@@ -56,6 +56,7 @@ bool RunTimPlus(const Graph& graph, int k, double eps, DiffusionModel model,
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::ConfigureBenchOutput(flags);
   const double eps = flags.GetDouble("eps", 0.1);
   const uint64_t seed = flags.GetInt("seed", 1);
   const double budget_fraction = flags.GetDouble("budget_fraction", 0.25);

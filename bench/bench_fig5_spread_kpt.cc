@@ -70,6 +70,7 @@ void RunModel(const Graph& graph, DiffusionModel model, double eps,
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::ConfigureBenchOutput(flags);
   const double scale = flags.GetDouble("scale", 0.05);
   const double eps = flags.GetDouble("eps", 0.1);
   const uint64_t celf_r = flags.GetInt("celf_r", 200);

@@ -51,6 +51,7 @@ double RunOnce(const Graph& graph, int k, double eps, DiffusionModel model,
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::ConfigureBenchOutput(flags);
   const double eps = flags.GetDouble("eps", 0.1);
   const uint64_t seed = flags.GetInt("seed", 1);
 

@@ -45,6 +45,7 @@ double RunOnce(const Graph& graph, int k, double eps, DiffusionModel model,
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::ConfigureBenchOutput(flags);
   const int k = static_cast<int>(flags.GetInt("k", 50));
   const uint64_t seed = flags.GetInt("seed", 1);
 

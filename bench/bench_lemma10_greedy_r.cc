@@ -35,6 +35,7 @@ const Entry kDatasets[] = {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::ConfigureBenchOutput(flags);
   const int k = static_cast<int>(flags.GetInt("k", 50));
   const double eps = flags.GetDouble("eps", 0.1);
   const uint64_t seed = flags.GetInt("seed", 1);

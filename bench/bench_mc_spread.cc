@@ -98,6 +98,7 @@ double TimeBatched(const Graph& graph, std::span<const NodeId> seeds,
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::ConfigureBenchOutput(flags);
   const NodeId nodes =
       static_cast<NodeId>(flags.GetInt("nodes", 20000));
   const uint64_t cascades = flags.GetInt("cascades", 128000);

@@ -157,6 +157,7 @@ void ReportRun(const std::string& prefix, const RunStats& stats,
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::ConfigureBenchOutput(flags);
   const double scale = flags.GetDouble("scale", 0.5);
   const unsigned threads = static_cast<unsigned>(flags.GetInt("threads", 1));
   const uint64_t seed = flags.GetInt("seed", 7);

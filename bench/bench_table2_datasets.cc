@@ -16,6 +16,7 @@ namespace {
 
 void Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::ConfigureBenchOutput(flags);
   const double scale = flags.GetDouble("scale", 0.01);
   const uint64_t seed = flags.GetInt("seed", 1);
 

@@ -10,11 +10,16 @@
 // machine-readable mirror: the shared helpers (and any metric recorded via
 // RecordMetric) accumulate into a process-wide JSON document written to
 // BENCH_<binary>.json at exit, so the perf trajectory can be tracked
-// PR-over-PR by diffing or plotting those files.
+// PR-over-PR by diffing or plotting those files. The JSON lands next to
+// the binary (the build directory) regardless of the invocation CWD —
+// running `build/bench_foo` from the repo root must not litter the
+// checkout — unless --bench-out=DIR (see ConfigureBenchOutput) or
+// SetOutputDir redirects it.
 #ifndef TIMPP_BENCH_BENCH_UTIL_H_
 #define TIMPP_BENCH_BENCH_UTIL_H_
 
 #include <errno.h>  // program_invocation_short_name (glibc)
+#include <unistd.h>  // readlink (exe-relative JSON output)
 
 #include <algorithm>
 #include <cctype>
@@ -36,8 +41,9 @@ namespace timpp {
 namespace bench {
 
 /// Process-wide JSON mirror of a bench run. Flushed to
-/// BENCH_<binary>.json in the working directory when the process exits
-/// normally (static destructor); Flush() forces an earlier write.
+/// BENCH_<binary>.json in the output directory (the binary's own
+/// directory by default) when the process exits normally (static
+/// destructor); Flush() forces an earlier write.
 class JsonReport {
  public:
   static JsonReport& Global() {
@@ -50,6 +56,10 @@ class JsonReport {
     notes_ = notes;
   }
 
+  /// Overrides the JSON output directory (empty = keep the default:
+  /// wherever the binary itself lives, falling back to the CWD).
+  void SetOutputDir(const std::string& dir) { output_dir_ = dir; }
+
   /// Records one numeric metric; emission order is preserved.
   void AddMetric(const std::string& label, double value) {
     metrics_.emplace_back(label, value);
@@ -58,7 +68,7 @@ class JsonReport {
   void Flush() {
     if (metrics_.empty() && title_.empty()) return;
     const std::string binary = BinaryName();
-    const std::string path = "BENCH_" + binary + ".json";
+    const std::string path = OutputDir() + "/BENCH_" + binary + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
     std::fprintf(f, "{\n  \"binary\": \"%s\",\n", Escaped(binary).c_str());
@@ -102,6 +112,26 @@ class JsonReport {
 #endif
   }
 
+  /// Where the JSON goes: the explicit override, else the directory of
+  /// the running binary (so CI picks it out of the build tree and a run
+  /// from the repo root leaves no stray files), else the CWD.
+  std::string OutputDir() const {
+    if (!output_dir_.empty()) return output_dir_;
+#if defined(__linux__)
+    char exe[4096];
+    const ssize_t len = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (len > 0) {
+      exe[len] = '\0';
+      const std::string path(exe);
+      const size_t slash = path.rfind('/');
+      if (slash != std::string::npos && slash > 0) {
+        return path.substr(0, slash);
+      }
+    }
+#endif
+    return ".";
+  }
+
   static std::string Escaped(const std::string& s) {
     std::string out;
     out.reserve(s.size());
@@ -120,8 +150,17 @@ class JsonReport {
 
   std::string title_;
   std::string notes_;
+  std::string output_dir_;
   std::vector<std::pair<std::string, double>> metrics_;
 };
+
+/// Applies the shared --bench-out=DIR flag (explicit JSON output
+/// directory; default keeps the exe-relative placement). Call once after
+/// parsing flags.
+inline void ConfigureBenchOutput(const Flags& flags) {
+  const std::string dir = flags.GetString("bench-out", "");
+  if (!dir.empty()) JsonReport::Global().SetOutputDir(dir);
+}
 
 /// Records a metric into the JSON mirror without printing (benches keep
 /// their own table formatting for the human side).

@@ -115,6 +115,7 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
     if (!options.spill_dir.empty()) {
       RRSpillOptions spill_options;
       spill_options.dir = options.spill_dir;
+      spill_options.tuning = options.spill_tuning;
       spill_store.emplace(graph.num_nodes(), spill_options);
     }
     RRSpillStore* spill = spill_store ? &*spill_store : nullptr;
@@ -185,7 +186,8 @@ Status RunRis(const Graph& graph, const RisOptions& options, int k,
     local_stats.regeneration_passes = streamed.regeneration_passes;
     local_stats.sets_spill_read = streamed.sets_spill_read;
     if (spill != nullptr) {
-      local_stats.spill_bytes_written = spill->stats().bytes_written;
+      local_stats.spill = spill->stats();
+      local_stats.spill_bytes_written = local_stats.spill.bytes_written;
     }
     *seeds = std::move(streamed.cover.seeds);
     local_stats.covered_fraction = streamed.cover.covered_fraction;

@@ -172,6 +172,7 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
   if (budget != 0 && !options.spill_dir.empty()) {
     RRSpillOptions spill_options;
     spill_options.dir = options.spill_dir;
+    spill_options.tuning = options.spill_tuning;
     spill_store.emplace(graph.num_nodes(), std::move(spill_options));
   }
   RRSpillStore* spill = spill_store ? &*spill_store : nullptr;
@@ -346,7 +347,8 @@ Status RunImm(const Graph& graph, const ImmOptions& options,
   stats.rr_sets_retained = cache->num_sets();
   stats.rr_sets_spilled = sets_spilled;
   if (spill != nullptr) {
-    stats.spill_bytes_written = spill->stats().bytes_written;
+    stats.spill = spill->stats();
+    stats.spill_bytes_written = stats.spill.bytes_written;
   }
   stats.estimated_spread = n * cover.covered_fraction;
   stats.seconds_selection = phase_timer.ElapsedSeconds();

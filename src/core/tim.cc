@@ -190,6 +190,7 @@ Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
   if (options.memory_budget_bytes != 0 && !options.spill_dir.empty()) {
     RRSpillOptions spill_options;
     spill_options.dir = options.spill_dir;
+    spill_options.tuning = options.spill_tuning;
     spill.emplace(graph_.num_nodes(), std::move(spill_options));
   }
 
@@ -209,7 +210,10 @@ Status TimSolver::Run(const TimOptions& options, const SolveContext& context,
   stats.regeneration_passes = selection.regeneration_passes;
   stats.rr_sets_spilled = selection.rr_sets_spilled;
   stats.sets_spill_read = selection.sets_spill_read;
-  if (spill) stats.spill_bytes_written = spill->stats().bytes_written;
+  if (spill) {
+    stats.spill = spill->stats();
+    stats.spill_bytes_written = stats.spill.bytes_written;
+  }
   stats.edges_examined += selection.edges_examined;
   stats.backend = source->engine().backend_stats() - backend_before;
   stats.seconds_total = total_timer.ElapsedSeconds();

@@ -44,10 +44,10 @@ void AppendBackendMetrics(const BackendStats& backend,
 // only present when the tier actually fired, so no-spill runs keep the
 // exact metric set they had before the out-of-core layer existed.
 void AppendSpillMetrics(uint64_t rr_sets_spilled, uint64_t sets_spill_read,
-                        uint64_t spill_bytes_written,
+                        const RRSpillStats& io,
                         std::vector<std::pair<std::string, double>>* out) {
   if (rr_sets_spilled == 0 && sets_spill_read == 0 &&
-      spill_bytes_written == 0) {
+      io.bytes_written == 0) {
     return;
   }
   out->emplace_back("rr_sets_spilled",
@@ -55,7 +55,18 @@ void AppendSpillMetrics(uint64_t rr_sets_spilled, uint64_t sets_spill_read,
   out->emplace_back("sets_spill_read",
                     static_cast<double>(sets_spill_read));
   out->emplace_back("spill_bytes_written",
-                    static_cast<double>(spill_bytes_written));
+                    static_cast<double>(io.bytes_written));
+  // Replay-path accounting, each counter only when it fired (readahead=0
+  // runs keep the pre-async metric set).
+  const auto add = [out](const char* name, uint64_t value) {
+    if (value != 0) out->emplace_back(name, static_cast<double>(value));
+  };
+  add("spill_prefetch_issued", io.prefetch_issued);
+  add("spill_prefetch_hits", io.prefetch_hits);
+  add("spill_prefetch_wasted", io.prefetch_wasted);
+  add("spill_sync_fallback_reads", io.sync_fallback_reads);
+  add("spill_hot_hits", io.hot_hits);
+  add("spill_probation_hits", io.probation_hits);
 }
 
 // ------------------------------------------------------------- TIM/TIM+ --
@@ -90,6 +101,7 @@ class TimInfluenceSolver final : public InfluenceSolver {
     tim.seed = options.seed;
     tim.memory_budget_bytes = options.memory_budget_bytes;
     tim.spill_dir = options.spill_dir;
+    tim.spill_tuning = options.spill_tuning;
     tim.sample_backend = options.sample_backend;
 
     // A memory budget caps this request's resident bytes — meaningless
@@ -123,8 +135,8 @@ class TimInfluenceSolver final : public InfluenceSolver {
         {"kpt_cache_hit", native.stats.kpt_cache_hit ? 1.0 : 0.0},
     };
     AppendSpillMetrics(native.stats.rr_sets_spilled,
-                       native.stats.sets_spill_read,
-                       native.stats.spill_bytes_written, &result->metrics);
+                       native.stats.sets_spill_read, native.stats.spill,
+                       &result->metrics);
     AppendBackendMetrics(native.stats.backend, &result->metrics);
     return Status::OK();
   }
@@ -164,6 +176,7 @@ class ImmInfluenceSolver final : public InfluenceSolver {
     imm.seed = options.seed;
     imm.memory_budget_bytes = options.memory_budget_bytes;
     imm.spill_dir = options.spill_dir;
+    imm.spill_tuning = options.spill_tuning;
     imm.sample_backend = options.sample_backend;
 
     // Budgeted requests run standalone (see TimInfluenceSolver).
@@ -194,8 +207,8 @@ class ImmInfluenceSolver final : public InfluenceSolver {
         {"lb_cache_hit", native.stats.lb_cache_hit ? 1.0 : 0.0},
     };
     AppendSpillMetrics(native.stats.rr_sets_spilled,
-                       native.stats.sets_spill_read,
-                       native.stats.spill_bytes_written, &result->metrics);
+                       native.stats.sets_spill_read, native.stats.spill,
+                       &result->metrics);
     AppendBackendMetrics(native.stats.backend, &result->metrics);
     return Status::OK();
   }
@@ -238,6 +251,7 @@ class RisInfluenceSolver final : public InfluenceSolver {
     ris.pin_threads = options.pin_threads;
     ris.seed = options.seed;
     ris.spill_dir = options.spill_dir;
+    ris.spill_tuning = options.spill_tuning;
     ris.sample_backend = options.sample_backend;
 
     // RIS's budget contract is per-request (standalone), and RIS ignores
@@ -266,7 +280,7 @@ class RisInfluenceSolver final : public InfluenceSolver {
          static_cast<double>(stats.regeneration_passes)},
     };
     AppendSpillMetrics(stats.rr_sets_spilled, stats.sets_spill_read,
-                       stats.spill_bytes_written, &result->metrics);
+                       stats.spill, &result->metrics);
     AppendBackendMetrics(stats.backend, &result->metrics);
     return Status::OK();
   }

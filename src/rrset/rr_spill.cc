@@ -20,12 +20,28 @@ namespace {
 /// spill directory.
 std::atomic<uint64_t> g_store_counter{0};
 
+/// Hard ceiling on readahead depth: bounds in-flight buffer memory at
+/// 16 × chunk bytes and stays under the async reader's queue depth.
+constexpr size_t kMaxReadahead = 16;
+
 }  // namespace
 
 RRSpillStore::RRSpillStore(NodeId num_graph_nodes, RRSpillOptions options)
     : num_graph_nodes_(num_graph_nodes), options_(std::move(options)) {}
 
 RRSpillStore::~RRSpillStore() {
+  // Prefetched buffers that were never consumed are plain waste; count
+  // them (for tests poking stats_ post-mortem) and let the reader's own
+  // destructor drain the in-flight reads before the files go away.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [ci, ticket] : inflight_) {
+      reader_->Cancel(ticket);
+      stats_.prefetch_wasted += 1;
+    }
+    inflight_.clear();
+  }
+  reader_.reset();
   // Chunk files are scratch: delete the whole per-store subdirectory.
   // Errors are swallowed — a leaked temp dir must not fail a solve that
   // already returned its (correct) seeds.
@@ -157,23 +173,145 @@ uint64_t RRSpillStore::end_index() const {
   return chunks_.empty() ? 0 : chunks_.back().first + chunks_.back().count;
 }
 
-Status RRSpillStore::LoadChunkLocked(size_t chunk_index, const Pinned** out) {
-  for (auto it = pinned_.begin(); it != pinned_.end(); ++it) {
+size_t RRSpillStore::PinnedCapacity() const {
+  return std::max<size_t>(1, options_.max_pinned_chunks);
+}
+
+size_t RRSpillStore::HotCapacity() const {
+  const size_t cap = PinnedCapacity();
+  if (cap <= 1) return 0;  // a single slot is all probation
+  const double fraction =
+      std::clamp(options_.tuning.hot_fraction, 0.0, 1.0);
+  const size_t hot =
+      static_cast<size_t>(fraction * static_cast<double>(cap) + 0.5);
+  // Probation keeps at least one slot so fresh loads always have a home
+  // that a second touch can promote from.
+  return std::min(hot, cap - 1);
+}
+
+bool RRSpillStore::IsPinnedLocked(size_t chunk_index) const {
+  for (const Pinned& p : hot_) {
+    if (p.chunk_index == chunk_index) return true;
+  }
+  for (const Pinned& p : probation_) {
+    if (p.chunk_index == chunk_index) return true;
+  }
+  return false;
+}
+
+const RRSpillStore::Pinned* RRSpillStore::TouchLocked(size_t chunk_index) {
+  for (auto it = hot_.begin(); it != hot_.end(); ++it) {
     if (it->chunk_index == chunk_index) {
-      pinned_.splice(pinned_.begin(), pinned_, it);  // move to MRU
+      hot_.splice(hot_.begin(), hot_, it);  // hot MRU
       stats_.chunk_hits += 1;
-      *out = &pinned_.front();
-      return Status::OK();
+      stats_.hot_hits += 1;
+      return &hot_.front();
     }
+  }
+  for (auto it = probation_.begin(); it != probation_.end(); ++it) {
+    if (it->chunk_index != chunk_index) continue;
+    stats_.chunk_hits += 1;
+    stats_.probation_hits += 1;
+    const size_t hot_cap = HotCapacity();
+    if (hot_cap == 0) {
+      probation_.splice(probation_.begin(), probation_, it);
+      return &probation_.front();
+    }
+    // Promote: a re-touched chunk moves to the hot section, shielding it
+    // from the churn of a sequential scan's first-touch stream.
+    hot_.splice(hot_.begin(), probation_, it);
+    while (hot_.size() > hot_cap) {
+      // Demote the hot LRU rather than dropping it: it outranks any
+      // never-re-touched probation entry.
+      probation_.splice(probation_.begin(), hot_, std::prev(hot_.end()));
+    }
+    return &hot_.front();
+  }
+  return nullptr;
+}
+
+const RRSpillStore::Pinned* RRSpillStore::InsertPinnedLocked(
+    Pinned&& loaded) {
+  probation_.push_front(std::move(loaded));
+  const size_t cap = PinnedCapacity();
+  while (hot_.size() + probation_.size() > cap) {
+    // Probation (never re-touched) drains first; the hot section is only
+    // tapped when probation is down to the entry just inserted.
+    if (probation_.size() > 1) {
+      probation_.pop_back();
+    } else if (!hot_.empty()) {
+      hot_.pop_back();
+    } else {
+      break;
+    }
+  }
+  return &probation_.front();
+}
+
+Status RRSpillStore::ReadChunkBytesSync(const Chunk& chunk,
+                                        std::string* bytes) const {
+  std::ifstream in(chunk.path, std::ios::binary);
+  if (!in) return Status::IOError("rr spill: cannot open " + chunk.path);
+  bytes->resize(static_cast<size_t>(chunk.bytes));
+  in.read(bytes->data(), static_cast<std::streamsize>(bytes->size()));
+  if (static_cast<uint64_t>(in.gcount()) != chunk.bytes) {
+    return Status::IOError("rr spill: short read on " + chunk.path);
+  }
+  return Status::OK();
+}
+
+void RRSpillStore::PrefetchAheadLocked(size_t ci, uint64_t end) {
+  const size_t depth =
+      std::min(options_.tuning.readahead_chunks, kMaxReadahead);
+  if (depth == 0 || ci >= chunks_.size()) return;
+  uint64_t next_first = chunks_[ci].first + chunks_[ci].count;
+  for (size_t cj = ci + 1;
+       cj < chunks_.size() && cj <= ci + depth && inflight_.size() < depth;
+       ++cj) {
+    if (chunks_[cj].first != next_first || next_first >= end) break;
+    next_first += chunks_[cj].count;
+    if (IsPinnedLocked(cj) || inflight_.count(cj) != 0) continue;
+    if (reader_ == nullptr) {
+      AsyncIoOptions io;
+      io.backend = options_.tuning.io_backend;
+      io.queue_depth = static_cast<unsigned>(depth * 2);
+      reader_ = options_.reader_factory ? options_.reader_factory(io)
+                                        : AsyncFileReader::Create(io);
+      if (reader_ == nullptr) return;  // factory refused; stay synchronous
+    }
+    const AsyncFileReader::Ticket ticket =
+        reader_->Submit(chunks_[cj].path, 0, chunks_[cj].bytes);
+    if (ticket == AsyncFileReader::kInvalidTicket) continue;
+    stats_.prefetch_issued += 1;
+    inflight_.emplace(cj, ticket);
+  }
+}
+
+Status RRSpillStore::LoadChunkLocked(size_t chunk_index, const Pinned** out) {
+  if (const Pinned* hit = TouchLocked(chunk_index)) {
+    *out = hit;
+    return Status::OK();
   }
 
   const Chunk& chunk = chunks_[chunk_index];
-  std::ifstream in(chunk.path, std::ios::binary);
-  if (!in) return Status::IOError("rr spill: cannot open " + chunk.path);
-  std::string bytes(static_cast<size_t>(chunk.bytes), '\0');
-  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (static_cast<uint64_t>(in.gcount()) != chunk.bytes) {
-    return Status::IOError("rr spill: short read on " + chunk.path);
+  std::string bytes;
+  bool have_bytes = false;
+  const auto it = inflight_.find(chunk_index);
+  if (it != inflight_.end()) {
+    const Status waited = reader_->Wait(it->second, &bytes);
+    inflight_.erase(it);
+    if (waited.ok()) {
+      stats_.prefetch_hits += 1;
+      have_bytes = true;
+    } else {
+      // Degrade, never fail: a broken prefetch read costs one synchronous
+      // re-read and nothing else — decode below sees identical bytes.
+      stats_.prefetch_wasted += 1;
+      stats_.sync_fallback_reads += 1;
+    }
+  }
+  if (!have_bytes) {
+    TIMPP_RETURN_NOT_OK(ReadChunkBytesSync(chunk, &bytes));
   }
 
   Pinned loaded{chunk_index, RRCollection(num_graph_nodes_), {}};
@@ -184,10 +322,7 @@ Status RRSpillStore::LoadChunkLocked(size_t chunk_index, const Pinned** out) {
                               " holds a different set count than written");
   }
   stats_.chunk_loads += 1;
-  pinned_.push_front(std::move(loaded));
-  const size_t cap = std::max<size_t>(1, options_.max_pinned_chunks);
-  while (pinned_.size() > cap) pinned_.pop_back();  // evict LRU
-  *out = &pinned_.front();
+  *out = InsertPinnedLocked(std::move(loaded));
   return Status::OK();
 }
 
@@ -202,6 +337,9 @@ Status RRSpillStore::VisitRange(uint64_t first, uint64_t count,
   while (pos < end) {
     const size_t ci = FindChunkLocked(pos);
     if (ci >= chunks_.size() || chunks_[ci].first > pos) break;  // gap
+    // Issue the readahead before the demand load: the successors' reads
+    // proceed while this chunk is read (first miss) and decoded/visited.
+    PrefetchAheadLocked(ci, end);
     const Pinned* pinned = nullptr;
     status = LoadChunkLocked(ci, &pinned);
     if (!status.ok()) break;  // caller regenerates from *stopped_at
@@ -248,6 +386,7 @@ Status RRSpillStore::ReadRange(uint64_t first, uint64_t count,
   const uint64_t end = first + count;
   while (pos < end) {
     const size_t ci = FindChunkLocked(pos);
+    PrefetchAheadLocked(ci, end);
     const Pinned* pinned = nullptr;
     TIMPP_RETURN_NOT_OK(LoadChunkLocked(ci, &pinned));
     const Chunk& chunk = chunks_[ci];
@@ -276,6 +415,11 @@ RRSpillStats RRSpillStore::stats() const {
 std::string RRSpillStore::directory() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dir_;
+}
+
+std::string RRSpillStore::io_backend_name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reader_ == nullptr ? "none" : reader_->backend_name();
 }
 
 }  // namespace timpp

@@ -1,0 +1,571 @@
+#include "util/async_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#if defined(__NR_io_uring_setup) && defined(__NR_io_uring_enter)
+#define TIMPP_HAS_IO_URING 1
+#endif
+#endif
+
+namespace timpp {
+
+namespace {
+
+/// Reads exactly [offset, offset + size) of `path` into *out. The shared
+/// synchronous primitive: the thread backend's worker body, and the uring
+/// backend's last-resort completion when the ring is wedged.
+Status PreadExact(const std::string& path, uint64_t offset, uint64_t size,
+                  std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("async io: cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  out->resize(static_cast<size_t>(size));
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n =
+        ::pread(fd, out->data() + got, static_cast<size_t>(size - got),
+                static_cast<off_t>(offset + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IOError("async io: read failed on " +
+                                            path + ": " +
+                                            std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  if (got != size) {
+    return Status::IOError("async io: short read on " + path + " (want " +
+                           std::to_string(size) + " bytes at offset " +
+                           std::to_string(offset) + ", got " +
+                           std::to_string(got) + ")");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Thread-pool backend: dedicated reader threads draining a FIFO of pread
+// requests. The portable fallback — no kernel features beyond pread().
+// ---------------------------------------------------------------------------
+
+class ThreadFileReader final : public AsyncFileReader {
+ public:
+  explicit ThreadFileReader(unsigned num_threads) {
+    const unsigned n = num_threads == 0 ? 1 : num_threads;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadFileReader() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  Ticket Submit(const std::string& path, uint64_t offset,
+                uint64_t size) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Ticket ticket = next_ticket_++;
+    Op& op = ops_[ticket];
+    op.path = path;
+    op.offset = offset;
+    op.size = size;
+    queue_.push_back(ticket);
+    queue_cv_.notify_one();
+    return ticket;
+  }
+
+  Status Wait(Ticket ticket, std::string* out) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Re-find every wake: a concurrent Cancel lets the worker erase the
+    // op, so no iterator may be held across the wait.
+    while (true) {
+      auto it = ops_.find(ticket);
+      if (it == ops_.end() || it->second.abandoned) {
+        return Status::InvalidArgument("async io: unknown ticket");
+      }
+      if (it->second.done) {
+        Status status = std::move(it->second.status);
+        if (status.ok() && out != nullptr) {
+          *out = std::move(it->second.bytes);
+        }
+        ops_.erase(it);
+        return status;
+      }
+      done_cv_.wait(lock);
+    }
+  }
+
+  void Cancel(Ticket ticket) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ops_.find(ticket);
+    if (it == ops_.end()) return;
+    if (it->second.running) {
+      it->second.abandoned = true;  // the worker erases it on completion
+    } else {
+      ops_.erase(it);  // still queued; the worker skips missing tickets
+    }
+  }
+
+  const char* backend_name() const override { return "threads"; }
+
+ private:
+  struct Op {
+    std::string path;
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    bool running = false;
+    bool done = false;
+    bool abandoned = false;
+    Status status;
+    std::string bytes;
+  };
+
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      const Ticket ticket = queue_.front();
+      queue_.pop_front();
+      auto it = ops_.find(ticket);
+      if (it == ops_.end()) continue;  // cancelled while queued
+      it->second.running = true;
+      const std::string path = it->second.path;
+      const uint64_t offset = it->second.offset;
+      const uint64_t size = it->second.size;
+      lock.unlock();
+      std::string bytes;
+      Status status = PreadExact(path, offset, size, &bytes);
+      lock.lock();
+      it = ops_.find(ticket);
+      if (it == ops_.end()) continue;
+      if (it->second.abandoned) {
+        ops_.erase(it);
+        done_cv_.notify_all();  // a racing Wait re-checks and bails
+        continue;
+      }
+      it->second.status = std::move(status);
+      it->second.bytes = std::move(bytes);
+      it->second.done = true;
+      done_cv_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  Ticket next_ticket_ = 1;
+  std::deque<Ticket> queue_;
+  std::map<Ticket, Op> ops_;
+  std::vector<std::thread> workers_;
+};
+
+// ---------------------------------------------------------------------------
+// io_uring backend: raw-syscall ring (the image has <linux/io_uring.h> but
+// no liburing). One SQE per Submit, consumed synchronously by
+// io_uring_enter; Wait reaps the CQ with IORING_ENTER_GETEVENTS. Any
+// post-setup ring failure flips ring_broken_ and every affected op is
+// completed with a synchronous pread — the reader degrades, it never loses
+// a read or hands back bytes before their completion.
+// ---------------------------------------------------------------------------
+
+#if defined(TIMPP_HAS_IO_URING)
+
+class UringFileReader final : public AsyncFileReader {
+ public:
+  /// Null when io_uring is unavailable (old kernel, seccomp, rlimits) —
+  /// the caller then builds the thread backend instead.
+  static std::unique_ptr<UringFileReader> TryCreate(unsigned queue_depth) {
+    std::unique_ptr<UringFileReader> reader(new UringFileReader());
+    if (!reader->Setup(queue_depth)) return nullptr;
+    return reader;
+  }
+
+  ~UringFileReader() override {
+    {
+      // Drain the kernel's in-flight reads before the op buffers die.
+      // Bounded: a wedged ring stops mattering once the ring fd closes
+      // (io_uring cancels and waits on release).
+      std::unique_lock<std::mutex> lock(mu_);
+      for (int attempts = 0; kernel_inflight_ > 0 && attempts < 1024;
+           ++attempts) {
+        if (!Enter(0, 1).ok()) break;
+        ReapLocked();
+      }
+    }
+    Teardown();
+  }
+
+  Ticket Submit(const std::string& path, uint64_t offset,
+                uint64_t size) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Ticket ticket = next_ticket_++;
+    Op& op = ops_[ticket];
+    op.path = path;
+    op.offset = offset;
+    op.want = size;
+    op.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (op.fd < 0) {
+      op.status = Status::IOError("async io: cannot open " + path + ": " +
+                                  std::strerror(errno));
+      op.done = true;
+      return ticket;
+    }
+    if (size == 0) {
+      ::close(op.fd);
+      op.fd = -1;
+      op.done = true;
+      return ticket;
+    }
+    op.bytes.resize(static_cast<size_t>(size));
+    if (ring_broken_ || !PushSqeLocked(ticket, op)) {
+      CompleteSyncLocked(ticket);
+    }
+    return ticket;
+  }
+
+  Status Wait(Ticket ticket, std::string* out) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      ReapLocked();
+      auto it = ops_.find(ticket);
+      if (it == ops_.end() || it->second.abandoned) {
+        return Status::InvalidArgument("async io: unknown ticket");
+      }
+      if (it->second.done) {
+        Status status = std::move(it->second.status);
+        if (status.ok() && out != nullptr) {
+          *out = std::move(it->second.bytes);
+        }
+        ops_.erase(it);
+        return status;
+      }
+      const Status entered = Enter(0, 1);  // block for >= 1 completion
+      if (!entered.ok()) {
+        ring_broken_ = true;
+        CompleteSyncLocked(ticket);
+        auto jt = ops_.find(ticket);
+        if (jt != ops_.end() && !jt->second.done) {
+          // The kernel still owns the buffer and the ring is unresponsive:
+          // abandon the op (its buffer must outlive any late kernel write)
+          // and report the failure instead of spinning on enter.
+          jt->second.abandoned = true;
+          return entered;
+        }
+      }
+    }
+  }
+
+  void Cancel(Ticket ticket) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = ops_.find(ticket);
+    if (it == ops_.end()) return;
+    if (it->second.done) {
+      ops_.erase(it);
+    } else {
+      // The kernel still owns the buffer; ReapLocked erases on completion.
+      it->second.abandoned = true;
+    }
+  }
+
+  const char* backend_name() const override { return "uring"; }
+
+ private:
+  struct Op {
+    std::string path;  // kept for the synchronous last-resort completion
+    uint64_t offset = 0;
+    uint64_t want = 0;
+    int fd = -1;
+    bool in_kernel = false;
+    bool done = false;
+    bool abandoned = false;
+    Status status;
+    std::string bytes;
+  };
+
+  UringFileReader() = default;
+
+  bool Setup(unsigned queue_depth) {
+    struct io_uring_params params;
+    std::memset(&params, 0, sizeof(params));
+    const long fd = ::syscall(__NR_io_uring_setup, queue_depth, &params);
+    if (fd < 0) return false;
+    ring_fd_ = static_cast<int>(fd);
+    sq_entries_ = params.sq_entries;
+    cq_entries_ = params.cq_entries;
+
+    size_t sq_bytes = params.sq_off.array + params.sq_entries * sizeof(__u32);
+    size_t cq_bytes =
+        params.cq_off.cqes + params.cq_entries * sizeof(struct io_uring_cqe);
+    const bool single_mmap =
+        (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) sq_bytes = cq_bytes = std::max(sq_bytes, cq_bytes);
+
+    sq_map_bytes_ = sq_bytes;
+    sq_map_ = ::mmap(nullptr, sq_bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_map_ == MAP_FAILED) {
+      sq_map_ = nullptr;
+      Teardown();
+      return false;
+    }
+    if (single_mmap) {
+      cq_map_ = sq_map_;
+      cq_map_bytes_ = 0;  // unmapped via sq_map_
+    } else {
+      cq_map_bytes_ = cq_bytes;
+      cq_map_ = ::mmap(nullptr, cq_bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, ring_fd_,
+                       IORING_OFF_CQ_RING);
+      if (cq_map_ == MAP_FAILED) {
+        cq_map_ = nullptr;
+        Teardown();
+        return false;
+      }
+    }
+    sqes_bytes_ = params.sq_entries * sizeof(struct io_uring_sqe);
+    void* sqes = ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqes == MAP_FAILED) {
+      Teardown();
+      return false;
+    }
+    sqes_ = static_cast<struct io_uring_sqe*>(sqes);
+
+    char* sq = static_cast<char*>(sq_map_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+    char* cq = static_cast<char*>(cq_map_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<struct io_uring_cqe*>(cq + params.cq_off.cqes);
+    return true;
+  }
+
+  void Teardown() {
+    if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+    if (cq_map_ != nullptr && cq_map_ != sq_map_) {
+      ::munmap(cq_map_, cq_map_bytes_);
+    }
+    if (sq_map_ != nullptr) ::munmap(sq_map_, sq_map_bytes_);
+    sqes_ = nullptr;
+    cq_map_ = nullptr;
+    sq_map_ = nullptr;
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+    ring_fd_ = -1;
+  }
+
+  /// Writes one IORING_OP_READ SQE for `ticket` and submits it. False when
+  /// the ring cannot take or consume it (caller completes synchronously).
+  bool PushSqeLocked(Ticket ticket, Op& op) {
+    // Keep kernel completions strictly under CQ capacity so nothing drops.
+    ReapLocked();
+    while (kernel_inflight_ + 1 >= cq_entries_) {
+      if (!Enter(0, 1).ok()) return false;
+      ReapLocked();
+    }
+    const unsigned head = __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE);
+    const unsigned tail = *sq_tail_;  // sole producer, under mu_
+    if (tail - head >= sq_entries_) return false;  // only if enter wedged
+
+    struct io_uring_sqe* sqe = &sqes_[tail & sq_mask_];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_READ;
+    sqe->fd = op.fd;
+    sqe->off = op.offset;
+    sqe->addr = reinterpret_cast<uint64_t>(op.bytes.data());
+    sqe->len = static_cast<__u32>(op.want);
+    sqe->user_data = ticket;
+    sq_array_[tail & sq_mask_] = tail & sq_mask_;
+    __atomic_store_n(sq_tail_, tail + 1, __ATOMIC_RELEASE);
+
+    if (!Enter(1, 0).ok()) {
+      // The SQE is visible but unconsumed; never calling enter again (the
+      // broken flag) guarantees the kernel will not touch the buffer.
+      ring_broken_ = true;
+      return false;
+    }
+    op.in_kernel = true;
+    ++kernel_inflight_;
+    return true;
+  }
+
+  /// io_uring_enter with EINTR/EAGAIN retry; submits `to_submit` SQEs and,
+  /// when `min_complete` > 0, blocks for that many completions.
+  Status Enter(unsigned to_submit, unsigned min_complete) {
+    unsigned remaining = to_submit;
+    while (true) {
+      const unsigned flags = min_complete > 0 ? IORING_ENTER_GETEVENTS : 0;
+      const long ret = ::syscall(__NR_io_uring_enter, ring_fd_, remaining,
+                                 min_complete, flags, nullptr, 0);
+      if (ret >= 0) {
+        remaining -= std::min(remaining, static_cast<unsigned>(ret));
+        if (remaining == 0) return Status::OK();
+        continue;
+      }
+      if (errno == EINTR || errno == EAGAIN || errno == EBUSY) continue;
+      return Status::IOError(std::string("async io: io_uring_enter: ") +
+                             std::strerror(errno));
+    }
+  }
+
+  /// Drains every available CQE into its op.
+  void ReapLocked() {
+    unsigned head = __atomic_load_n(cq_head_, __ATOMIC_RELAXED);
+    const unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+    while (head != tail) {
+      const struct io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      FinishOpLocked(cqe.user_data, cqe.res);
+      ++head;
+      if (kernel_inflight_ > 0) --kernel_inflight_;
+    }
+    __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+  }
+
+  void FinishOpLocked(Ticket ticket, int32_t res) {
+    auto it = ops_.find(ticket);
+    if (it == ops_.end()) return;
+    Op& op = it->second;
+    if (op.fd >= 0) {
+      ::close(op.fd);
+      op.fd = -1;
+    }
+    op.in_kernel = false;
+    if (op.done) return;  // already completed via the sync path
+    if (res < 0) {
+      op.status = Status::IOError("async io: read failed on " + op.path +
+                                  ": " + std::strerror(-res));
+    } else if (static_cast<uint64_t>(res) != op.want) {
+      op.status = Status::IOError(
+          "async io: short read on " + op.path + " (want " +
+          std::to_string(op.want) + " bytes, got " + std::to_string(res) +
+          ")");
+    }
+    op.done = true;
+    if (op.abandoned) ops_.erase(it);
+  }
+
+  /// Completes `ticket` with a plain pread — the degradation for every
+  /// ring failure class. Ops the kernel still owns are left to ReapLocked
+  /// (their buffer must stay put), which finds them already done.
+  void CompleteSyncLocked(Ticket ticket) {
+    auto it = ops_.find(ticket);
+    if (it == ops_.end() || it->second.done) return;
+    Op& op = it->second;
+    if (op.in_kernel) return;  // the reap path owns its completion
+    if (op.fd >= 0) {
+      ::close(op.fd);
+      op.fd = -1;
+    }
+    op.status = PreadExact(op.path, op.offset, op.want, &op.bytes);
+    op.done = true;
+  }
+
+  std::mutex mu_;
+  int ring_fd_ = -1;
+  unsigned sq_entries_ = 0;
+  unsigned cq_entries_ = 0;
+  void* sq_map_ = nullptr;
+  size_t sq_map_bytes_ = 0;
+  void* cq_map_ = nullptr;
+  size_t cq_map_bytes_ = 0;
+  struct io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_bytes_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  struct io_uring_cqe* cqes_ = nullptr;
+  bool ring_broken_ = false;
+  unsigned kernel_inflight_ = 0;
+  Ticket next_ticket_ = 1;
+  std::map<Ticket, Op> ops_;
+};
+
+#endif  // TIMPP_HAS_IO_URING
+
+unsigned ClampedQueueDepth(unsigned requested) {
+  unsigned depth = 8;
+  while (depth < requested && depth < 128) depth <<= 1;
+  return depth;
+}
+
+}  // namespace
+
+const char* AsyncIoBackendName(AsyncIoBackend backend) {
+  switch (backend) {
+    case AsyncIoBackend::kAuto:
+      return "auto";
+    case AsyncIoBackend::kUring:
+      return "uring";
+    case AsyncIoBackend::kThreads:
+      return "threads";
+  }
+  return "auto";
+}
+
+bool ParseAsyncIoBackend(const std::string& text, AsyncIoBackend* out) {
+  if (text == "auto") {
+    *out = AsyncIoBackend::kAuto;
+  } else if (text == "uring") {
+    *out = AsyncIoBackend::kUring;
+  } else if (text == "threads") {
+    *out = AsyncIoBackend::kThreads;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<AsyncFileReader> AsyncFileReader::Create(
+    const AsyncIoOptions& options) {
+#if defined(TIMPP_HAS_IO_URING)
+  if (options.backend != AsyncIoBackend::kThreads) {
+    auto uring =
+        UringFileReader::TryCreate(ClampedQueueDepth(options.queue_depth));
+    if (uring != nullptr) return uring;
+    // kUring degrades silently: the probe failing (kernel, seccomp,
+    // rlimits) must never fail the solve.
+  }
+#else
+  (void)ClampedQueueDepth;
+#endif
+  return std::make_unique<ThreadFileReader>(
+      options.num_threads == 0 ? 1 : options.num_threads);
+}
+
+}  // namespace timpp

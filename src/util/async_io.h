@@ -1,0 +1,91 @@
+// Asynchronous file reads for the spill replay path.
+//
+// AsyncFileReader is a small submit/wait/cancel abstraction over
+// positioned reads: Submit() queues a read of [offset, offset + size)
+// from a file and returns a ticket immediately; Wait() blocks until that
+// read has completed and hands back the bytes (or the I/O error — Status
+// propagates, data is never consumed before its read completes); Cancel()
+// abandons a ticket whose result is no longer wanted. Two backends:
+//
+//  - kUring: Linux io_uring driven through raw syscalls (the toolchain
+//    image carries <linux/io_uring.h> but no liburing). Probed at
+//    runtime — io_uring_setup() failing for any reason (old kernel,
+//    seccomp, rlimits) silently selects the thread backend, so callers
+//    never see a hard failure from asking for uring.
+//  - kThreads: a portable pool of dedicated reader threads issuing
+//    pread() — the fallback everywhere, and the whole story off Linux.
+//
+// kAuto picks uring when the probe succeeds, threads otherwise. Create()
+// never fails: the worst case is the thread backend with one worker.
+//
+// Thread-safe: Submit/Wait/Cancel may be called from any thread. Tickets
+// are single-consumer — exactly one Wait() or Cancel() per ticket.
+#ifndef TIMPP_UTIL_ASYNC_IO_H_
+#define TIMPP_UTIL_ASYNC_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace timpp {
+
+enum class AsyncIoBackend {
+  kAuto = 0,  // io_uring when the runtime probe succeeds, else threads
+  kUring,     // request io_uring; degrades to threads when unavailable
+  kThreads,   // portable pread() worker pool
+};
+
+/// Canonical lowercase name ("auto" | "uring" | "threads").
+const char* AsyncIoBackendName(AsyncIoBackend backend);
+
+/// Parses "auto" | "uring" | "threads" (case-sensitive); returns false and
+/// leaves *out untouched on anything else.
+bool ParseAsyncIoBackend(const std::string& text, AsyncIoBackend* out);
+
+struct AsyncIoOptions {
+  AsyncIoBackend backend = AsyncIoBackend::kAuto;
+  /// Reader threads for the kThreads backend (clamped to >= 1).
+  unsigned num_threads = 2;
+  /// Submission-queue depth for the kUring backend (clamped to a power of
+  /// two in [8, 128]). Also bounds in-flight reads per reader.
+  unsigned queue_depth = 16;
+};
+
+class AsyncFileReader {
+ public:
+  /// Opaque handle for one submitted read. 0 is never a live ticket.
+  using Ticket = uint64_t;
+  static constexpr Ticket kInvalidTicket = 0;
+
+  /// Builds a reader for `options`. Never returns null: backend probes
+  /// that fail fall back to the thread backend.
+  static std::unique_ptr<AsyncFileReader> Create(
+      const AsyncIoOptions& options = {});
+
+  virtual ~AsyncFileReader() = default;
+
+  /// Queues a read of `size` bytes at `offset` of `path` and returns its
+  /// ticket without blocking on the I/O. Open/validation errors are
+  /// reported by Wait(), not here.
+  virtual Ticket Submit(const std::string& path, uint64_t offset,
+                        uint64_t size) = 0;
+
+  /// Blocks until the ticket's read completes. On success *out holds
+  /// exactly `size` bytes; on failure (open error, short read, I/O error)
+  /// the Status names it and *out is unspecified. Consumes the ticket.
+  virtual Status Wait(Ticket ticket, std::string* out) = 0;
+
+  /// Abandons a ticket: its result (or in-flight read) is discarded.
+  /// Consumes the ticket. Unknown tickets are ignored.
+  virtual void Cancel(Ticket ticket) = 0;
+
+  /// The backend actually running ("uring" or "threads") — kAuto and a
+  /// failed uring probe both report what was really selected.
+  virtual const char* backend_name() const = 0;
+};
+
+}  // namespace timpp
+
+#endif  // TIMPP_UTIL_ASYNC_IO_H_
